@@ -1,0 +1,54 @@
+// Ablation E11: close vs spread thread affinity (paper §3.2 Class 1.(c))
+// at full resolution — every thread count, both placements, with the
+// socket-boundary kink and the full-machine convergence called out.
+#include <cstdio>
+
+#include "numakit/numakit.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/stream.hpp"
+
+using namespace cxlpmem;
+namespace profiles = simkit::profiles;
+
+int main() {
+  const auto s1 = profiles::make_setup_one();
+  const auto topo =
+      numakit::NumaTopology::from_machine(s1.machine, {s1.cxl});
+  stream::BenchOptions opts;
+  opts.model_only = true;
+  const stream::StreamBenchmark bench(s1.machine, opts);
+
+  std::printf("=== Ablation: thread affinity close vs spread (Triad) ===\n\n");
+
+  for (const auto& [name, node] :
+       {std::pair<const char*, int>{"pmem#0 (local ddr5)", 0},
+        {"pmem#2 (cxl ddr4)", 2}}) {
+    const auto placement =
+        numakit::resolve_placement(topo, numakit::MemBindPolicy::bind(node));
+    std::printf("target %s\n", name);
+    std::printf("%8s %12s %12s %10s\n", "threads", "close GB/s",
+                "spread GB/s", "delta");
+    for (int t = 1; t <= 20; ++t) {
+      const auto close_plan = numakit::plan_affinity(
+          s1.machine, t, numakit::AffinityPolicy::Close, 0);
+      const auto spread_plan = numakit::plan_affinity(
+          s1.machine, t, numakit::AffinityPolicy::Spread, 0);
+      const double c =
+          bench.run(close_plan, placement, stream::AccessMode::AppDirect)
+              [stream::Kernel::Triad]
+                  .model_gbs;
+      const double s =
+          bench.run(spread_plan, placement, stream::AccessMode::AppDirect)
+              [stream::Kernel::Triad]
+                  .model_gbs;
+      std::printf("%8d %12.2f %12.2f %+9.2f%s\n", t, c, s, s - c,
+                  t == 10 ? "   <- socket 0 full (close)" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shapes (paper 4.1c): close kinks at 10 threads; spread\n"
+      "averages local+remote below that; both converge at 20 threads.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation E9: decomposes the CXL-DDR4 bandwidth loss (paper §4 Class 1.(b))
+// into the DDR4-vs-DDR5 media share and the CXL-fabric share, by running the
+// SAME media once behind the CXL link and once directly on the IMC.
+#include <cstdio>
+
+#include "numakit/numakit.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/stream.hpp"
+
+using namespace cxlpmem;
+namespace profiles = simkit::profiles;
+
+namespace {
+
+double pmem_gbs(const simkit::Machine& machine, simkit::MemoryId mem,
+                stream::Kernel k) {
+  stream::BenchOptions opts;
+  opts.model_only = true;
+  const stream::StreamBenchmark bench(machine, opts);
+  const auto plan = numakit::plan_affinity(machine, 10,
+                                           numakit::AffinityPolicy::Close, 0);
+  // Target the memory device directly: the IMC variant shares socket 0 with
+  // the DDR5 DIMM, so node-based binding would be ambiguous.
+  numakit::Placement placement;
+  placement.shares = {{mem, 1.0}};
+  return bench.run(plan, placement, stream::AccessMode::AppDirect)[k]
+      .model_gbs;
+}
+
+}  // namespace
+
+int main() {
+  const auto behind_cxl = profiles::make_setup_one();
+  const auto on_imc = profiles::make_setup_one_media_on_imc();
+
+  std::printf(
+      "=== Ablation: what does the CXL fabric itself cost? ===\n"
+      "(paper: 'about 2-3 GB/s loss in bandwidth can be attributed to the"
+      " CXL fabric')\n\n");
+  std::printf("%-6s %12s %14s %14s %12s %12s\n", "kernel", "ddr5 local",
+              "ddr4 on IMC", "ddr4 via CXL", "media share", "fabric share");
+
+  for (const auto k : stream::kAllKernels) {
+    const double ddr5 =
+        pmem_gbs(behind_cxl.machine, behind_cxl.ddr5_socket0, k);
+    const double imc = pmem_gbs(on_imc.machine, on_imc.cxl, k);
+    const double cxl = pmem_gbs(behind_cxl.machine, behind_cxl.cxl, k);
+    std::printf("%-6s %10.2f %14.2f %14.2f %10.2f %12.2f\n",
+                to_string(k).c_str(), ddr5, imc, cxl, ddr5 - imc, imc - cxl);
+  }
+
+  std::printf(
+      "\nReading: 'media share' is what switching DDR5 -> DDR4-1333 media"
+      " costs;\n'fabric share' is the additional loss from putting the same"
+      " media behind\nthe CXL link + FPGA soft IP (the paper's 2-3 GB/s).\n");
+  return 0;
+}

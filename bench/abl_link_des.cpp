@@ -1,0 +1,59 @@
+// Ablation E12: the flit-level DES vs the analytic constants — latency
+// composition, ramp, saturation and link efficiency, side by side.
+#include <cstdio>
+
+#include "cxlsim/cxlsim.hpp"
+#include "simkit/profiles.hpp"
+
+using namespace cxlpmem;
+namespace cs = cxlsim;
+namespace profiles = simkit::profiles;
+
+int main() {
+  const auto p = cs::fpga_prototype_des_params();
+
+  std::printf("=== Ablation: DES cross-validation of the analytic model ===\n\n");
+
+  // Link efficiency from slot arithmetic.
+  std::printf("Link (PCIe5 x16): raw %.1f GB/s/dir, pure-read efficiency"
+              " %.3f -> %.1f GB/s deliverable\n\n",
+              p.link.raw_gbs(), cs::read_efficiency(p.link),
+              cs::effective_data_gbs(p.link, 1.0));
+
+  // Idle latency composition vs the profile's 460 ns.
+  const auto idle = cs::simulate_stream(p, 1, 1, 1.0, 2000, 1);
+  const auto setup = profiles::make_setup_one();
+  const double analytic_idle =
+      setup.machine.memory(setup.cxl).idle_latency_ns +
+      setup.machine.link(setup.cxl_link).latency_ns;
+  std::printf("Idle load-to-use: DES %.0f ns vs analytic profile %.0f ns"
+              " (%.1f%% apart)\n\n",
+              idle.mean_latency_ns, analytic_idle,
+              100.0 * std::abs(idle.mean_latency_ns - analytic_idle) /
+                  analytic_idle);
+
+  // Ramp and saturation.
+  std::printf("%10s %10s %14s %12s\n", "requesters", "mlp",
+              "DES GB/s (read)", "latency ns");
+  for (const auto& [r, mlp] :
+       {std::pair<int, int>{1, 1}, {1, 4}, {1, 16}, {4, 16}, {10, 16},
+        {10, 32}, {16, 32}}) {
+    const auto res = cs::simulate_stream(p, r, mlp, 1.0, 150000, 1);
+    std::printf("%10d %10d %14.2f %12.0f\n", r, mlp, res.data_gbs,
+                res.mean_latency_ns);
+  }
+  std::printf("\nAnalytic media read ceiling: %.1f GB/s "
+              "(profiles::kCxlFpgaReadGbs)\n\n",
+              profiles::kCxlFpgaReadGbs);
+
+  // Mixed traffic: controller-bound region.
+  std::printf("%12s %14s\n", "read frac", "DES GB/s");
+  for (const double rf : {1.0, 2.0 / 3.0, 0.5, 1.0 / 3.0, 0.0}) {
+    const auto res = cs::simulate_stream(p, 16, 32, rf, 150000, 1);
+    std::printf("%12.2f %14.2f\n", rf, res.data_gbs);
+  }
+  std::printf("\nAnalytic controller ceiling: %.1f GB/s combined"
+              " (profiles::kCxlFpgaCombinedGbs)\n",
+              profiles::kCxlFpgaCombinedGbs);
+  return 0;
+}

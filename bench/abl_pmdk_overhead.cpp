@@ -1,0 +1,54 @@
+// Ablation E8: the paper's §4 Class 2.(a) claim — "PMDK overheads over
+// CC-NUMA are 10%-15% (in all STREAM methods)".  Sweeps every placement and
+// kernel, printing App-Direct vs Memory-Mode and the overhead percentage.
+#include <cstdio>
+
+#include "numakit/numakit.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/stream.hpp"
+
+using namespace cxlpmem;
+namespace profiles = simkit::profiles;
+
+int main() {
+  const auto s1 = profiles::make_setup_one();
+  const auto topo =
+      numakit::NumaTopology::from_machine(s1.machine, {s1.cxl});
+  stream::BenchOptions opts;
+  opts.model_only = true;
+  const stream::StreamBenchmark bench(s1.machine, opts);
+  const auto plan = numakit::plan_affinity(s1.machine, 10,
+                                           numakit::AffinityPolicy::Close, 0);
+
+  std::printf("=== Ablation: PMDK (App-Direct) overhead vs raw CC-NUMA ===\n");
+  std::printf("(paper: 10%%-15%% in all STREAM methods)\n\n");
+  std::printf("%-22s %-6s %10s %10s %9s\n", "placement", "kernel",
+              "numa GB/s", "pmem GB/s", "overhead");
+
+  const struct {
+    const char* name;
+    int node;
+  } placements[] = {{"local ddr5 (node0)", 0},
+                    {"remote ddr5 (node1)", 1},
+                    {"cxl ddr4 (node2)", 2}};
+
+  for (const auto& p : placements) {
+    const auto placement =
+        numakit::resolve_placement(topo, numakit::MemBindPolicy::bind(p.node));
+    const auto numa =
+        bench.run(plan, placement, stream::AccessMode::MemoryMode);
+    const auto pmem =
+        bench.run(plan, placement, stream::AccessMode::AppDirect);
+    for (const auto k : stream::kAllKernels) {
+      const double n = numa[k].model_gbs;
+      const double m = pmem[k].model_gbs;
+      std::printf("%-22s %-6s %10.2f %10.2f %8.1f%%\n", p.name,
+                  to_string(k).c_str(), n, m, 100.0 * (1.0 - m / n));
+    }
+  }
+
+  std::printf("\nKnob: profiles::kPmdkSoftwareFactor = %.2f "
+              "(modelled as 1/%.2f traffic amplification)\n",
+              profiles::kPmdkSoftwareFactor, profiles::kPmdkSoftwareFactor);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation E15: STREAM flatters CXL — bandwidth-bound kernels hide latency
+// behind deep MLP.  Latency-bound workloads (pointer chasing, GUPS-style
+// random access) expose the 460 ns fabric latency directly.  This is the
+// honest counterweight the paper's Real-World-Applications future work
+// (§6) asks for.
+#include <cstdio>
+
+#include "simkit/bwmodel.hpp"
+#include "simkit/profiles.hpp"
+
+using namespace cxlpmem;
+namespace sk = simkit;
+namespace profiles = sk::profiles;
+
+namespace {
+
+double solve(const sk::Machine& m, sk::MemoryId mem, int threads,
+             double mlp) {
+  const sk::BandwidthModel model(m);
+  std::vector<sk::TrafficSpec> specs;
+  for (int c = 0; c < threads; ++c)
+    specs.push_back({.core = c,
+                     .memory = mem,
+                     // Random reads: no writes, no RFO, cache-hostile.
+                     .traffic = {.read_frac = 1.0,
+                                 .write_frac = 0.0,
+                                 .write_allocate = false},
+                     .software_factor = 1.0,
+                     .traffic_amplification = 1.0,
+                     .working_set_bytes = 0,
+                     .mlp_override = mlp});
+  return model.solve(specs).total_gbs;
+}
+
+}  // namespace
+
+int main() {
+  const auto s1 = profiles::make_setup_one();
+
+  std::printf("=== Ablation: latency-bound access vs STREAM ===\n\n");
+  std::printf("10 threads on socket 0, read-only, by workload MLP:\n\n");
+  std::printf("%-28s %12s %12s %10s\n", "workload (outstanding misses)",
+              "ddr5 local", "cxl ddr4", "cxl/ddr5");
+  const struct {
+    const char* name;
+    double mlp;
+  } loads[] = {{"pointer chase (MLP=1)", 1.0},
+               {"GUPS-ish (MLP=4)", 4.0},
+               {"indexed gather (MLP=8)", 8.0},
+               {"streaming (MLP=16)", 16.0}};
+  for (const auto& l : loads) {
+    const double dram = solve(s1.machine, s1.ddr5_socket0, 10, l.mlp);
+    const double cxl = solve(s1.machine, s1.cxl, 10, l.mlp);
+    std::printf("%-28s %9.2f GB/s %9.2f GB/s %9.0f%%\n", l.name, dram, cxl,
+                100.0 * cxl / dram);
+  }
+
+  std::printf(
+      "\nLatency ratio (idle): %.0f ns vs %.0f ns = %.1fx — exactly the\n"
+      "pointer-chase ratio above.  STREAM's 45-55%% story becomes ~20%% when\n"
+      "each load depends on the previous one: data placement still matters\n"
+      "on CXL (paper 1.3's 'efficient data placement ... crucial').\n",
+      sk::resolve_route(s1.machine, 0, s1.ddr5_socket0).latency_ns,
+      sk::resolve_route(s1.machine, 0, s1.cxl).latency_ns,
+      sk::resolve_route(s1.machine, 0, s1.cxl).latency_ns /
+          sk::resolve_route(s1.machine, 0, s1.ddr5_socket0).latency_ns);
+  return 0;
+}

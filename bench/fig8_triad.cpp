@@ -1,0 +1,7 @@
+// Reproduces Figure 8: TRIAD across test groups 1a/1b/1c/2a/2b.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  return cxlpmem::benchfig::run_figure(cxlpmem::stream::Kernel::Triad,
+                                       "Figure 8", argc, argv);
+}

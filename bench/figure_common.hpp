@@ -1,0 +1,49 @@
+// bench/figure_common.hpp — shared driver for the per-figure binaries
+// (Figures 5-8): run the full §3.2 matrix for one kernel, print the five
+// panels and a CSV block, exactly the series the paper plots.
+#pragma once
+
+#include <iostream>
+
+#include "streamer/report.hpp"
+#include "streamer/runner.hpp"
+
+namespace cxlpmem::benchfig {
+
+inline int run_figure(stream::Kernel kernel, const char* figure_name,
+                      int argc, char** argv) {
+  streamer::RunnerOptions options;
+  options.thread_step = 1;
+  options.validate = true;
+  options.bench.verify_elements = 1u << 19;  // fast real-validation arrays
+  options.bench.ntimes = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      options.thread_step = 2;
+      options.validate = false;
+    } else if (arg == "--no-validate") {
+      options.validate = false;
+    }
+  }
+
+  std::cout << "=== " << figure_name << " — STREAM "
+            << to_string(kernel)
+            << " over the paper's five test groups ===\n"
+            << "(bandwidths are model outputs at the paper's 100M-element"
+               " working set;\n series marked 'validated' also ran for real"
+               " on this host)\n\n";
+
+  const streamer::Streamer streamer(options);
+  const auto series = streamer.run_all();
+  streamer::print_figure(std::cout, series, kernel);
+
+  std::cout << "---- CSV ----\n";
+  std::vector<streamer::Series> mine;
+  for (const auto& s : series)
+    if (s.kernel == kernel) mine.push_back(s);
+  streamer::write_csv(std::cout, mine);
+  return 0;
+}
+
+}  // namespace cxlpmem::benchfig

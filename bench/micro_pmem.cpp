@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for pmemkit primitive costs: the
+// operations whose per-call software overhead composes the paper's 10-15%
+// PMDK factor.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "pmemkit/pmemkit.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+namespace fs = std::filesystem;
+
+namespace {
+
+class PoolFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (pool) return;
+    path = fs::temp_directory_path() /
+           ("micro-pmem-" + std::to_string(::getpid()) + ".pool");
+    fs::remove(path);
+    pool = pk::ObjectPool::create(path, "micro", 256ull << 20);
+  }
+  void TearDown(const benchmark::State&) override {}
+
+  static std::unique_ptr<pk::ObjectPool> pool;
+  static fs::path path;
+};
+
+std::unique_ptr<pk::ObjectPool> PoolFixture::pool;
+fs::path PoolFixture::path;
+
+/// Closes the pool and removes the backing file when the process exits.
+struct PoolCleanup {
+  ~PoolCleanup() {
+    PoolFixture::pool.reset();
+    std::error_code ec;
+    fs::remove(PoolFixture::path, ec);
+  }
+} pool_cleanup;
+
+BENCHMARK_DEFINE_F(PoolFixture, AllocFree)(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const pk::ObjId oid = pool->alloc_atomic(size, 1);
+    pool->free_atomic(oid);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_REGISTER_F(PoolFixture, AllocFree)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(1 << 20);
+
+BENCHMARK_DEFINE_F(PoolFixture, EmptyTransaction)(benchmark::State& state) {
+  for (auto _ : state) {
+    pool->run_tx([] {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_REGISTER_F(PoolFixture, EmptyTransaction);
+
+BENCHMARK_DEFINE_F(PoolFixture, TxSnapshotAndWrite)(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  const pk::ObjId oid = pool->alloc_atomic(size, 2);
+  auto* data = static_cast<std::uint8_t*>(pool->direct(oid));
+  for (auto _ : state) {
+    pool->run_tx([&] {
+      pool->tx_add_range(data, size);
+      data[0] ^= 1;
+      data[size - 1] ^= 1;
+    });
+  }
+  pool->free_atomic(oid);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK_REGISTER_F(PoolFixture, TxSnapshotAndWrite)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384);
+
+BENCHMARK_DEFINE_F(PoolFixture, PersistRange)(benchmark::State& state) {
+  const auto size = static_cast<std::uint64_t>(state.range(0));
+  const pk::ObjId oid = pool->alloc_atomic(size, 3);
+  auto* data = static_cast<std::uint8_t*>(pool->direct(oid));
+  for (auto _ : state) {
+    std::memset(data, static_cast<int>(state.iterations() & 0xff), size);
+    pool->persist(data, size);
+  }
+  pool->free_atomic(oid);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * size));
+}
+BENCHMARK_REGISTER_F(PoolFixture, PersistRange)
+    ->Arg(64)
+    ->Arg(4096)
+    ->Arg(1 << 20);
+
+BENCHMARK_DEFINE_F(PoolFixture, AtomicPublishIntoPool)(
+    benchmark::State& state) {
+  struct R {
+    pk::ObjId slot;
+  };
+  auto* r = pool->direct(pool->root<R>());
+  for (auto _ : state) {
+    (void)pool->alloc_atomic(256, 4, &r->slot);
+    pool->free_atomic(&r->slot);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK_REGISTER_F(PoolFixture, AtomicPublishIntoPool);
+
+BENCHMARK_DEFINE_F(PoolFixture, TypedIteration)(benchmark::State& state) {
+  std::vector<pk::ObjId> objs;
+  for (int i = 0; i < 100; ++i)
+    objs.push_back(pool->alloc_atomic(128, 77));
+  for (auto _ : state) {
+    int count = 0;
+    for (pk::ObjId o = pool->first(77); !o.is_null(); o = pool->next(o, 77))
+      ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  for (const auto o : objs) pool->free_atomic(o);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * 100));
+}
+BENCHMARK_REGISTER_F(PoolFixture, TypedIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

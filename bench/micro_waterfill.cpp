@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the water-filling solver and the
+// full bandwidth-model solve — the hot path of every figure sweep.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "simkit/bwmodel.hpp"
+#include "simkit/profiles.hpp"
+#include "simkit/waterfill.hpp"
+#include "streamer/runner.hpp"
+
+namespace sk = cxlpmem::simkit;
+namespace profiles = sk::profiles;
+
+namespace {
+
+void BM_Waterfill(benchmark::State& state) {
+  const int nflows = static_cast<int>(state.range(0));
+  const int nres = static_cast<int>(state.range(1));
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> cap(5.0, 50.0);
+  std::uniform_real_distribution<double> coeff(0.2, 2.0);
+
+  std::vector<sk::Resource> resources;
+  for (int r = 0; r < nres; ++r)
+    resources.push_back({"r" + std::to_string(r), cap(rng)});
+  std::vector<sk::SolverFlow> flows(nflows);
+  for (auto& f : flows) {
+    f.rate_cap_gbs = cap(rng);
+    for (int r = 0; r < nres; ++r)
+      if (rng() % 2 == 0) f.usage.emplace_back(r, coeff(rng));
+    if (f.usage.empty()) f.usage.emplace_back(0, coeff(rng));
+  }
+
+  for (auto _ : state) {
+    auto alloc = sk::max_min_fair(resources, flows);
+    benchmark::DoNotOptimize(alloc);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * nflows);
+}
+BENCHMARK(BM_Waterfill)
+    ->Args({10, 4})
+    ->Args({40, 8})
+    ->Args({200, 16})
+    ->Args({1000, 32});
+
+void BM_BandwidthModelSetupOne(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto s1 = profiles::make_setup_one();
+  const sk::BandwidthModel model(s1.machine);
+  std::vector<sk::TrafficSpec> specs;
+  for (int c = 0; c < threads; ++c)
+    specs.push_back({.core = c % s1.machine.core_count(),
+                     .memory = s1.cxl,
+                     .traffic = sk::kernel_traffic::kTriad,
+                     .software_factor = 1.0,
+                     .traffic_amplification = 1.0,
+                     .working_set_bytes = profiles::kStreamWorkingSetBytes});
+  for (auto _ : state) {
+    auto result = model.solve(specs);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) * threads);
+}
+BENCHMARK(BM_BandwidthModelSetupOne)->Arg(1)->Arg(10)->Arg(20);
+
+void BM_FullMatrixModelOnly(benchmark::State& state) {
+  // The cost of regenerating one whole paper figure (model-only).
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Streamer construction includes machine building; include it, it's
+    // part of the real cost of a figure run.
+    state.ResumeTiming();
+    cxlpmem::streamer::RunnerOptions o;
+    o.validate = false;
+    o.thread_step = 1;
+    const cxlpmem::streamer::Streamer streamer(o);
+    auto series = streamer.run_all();
+    benchmark::DoNotOptimize(series);
+  }
+}
+BENCHMARK(BM_FullMatrixModelOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

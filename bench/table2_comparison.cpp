@@ -1,0 +1,99 @@
+// Reproduces Table 2: CXL memory vs NVRAM for disaggregated HPC — with the
+// quantifiable rows actually measured against the models (bandwidth, data
+// transfer, scalability), and the architectural rows demonstrated by
+// construction (coherency domains, pooling, multi-headed sharing).
+#include <cstdio>
+
+#include "cxlsim/cxlsim.hpp"
+#include "numakit/numakit.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/stream.hpp"
+
+using namespace cxlpmem;
+namespace profiles = simkit::profiles;
+
+namespace {
+
+double triad_gbs(const simkit::Machine& machine, simkit::MemoryId mem,
+                 std::vector<simkit::MemoryId> /*cpuless*/) {
+  stream::BenchOptions opts;
+  opts.model_only = true;
+  const stream::StreamBenchmark bench(machine, opts);
+  const auto plan =
+      numakit::plan_affinity(machine, 10, numakit::AffinityPolicy::Close, 0);
+  // Target the device directly: DCPMM shares its NUMA node with DDR4 DIMMs,
+  // so node-based binding would be ambiguous.
+  numakit::Placement placement;
+  placement.shares = {{mem, 1.0}};
+  return bench
+      .run(plan, placement, stream::AccessMode::MemoryMode)
+              [stream::Kernel::Triad]
+      .model_gbs;
+}
+
+}  // namespace
+
+int main() {
+  const auto s1 = profiles::make_setup_one();
+  const auto legacy = profiles::make_legacy_setup();
+
+  std::printf("=== Table 2: CXL memory vs NVRAM (DCPMM), quantified ===\n\n");
+
+  // --- Bandwidth & data transfer -------------------------------------------
+  const double cxl_gbs = triad_gbs(s1.machine, s1.cxl, {s1.cxl});
+  const double dcpmm_gbs = triad_gbs(legacy.machine, legacy.dcpmm, {});
+  std::printf("Bandwidth (Triad, 10 threads):\n");
+  std::printf("  CXL-DDR4 expander : %6.1f GB/s\n", cxl_gbs);
+  std::printf("  DCPMM (published) : %6.1f GB/s  (read 6.6 / write 2.3)\n",
+              dcpmm_gbs);
+  std::printf("  advantage         : %6.1fx for CXL\n\n",
+              cxl_gbs / dcpmm_gbs);
+
+  // --- Memory coherency ------------------------------------------------------
+  std::printf("Memory coherency:\n");
+  std::printf(
+      "  CXL   : coherent via CXL.mem within one host; multi-headed\n"
+      "          sharing exposes the SAME media to 2 hosts with NO\n"
+      "          inter-host coherence (application-managed, paper 2.2):\n");
+  cxlsim::MultiHeadedExpander mh(cxlsim::fpga_prototype_config(), 2);
+  mh.media_for_head(0)[0] = std::byte{42};
+  std::printf("          write via head0 -> head1 reads %d (shared media)\n",
+              static_cast<int>(mh.media_for_head(1)[0]));
+  std::printf(
+      "  NVRAM : coherent only as local RAM; no cross-node story.\n\n");
+
+  // --- Pooling & partitioning -----------------------------------------------
+  std::printf("Memory pooling (dynamic capacity via mailbox):\n");
+  auto dev = cxlsim::make_fpga_prototype();
+  cxlsim::PartitionInfoPayload part{8ull << 30, 8ull << 30};
+  std::vector<std::uint8_t> in(sizeof(part));
+  std::memcpy(in.data(), &part, sizeof(part));
+  (void)dev->execute(cxlsim::MboxOpcode::SetPartitionInfo, in);
+  std::printf("  repartitioned 16 GiB device -> %llu GiB volatile + %llu"
+              " GiB persistent at runtime\n",
+              static_cast<unsigned long long>(dev->volatile_capacity() >>
+                                              30),
+              static_cast<unsigned long long>(dev->persistent_capacity() >>
+                                              30));
+  std::printf("  NVRAM: DIMM population is fixed at boot.\n\n");
+
+  // --- Scalability ------------------------------------------------------------
+  std::printf("Scalability (link scaling, pure-read effective GB/s):\n");
+  for (const auto& [name, link] :
+       {std::pair<const char*, cxlsim::LinkParams>{
+            "PCIe5 x8 ", {32.0, 8, 128.0 / 130.0}},
+        {"PCIe5 x16", {32.0, 16, 128.0 / 130.0}},
+        {"PCIe6 x16", {64.0, 16, 1.0}}}) {
+    std::printf("  %s : %6.1f GB/s\n", name,
+                cxlsim::effective_data_gbs(link, 1.0));
+  }
+  std::printf("  NVRAM: bound by DIMM slots shared with DRAM "
+              "(the paper's 1.2 limitation).\n\n");
+
+  // --- Relevance to HPC --------------------------------------------------------
+  std::printf("Relevance to HPC: CXL %.1fx the DCPMM bandwidth, pooling &\n"
+              "multi-headed sharing by construction; NVRAM retains only\n"
+              "the non-volatility column.\n",
+              cxl_gbs / dcpmm_gbs);
+  return 0;
+}

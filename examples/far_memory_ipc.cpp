@@ -1,0 +1,103 @@
+// far_memory_ipc — two "hosts" communicating through the multi-headed CXL
+// expander (paper §2.2: "the same far memory segment can be made available
+// to two distinct NUMA nodes ... the onus of maintaining coherency ...
+// rests with the applications").
+//
+// The example implements that onus: a single-producer/single-consumer ring
+// in shared device memory using a seqlock-style protocol with explicit
+// publication ordering (payload persisted/visible BEFORE the sequence
+// bump), which is exactly the discipline a real dual-headed deployment
+// needs.  Here the two hosts are two threads, each touching the media only
+// through its own head.
+//
+//   $ far_memory_ipc
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "cxlsim/cxlsim.hpp"
+
+using namespace cxlpmem;
+
+namespace {
+
+constexpr int kSlots = 8;
+constexpr int kMessages = 10000;
+constexpr std::size_t kSlotBytes = 256;
+
+// One ring slot: a sequence word (even = free, odd = full) + payload.
+// The sequence word is written with release ordering after the payload —
+// the software coherency protocol the paper says applications must own.
+struct Slot {
+  std::atomic<std::uint64_t> seq;
+  char payload[kSlotBytes - sizeof(std::atomic<std::uint64_t>)];
+};
+
+struct Ring {
+  Slot slots[kSlots];
+};
+
+void producer(Ring* ring) {
+  for (int m = 0; m < kMessages; ++m) {
+    Slot& slot = ring->slots[m % kSlots];
+    // Wait for the consumer to have drained this slot (seq == 2*round).
+    const auto want = static_cast<std::uint64_t>(2 * (m / kSlots));
+    while (slot.seq.load(std::memory_order_acquire) != want) {
+    }
+    std::snprintf(slot.payload, sizeof(slot.payload),
+                  "msg-%d from host A via CXL", m);
+    // Publish: payload first, sequence bump with release semantics after.
+    slot.seq.store(want + 1, std::memory_order_release);
+  }
+}
+
+int consumer(Ring* ring) {
+  int received = 0;
+  char expect[64];
+  for (int m = 0; m < kMessages; ++m) {
+    Slot& slot = ring->slots[m % kSlots];
+    const auto want = static_cast<std::uint64_t>(2 * (m / kSlots) + 1);
+    while (slot.seq.load(std::memory_order_acquire) != want) {
+    }
+    std::snprintf(expect, sizeof(expect), "msg-%d from host A via CXL", m);
+    if (std::strcmp(slot.payload, expect) == 0) ++received;
+    // Release the slot for the next round.
+    slot.seq.store(want + 1, std::memory_order_release);
+  }
+  return received;
+}
+
+}  // namespace
+
+int main() {
+  // One multi-headed device, two heads — the §2.2 configuration.
+  cxlsim::MultiHeadedExpander expander(cxlsim::fpga_prototype_config(), 2);
+  std::printf("device: %s, %d heads, battery: %s\n",
+              expander.device().config().name.c_str(), expander.heads(),
+              expander.device().persistence_domain() ? "yes" : "no");
+
+  // Each host maps the same HDM region through its own head.
+  auto* ring_a = reinterpret_cast<Ring*>(expander.media_for_head(0).data());
+  auto* ring_b = reinterpret_cast<Ring*>(expander.media_for_head(1).data());
+  static_assert(sizeof(Ring) <= 16384);
+  new (ring_a) Ring{};  // host A initializes the shared segment
+
+  std::printf("passing %d messages through a %d-slot ring in far memory"
+              " ...\n", kMessages, kSlots);
+  int received = 0;
+  {
+    std::thread host_a(producer, ring_a);
+    std::thread host_b([&] { received = consumer(ring_b); });
+    host_a.join();
+    host_b.join();
+  }
+
+  std::printf("received intact: %d / %d  ->  %s\n", received, kMessages,
+              received == kMessages ? "OK" : "CORRUPTION");
+  std::printf(
+      "\nThe ordering discipline (payload -> release-store of seq) is the\n"
+      "application-managed coherency the paper assigns to software; with\n"
+      "battery backing, the same segment doubles as a persistence domain.\n");
+  return received == kMessages ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+
+namespace cxlpmem::core {
+
+namespace {
+std::uint64_t pool_size_for(std::uint64_t max_payload) {
+  // Two slots + allocator slack + fixed overhead.
+  return 2 * max_payload + max_payload / 2 +
+         pmemkit::ObjectPool::min_pool_size() + 8 * pmemkit::kChunkSize;
+}
+}  // namespace
+
+CheckpointStore::CheckpointStore(DaxNamespace& ns, const std::string& file,
+                                 std::uint64_t max_payload_bytes,
+                                 bool allow_volatile,
+                                 pmemkit::PoolOptions pool_options)
+    : max_payload_(max_payload_bytes) {
+  if (ns.pool_exists(file)) {
+    pool_ = ns.open_pool(file, kLayout, pool_options);
+  } else {
+    pool_ = ns.create_pool(file, kLayout, pool_size_for(max_payload_bytes),
+                           allow_volatile, pool_options);
+  }
+  (void)root();  // allocate the root up front
+}
+
+CheckpointStore::Root* CheckpointStore::root() const {
+  return pool_->direct(pool_->root<Root>());
+}
+
+void CheckpointStore::save(std::span<const std::byte> payload) {
+  if (payload.size() > max_payload_)
+    throw pmemkit::PoolError("checkpoint payload exceeds store maximum");
+  Root* r = root();
+  const std::uint32_t target = 1 - (r->epoch == 0 ? 1 : r->active);
+
+  pool_->run_tx([&] {
+    // Snapshot the root before ANY mutation of it.
+    pool_->tx_add_range(r, sizeof(Root));
+
+    // Size the target slot (exact-fit realloc keeps the pool bounded).
+    if (!r->slot[target].is_null() &&
+        pool_->usable_size(r->slot[target]) < payload.size()) {
+      pool_->tx_free(r->slot[target]);
+      r->slot[target] = pmemkit::kNullOid;
+    }
+    pmemkit::ObjId slot = r->slot[target];
+    if (slot.is_null() && !payload.empty())
+      slot = pool_->tx_alloc(payload.size(), kPayloadType);
+
+    // Payload first (persisted before the metadata flip commits).
+    if (!payload.empty()) {
+      void* dst = pool_->direct(slot);
+      std::memcpy(dst, payload.data(), payload.size());
+      pool_->persist(dst, payload.size());
+    }
+
+    // Atomic flip.
+    r->slot[target] = slot;
+    r->size[target] = payload.size();
+    r->active = target;
+    r->epoch += 1;
+  });
+}
+
+std::vector<std::byte> CheckpointStore::load() const {
+  const Root* r = root();
+  if (r->epoch == 0) return {};
+  const std::uint64_t n = r->size[r->active];
+  std::vector<std::byte> out(n);
+  if (n > 0)
+    std::memcpy(out.data(), pool_->direct(r->slot[r->active]), n);
+  return out;
+}
+
+std::uint64_t CheckpointStore::epoch() const { return root()->epoch; }
+
+}  // namespace cxlpmem::core

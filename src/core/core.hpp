@@ -1,0 +1,10 @@
+// core/core.hpp — umbrella header for the CXL-as-PMem runtime (the paper's
+// primary contribution).
+#pragma once
+
+#include "core/checkpoint.hpp"      // IWYU pragma: export
+#include "core/dax.hpp"             // IWYU pragma: export
+#include "core/migrate.hpp"         // IWYU pragma: export
+#include "core/persist_domain.hpp"  // IWYU pragma: export
+#include "core/runtime.hpp"         // IWYU pragma: export
+#include "core/tiering.hpp"         // IWYU pragma: export

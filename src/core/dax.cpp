@@ -1,0 +1,82 @@
+#include "core/dax.hpp"
+
+namespace cxlpmem::core {
+
+DaxNamespace::DaxNamespace(std::string name, std::filesystem::path dir,
+                           const simkit::Machine& machine,
+                           simkit::MemoryId memory, bool emulated_pmem)
+    : name_(std::move(name)),
+      dir_(std::move(dir)),
+      memory_(memory),
+      domain_(classify(machine.memory(memory), emulated_pmem)),
+      capacity_(machine.memory(memory).capacity_bytes) {
+  std::filesystem::create_directories(dir_);
+  rescan_used();
+}
+
+void DaxNamespace::rescan_used() {
+  used_ = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    if (entry.is_regular_file())
+      used_ += static_cast<std::uint64_t>(entry.file_size());
+}
+
+std::filesystem::path DaxNamespace::file_path(const std::string& file) const {
+  if (file.empty() || file.find('/') != std::string::npos)
+    throw pmemkit::PoolError("pool file name must be a plain file name");
+  return dir_ / file;
+}
+
+std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::create_pool(
+    const std::string& file, std::string_view layout, std::uint64_t size,
+    bool allow_volatile, pmemkit::PoolOptions options) {
+  if (!durable() && !allow_volatile)
+    throw pmemkit::PoolError(
+        "namespace '" + name_ + "' is " + to_string(domain_) +
+        " — pass allow_volatile to create pools on it anyway");
+  if (size > available_bytes())
+    throw pmemkit::PoolError("namespace '" + name_ +
+                             "' out of capacity: need " +
+                             std::to_string(size) + ", available " +
+                             std::to_string(available_bytes()));
+  auto pool =
+      pmemkit::ObjectPool::create(file_path(file), layout, size, options);
+  used_ += size;
+  return pool;
+}
+
+std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::open_pool(
+    const std::string& file, std::string_view layout,
+    pmemkit::PoolOptions options) {
+  return pmemkit::ObjectPool::open(file_path(file), layout, options);
+}
+
+void DaxNamespace::remove_pool(const std::string& file) {
+  const std::filesystem::path p = file_path(file);
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(p, ec);
+  if (!std::filesystem::remove(p, ec) || ec)
+    throw pmemkit::PoolError("cannot remove pool " + p.string());
+  used_ -= std::min<std::uint64_t>(used_, size);
+}
+
+bool DaxNamespace::pool_exists(const std::string& file) const {
+  return std::filesystem::exists(file_path(file));
+}
+
+std::filesystem::path DaxNamespace::import_file(
+    const std::filesystem::path& src, const std::string& file) {
+  const std::filesystem::path to = file_path(file);
+  if (std::filesystem::exists(to))
+    throw pmemkit::PoolError("namespace already has a file named " + file);
+  const auto size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(src));
+  if (size > available_bytes())
+    throw pmemkit::PoolError("namespace '" + name_ +
+                             "' out of capacity for import of " + file);
+  std::filesystem::copy_file(src, to);
+  used_ += size;
+  return to;
+}
+
+}  // namespace cxlpmem::core

@@ -1,0 +1,40 @@
+#include "core/migrate.hpp"
+
+#include <filesystem>
+
+namespace cxlpmem::core {
+
+MigrationReport migrate_pool(DaxNamespace& src, DaxNamespace& dst,
+                             const std::string& file,
+                             std::string_view layout) {
+  MigrationReport report;
+  report.source_domain = src.domain();
+  report.destination_domain = dst.domain();
+
+  // Validate the source (recovery runs if it was dirty) and capture its
+  // identity for post-copy verification.
+  std::uint64_t src_size = 0;
+  {
+    auto pool = src.open_pool(file, layout);
+    report.pool_id = pool->pool_id();
+    report.object_count = pool->stats().heap.object_count;
+    src_size = pool->size();
+  }
+  const std::filesystem::path to =
+      dst.import_file(src.path() / file, file);
+  report.bytes_copied = src_size;
+
+  // Verify the destination opens and matches.
+  try {
+    auto pool = dst.open_pool(file, layout);
+    if (pool->pool_id() != report.pool_id ||
+        pool->stats().heap.object_count != report.object_count)
+      throw pmemkit::PoolError("migrated pool failed verification");
+  } catch (...) {
+    dst.remove_pool(file);
+    throw;
+  }
+  return report;
+}
+
+}  // namespace cxlpmem::core

@@ -1,0 +1,39 @@
+// core/migrate.hpp — pool migration between persistence tiers.
+//
+// The industry problem the paper anticipates (and Intel documents in the
+// "Migration from Direct-Attached Optane to CXL-Attached Memory" brief,
+// paper ref [22]): Optane is discontinued, PMDK applications must move.
+// Because pmemkit pools are position-independent (object ids are offsets),
+// migration is a verified file copy plus namespace accounting — the
+// programming model does not change at all.  migrate_pool() performs the
+// copy, validates both ends, and reports what changed about durability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dax.hpp"
+
+namespace cxlpmem::core {
+
+struct MigrationReport {
+  std::uint64_t bytes_copied = 0;
+  PersistenceDomain source_domain = PersistenceDomain::Volatile;
+  PersistenceDomain destination_domain = PersistenceDomain::Volatile;
+  std::uint64_t pool_id = 0;      ///< preserved across migration
+  std::uint64_t object_count = 0; ///< preserved across migration
+  /// True when the move *improved* durability (e.g. emulated-PMem -> battery
+  /// -backed CXL) — the paper's recommended direction.
+  [[nodiscard]] bool durability_preserved() const noexcept {
+    return !durable(source_domain) || durable(destination_domain);
+  }
+};
+
+/// Migrates pool `file` (layout `layout`) from namespace `src` to `dst`.
+/// The source is left intact (callers delete it after verifying).  Throws
+/// pmemkit::PoolError on validation or capacity failure.
+MigrationReport migrate_pool(DaxNamespace& src, DaxNamespace& dst,
+                             const std::string& file,
+                             std::string_view layout);
+
+}  // namespace cxlpmem::core

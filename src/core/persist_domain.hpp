@@ -1,0 +1,65 @@
+// core/persist_domain.hpp — persistence-domain classification.
+//
+// Whether a store that "reached memory" survives power loss depends on what
+// stands behind the address:
+//   * plain DRAM                      — nothing survives (Volatile);
+//   * DRAM used to *emulate* PMem     — still volatile; the paper's
+//     /mnt/pmem0 and /mnt/pmem1 mounts are exactly this (emulation per
+//     [6, 13]), useful for performance work, unsafe for real durability;
+//   * Optane DCPMM                    — ADR: stores accepted by the memory
+//     controller are persistent;
+//   * battery-backed CXL device      — the device is its own persistence
+//     domain; one battery per device serves every connected host, the
+//     paper's §1.4 economic argument.
+#pragma once
+
+#include <string>
+
+#include "simkit/topology.hpp"
+
+namespace cxlpmem::core {
+
+enum class PersistenceDomain {
+  Volatile,             ///< plain DRAM
+  EmulatedPmem,         ///< DRAM posing as PMem (perf experiments only)
+  AdrDimm,              ///< DCPMM-style ADR-protected DIMM
+  BatteryBackedDevice,  ///< battery-backed CXL expander
+};
+
+[[nodiscard]] inline std::string to_string(PersistenceDomain d) {
+  switch (d) {
+    case PersistenceDomain::Volatile: return "volatile";
+    case PersistenceDomain::EmulatedPmem: return "emulated-pmem";
+    case PersistenceDomain::AdrDimm: return "adr-dimm";
+    case PersistenceDomain::BatteryBackedDevice: return "battery-device";
+  }
+  return "?";
+}
+
+/// True when data persisted to this domain actually survives power loss.
+[[nodiscard]] constexpr bool durable(PersistenceDomain d) noexcept {
+  return d == PersistenceDomain::AdrDimm ||
+         d == PersistenceDomain::BatteryBackedDevice;
+}
+
+/// Classifies a machine memory device.  `emulated_pmem` marks DRAM the
+/// operator exposes through a pmem mount anyway (the paper's remote-socket
+/// "PMem" emulation).
+[[nodiscard]] inline PersistenceDomain classify(
+    const simkit::MemoryDesc& mem, bool emulated_pmem = false) {
+  using simkit::MemoryKind;
+  switch (mem.kind) {
+    case MemoryKind::Dcpmm:
+      return PersistenceDomain::AdrDimm;
+    case MemoryKind::CxlExpander:
+      return mem.persistent ? PersistenceDomain::BatteryBackedDevice
+                            : PersistenceDomain::Volatile;
+    case MemoryKind::DramDdr4:
+    case MemoryKind::DramDdr5:
+      return emulated_pmem ? PersistenceDomain::EmulatedPmem
+                           : PersistenceDomain::Volatile;
+  }
+  return PersistenceDomain::Volatile;
+}
+
+}  // namespace cxlpmem::core

@@ -1,0 +1,98 @@
+#include "cxlsim/cxl_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cxlpmem::cxlsim {
+
+namespace {
+/// Extended capability header: [15:0] cap id (0x23 = DVSEC), [19:16]
+/// version, [31:20] next capability offset.
+constexpr std::uint32_t ext_cap_header(std::uint16_t next) {
+  return 0x0023u | (1u << 16) | (static_cast<std::uint32_t>(next) << 20);
+}
+}  // namespace
+
+ConfigSpace::ConfigSpace(std::uint16_t device_id, bool mem_hw_init) {
+  put16(cfg::kVendorId, kIntelVendorId);
+  put16(cfg::kDeviceId, device_id);
+  put16(cfg::kCommand, 0x0000);
+  put16(cfg::kStatus, 0x0010);  // capability list present
+  put32(cfg::kClassCode, (kCxlMemClassCode << 8) | 0x01);  // rev 1
+
+  // Command register: memory-space enable & bus-master are RW.
+  rw_mask_[cfg::kCommand] = 0x06;
+
+  // --- DVSEC id 0: PCIe DVSEC for CXL Devices ------------------------------
+  put32(cfg::kCxlDvsec, ext_cap_header(cfg::kRegLocatorDvsec));
+  // DVSEC header 1: [15:0] vendor, [19:16] revision, [31:20] length (0x38).
+  put32(cfg::kCxlDvsec + 4,
+        kCxlDvsecVendorId | (1u << 16) | (0x38u << 20));
+  put16(cfg::kCxlDvsec + 8, 0x0000);  // DVSEC id 0
+  std::uint16_t caps = kCapMemCapable | kCapIoCapable;
+  if (mem_hw_init) caps |= kCapMemHwInit;
+  put16(cfg::kCxlDvsec + 0x0A, caps);
+  // Control register (+0x0C): mem_enable bit is RW.
+  rw_mask_[cfg::kCxlDvsec + 0x0C] = 0x01;
+
+  // --- DVSEC id 8: Register Locator ----------------------------------------
+  put32(cfg::kRegLocatorDvsec, ext_cap_header(0));
+  put32(cfg::kRegLocatorDvsec + 4,
+        kCxlDvsecVendorId | (1u << 16) | (0x24u << 20));
+  put16(cfg::kRegLocatorDvsec + 8, 0x0008);  // DVSEC id 8
+  // Register block 1: BAR0, block type 3 (memory device registers).
+  put32(cfg::kRegLocatorDvsec + 0x0C, 0x00000003u | (0x03u << 8));
+}
+
+void ConfigSpace::put16(std::uint16_t off, std::uint16_t v) {
+  std::memcpy(space_.data() + off, &v, sizeof(v));
+}
+void ConfigSpace::put32(std::uint16_t off, std::uint32_t v) {
+  std::memcpy(space_.data() + off, &v, sizeof(v));
+}
+
+std::uint32_t ConfigSpace::read32(std::uint16_t offset) const {
+  if (offset % 4 != 0 || offset + 4u > space_.size())
+    throw std::out_of_range("unaligned/out-of-range config read");
+  std::uint32_t v;
+  std::memcpy(&v, space_.data() + offset, sizeof(v));
+  return v;
+}
+
+std::uint16_t ConfigSpace::read16(std::uint16_t offset) const {
+  if (offset % 2 != 0 || offset + 2u > space_.size())
+    throw std::out_of_range("unaligned/out-of-range config read");
+  std::uint16_t v;
+  std::memcpy(&v, space_.data() + offset, sizeof(v));
+  return v;
+}
+
+void ConfigSpace::write32(std::uint16_t offset, std::uint32_t value) {
+  if (offset % 4 != 0 || offset + 4u > space_.size())
+    throw std::out_of_range("unaligned/out-of-range config write");
+  for (int i = 0; i < 4; ++i) {
+    const std::uint8_t mask = rw_mask_[offset + i];
+    space_[offset + i] = static_cast<std::uint8_t>(
+        (space_[offset + i] & ~mask) |
+        ((value >> (8 * i)) & 0xff & mask));
+  }
+}
+
+std::uint16_t ConfigSpace::find_dvsec(std::uint16_t dvsec_id) const {
+  std::uint16_t off = 0x100;
+  while (off != 0) {
+    const std::uint32_t hdr = read32(off);
+    if ((hdr & 0xffff) == 0x0023) {  // DVSEC capability
+      if (read16(off + 8) == dvsec_id) return off;
+    }
+    off = static_cast<std::uint16_t>(hdr >> 20);
+  }
+  return 0;
+}
+
+std::uint16_t ConfigSpace::cxl_capabilities() const {
+  const std::uint16_t dvsec = find_dvsec(0);
+  return dvsec == 0 ? 0 : read16(dvsec + 0x0A);
+}
+
+}  // namespace cxlpmem::cxlsim

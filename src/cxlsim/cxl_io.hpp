@@ -1,0 +1,67 @@
+// cxlsim/cxl_io.hpp — CXL.io configuration space of a Type-3 endpoint.
+//
+// Models the registers a host actually touches to enumerate the paper's
+// FPGA prototype: standard PCIe config header (vendor/device/class), plus
+// the two DVSECs that identify a CXL device:
+//   * DVSEC ID 0   — "PCIe DVSEC for CXL Devices" (CXL 2.0 §8.1.3): device
+//     capabilities (cache/io/mem capable), control and status;
+//   * DVSEC ID 8   — "Register Locator" pointing at the memory-device
+//     registers (mailbox lives behind these).
+// Register writes honour RO/RW masks like real config space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cxlpmem::cxlsim {
+
+inline constexpr std::uint16_t kIntelVendorId = 0x8086;
+/// Class code 0x0502xx: memory controller, CXL (PCI SIG assignment).
+inline constexpr std::uint32_t kCxlMemClassCode = 0x050210;
+inline constexpr std::uint16_t kCxlDvsecVendorId = 0x1e98;  // CXL consortium
+
+/// Offsets within our 4 KiB config space (fixed layout for the model).
+namespace cfg {
+inline constexpr std::uint16_t kVendorId = 0x000;
+inline constexpr std::uint16_t kDeviceId = 0x002;
+inline constexpr std::uint16_t kCommand = 0x004;
+inline constexpr std::uint16_t kStatus = 0x006;
+inline constexpr std::uint16_t kClassCode = 0x008;  // rev id in low byte
+inline constexpr std::uint16_t kCxlDvsec = 0x100;   // DVSEC id 0
+inline constexpr std::uint16_t kRegLocatorDvsec = 0x140;  // DVSEC id 8
+}  // namespace cfg
+
+/// DVSEC id 0 capability bits (offset +0x0A within the DVSEC).
+inline constexpr std::uint16_t kCapCacheCapable = 1u << 0;
+inline constexpr std::uint16_t kCapIoCapable = 1u << 1;
+inline constexpr std::uint16_t kCapMemCapable = 1u << 2;
+inline constexpr std::uint16_t kCapMemHwInit = 1u << 3;
+
+class ConfigSpace {
+ public:
+  /// Builds the config image of a Type-3 (memory expander) endpoint.
+  ConfigSpace(std::uint16_t device_id, bool mem_hw_init);
+
+  /// Aligned 32-bit config read (offset % 4 == 0).
+  [[nodiscard]] std::uint32_t read32(std::uint16_t offset) const;
+  /// Aligned 32-bit config write; only RW bits take effect.
+  void write32(std::uint16_t offset, std::uint32_t value);
+
+  [[nodiscard]] std::uint16_t read16(std::uint16_t offset) const;
+
+  /// Walks the extended-capability chain for a DVSEC with the given DVSEC
+  /// id; returns its offset or 0.
+  [[nodiscard]] std::uint16_t find_dvsec(std::uint16_t dvsec_id) const;
+
+  /// Convenience: DVSEC0 capability bits.
+  [[nodiscard]] std::uint16_t cxl_capabilities() const;
+
+ private:
+  void put16(std::uint16_t off, std::uint16_t v);
+  void put32(std::uint16_t off, std::uint32_t v);
+
+  std::array<std::uint8_t, 4096> space_{};
+  std::array<std::uint8_t, 4096> rw_mask_{};
+};
+
+}  // namespace cxlpmem::cxlsim

@@ -1,0 +1,86 @@
+// cxlsim/flit.hpp — CXL 68-byte flit accounting and link efficiency.
+//
+// CXL 1.1/2.0 runs over PCIe 5.0 electricals: 32 GT/s per lane with 128/130
+// encoding.  Protocol messages are packed into 68-byte flits: 2 B protocol
+// ID + 64 B (four 16-byte slots) + 2 B CRC.  CXL.mem messages occupy slots:
+//
+//   M2S Req   (read request)            1 slot
+//   M2S RwD   (write request + data)    1 header slot + 4 data slots
+//   S2M DRS   (read response + data)    1 header slot + 4 data slots
+//   S2M NDR   (write completion)        1 slot
+//
+// From these the achievable data bandwidth per direction follows from slot
+// arithmetic — this is the source of the link-efficiency constant the
+// analytic model uses, and the DES (transaction.hpp) measures the same
+// numbers dynamically.
+#pragma once
+
+namespace cxlpmem::cxlsim {
+
+inline constexpr double kFlitBytes = 68.0;
+inline constexpr double kFlitPayloadBytes = 64.0;  // four 16 B slots
+inline constexpr double kSlotBytes = 16.0;
+inline constexpr double kCachelineBytes = 64.0;
+
+/// Physical link configuration.
+struct LinkParams {
+  double gigatransfers_per_s = 32.0;  // PCIe 5.0
+  int lanes = 16;
+  double encoding = 128.0 / 130.0;  // PCIe 5.0 128b/130b
+
+  /// Raw bit-rate converted to bytes/s per direction, after encoding.
+  [[nodiscard]] constexpr double raw_gbs() const noexcept {
+    return gigatransfers_per_s * lanes / 8.0 * encoding;
+  }
+};
+
+/// Slots needed on each direction to move one 64-byte line.
+struct SlotCost {
+  double host_to_dev = 0.0;  ///< M2S slots
+  double dev_to_host = 0.0;  ///< S2M slots
+};
+
+[[nodiscard]] constexpr SlotCost read_slot_cost() noexcept {
+  // Req goes down (1 slot), DRS comes back (1 hdr + 4 data).
+  return SlotCost{1.0, 5.0};
+}
+
+[[nodiscard]] constexpr SlotCost write_slot_cost() noexcept {
+  // RwD goes down (1 hdr + 4 data), NDR comes back (1 slot).
+  return SlotCost{5.0, 1.0};
+}
+
+/// Wire bytes per slot, amortizing the flit framing (2 B protocol ID + 2 B
+/// CRC over four slots).
+[[nodiscard]] constexpr double wire_bytes_per_slot() noexcept {
+  return kFlitBytes / 4.0;
+}
+
+/// Peak *data* bandwidth (GB/s) of one direction when the traffic is a
+/// read_fraction/1-read_fraction mix of 64-byte reads and writes, limited by
+/// whichever direction saturates first.
+[[nodiscard]] constexpr double effective_data_gbs(const LinkParams& link,
+                                                  double read_fraction)
+    noexcept {
+  const double w = 1.0 - read_fraction;
+  const SlotCost r = read_slot_cost();
+  const SlotCost wr = write_slot_cost();
+  // Slots per line moved, blended by mix.
+  const double m2s = read_fraction * r.host_to_dev + w * wr.host_to_dev;
+  const double s2m = read_fraction * r.dev_to_host + w * wr.dev_to_host;
+  const double bytes_per_line_m2s = m2s * wire_bytes_per_slot();
+  const double bytes_per_line_s2m = s2m * wire_bytes_per_slot();
+  const double per_dir = link.raw_gbs();  // decimal-GB/s ≈ raw GT/s math
+  const double lines_m2s = per_dir / bytes_per_line_m2s;
+  const double lines_s2m = per_dir / bytes_per_line_s2m;
+  const double lines = lines_m2s < lines_s2m ? lines_m2s : lines_s2m;
+  return lines * kCachelineBytes;
+}
+
+/// Link efficiency for pure reads: data delivered / raw one-direction rate.
+[[nodiscard]] constexpr double read_efficiency(const LinkParams& link)
+    noexcept {
+  return effective_data_gbs(link, 1.0) / link.raw_gbs();
+}
+
+}  // namespace cxlpmem::cxlsim

@@ -1,0 +1,53 @@
+#include "cxlsim/hdm_decoder.hpp"
+
+#include <bit>
+
+namespace cxlpmem::cxlsim {
+
+namespace {
+[[nodiscard]] bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+}  // namespace
+
+HdmDecoder::HdmDecoder(std::uint64_t base, std::uint64_t size, int ways,
+                       int granularity_log2)
+    : base_(base), size_(size), ways_(ways), glog2_(granularity_log2) {
+  if (ways < 1 || ways > 16 || !is_pow2(static_cast<std::uint64_t>(ways)))
+    throw std::invalid_argument("HDM ways must be a power of two in [1,16]");
+  if (granularity_log2 < 8 || granularity_log2 > 14)
+    throw std::invalid_argument("HDM granularity must be 256 B .. 16 KiB");
+  wlog2_ = std::countr_zero(static_cast<unsigned>(ways));
+  const std::uint64_t gran = 1ull << glog2_;
+  if (size == 0 || size % (gran * static_cast<std::uint64_t>(ways)) != 0)
+    throw std::invalid_argument(
+        "HDM window must be a multiple of ways * granularity");
+  if (base % gran != 0)
+    throw std::invalid_argument("HDM base must be granularity-aligned");
+}
+
+DecodedAddress HdmDecoder::decode(std::uint64_t hpa) const {
+  if (!contains(hpa)) throw std::out_of_range("HPA outside HDM window");
+  const std::uint64_t rel = hpa - base_;
+  const std::uint64_t gran_mask = (1ull << glog2_) - 1;
+  DecodedAddress out;
+  out.target = static_cast<int>((rel >> glog2_) &
+                                (static_cast<std::uint64_t>(ways_) - 1));
+  out.dpa = ((rel >> (glog2_ + wlog2_)) << glog2_) | (rel & gran_mask);
+  return out;
+}
+
+std::uint64_t HdmDecoder::encode(int target, std::uint64_t dpa) const {
+  if (target < 0 || target >= ways_)
+    throw std::out_of_range("target outside interleave set");
+  if (dpa >= per_target_bytes())
+    throw std::out_of_range("DPA beyond per-target capacity");
+  const std::uint64_t gran_mask = (1ull << glog2_) - 1;
+  const std::uint64_t rel =
+      (((dpa >> glog2_) << wlog2_) + static_cast<std::uint64_t>(target))
+          << glog2_ |
+      (dpa & gran_mask);
+  return base_ + rel;
+}
+
+}  // namespace cxlpmem::cxlsim

@@ -1,0 +1,64 @@
+// cxlsim/hdm_decoder.hpp — Host-managed Device Memory (HDM) address decode.
+//
+// A host programs HDM decoders to map a window of host physical address
+// space onto one or more CXL memory targets, optionally interleaved.  The
+// decode rule (CXL 2.0 §8.2.5.12) for a 2^w-way interleave at granularity
+// 2^g bytes:
+//
+//   way = (hpa >> g) & (ways - 1)
+//   dpa = ((hpa >> (g + w)) << g) | (hpa & (2^g - 1))
+//
+// i.e. the interleave-selector bits are squeezed out of the device-physical
+// address.  This module implements programming-time validation, the forward
+// decode, and the inverse (dpa, way) -> hpa used by tests.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cxlpmem::cxlsim {
+
+struct DecodedAddress {
+  int target = 0;           ///< index into the decoder's target list
+  std::uint64_t dpa = 0;    ///< device physical address
+};
+
+class HdmDecoder {
+ public:
+  /// `base`/`size`: the HPA window (size must be ways * per-target bytes and
+  /// granularity-aligned).  `ways` in {1,2,4,8,16}; `granularity_log2` in
+  /// [8, 14] (256 B .. 16 KiB), per spec.
+  HdmDecoder(std::uint64_t base, std::uint64_t size, int ways,
+             int granularity_log2);
+
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] int ways() const noexcept { return ways_; }
+  [[nodiscard]] int granularity_log2() const noexcept { return glog2_; }
+
+  [[nodiscard]] bool contains(std::uint64_t hpa) const noexcept {
+    return hpa >= base_ && hpa < base_ + size_;
+  }
+
+  /// Forward decode; throws std::out_of_range outside the window.
+  [[nodiscard]] DecodedAddress decode(std::uint64_t hpa) const;
+
+  /// Inverse decode; throws std::out_of_range when dpa exceeds the
+  /// per-target capacity of the window.
+  [[nodiscard]] std::uint64_t encode(int target, std::uint64_t dpa) const;
+
+  /// Bytes each target contributes to the window.
+  [[nodiscard]] std::uint64_t per_target_bytes() const noexcept {
+    return size_ / static_cast<std::uint64_t>(ways_);
+  }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t size_;
+  int ways_;
+  int glog2_;
+  int wlog2_;
+};
+
+}  // namespace cxlpmem::cxlsim

@@ -1,0 +1,51 @@
+#include "numakit/affinity.hpp"
+
+#include <stdexcept>
+
+namespace cxlpmem::numakit {
+
+std::vector<simkit::CoreId> plan_affinity(const simkit::Machine& machine,
+                                          int nthreads,
+                                          AffinityPolicy policy,
+                                          simkit::SocketId first_socket) {
+  if (nthreads < 1 || nthreads > machine.core_count())
+    throw std::invalid_argument("thread count must be in [1, core count]");
+  if (first_socket < 0 || first_socket >= machine.socket_count())
+    throw std::invalid_argument("bad first_socket");
+
+  // Socket visit order: first_socket, then the rest ascending.
+  std::vector<simkit::SocketId> order;
+  order.push_back(first_socket);
+  for (simkit::SocketId s = 0; s < machine.socket_count(); ++s)
+    if (s != first_socket) order.push_back(s);
+
+  std::vector<std::vector<simkit::CoreId>> per_socket;
+  per_socket.reserve(order.size());
+  for (const simkit::SocketId s : order)
+    per_socket.push_back(machine.cores_of_socket(s));
+
+  std::vector<simkit::CoreId> plan;
+  plan.reserve(nthreads);
+  if (policy == AffinityPolicy::Close) {
+    for (const auto& cores : per_socket)
+      for (const simkit::CoreId c : cores) {
+        if (static_cast<int>(plan.size()) == nthreads) return plan;
+        plan.push_back(c);
+      }
+  } else {
+    std::vector<std::size_t> cursor(per_socket.size(), 0);
+    std::size_t socket = 0;
+    while (static_cast<int>(plan.size()) < nthreads) {
+      // Round-robin over sockets, skipping exhausted ones.
+      std::size_t tried = 0;
+      while (cursor[socket] >= per_socket[socket].size() &&
+             tried++ < per_socket.size())
+        socket = (socket + 1) % per_socket.size();
+      plan.push_back(per_socket[socket][cursor[socket]++]);
+      socket = (socket + 1) % per_socket.size();
+    }
+  }
+  return plan;
+}
+
+}  // namespace cxlpmem::numakit

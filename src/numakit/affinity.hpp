@@ -1,0 +1,35 @@
+// numakit/affinity.hpp — thread placement policies.
+//
+// The paper's Class 1.(c) compares OMP_PROC_BIND=close and =spread:
+//   close  — fill socket 0 entirely, then socket 1 ("populates an entire
+//            socket first and then adds cores from the second socket");
+//   spread — alternate sockets thread by thread.
+// plan_affinity() returns the core each thread index runs on; the thread
+// pool and the bandwidth model both consume this plan, so placement is one
+// source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simkit/topology.hpp"
+
+namespace cxlpmem::numakit {
+
+enum class AffinityPolicy {
+  Close,
+  Spread,
+};
+
+[[nodiscard]] inline std::string to_string(AffinityPolicy p) {
+  return p == AffinityPolicy::Close ? "close" : "spread";
+}
+
+/// Plans `nthreads` (1 .. machine.core_count()) onto cores starting from
+/// `first_socket`.  Throws std::invalid_argument when oversubscribed —
+/// STREAM never oversubscribes, and refusing beats silently modelling it.
+[[nodiscard]] std::vector<simkit::CoreId> plan_affinity(
+    const simkit::Machine& machine, int nthreads, AffinityPolicy policy,
+    simkit::SocketId first_socket = 0);
+
+}  // namespace cxlpmem::numakit

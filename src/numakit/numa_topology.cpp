@@ -1,0 +1,100 @@
+#include "numakit/numa_topology.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cxlpmem::numakit {
+
+NumaTopology NumaTopology::from_machine(
+    const Machine& machine, std::vector<MemoryId> cpuless_memories) {
+  NumaTopology topo;
+  topo.machine_ = &machine;
+
+  for (SocketId s = 0; s < machine.socket_count(); ++s) {
+    NumaNode n;
+    n.id = static_cast<int>(topo.nodes_.size());
+    n.socket = s;
+    n.cpus = machine.cores_of_socket(s);
+    n.memories = machine.memories_of_socket(s);
+    topo.nodes_.push_back(std::move(n));
+  }
+  for (const MemoryId m : cpuless_memories) {
+    if (machine.memory(m).home_socket != simkit::kInvalidId)
+      throw std::invalid_argument(
+          "cpuless node memory must be link-attached");
+    NumaNode n;
+    n.id = static_cast<int>(topo.nodes_.size());
+    n.memories = {m};
+    topo.nodes_.push_back(std::move(n));
+  }
+
+  // Distance matrix.  A node's "viewpoint socket" is its own socket, or the
+  // root socket of the link for CPU-less nodes.
+  const auto viewpoint = [&](const NumaNode& n) -> SocketId {
+    if (n.socket != simkit::kInvalidId) return n.socket;
+    const simkit::LinkId l = machine.link_of_memory(n.memories.front());
+    return machine.link(l).a;
+  };
+  const int count = topo.node_count();
+  topo.distance_.assign(count, std::vector<int>(count, 10));
+  for (int i = 0; i < count; ++i) {
+    const SocketId from = viewpoint(topo.nodes_[i]);
+    // Local reference latency: the IMC memory of the viewpoint socket, or
+    // (for a machine without IMC memory on that socket) 100 ns.
+    double local_ns = 100.0;
+    const auto local_mems = machine.memories_of_socket(from);
+    if (!local_mems.empty())
+      local_ns = simkit::resolve_route(machine, from, local_mems.front())
+                     .latency_ns;
+    for (int j = 0; j < count; ++j) {
+      if (i == j) continue;
+      const MemoryId target = topo.nodes_[j].memories.empty()
+                                  ? simkit::kInvalidId
+                                  : topo.nodes_[j].memories.front();
+      if (target == simkit::kInvalidId) {
+        topo.distance_[i][j] = 10;
+        continue;
+      }
+      const double ns =
+          simkit::resolve_route(machine, from, target).latency_ns;
+      topo.distance_[i][j] =
+          static_cast<int>(std::lround(10.0 * ns / local_ns));
+    }
+  }
+  return topo;
+}
+
+const NumaNode& NumaTopology::node(int id) const {
+  if (id < 0 || id >= node_count())
+    throw std::out_of_range("numa node id out of range");
+  return nodes_[id];
+}
+
+int NumaTopology::node_of_core(CoreId core) const {
+  const SocketId s = machine_->socket_of_core(core);
+  for (const NumaNode& n : nodes_)
+    if (n.socket == s) return n.id;
+  throw std::logic_error("core's socket has no node");
+}
+
+int NumaTopology::node_of_memory(MemoryId mem) const {
+  for (const NumaNode& n : nodes_)
+    for (const MemoryId m : n.memories)
+      if (m == mem) return n.id;
+  return -1;
+}
+
+MemoryId NumaTopology::memory_of_node(int id) const {
+  const NumaNode& n = node(id);
+  if (n.memories.empty())
+    throw std::invalid_argument("node has no memory device");
+  return n.memories.front();
+}
+
+int NumaTopology::distance(int from, int to) const {
+  if (from < 0 || from >= node_count() || to < 0 || to >= node_count())
+    throw std::out_of_range("numa node id out of range");
+  return distance_[from][to];
+}
+
+}  // namespace cxlpmem::numakit

@@ -1,0 +1,66 @@
+// numakit/numa_topology.hpp — the OS view of the machine: NUMA nodes.
+//
+// Each socket becomes a node holding its cores and IMC memory; each exposed
+// CXL expander becomes a CPU-less node (exactly how Linux onlines CXL memory
+// in Memory Mode, and how the paper's setup #1 exposes the FPGA as node 2
+// reachable via `numactl --membind=2`).  Distances follow the numactl
+// convention: 10 for local, scaled by relative load-to-use latency for
+// everything else.
+#pragma once
+
+#include <vector>
+
+#include "simkit/route.hpp"
+#include "simkit/topology.hpp"
+
+namespace cxlpmem::numakit {
+
+using simkit::CoreId;
+using simkit::Machine;
+using simkit::MemoryId;
+using simkit::SocketId;
+
+struct NumaNode {
+  int id = 0;
+  /// Owning socket, or simkit::kInvalidId for CPU-less (CXL) nodes.
+  SocketId socket = simkit::kInvalidId;
+  std::vector<CoreId> cpus;
+  std::vector<MemoryId> memories;
+
+  [[nodiscard]] bool cpuless() const noexcept { return cpus.empty(); }
+};
+
+class NumaTopology {
+ public:
+  /// Builds nodes from a machine: one per socket (in socket order), then one
+  /// CPU-less node per entry of `cpuless_memories` (CXL expanders onlined as
+  /// system RAM or exposed for binding).
+  static NumaTopology from_machine(const Machine& machine,
+                                   std::vector<MemoryId> cpuless_memories);
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const NumaNode& node(int id) const;
+
+  /// Node owning a core.
+  [[nodiscard]] int node_of_core(CoreId core) const;
+  /// Node holding a memory device; -1 if the device is not exposed.
+  [[nodiscard]] int node_of_memory(MemoryId mem) const;
+  /// The primary memory device of a node (nodes here hold exactly one).
+  [[nodiscard]] MemoryId memory_of_node(int id) const;
+
+  /// numactl-style distance: 10 on-node; otherwise 10 scaled by the
+  /// latency ratio of the remote path vs the local one (rounded).
+  /// Distances from a CPU-less node are measured from its attach socket.
+  [[nodiscard]] int distance(int from, int to) const;
+
+  [[nodiscard]] const Machine& machine() const noexcept { return *machine_; }
+
+ private:
+  const Machine* machine_ = nullptr;
+  std::vector<NumaNode> nodes_;
+  std::vector<std::vector<int>> distance_;
+};
+
+}  // namespace cxlpmem::numakit

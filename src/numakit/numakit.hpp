@@ -1,0 +1,7 @@
+// numakit/numakit.hpp — umbrella header for the NUMA/OS emulation layer.
+#pragma once
+
+#include "numakit/affinity.hpp"       // IWYU pragma: export
+#include "numakit/membind.hpp"        // IWYU pragma: export
+#include "numakit/numa_topology.hpp"  // IWYU pragma: export
+#include "numakit/threadpool.hpp"     // IWYU pragma: export

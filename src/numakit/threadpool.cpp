@@ -1,0 +1,80 @@
+#include "numakit/threadpool.hpp"
+
+#include <stdexcept>
+
+namespace cxlpmem::numakit {
+
+ThreadPool::ThreadPool(std::vector<simkit::CoreId> assignment)
+    : assignment_(std::move(assignment)) {
+  if (assignment_.empty())
+    throw std::invalid_argument("thread pool needs at least one thread");
+  threads_.reserve(assignment_.size());
+  for (int i = 0; i < size(); ++i)
+    threads_.emplace_back([this, i] { worker(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker(int index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    try {
+      (*task)(index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &fn;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t n,
+    const std::function<void(int, std::uint64_t, std::uint64_t)>& fn) {
+  const auto workers = static_cast<std::uint64_t>(size());
+  run([&](int index) {
+    // Balanced static chunks: the first (n % workers) chunks get one extra.
+    const std::uint64_t base = n / workers;
+    const std::uint64_t extra = n % workers;
+    const auto i = static_cast<std::uint64_t>(index);
+    const std::uint64_t begin =
+        i * base + (i < extra ? i : extra);
+    const std::uint64_t end = begin + base + (i < extra ? 1 : 0);
+    if (begin < end) fn(index, begin, end);
+  });
+}
+
+}  // namespace cxlpmem::numakit

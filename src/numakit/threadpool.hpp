@@ -1,0 +1,65 @@
+// numakit/threadpool.hpp — fork-join worker pool with a placement plan.
+//
+// The OpenMP analogue STREAM needs: a fixed team of threads, each logically
+// pinned to one core of the modelled machine, executing static-chunked
+// parallel-for loops.  The *logical* pinning (thread index -> CoreId) is the
+// contract the bandwidth model consumes; OS-level pinning is intentionally
+// not attempted, because the host running this reproduction is not the
+// machine being modelled.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simkit/types.hpp"
+
+namespace cxlpmem::numakit {
+
+class ThreadPool {
+ public:
+  /// One worker per entry of `assignment` (thread i is "on" assignment[i]).
+  explicit ThreadPool(std::vector<simkit::CoreId> assignment);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(assignment_.size());
+  }
+  [[nodiscard]] const std::vector<simkit::CoreId>& assignment() const
+      noexcept {
+    return assignment_;
+  }
+
+  /// Runs fn(thread_index) on every worker; returns when all finish.
+  /// The first exception thrown by any worker is rethrown here.
+  void run(const std::function<void(int)>& fn);
+
+  /// Static-chunked parallel loop over [0, n):
+  /// fn(thread_index, begin, end) with contiguous, balanced chunks.
+  void parallel_for(std::uint64_t n,
+                    const std::function<void(int, std::uint64_t,
+                                             std::uint64_t)>& fn);
+
+ private:
+  void worker(int index);
+
+  std::vector<simkit::CoreId> assignment_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cxlpmem::numakit

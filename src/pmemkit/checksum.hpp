@@ -1,0 +1,28 @@
+// pmemkit/checksum.hpp — Fletcher-64 checksum, the same construction PMDK
+// uses for pool headers and log entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace cxlpmem::pmemkit {
+
+/// Fletcher-64 over `len` bytes (len is rounded down to a multiple of 4,
+/// callers checksum fixed-size structs).  Never returns 0, so 0 can mean
+/// "unset" in on-media structs.
+[[nodiscard]] inline std::uint64_t fletcher64(const void* data,
+                                              std::size_t len) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t lo = 0, hi = 0;
+  for (std::size_t i = 0; i + 4 <= len; i += 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p + i, 4);
+    lo += word;
+    hi += lo;
+  }
+  const std::uint64_t sum = (hi << 32) | (lo & 0xffffffffu);
+  return sum == 0 ? 1 : sum;
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,25 @@
+#include "pmemkit/crash_hook.hpp"
+
+#include <atomic>
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+CrashHook g_hook;
+std::atomic<bool> g_installed{false};
+}  // namespace
+
+void set_crash_hook(CrashHook hook) {
+  g_installed.store(static_cast<bool>(hook), std::memory_order_relaxed);
+  g_hook = std::move(hook);
+}
+
+bool crash_hook_installed() noexcept {
+  return g_installed.load(std::memory_order_relaxed);
+}
+
+void crash_point(std::string_view point) {
+  if (crash_hook_installed()) g_hook(point);
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,35 @@
+// pmemkit/errors.hpp — exception taxonomy for the persistent-memory library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cxlpmem::pmemkit {
+
+/// Pool-level failures: bad file, header corruption, layout mismatch.
+class PoolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Allocator failures: out of space, invalid free, oversized request.
+class AllocError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Transaction failures: log overflow, misuse (add_range outside tx, ...).
+class TxError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by an installed crash hook to simulate power failure at an
+/// instrumentation point.  Deliberately NOT derived from std::exception:
+/// transaction cleanup must not catch and "handle" a power cut — it has to
+/// propagate to the crash harness with no undo/abort work happening.
+struct CrashInjected {
+  std::string point;
+};
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,410 @@
+#include "pmemkit/heap.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "pmemkit/errors.hpp"
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+
+constexpr std::uint32_t kNoChunk = ~0u;
+
+/// Reinterprets a ChunkDesc as the u64 a redo cell stores.
+std::uint64_t desc_word(ChunkDesc d) noexcept {
+  std::uint64_t w = 0;
+  std::memcpy(&w, &d, sizeof(d));
+  return w;
+}
+
+/// Second word of an AllocHeader (type_num | flags).
+std::uint64_t alloc_word(std::uint32_t type_num,
+                         std::uint32_t flags) noexcept {
+  return static_cast<std::uint64_t>(type_num) |
+         (static_cast<std::uint64_t>(flags) << 32);
+}
+
+}  // namespace
+
+Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
+           std::uint64_t heap_size)
+    : region_(&region), heap_off_(heap_off), heap_size_(heap_size) {
+  if (heap_off + heap_size > region.size())
+    throw PoolError("heap region exceeds pool");
+  // Solve for the chunk count given the table consumes heap space too.
+  std::uint64_t n = heap_size / kChunkSize;
+  while (n > 0) {
+    const std::uint64_t table =
+        (n * sizeof(ChunkDesc) + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
+    if (table + n * kChunkSize <= heap_size) break;
+    --n;
+  }
+  if (n == 0) throw PoolError("heap too small for a single chunk");
+  chunk_count_ = static_cast<std::uint32_t>(n);
+  const std::uint64_t table =
+      (n * sizeof(ChunkDesc) + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
+  chunks_off_ = heap_off_ + table;
+  partial_runs_.assign(kSizeClasses.size(), {});
+  chunk_free_.assign(chunk_count_, false);
+}
+
+ChunkDesc* Heap::chunk_table() noexcept {
+  return reinterpret_cast<ChunkDesc*>(region_->base() + heap_off_);
+}
+const ChunkDesc* Heap::chunk_table() const noexcept {
+  return reinterpret_cast<const ChunkDesc*>(region_->base() + heap_off_);
+}
+std::byte* Heap::chunk_data(std::uint32_t chunk) noexcept {
+  return region_->base() + chunks_off_ + std::uint64_t{chunk} * kChunkSize;
+}
+const std::byte* Heap::chunk_data(std::uint32_t chunk) const noexcept {
+  return region_->base() + chunks_off_ + std::uint64_t{chunk} * kChunkSize;
+}
+RunHeader* Heap::run_header(std::uint32_t chunk) noexcept {
+  return reinterpret_cast<RunHeader*>(chunk_data(chunk));
+}
+const RunHeader* Heap::run_header(std::uint32_t chunk) const noexcept {
+  return reinterpret_cast<const RunHeader*>(chunk_data(chunk));
+}
+
+std::uint32_t Heap::chunk_of(std::uint64_t off) const noexcept {
+  if (off < chunks_off_) return kNoChunk;
+  const std::uint64_t c = (off - chunks_off_) / kChunkSize;
+  return c < chunk_count_ ? static_cast<std::uint32_t>(c) : kNoChunk;
+}
+
+void Heap::format() {
+  ChunkDesc* table = chunk_table();
+  for (std::uint32_t c = 0; c < chunk_count_; ++c)
+    table[c] = ChunkDesc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
+  region_->persist(table, chunk_count_ * sizeof(ChunkDesc));
+  partial_runs_.assign(kSizeClasses.size(), {});
+  chunk_free_.assign(chunk_count_, true);
+}
+
+void Heap::rebuild() {
+  partial_runs_.assign(kSizeClasses.size(), {});
+  chunk_free_.assign(chunk_count_, false);
+  const ChunkDesc* table = chunk_table();
+  std::uint32_t c = 0;
+  while (c < chunk_count_) {
+    const ChunkDesc& d = table[c];
+    switch (static_cast<ChunkState>(d.state)) {
+      case ChunkState::Free:
+        chunk_free_[c] = true;
+        ++c;
+        break;
+      case ChunkState::Run: {
+        if (d.class_idx >= kSizeClasses.size())
+          throw PoolError("corrupt run descriptor");
+        const RunHeader* rh = run_header(c);
+        if (rh->class_idx != d.class_idx)
+          throw PoolError("run header / descriptor class mismatch");
+        std::uint32_t used = 0;
+        for (const std::uint64_t w : rh->bitmap)
+          used += static_cast<std::uint32_t>(std::popcount(w));
+        if (used > rh->block_count) throw PoolError("corrupt run bitmap");
+        if (used < rh->block_count) partial_runs_[d.class_idx].push_back(c);
+        ++c;
+        break;
+      }
+      case ChunkState::HugeHead: {
+        if (d.span == 0 || c + d.span > chunk_count_)
+          throw PoolError("corrupt huge span");
+        c += d.span;  // covered chunks keep stale descriptors; skip them
+        break;
+      }
+      default:
+        throw PoolError("unknown chunk state");
+    }
+  }
+}
+
+std::uint32_t Heap::acquire_span(std::uint32_t span) const {
+  std::uint32_t run_start = 0, run_len = 0;
+  for (std::uint32_t c = 0; c < chunk_count_; ++c) {
+    if (chunk_free_[c]) {
+      if (run_len == 0) run_start = c;
+      if (++run_len == span) return run_start;
+    } else {
+      run_len = 0;
+    }
+  }
+  throw AllocError("out of contiguous heap space");
+}
+
+std::uint32_t Heap::acquire_run(RedoSession& redo, int class_idx) {
+  auto& partials = partial_runs_[class_idx];
+  while (!partials.empty()) {
+    const std::uint32_t c = partials.back();
+    const RunHeader* rh = run_header(c);
+    for (std::uint32_t w = 0; w * 64 < rh->block_count; ++w)
+      if (std::popcount(rh->bitmap[w]) < 64 &&
+          w * 64 + static_cast<std::uint32_t>(std::countr_one(
+                       rh->bitmap[w])) < rh->block_count)
+        return c;
+    partials.pop_back();  // actually full; drop the stale hint
+  }
+  // Materialize a new run on a free chunk.  The RunHeader write is inert
+  // until the staged descriptor commits.
+  const std::uint32_t c = acquire_span(1);
+  RunHeader rh{};
+  rh.class_idx = static_cast<std::uint32_t>(class_idx);
+  rh.block_count = blocks_per_run(kSizeClasses[class_idx]);
+  region_->memcpy_persist(run_header(c), &rh, sizeof(rh));
+  ChunkDesc d{static_cast<std::uint8_t>(ChunkState::Run),
+              static_cast<std::uint8_t>(class_idx), 0, 0};
+  redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc), desc_word(d));
+  return c;
+}
+
+PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
+                                std::uint32_t type_num, bool zero) {
+  if (usable == 0) throw AllocError("zero-size allocation");
+  const std::uint64_t total = usable + sizeof(AllocHeader);
+  PreparedAlloc out;
+
+  const int cls = size_class_for(total);
+  std::uint64_t block_off;  // pool offset of the block start
+  if (cls >= 0) {
+    const std::uint32_t block = kSizeClasses[cls];
+    const std::uint32_t c = acquire_run(redo, cls);
+    const RunHeader* rh = run_header(c);
+    // acquire_run guarantees a free bit below block_count.
+    std::uint32_t idx = 0;
+    for (std::uint32_t w = 0;; ++w) {
+      const std::uint32_t bit =
+          static_cast<std::uint32_t>(std::countr_one(rh->bitmap[w]));
+      if (bit < 64 && w * 64 + bit < rh->block_count) {
+        idx = w * 64 + bit;
+        redo.stage(
+            chunks_off_ + std::uint64_t{c} * kChunkSize +
+                offsetof(RunHeader, bitmap) + w * 8,
+            rh->bitmap[w] | (1ull << bit));
+        break;
+      }
+    }
+    block_off = chunks_off_ + std::uint64_t{c} * kChunkSize + kRunHeaderSize +
+                std::uint64_t{idx} * block;
+    out.total_size = block;
+  } else {
+    const auto span = static_cast<std::uint32_t>(
+        (total + kChunkSize - 1) / kChunkSize);
+    const std::uint32_t c = acquire_span(span);
+    ChunkDesc d{static_cast<std::uint8_t>(ChunkState::HugeHead), 0, 0, span};
+    redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
+               desc_word(d));
+    block_off = chunks_off_ + std::uint64_t{c} * kChunkSize;
+    out.total_size = std::uint64_t{span} * kChunkSize;
+  }
+
+  AllocHeader hdr{usable, type_num, kAllocLive};
+  region_->memcpy_persist(region_->base() + block_off, &hdr, sizeof(hdr));
+  out.data_off = block_off + sizeof(AllocHeader);
+  if (zero)
+    region_->memset_persist(region_->base() + out.data_off, 0, usable);
+  return out;
+}
+
+void Heap::finish_alloc(const PreparedAlloc& a) {
+  const std::uint32_t c = chunk_of(a.data_off - sizeof(AllocHeader));
+  const ChunkDesc& d = chunk_table()[c];
+  if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
+    chunk_free_[c] = false;
+    auto& partials = partial_runs_[d.class_idx];
+    bool hinted = false;
+    for (const std::uint32_t p : partials) hinted |= (p == c);
+    if (!hinted) partials.push_back(c);
+  } else {
+    const std::uint32_t span =
+        static_cast<std::uint32_t>(a.total_size / kChunkSize);
+    for (std::uint32_t i = 0; i < span; ++i) chunk_free_[c + i] = false;
+  }
+}
+
+bool Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
+                      bool tolerate_dead) {
+  if (!is_live(data_off)) {
+    if (tolerate_dead) return false;
+    throw AllocError("free of non-live object");
+  }
+  const std::uint64_t block_off = data_off - sizeof(AllocHeader);
+  const std::uint32_t c = chunk_of(block_off);
+  const ChunkDesc& d = chunk_table()[c];
+  const auto* hdr =
+      reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
+
+  // Clear the live flag in the same atomic step.
+  redo.stage(block_off + 8, alloc_word(hdr->type_num, 0));
+
+  if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
+    const RunHeader* rh = run_header(c);
+    const std::uint32_t block = kSizeClasses[d.class_idx];
+    const std::uint64_t rel =
+        block_off - (chunks_off_ + std::uint64_t{c} * kChunkSize) -
+        kRunHeaderSize;
+    const auto idx = static_cast<std::uint32_t>(rel / block);
+    redo.stage(chunks_off_ + std::uint64_t{c} * kChunkSize +
+                   offsetof(RunHeader, bitmap) + (idx / 64) * 8,
+               rh->bitmap[idx / 64] & ~(1ull << (idx % 64)));
+  } else {
+    ChunkDesc free_desc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
+    redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
+               desc_word(free_desc));
+  }
+  return true;
+}
+
+void Heap::finish_free(std::uint64_t data_off) {
+  const std::uint64_t block_off = data_off - sizeof(AllocHeader);
+  const std::uint32_t c = chunk_of(block_off);
+  const ChunkDesc& d = chunk_table()[c];
+  if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
+    auto& partials = partial_runs_[d.class_idx];
+    bool hinted = false;
+    for (const std::uint32_t p : partials) hinted |= (p == c);
+    if (!hinted) partials.push_back(c);
+  } else {
+    // The span's head descriptor became Free; covered chunks follow suit
+    // transiently.  Recompute the span from the allocation header.
+    const auto* hdr =
+        reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
+    const std::uint64_t total = hdr->size + sizeof(AllocHeader);
+    const auto span =
+        static_cast<std::uint32_t>((total + kChunkSize - 1) / kChunkSize);
+    for (std::uint32_t i = 0; i < span && c + i < chunk_count_; ++i)
+      chunk_free_[c + i] = true;
+  }
+}
+
+bool Heap::is_live(std::uint64_t data_off) const {
+  if (data_off < chunks_off_ + sizeof(AllocHeader)) return false;
+  const std::uint64_t block_off = data_off - sizeof(AllocHeader);
+  const std::uint32_t c = chunk_of(block_off);
+  if (c == kNoChunk) return false;
+  const ChunkDesc& d = chunk_table()[c];
+  const std::uint64_t chunk_start = chunks_off_ + std::uint64_t{c} * kChunkSize;
+  switch (static_cast<ChunkState>(d.state)) {
+    case ChunkState::Run: {
+      if (d.class_idx >= kSizeClasses.size()) return false;
+      const std::uint32_t block = kSizeClasses[d.class_idx];
+      if (block_off < chunk_start + kRunHeaderSize) return false;
+      const std::uint64_t rel = block_off - chunk_start - kRunHeaderSize;
+      if (rel % block != 0) return false;
+      const auto idx = static_cast<std::uint32_t>(rel / block);
+      const RunHeader* rh = run_header(c);
+      if (idx >= rh->block_count) return false;
+      if ((rh->bitmap[idx / 64] & (1ull << (idx % 64))) == 0) return false;
+      break;
+    }
+    case ChunkState::HugeHead: {
+      if (block_off != chunk_start) return false;
+      break;
+    }
+    default:
+      return false;
+  }
+  const auto* hdr =
+      reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
+  return (hdr->flags & kAllocLive) != 0;
+}
+
+const AllocHeader& Heap::header_of(std::uint64_t data_off) const {
+  if (!is_live(data_off)) throw AllocError("not a live object");
+  return *reinterpret_cast<const AllocHeader*>(region_->base() + data_off -
+                                               sizeof(AllocHeader));
+}
+
+std::uint64_t Heap::first_object(std::uint32_t type_num) const {
+  return next_object(0, type_num);
+}
+
+std::uint64_t Heap::next_object(std::uint64_t data_off,
+                                std::uint32_t type_num) const {
+  const ChunkDesc* table = chunk_table();
+  std::uint32_t c = 0;
+  while (c < chunk_count_) {
+    const ChunkDesc& d = table[c];
+    const std::uint64_t chunk_start =
+        chunks_off_ + std::uint64_t{c} * kChunkSize;
+    switch (static_cast<ChunkState>(d.state)) {
+      case ChunkState::Run: {
+        const RunHeader* rh = run_header(c);
+        const std::uint32_t block = kSizeClasses[d.class_idx];
+        for (std::uint32_t i = 0; i < rh->block_count; ++i) {
+          if ((rh->bitmap[i / 64] & (1ull << (i % 64))) == 0) continue;
+          const std::uint64_t obj = chunk_start + kRunHeaderSize +
+                                    std::uint64_t{i} * block +
+                                    sizeof(AllocHeader);
+          if (obj <= data_off) continue;
+          const auto* hdr = reinterpret_cast<const AllocHeader*>(
+              region_->base() + obj - sizeof(AllocHeader));
+          if ((hdr->flags & kAllocLive) == 0) continue;
+          if (type_num != ~0u && hdr->type_num != type_num) continue;
+          return obj;
+        }
+        ++c;
+        break;
+      }
+      case ChunkState::HugeHead: {
+        const std::uint64_t obj = chunk_start + sizeof(AllocHeader);
+        if (obj > data_off) {
+          const auto* hdr = reinterpret_cast<const AllocHeader*>(
+              region_->base() + chunk_start);
+          if ((hdr->flags & kAllocLive) != 0 &&
+              (type_num == ~0u || hdr->type_num == type_num))
+            return obj;
+        }
+        c += d.span;
+        break;
+      }
+      default:
+        ++c;
+        break;
+    }
+  }
+  return 0;
+}
+
+HeapStats Heap::stats() const {
+  HeapStats s;
+  s.chunk_count = chunk_count_;
+  s.total_bytes = std::uint64_t{chunk_count_} * kChunkSize;
+  const ChunkDesc* table = chunk_table();
+  std::uint32_t c = 0;
+  while (c < chunk_count_) {
+    const ChunkDesc& d = table[c];
+    switch (static_cast<ChunkState>(d.state)) {
+      case ChunkState::Free:
+        ++s.free_chunks;
+        ++c;
+        break;
+      case ChunkState::Run: {
+        const RunHeader* rh = run_header(c);
+        std::uint32_t used = 0;
+        for (const std::uint64_t w : rh->bitmap)
+          used += static_cast<std::uint32_t>(std::popcount(w));
+        s.object_count += used;
+        s.allocated_bytes += std::uint64_t{used} * kSizeClasses[d.class_idx];
+        ++c;
+        break;
+      }
+      case ChunkState::HugeHead:
+        ++s.object_count;
+        s.allocated_bytes += std::uint64_t{d.span} * kChunkSize;
+        c += d.span;
+        break;
+      default:
+        ++c;
+        break;
+    }
+  }
+  return s;
+}
+
+std::uint64_t Heap::max_alloc_bytes() const noexcept {
+  return std::uint64_t{chunk_count_} * kChunkSize - sizeof(AllocHeader);
+}
+
+}  // namespace cxlpmem::pmemkit

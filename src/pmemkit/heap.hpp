@@ -1,0 +1,134 @@
+// pmemkit/heap.hpp — the persistent allocator.
+//
+// Design (a simplified pmemobj heap):
+//   * the heap region starts with a ChunkDesc table, followed by 256 KiB
+//     chunks;
+//   * small allocations (<= 128 KiB+header) live in Runs: a chunk carved
+//     into equal blocks of one size class, with an in-chunk bitmap;
+//   * larger allocations take a contiguous span of chunks (Huge);
+//   * every persistent-metadata mutation (bitmap bits, chunk states, the
+//     caller's destination ObjId) is staged on a caller-supplied RedoSession
+//     and becomes durable atomically at session commit;
+//   * transient state (free-block hints) is rebuilt on open by scanning.
+//
+// The split into stage_*/finish_* lets the pool compose an allocation with
+// other writes (e.g. publishing the root oid) in one atomic step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmemkit/layout.hpp"
+#include "pmemkit/pmem_ops.hpp"
+#include "pmemkit/redo.hpp"
+
+namespace cxlpmem::pmemkit {
+
+/// Result of stage_alloc: where the object will live once the session
+/// commits.  `data_off` is the user-visible offset (just past AllocHeader).
+struct PreparedAlloc {
+  std::uint64_t data_off = 0;
+  std::uint64_t total_size = 0;  ///< block/span bytes incl. header
+};
+
+struct HeapStats {
+  std::uint64_t total_bytes = 0;      ///< heap data capacity
+  std::uint64_t allocated_bytes = 0;  ///< sum of live block/span bytes
+  std::uint64_t object_count = 0;
+  std::uint64_t chunk_count = 0;
+  std::uint64_t free_chunks = 0;
+};
+
+class Heap {
+ public:
+  /// Binds to the heap region [heap_off, heap_off+heap_size) of `region`.
+  Heap(PersistentRegion& region, std::uint64_t heap_off,
+       std::uint64_t heap_size);
+
+  /// Formats a fresh heap (create path): all chunks Free.
+  void format();
+
+  /// Rebuilds transient state from persistent chunk metadata (open path).
+  /// Validates invariants; throws PoolError on corruption.
+  void rebuild();
+
+  /// Stages an allocation of `usable` bytes with the given type number.
+  /// Writes the AllocHeader immediately (inert until the staged bitmap /
+  /// chunk-state cells commit).  When `zero` is set the data area is
+  /// cleared and persisted before publication.
+  PreparedAlloc stage_alloc(RedoSession& redo, std::uint64_t usable,
+                            std::uint32_t type_num, bool zero);
+
+  /// Transient bookkeeping after the session committed.
+  void finish_alloc(const PreparedAlloc& a);
+
+  /// Stages the release of the object at `data_off`.  Throws AllocError for
+  /// invalid/double frees.  Safe to call for an object that a recovery
+  /// already released when `tolerate_dead` is set (idempotent replay).
+  /// Returns false when the object was already dead (nothing staged).
+  bool stage_free(RedoSession& redo, std::uint64_t data_off,
+                  bool tolerate_dead = false);
+
+  /// Transient bookkeeping after a committed free.
+  void finish_free(std::uint64_t data_off);
+
+  /// True when `data_off` points at a live allocation.
+  [[nodiscard]] bool is_live(std::uint64_t data_off) const;
+
+  /// AllocHeader of a live object.
+  [[nodiscard]] const AllocHeader& header_of(std::uint64_t data_off) const;
+
+  /// Usable size of the live object at `data_off`.
+  [[nodiscard]] std::uint64_t usable_size(std::uint64_t data_off) const {
+    return header_of(data_off).size;
+  }
+
+  /// First live object of `type_num` (any type when type_num == UINT32_MAX),
+  /// or 0.  Iteration order: ascending offset.
+  [[nodiscard]] std::uint64_t first_object(std::uint32_t type_num) const;
+  /// Next live object after `data_off` with matching type, or 0.
+  [[nodiscard]] std::uint64_t next_object(std::uint64_t data_off,
+                                          std::uint32_t type_num) const;
+
+  [[nodiscard]] HeapStats stats() const;
+
+  /// Largest single allocation this heap can ever satisfy.
+  [[nodiscard]] std::uint64_t max_alloc_bytes() const noexcept;
+
+ private:
+  struct RunRef {
+    std::uint32_t chunk;
+    std::uint32_t free_blocks;
+  };
+
+  [[nodiscard]] ChunkDesc* chunk_table() noexcept;
+  [[nodiscard]] const ChunkDesc* chunk_table() const noexcept;
+  [[nodiscard]] std::byte* chunk_data(std::uint32_t chunk) noexcept;
+  [[nodiscard]] const std::byte* chunk_data(std::uint32_t chunk) const
+      noexcept;
+  [[nodiscard]] RunHeader* run_header(std::uint32_t chunk) noexcept;
+  [[nodiscard]] const RunHeader* run_header(std::uint32_t chunk) const
+      noexcept;
+
+  /// Locates the chunk holding pool offset `off`; kInvalid when outside.
+  [[nodiscard]] std::uint32_t chunk_of(std::uint64_t off) const noexcept;
+
+  /// Picks (creating if needed) a run of `class_idx` with a free block.
+  std::uint32_t acquire_run(RedoSession& redo, int class_idx);
+  /// Finds `span` contiguous free chunks; throws AllocError when exhausted.
+  std::uint32_t acquire_span(std::uint32_t span) const;
+
+  PersistentRegion* region_;
+  std::uint64_t heap_off_;
+  std::uint64_t heap_size_;
+  std::uint32_t chunk_count_ = 0;
+  std::uint64_t chunks_off_ = 0;  ///< pool offset of chunk 0
+
+  // Transient state.  The heap is NOT internally synchronized: the owning
+  // pool serializes allocator operations (stage..commit..finish must be one
+  // critical section anyway).
+  std::vector<std::vector<std::uint32_t>> partial_runs_;  ///< per class
+  std::vector<bool> chunk_free_;  ///< transient mirror of Free state
+};
+
+}  // namespace cxlpmem::pmemkit

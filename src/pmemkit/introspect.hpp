@@ -1,0 +1,58 @@
+// pmemkit/introspect.hpp — offline pool inspection (the `pmempool info` /
+// `pmempool check` equivalent).
+//
+// Reads a pool through the normal mapping and reports its header identity,
+// lane states (was a transaction in flight?), heap occupancy and per-type
+// object census — plus a structural consistency check that walks the heap
+// with the same invariants rebuild() enforces and cross-checks the object
+// census against the allocation bitmaps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pmemkit/pool.hpp"
+
+namespace cxlpmem::pmemkit {
+
+struct LaneSummary {
+  std::uint32_t index = 0;
+  LaneState state = LaneState::Idle;
+  std::uint64_t undo_bytes = 0;  ///< published undo-log bytes
+  bool redo_published = false;
+};
+
+struct TypeCensusRow {
+  std::uint32_t type_num = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t usable_bytes = 0;
+};
+
+struct PoolReport {
+  // Identity.
+  std::string layout;
+  std::uint64_t pool_id = 0;
+  std::uint64_t pool_size = 0;
+  bool clean_shutdown = false;
+  bool has_root = false;
+  std::uint64_t root_size = 0;
+
+  // Activity.
+  std::vector<LaneSummary> busy_lanes;  ///< non-idle lanes only
+  HeapStats heap;
+  std::vector<TypeCensusRow> census;    ///< by ascending type_num
+
+  // Consistency.
+  bool consistent = false;
+  std::vector<std::string> problems;
+};
+
+/// Inspects an open pool (non-destructive).
+[[nodiscard]] PoolReport inspect(const ObjectPool& pool);
+
+/// Renders a report the way `pmempool info` would.
+[[nodiscard]] std::string to_text(const PoolReport& report);
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,161 @@
+// pmemkit/layout.hpp — every on-media structure of a pmemkit pool, in one
+// place.  All structs are trivially copyable, fixed-layout, and manipulated
+// through std::memcpy-safe accessors only.
+//
+// Pool file layout:
+//
+//   [0,      4 KiB)   PoolHeader
+//   [4 KiB,  ...)     lane array: kLaneCount lanes of kLaneSize bytes each
+//   [heap_off, end)   heap: chunk-state table + 256 KiB chunks
+//
+// Heap chunks are either Free, a Run (equal-size blocks of one size class,
+// tracked by an in-chunk bitmap), or a Huge span (HugeHead + HugeCont).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cxlpmem::pmemkit {
+
+inline constexpr std::uint64_t kPoolMagic = 0x43584c504d454d31ull;  // CXLPMEM1
+inline constexpr std::uint32_t kPoolVersion = 1;
+inline constexpr std::size_t kLayoutNameMax = 64;
+
+inline constexpr std::size_t kHeaderSize = 4096;
+inline constexpr std::size_t kLaneCount = 64;
+inline constexpr std::size_t kLaneSize = 64 * 1024;
+inline constexpr std::size_t kChunkSize = 256 * 1024;
+/// Run chunks reserve their first bytes for RunHeader.
+inline constexpr std::size_t kRunHeaderSize = 1024;
+/// Every allocation is preceded by an AllocHeader and aligned to 64 B.
+inline constexpr std::size_t kAllocAlign = 64;
+
+/// Header flags.
+inline constexpr std::uint32_t kFlagCleanShutdown = 1u << 0;
+
+struct PoolHeader {
+  std::uint64_t magic;
+  std::uint32_t version;
+  std::uint32_t flags;
+  std::array<char, kLayoutNameMax> layout;
+  std::uint64_t pool_id;    ///< random, non-zero; ObjId::pool_id
+  std::uint64_t pool_size;  ///< bytes, whole file
+  std::uint64_t lane_off;
+  std::uint64_t lane_count;
+  std::uint64_t lane_size;
+  std::uint64_t heap_off;
+  std::uint64_t heap_size;
+  std::uint64_t root_off;   ///< 0 = root not yet allocated
+  std::uint64_t root_size;
+  std::uint64_t checksum;   ///< fletcher64 with this field = 0
+};
+static_assert(sizeof(PoolHeader) <= kHeaderSize);
+
+// --- lanes -----------------------------------------------------------------
+
+enum class LaneState : std::uint32_t {
+  Idle = 0,
+  Active = 1,     ///< transaction running: undo log authoritative
+  Committed = 2,  ///< commit marker written: deferred frees may be pending
+};
+
+/// Undo-log entry kinds (see tx.cpp for the state machine).
+enum class UndoKind : std::uint32_t {
+  Snapshot = 1,  ///< payload: `len` bytes of the pre-image of [off, off+len)
+  AllocAction = 2,  ///< a fresh allocation to free on abort
+  FreeAction = 3,   ///< a deferred free to perform on commit
+};
+
+struct UndoEntryHeader {
+  std::uint32_t kind;   ///< UndoKind
+  std::uint32_t flags;  ///< reserved
+  std::uint64_t off;    ///< target pool offset (Snapshot) / object offset
+  std::uint64_t len;    ///< payload length (Snapshot) or 0
+  std::uint64_t checksum;  ///< fletcher64 of header(checksum=0) + payload
+};
+
+/// Redo-log: fixed array of 8-byte absolute writes, applied atomically.
+inline constexpr std::size_t kRedoCapacity = 62;
+
+struct RedoCell {
+  std::uint64_t off;
+  std::uint64_t val;
+};
+
+struct RedoLog {
+  std::uint64_t count;     ///< number of valid cells
+  std::uint64_t checksum;  ///< fletcher64 over cells[0..count)
+  std::uint64_t valid;     ///< 1 => apply on recovery
+  std::uint64_t reserved;
+  std::array<RedoCell, kRedoCapacity> cells;
+};
+static_assert(sizeof(RedoLog) == 32 + kRedoCapacity * 16);
+
+struct LaneHeader {
+  std::uint32_t state;  ///< LaneState
+  std::uint32_t reserved;
+  std::uint64_t undo_tail;  ///< bytes of undo log in use
+  RedoLog redo;
+};
+
+/// Usable undo-log bytes per lane.
+inline constexpr std::size_t kUndoLogBytes = kLaneSize - sizeof(LaneHeader);
+
+// --- heap ------------------------------------------------------------------
+
+// Huge spans persist only their head descriptor ({HugeHead, span}); the
+// covered chunks keep whatever stale descriptor they had and are skipped by
+// the rebuild scan.  This keeps a span free/alloc within one redo session
+// regardless of span length.
+enum class ChunkState : std::uint8_t {
+  Free = 0,
+  Run = 1,
+  HugeHead = 2,
+};
+
+/// One byte of state + class/span info per chunk, in a table at heap start.
+struct ChunkDesc {
+  std::uint8_t state;  ///< ChunkState
+  std::uint8_t class_idx;  ///< size-class (Run) — undefined otherwise
+  std::uint16_t reserved;
+  std::uint32_t span;  ///< chunk count (HugeHead) — undefined otherwise
+};
+static_assert(sizeof(ChunkDesc) == 8);
+
+/// In-chunk header of a Run.
+struct RunHeader {
+  std::uint32_t class_idx;
+  std::uint32_t block_count;
+  std::array<std::uint64_t, 64> bitmap;  ///< bit set = block allocated
+};
+static_assert(sizeof(RunHeader) <= kRunHeaderSize);
+
+/// Precedes every allocation (both run blocks and huge spans).
+struct AllocHeader {
+  std::uint64_t size;      ///< usable bytes (excluding this header)
+  std::uint32_t type_num;  ///< user type tag (POBJ type number equivalent)
+  std::uint32_t flags;     ///< bit0: allocation live
+};
+inline constexpr std::uint32_t kAllocLive = 1u << 0;
+static_assert(sizeof(AllocHeader) == 16);
+
+/// Size classes for runs.  Values are block sizes *including* the
+/// AllocHeader.  Anything larger goes to a huge span.
+inline constexpr std::array<std::uint32_t, 15> kSizeClasses = {
+    64,   128,  192,   256,   384,   512,   768,  1024,
+    2048, 4096, 8192, 16384, 32768, 65536, 131072};
+
+[[nodiscard]] constexpr int size_class_for(std::size_t total) noexcept {
+  for (std::size_t i = 0; i < kSizeClasses.size(); ++i)
+    if (total <= kSizeClasses[i]) return static_cast<int>(i);
+  return -1;  // huge
+}
+
+[[nodiscard]] constexpr std::uint32_t blocks_per_run(
+    std::uint32_t block_size) noexcept {
+  return static_cast<std::uint32_t>((kChunkSize - kRunHeaderSize) /
+                                    block_size);
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,89 @@
+#include "pmemkit/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "pmemkit/errors.hpp"
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw PoolError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+MappedFile MappedFile::create(const std::filesystem::path& path,
+                              std::size_t size) {
+  if (size == 0) throw PoolError("pool size must be positive");
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) throw_errno("create pool file " + path.string());
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw_errno("size pool file " + path.string());
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw_errno("map pool file " + path.string());
+  }
+  MappedFile f;
+  f.data_ = static_cast<std::byte*>(p);
+  f.size_ = size;
+  f.fd_ = fd;
+  f.path_ = path;
+  return f;
+}
+
+MappedFile MappedFile::open(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) throw_errno("open pool file " + path.string());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw PoolError("pool file unreadable or empty: " + path.string());
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (p == MAP_FAILED) {
+    ::close(fd);
+    throw_errno("map pool file " + path.string());
+  }
+  MappedFile f;
+  f.data_ = static_cast<std::byte*>(p);
+  f.size_ = size;
+  f.fd_ = fd;
+  f.path_ = path;
+  return f;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    this->~MappedFile();
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    fd_ = std::exchange(o.fd_, -1);
+    path_ = std::move(o.path_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MappedFile::sync() {
+  if (data_ != nullptr) ::msync(data_, size_, MS_SYNC);
+}
+
+}  // namespace cxlpmem::pmemkit

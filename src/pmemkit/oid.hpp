@@ -1,0 +1,39 @@
+// pmemkit/oid.hpp — persistent object identifiers (PMEMoid / TOID
+// equivalents).
+//
+// An ObjId is position-independent: (pool id, byte offset).  It is the only
+// pointer representation ever stored *inside* a pool; raw virtual addresses
+// never are, because the mapping address changes between runs.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace cxlpmem::pmemkit {
+
+struct ObjId {
+  std::uint64_t pool_id = 0;
+  std::uint64_t off = 0;
+
+  [[nodiscard]] constexpr bool is_null() const noexcept {
+    return pool_id == 0 && off == 0;
+  }
+  friend constexpr auto operator<=>(const ObjId&, const ObjId&) = default;
+};
+
+inline constexpr ObjId kNullOid{};
+
+/// Typed wrapper (TOID equivalent).  Carries no pool reference — dereference
+/// happens through ObjectPool::direct<T>() so the type is checked against
+/// the allocation's type number where the caller asks for it.
+template <typename T>
+struct TypedOid {
+  ObjId raw;
+  [[nodiscard]] constexpr bool is_null() const noexcept {
+    return raw.is_null();
+  }
+  friend constexpr auto operator<=>(const TypedOid&,
+                                    const TypedOid&) = default;
+};
+
+}  // namespace cxlpmem::pmemkit

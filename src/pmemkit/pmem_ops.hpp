@@ -1,0 +1,74 @@
+// pmemkit/pmem_ops.hpp — PersistentRegion: the persistence-domain interface
+// every pmemkit component writes through.
+//
+// It wraps the mapped pool image and (optionally) a ShadowTracker.  The
+// primitive vocabulary mirrors libpmem:
+//   flush(p, n)   ~ CLWB loop        — schedule lines for write-back
+//   drain()       ~ SFENCE           — make scheduled lines durable
+//   persist(p, n) ~ flush + drain
+//   memcpy_persist(dst, src, n)      — store + persist
+// With no shadow attached these are no-ops beyond the store itself (the
+// mapped file *is* the media); with a shadow they maintain the crash image.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+#include "pmemkit/mapped_file.hpp"
+#include "pmemkit/shadow.hpp"
+
+namespace cxlpmem::pmemkit {
+
+class PersistentRegion {
+ public:
+  /// Takes ownership of the mapping.  `track_shadow` enables the crash
+  /// checker (slower; meant for tests and the crash harness).
+  explicit PersistentRegion(MappedFile file, bool track_shadow = false)
+      : file_(std::move(file)) {
+    if (track_shadow)
+      shadow_ = std::make_unique<ShadowTracker>(file_.data(), file_.size());
+  }
+
+  [[nodiscard]] std::byte* base() noexcept { return file_.data(); }
+  [[nodiscard]] const std::byte* base() const noexcept { return file_.data(); }
+  [[nodiscard]] std::size_t size() const noexcept { return file_.size(); }
+  [[nodiscard]] MappedFile& file() noexcept { return file_; }
+
+  [[nodiscard]] std::size_t offset_of(const void* p) const {
+    return static_cast<std::size_t>(static_cast<const std::byte*>(p) -
+                                    base());
+  }
+
+  void flush(const void* p, std::size_t n) {
+    if (shadow_) shadow_->record_flush(offset_of(p), n);
+  }
+  void drain() {
+    if (shadow_) shadow_->record_fence();
+  }
+  void persist(const void* p, std::size_t n) {
+    flush(p, n);
+    drain();
+  }
+  /// Marks a range as modified-without-flush (transaction user ranges).
+  void note_store(const void* p, std::size_t n) {
+    if (shadow_) shadow_->record_store(offset_of(p), n);
+  }
+
+  void memcpy_persist(void* dst, const void* src, std::size_t n) {
+    std::memcpy(dst, src, n);
+    persist(dst, n);
+  }
+  void memset_persist(void* dst, int value, std::size_t n) {
+    std::memset(dst, value, n);
+    persist(dst, n);
+  }
+
+  [[nodiscard]] ShadowTracker* shadow() noexcept { return shadow_.get(); }
+
+ private:
+  MappedFile file_;
+  std::unique_ptr<ShadowTracker> shadow_;
+};
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,294 @@
+#include "pmemkit/pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <utility>
+
+#include "pmemkit/checksum.hpp"
+#include "pmemkit/crash_hook.hpp"
+#include "pmemkit/redo.hpp"
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+
+/// Header checksum covers the immutable identity fields only: `flags`
+/// (clean-shutdown toggle), `root_off`/`root_size` (published atomically via
+/// redo after creation) and `checksum` itself are excluded.
+std::uint64_t header_checksum(const PoolHeader& h) {
+  PoolHeader probe = h;
+  probe.flags = 0;
+  probe.root_off = 0;
+  probe.root_size = 0;
+  probe.checksum = 0;
+  return fletcher64(&probe, sizeof(probe));
+}
+
+std::uint64_t random_pool_id() {
+  static std::mt19937_64 rng{std::random_device{}()};
+  std::uint64_t id = 0;
+  while (id == 0) id = rng();
+  return id;
+}
+
+/// Per-thread open transactions, keyed by pool (a thread may use several
+/// pools, but at most one open transaction per pool).
+thread_local std::vector<std::pair<const ObjectPool*, Transaction*>>
+    t_current_tx;
+
+}  // namespace
+
+ObjectPool::ObjectPool(MappedFile file, Options options)
+    : region_(std::move(file), options.track_shadow),
+      path_(region_.file().path()) {
+  free_lanes_.reserve(kLaneCount - 1);
+  for (std::uint32_t l = 1; l < kLaneCount; ++l) free_lanes_.push_back(l);
+}
+
+std::unique_ptr<ObjectPool> ObjectPool::create(
+    const std::filesystem::path& path, std::string_view layout,
+    std::uint64_t size, Options options) {
+  if (layout.size() >= kLayoutNameMax)
+    throw PoolError("layout name too long");
+  if (size < min_pool_size())
+    throw PoolError("pool size below minimum (" +
+                    std::to_string(min_pool_size()) + " bytes)");
+
+  auto pool = std::unique_ptr<ObjectPool>(
+      new ObjectPool(MappedFile::create(path, size), options));
+
+  PoolHeader& h = pool->header();
+  h.magic = kPoolMagic;
+  h.version = kPoolVersion;
+  h.flags = 0;  // open (dirty) until clean shutdown
+  h.layout.fill('\0');
+  std::memcpy(h.layout.data(), layout.data(), layout.size());
+  h.pool_id = random_pool_id();
+  h.pool_size = size;
+  h.lane_off = kHeaderSize;
+  h.lane_count = kLaneCount;
+  h.lane_size = kLaneSize;
+  h.heap_off = kHeaderSize + kLaneCount * kLaneSize;
+  h.heap_size = size - h.heap_off;
+  h.root_off = 0;
+  h.root_size = 0;
+  h.checksum = header_checksum(h);
+  pool->persist(&h, sizeof(h));
+
+  // Lanes are zero (Idle) in a fresh file; only the heap needs formatting.
+  pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
+  pool->heap_->format();
+  return pool;
+}
+
+std::unique_ptr<ObjectPool> ObjectPool::open(
+    const std::filesystem::path& path, std::string_view layout,
+    Options options) {
+  auto pool = std::unique_ptr<ObjectPool>(
+      new ObjectPool(MappedFile::open(path), options));
+
+  const PoolHeader& h = pool->header();
+  if (h.magic != kPoolMagic) throw PoolError("not a pmemkit pool: " +
+                                             path.string());
+  if (h.version != kPoolVersion) throw PoolError("pool version mismatch");
+  if (h.checksum != header_checksum(h))
+    throw PoolError("pool header checksum mismatch");
+  if (h.pool_size != pool->size()) throw PoolError("pool size mismatch");
+  if (std::string_view(h.layout.data()) != layout)
+    throw PoolError("layout mismatch: pool has '" +
+                    std::string(h.layout.data()) + "', caller wants '" +
+                    std::string(layout) + "'");
+
+  pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
+  pool->heap_->rebuild();
+  pool->run_recovery();
+  return pool;
+}
+
+ObjectPool::~ObjectPool() {
+  if (crashed_) return;  // crash simulation: leave the image as-is
+  PoolHeader& h = header();
+  h.flags |= kFlagCleanShutdown;
+  persist(&h.flags, sizeof(h.flags));
+  region_.file().sync();
+}
+
+void ObjectPool::run_recovery() {
+  PoolHeader& h = header();
+  bool any = (h.flags & kFlagCleanShutdown) == 0;
+  for (std::uint32_t l = 0; l < h.lane_count; ++l)
+    any = recover_lane(*this, l) || any;
+  recovered_ = any;
+  // Mark open (dirty) for the lifetime of this handle.
+  h.flags &= ~kFlagCleanShutdown;
+  persist(&h.flags, sizeof(h.flags));
+}
+
+std::uint64_t ObjectPool::pool_id() const noexcept {
+  return header().pool_id;
+}
+
+std::string ObjectPool::layout() const {
+  return std::string(header().layout.data());
+}
+
+void* ObjectPool::direct(ObjId oid) {
+  if (oid.is_null()) throw PoolError("direct() on null oid");
+  if (oid.pool_id != pool_id()) throw PoolError("oid from another pool");
+  if (oid.off >= size()) throw PoolError("oid offset out of range");
+  return region_.base() + oid.off;
+}
+
+const void* ObjectPool::direct(ObjId oid) const {
+  return const_cast<ObjectPool*>(this)->direct(oid);
+}
+
+ObjId ObjectPool::oid_for(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  if (b < region_.base() || b >= region_.base() + size())
+    throw PoolError("pointer not inside pool");
+  return ObjId{pool_id(),
+               static_cast<std::uint64_t>(b - region_.base())};
+}
+
+LaneHeader& ObjectPool::lane_header(std::uint32_t lane) noexcept {
+  return *reinterpret_cast<LaneHeader*>(region_.base() + lane_off(lane));
+}
+
+std::byte* ObjectPool::lane_undo(std::uint32_t lane) noexcept {
+  return region_.base() + lane_off(lane) + sizeof(LaneHeader);
+}
+
+std::uint64_t ObjectPool::lane_off(std::uint32_t lane) const noexcept {
+  return header().lane_off + std::uint64_t{lane} * header().lane_size;
+}
+
+ObjId ObjectPool::alloc_atomic(std::uint64_t size, std::uint32_t type_num,
+                               ObjId* dest, bool zero) {
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  RedoSession session(region_, lane_header(0).redo);
+  const PreparedAlloc pa = heap_->stage_alloc(session, size, type_num, zero);
+  const ObjId id{pool_id(), pa.data_off};
+
+  const auto* dp = reinterpret_cast<const std::byte*>(dest);
+  const bool dest_in_pool =
+      dest != nullptr && dp >= region_.base() && dp < region_.base() + this->size();
+  if (dest_in_pool)
+    session.stage_oid(region_.offset_of(dest), id);
+  session.commit();
+  heap_->finish_alloc(pa);
+  if (dest != nullptr && !dest_in_pool) *dest = id;
+  return id;
+}
+
+void ObjectPool::free_atomic(ObjId* dest) {
+  if (dest == nullptr) throw AllocError("free_atomic(nullptr)");
+  const ObjId oid = *dest;
+  if (oid.is_null()) return;
+  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  RedoSession session(region_, lane_header(0).redo);
+  if (!heap_->stage_free(session, oid.off)) return;
+  const auto* dp = reinterpret_cast<const std::byte*>(dest);
+  const bool dest_in_pool =
+      dp >= region_.base() && dp < region_.base() + size();
+  if (dest_in_pool) session.stage_oid(region_.offset_of(dest), kNullOid);
+  session.commit();
+  heap_->finish_free(oid.off);
+  if (!dest_in_pool) *dest = kNullOid;
+}
+
+void ObjectPool::free_atomic(ObjId oid) {
+  if (oid.is_null()) return;
+  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  RedoSession session(region_, lane_header(0).redo);
+  if (!heap_->stage_free(session, oid.off)) return;
+  session.commit();
+  heap_->finish_free(oid.off);
+}
+
+std::uint64_t ObjectPool::usable_size(ObjId oid) const {
+  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  return heap_->usable_size(oid.off);
+}
+
+std::uint32_t ObjectPool::type_of(ObjId oid) const {
+  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  return heap_->header_of(oid.off).type_num;
+}
+
+ObjId ObjectPool::first(std::uint32_t type_num) const {
+  const std::uint64_t off = heap_->first_object(type_num);
+  return off == 0 ? kNullOid : ObjId{pool_id(), off};
+}
+
+ObjId ObjectPool::next(ObjId oid, std::uint32_t type_num) const {
+  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  const std::uint64_t off = heap_->next_object(oid.off, type_num);
+  return off == 0 ? kNullOid : ObjId{pool_id(), off};
+}
+
+ObjId ObjectPool::root_raw(std::uint64_t size) {
+  PoolHeader& h = header();
+  if (h.root_off != 0) {
+    if (size > h.root_size)
+      throw PoolError("root object smaller than requested size");
+    return ObjId{pool_id(), h.root_off};
+  }
+
+  const std::lock_guard<std::mutex> lock(alloc_mu_);
+  RedoSession session(region_, lane_header(0).redo);
+  const PreparedAlloc pa =
+      heap_->stage_alloc(session, size, /*type_num=*/0, /*zero=*/true);
+  // Root oid + size publish atomically with the allocation.
+  session.stage(region_.offset_of(&h.root_off), pa.data_off);
+  session.stage(region_.offset_of(&h.root_size), size);
+  session.commit();
+  heap_->finish_alloc(pa);
+  return ObjId{pool_id(), pa.data_off};
+}
+
+Transaction* ObjectPool::current_tx() const {
+  for (const auto& [pool, tx] : t_current_tx)
+    if (pool == this) return tx;
+  return nullptr;
+}
+
+void ObjectPool::set_current_tx(Transaction* tx) {
+  if (tx == nullptr) {
+    std::erase_if(t_current_tx,
+                  [this](const auto& e) { return e.first == this; });
+  } else {
+    t_current_tx.emplace_back(this, tx);
+  }
+}
+
+std::uint32_t ObjectPool::acquire_tx_lane() {
+  std::unique_lock<std::mutex> lock(lane_mu_);
+  lane_cv_.wait(lock, [this] { return !free_lanes_.empty(); });
+  const std::uint32_t lane = free_lanes_.back();
+  free_lanes_.pop_back();
+  return lane;
+}
+
+void ObjectPool::release_tx_lane(std::uint32_t lane) {
+  {
+    const std::lock_guard<std::mutex> lock(lane_mu_);
+    free_lanes_.push_back(lane);
+  }
+  lane_cv_.notify_one();
+}
+
+PoolStats ObjectPool::stats() const {
+  PoolStats s;
+  s.heap = heap_->stats();
+  s.pool_size = size();
+  s.lane_count = header().lane_count;
+  s.recovered = recovered_;
+  return s;
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,224 @@
+// pmemkit/pool.hpp — ObjectPool, the PMEMobjpool equivalent.
+//
+// A pool is a mapped file with:  header | 64 lanes | heap.  It provides the
+// libpmemobj programming model: a named layout, a root object, atomic
+// (failure-atomic, non-transactional) allocation into a destination ObjId,
+// typed object ids, undo-log transactions, and open-time recovery.  An
+// optional ShadowTracker (Options::track_shadow) maintains the
+// crash-consistency image used by the test harness.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pmemkit/errors.hpp"
+#include "pmemkit/heap.hpp"
+#include "pmemkit/layout.hpp"
+#include "pmemkit/oid.hpp"
+#include "pmemkit/pmem_ops.hpp"
+#include "pmemkit/tx.hpp"
+
+namespace cxlpmem::pmemkit {
+
+/// Any-type wildcard for object iteration.
+inline constexpr std::uint32_t kAnyType = ~0u;
+
+struct PoolStats {
+  HeapStats heap;
+  std::uint64_t pool_size = 0;
+  std::uint64_t lane_count = 0;
+  bool recovered = false;  ///< last open performed recovery actions
+};
+
+struct PoolReport;  // introspect.hpp
+
+struct PoolOptions {
+  /// Maintain a ShadowTracker for crash simulation (slower).
+  bool track_shadow = false;
+};
+
+class ObjectPool {
+ public:
+  using Options = PoolOptions;
+
+  /// Creates a new pool file.  `size` >= min_pool_size().  The layout name
+  /// is checked on every open (pmemobj_create semantics).
+  static std::unique_ptr<ObjectPool> create(
+      const std::filesystem::path& path, std::string_view layout,
+      std::uint64_t size, Options options = Options());
+
+  /// Opens an existing pool, validating magic/version/layout/checksum and
+  /// running recovery.
+  static std::unique_ptr<ObjectPool> open(const std::filesystem::path& path,
+                                          std::string_view layout,
+                                          Options options = Options());
+
+  /// Smallest pool create() accepts: header + lanes + enough chunks that a
+  /// handful of distinct size classes can coexist (each run claims a whole
+  /// chunk).
+  [[nodiscard]] static constexpr std::uint64_t min_pool_size() noexcept {
+    return kHeaderSize + kLaneCount * kLaneSize + 8 * kChunkSize;
+  }
+
+  ~ObjectPool();
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  // --- identity ------------------------------------------------------------
+  [[nodiscard]] std::uint64_t pool_id() const noexcept;
+  [[nodiscard]] std::string layout() const;
+  [[nodiscard]] std::uint64_t size() const noexcept { return region_.size(); }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// True when the last open() had recovery work to do (dirty shutdown).
+  [[nodiscard]] bool recovered() const noexcept { return recovered_; }
+
+  // --- address translation ---------------------------------------------------
+  /// Direct pointer for an oid; throws PoolError on foreign/out-of-range oid.
+  [[nodiscard]] void* direct(ObjId oid);
+  [[nodiscard]] const void* direct(ObjId oid) const;
+  template <typename T>
+  [[nodiscard]] T* direct(TypedOid<T> oid) {
+    return static_cast<T*>(direct(oid.raw));
+  }
+  /// ObjId for a pointer inside the pool (inverse of direct()).
+  [[nodiscard]] ObjId oid_for(const void* p) const;
+
+  // --- persistence primitives (libpmem vocabulary) -------------------------
+  void persist(const void* p, std::size_t n) { region_.persist(p, n); }
+  void flush(const void* p, std::size_t n) { region_.flush(p, n); }
+  void drain() { region_.drain(); }
+  void memcpy_persist(void* dst, const void* src, std::size_t n) {
+    region_.memcpy_persist(dst, src, n);
+  }
+
+  // --- atomic (non-transactional, failure-atomic) API ----------------------
+  /// Allocates `size` bytes.  When `dest` points inside the pool, the oid is
+  /// published into it atomically with the allocation (POBJ_ALLOC
+  /// semantics); otherwise it is simply returned.
+  ObjId alloc_atomic(std::uint64_t size, std::uint32_t type_num,
+                     ObjId* dest = nullptr, bool zero = false);
+  /// Frees `*dest` and nulls it in one atomic step (POBJ_FREE semantics).
+  void free_atomic(ObjId* dest);
+  /// Frees an oid the caller forgets by other means.
+  void free_atomic(ObjId oid);
+
+  [[nodiscard]] std::uint64_t usable_size(ObjId oid) const;
+  [[nodiscard]] std::uint32_t type_of(ObjId oid) const;
+
+  /// Typed iteration (POBJ_FIRST/POBJ_NEXT equivalents).
+  [[nodiscard]] ObjId first(std::uint32_t type_num = kAnyType) const;
+  [[nodiscard]] ObjId next(ObjId oid, std::uint32_t type_num = kAnyType) const;
+
+  // --- root object ----------------------------------------------------------
+  /// Returns the root object, allocating it (zeroed) on first use.
+  /// The size is fixed at first allocation; a mismatching later request
+  /// throws PoolError (pmemobj_root with a larger size would resize — not
+  /// supported here).
+  ObjId root_raw(std::uint64_t size);
+  template <typename T>
+  TypedOid<T> root() {
+    return TypedOid<T>{root_raw(sizeof(T))};
+  }
+
+  // --- transactions ----------------------------------------------------------
+  /// Runs `fn` inside a transaction.  Nested calls on the same thread join
+  /// the outer transaction (flat nesting, PMDK-style).  Any exception aborts
+  /// the (outer) transaction and rethrows.
+  template <typename F>
+  void run_tx(F&& fn) {
+    if (Transaction* outer = current_tx(); outer != nullptr) {
+      fn();  // flat nesting: join the enclosing transaction
+      return;
+    }
+    const std::uint32_t lane = acquire_tx_lane();
+    Transaction tx(*this, lane);
+    // Unconditional cleanup: the thread-local registration and the lane must
+    // be reclaimed on every exit path, including a simulated power cut
+    // thrown from inside begin()/commit().
+    struct Cleanup {
+      ObjectPool* pool;
+      std::uint32_t lane;
+      ~Cleanup() {
+        pool->set_current_tx(nullptr);
+        pool->release_tx_lane(lane);
+      }
+    } cleanup{this, lane};
+    set_current_tx(&tx);
+    try {
+      tx.begin();
+      fn();
+      tx.commit();
+    } catch (const CrashInjected&) {
+      throw;  // power cut: no abort work may happen
+    } catch (...) {
+      if (!tx.finished_) tx.abort();
+      throw;
+    }
+  }
+
+  /// The calling thread's open transaction on this pool, or nullptr.
+  [[nodiscard]] Transaction* current_tx() const;
+
+  /// pmemobj_tx_* conveniences that require an open transaction.
+  void tx_add_range(void* ptr, std::size_t len);
+  ObjId tx_alloc(std::uint64_t size, std::uint32_t type_num,
+                 bool zero = false);
+  void tx_free(ObjId oid);
+
+  // --- stats / introspection -------------------------------------------------
+  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] PersistentRegion& region() noexcept { return region_; }
+  [[nodiscard]] ShadowTracker* shadow() noexcept { return region_.shadow(); }
+
+  /// Marks the pool as crash-simulated: the destructor will neither mark a
+  /// clean shutdown nor sync.  Used by the crash harness after CrashInjected.
+  void mark_crashed() noexcept { crashed_ = true; }
+
+ private:
+  friend class Transaction;
+  friend bool recover_lane(ObjectPool& pool, std::uint32_t lane);
+  friend struct PoolReport;
+  friend PoolReport inspect(const ObjectPool& pool);
+
+  ObjectPool(MappedFile file, Options options);
+
+  [[nodiscard]] PoolHeader& header() noexcept {
+    return *reinterpret_cast<PoolHeader*>(region_.base());
+  }
+  [[nodiscard]] const PoolHeader& header() const noexcept {
+    return *reinterpret_cast<const PoolHeader*>(region_.base());
+  }
+  [[nodiscard]] LaneHeader& lane_header(std::uint32_t lane) noexcept;
+  [[nodiscard]] std::byte* lane_undo(std::uint32_t lane) noexcept;
+  [[nodiscard]] std::uint64_t lane_off(std::uint32_t lane) const noexcept;
+
+  void run_recovery();
+  std::uint32_t acquire_tx_lane();
+  void release_tx_lane(std::uint32_t lane);
+  void set_current_tx(Transaction* tx);
+
+  PersistentRegion region_;
+  std::filesystem::path path_;
+  std::unique_ptr<Heap> heap_;
+  bool recovered_ = false;
+  bool crashed_ = false;
+
+  /// Serializes allocator metadata operations (lane 0 is reserved for them).
+  std::mutex alloc_mu_;
+
+  /// Transaction lane pool (lanes 1 .. kLaneCount-1).
+  std::mutex lane_mu_;
+  std::condition_variable lane_cv_;
+  std::vector<std::uint32_t> free_lanes_;
+};
+
+}  // namespace cxlpmem::pmemkit

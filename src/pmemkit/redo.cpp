@@ -1,0 +1,76 @@
+#include "pmemkit/redo.hpp"
+
+#include <cstring>
+
+#include "pmemkit/checksum.hpp"
+#include "pmemkit/crash_hook.hpp"
+#include "pmemkit/errors.hpp"
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+
+std::uint64_t cells_checksum(const RedoLog& log, std::uint64_t count) {
+  return fletcher64(log.cells.data(), count * sizeof(RedoCell));
+}
+
+void apply_cells(PersistentRegion& region, const RedoLog& log) {
+  for (std::uint64_t i = 0; i < log.count; ++i) {
+    const RedoCell& c = log.cells[i];
+    std::memcpy(region.base() + c.off, &c.val, sizeof(c.val));
+    region.flush(region.base() + c.off, sizeof(c.val));
+  }
+  region.drain();
+}
+
+}  // namespace
+
+void RedoSession::stage(std::uint64_t off, std::uint64_t val) {
+  if (count_ >= kRedoCapacity) throw TxError("redo log full");
+  if (off + sizeof(std::uint64_t) > region_->size())
+    throw TxError("redo target outside pool");
+  log_->cells[count_++] = RedoCell{off, val};
+}
+
+void RedoSession::commit() {
+  if (count_ == 0) return;
+  RedoLog& log = *log_;
+
+  // (1) log content.
+  log.count = count_;
+  log.checksum = cells_checksum(log, count_);
+  region_->persist(&log, sizeof(RedoLog));
+  crash_point("redo:content");
+
+  // (2) publish.
+  log.valid = 1;
+  region_->persist(&log.valid, sizeof(log.valid));
+  crash_point("redo:published");
+
+  // (3) apply.
+  apply_cells(*region_, log);
+  crash_point("redo:applied");
+
+  // (4) retire.
+  log.valid = 0;
+  region_->persist(&log.valid, sizeof(log.valid));
+  crash_point("redo:retired");
+  count_ = 0;
+}
+
+bool redo_recover(PersistentRegion& region, RedoLog& log) {
+  if (log.valid == 0) return false;
+  if (log.count > kRedoCapacity ||
+      log.checksum != cells_checksum(log, log.count)) {
+    // Torn publish: the op never happened.
+    log.valid = 0;
+    region.persist(&log.valid, sizeof(log.valid));
+    return false;
+  }
+  apply_cells(region, log);
+  log.valid = 0;
+  region.persist(&log.valid, sizeof(log.valid));
+  return true;
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,54 @@
+// pmemkit/redo.hpp — atomic multi-word update via a redo log.
+//
+// A RedoSession stages absolute 8-byte writes, then commit() makes them
+// durable all-or-nothing:
+//   1. cells + count + checksum written and persisted   (log content)
+//   2. valid = 1 persisted                               (publish point)
+//   3. writes applied to their targets and persisted
+//   4. valid = 0 persisted                               (retire)
+// A crash before (2) discards the op; after (2), recovery re-applies it.
+// This is how pmemobj makes non-transactional alloc/free failure-atomic.
+#pragma once
+
+#include <cstdint>
+
+#include "pmemkit/layout.hpp"
+#include "pmemkit/oid.hpp"
+#include "pmemkit/pmem_ops.hpp"
+
+namespace cxlpmem::pmemkit {
+
+class RedoSession {
+ public:
+  /// Binds to a RedoLog that lives inside `region` (a lane's log).
+  RedoSession(PersistentRegion& region, RedoLog& log)
+      : region_(&region), log_(&log) {}
+
+  /// Stages `*(u64*)(base+off) = val`.  Throws TxError when full.
+  void stage(std::uint64_t off, std::uint64_t val);
+
+  /// Stages a 16-byte ObjId store as two cells.
+  void stage_oid(std::uint64_t off, ObjId id) {
+    stage(off, id.pool_id);
+    stage(off + 8, id.off);
+  }
+
+  [[nodiscard]] std::uint64_t staged() const noexcept { return count_; }
+
+  /// Publishes and applies the staged writes, then retires the log.
+  void commit();
+
+  /// Drops staged writes without touching the log.
+  void reset() noexcept { count_ = 0; }
+
+ private:
+  PersistentRegion* region_;
+  RedoLog* log_;
+  std::uint64_t count_ = 0;
+};
+
+/// Recovery half: re-applies `log` if it was published, then retires it.
+/// Returns true when writes were applied.
+bool redo_recover(PersistentRegion& region, RedoLog& log);
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,69 @@
+#include "pmemkit/shadow.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+constexpr std::size_t kLine = 64;
+
+/// splitmix64 — deterministic per-line eviction coin.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+ShadowTracker::ShadowTracker(const std::byte* live, std::size_t size)
+    : live_(live), shadow_(live, live + size) {}
+
+void ShadowTracker::record_store(std::size_t off, std::size_t len) {
+  if (len == 0) return;
+  const std::size_t first = off / kLine;
+  const std::size_t last = (off + len - 1) / kLine;
+  for (std::size_t l = first; l <= last; ++l) dirty_.insert(l);
+}
+
+void ShadowTracker::record_flush(std::size_t off, std::size_t len) {
+  if (len == 0) return;
+  const std::size_t first = off / kLine;
+  const std::size_t last = (off + len - 1) / kLine;
+  for (std::size_t l = first; l <= last; ++l) pending_.insert(l);
+}
+
+void ShadowTracker::record_fence() {
+  for (const std::size_t l : pending_) {
+    const std::size_t off = l * kLine;
+    const std::size_t n = std::min(kLine, shadow_.size() - off);
+    std::memcpy(shadow_.data() + off, live_ + off, n);
+    dirty_.erase(l);
+  }
+  pending_.clear();
+}
+
+std::vector<std::byte> ShadowTracker::crash_image(CrashPolicy policy,
+                                                  std::uint64_t seed) const {
+  if (policy == CrashPolicy::EadrEverythingSurvives) {
+    // Caches are inside the persistence domain: media == everything stored.
+    return std::vector<std::byte>(live_, live_ + shadow_.size());
+  }
+  std::vector<std::byte> img = shadow_;
+  if (policy == CrashPolicy::RandomEvict) {
+    // Flushed-but-not-fenced lines and plain dirty lines alike may or may
+    // not have reached media; toss a deterministic coin per line.
+    auto maybe_evict = [&](std::size_t l) {
+      if ((mix(seed ^ (0xabcdull + l)) & 1) == 0) return;
+      const std::size_t off = l * kLine;
+      const std::size_t n = std::min(kLine, img.size() - off);
+      std::memcpy(img.data() + off, live_ + off, n);
+    };
+    for (const std::size_t l : dirty_) maybe_evict(l);
+    for (const std::size_t l : pending_) maybe_evict(l);
+  }
+  return img;
+}
+
+}  // namespace cxlpmem::pmemkit

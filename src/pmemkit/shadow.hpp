@@ -1,0 +1,81 @@
+// pmemkit/shadow.hpp — cacheline-granular crash-consistency tracker
+// (the pmemcheck / Yat equivalent for this project).
+//
+// Model (x86 + ADR semantics):
+//   * a store lands in the cache — NOT yet persistent;
+//   * CLWB/CLFLUSHOPT marks lines for write-back — persistence is only
+//     guaranteed after the next SFENCE;
+//   * at SFENCE, every line flushed since the previous fence is durably in
+//     the persistence domain;
+//   * a line that was stored to but never flushed MAY still persist at any
+//     moment (cache eviction) — software must never rely on it, and a sound
+//     checker must be able to make either choice.
+//
+// ShadowTracker keeps a second image of the pool that receives data only at
+// fence points.  crash_image() returns what the media would hold if power
+// were cut now:
+//   DropUnflushed  — strict loss of everything not explicitly persisted
+//                    (catches missing flush/fence bugs);
+//   RandomEvict    — additionally lets each known-dirty line persist with
+//                    p=1/2, seeded (catches ordering bugs that only appear
+//                    when a line leaks early).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace cxlpmem::pmemkit {
+
+enum class CrashPolicy {
+  DropUnflushed,
+  RandomEvict,
+  /// eADR / Global Persistent Flush: the persistence domain includes the
+  /// CPU caches (a battery drains them on power loss), so EVERY store
+  /// survives — flushes become performance hints.  This is the stronger
+  /// domain a battery-backed CXL device enables (CXL GPF) and the paper's
+  /// battery argument taken to its conclusion.
+  EadrEverythingSurvives,
+};
+
+class ShadowTracker {
+ public:
+  /// Tracks a live region of `size` bytes.  `live` must outlive the tracker.
+  /// The shadow starts as a copy of the live image (a freshly created pool
+  /// is all-zero + whatever create() persists explicitly).
+  ShadowTracker(const std::byte* live, std::size_t size);
+
+  /// Notes that [off, off+len) is being (or about to be) modified without a
+  /// flush yet — e.g. a transaction handing the range to user code.
+  void record_store(std::size_t off, std::size_t len);
+
+  /// CLWB equivalent: lines of [off, off+len) become *pending*.
+  void record_flush(std::size_t off, std::size_t len);
+
+  /// SFENCE equivalent: pending lines are copied live -> shadow and cease to
+  /// be dirty.
+  void record_fence();
+
+  /// The media image after a power cut at this instant.
+  [[nodiscard]] std::vector<std::byte> crash_image(
+      CrashPolicy policy, std::uint64_t seed = 0) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return shadow_.size(); }
+  [[nodiscard]] std::size_t dirty_lines() const noexcept {
+    return dirty_.size();
+  }
+  [[nodiscard]] std::size_t pending_lines() const noexcept {
+    return pending_.size();
+  }
+
+ private:
+  const std::byte* live_;
+  std::vector<std::byte> shadow_;
+  /// Line indices stored-to but not yet persisted.
+  std::unordered_set<std::size_t> dirty_;
+  /// Line indices flushed but awaiting a fence.
+  std::unordered_set<std::size_t> pending_;
+};
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,269 @@
+#include "pmemkit/tx.hpp"
+
+#include <cstring>
+#include <mutex>
+
+#include "pmemkit/checksum.hpp"
+#include "pmemkit/crash_hook.hpp"
+#include "pmemkit/pool.hpp"
+#include "pmemkit/redo.hpp"
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+
+constexpr std::uint64_t round16(std::uint64_t n) noexcept {
+  return (n + 15) & ~std::uint64_t{15};
+}
+
+struct ParsedEntry {
+  UndoKind kind;
+  std::uint64_t off;
+  std::uint64_t len;
+  const std::byte* payload;
+};
+
+/// Parses the published entries of a lane's undo log.  Entries below the
+/// tail were fully persisted before the tail bump, so a checksum failure
+/// means media corruption, not a torn crash.
+std::vector<ParsedEntry> parse_entries(const std::byte* undo,
+                                       std::uint64_t tail) {
+  std::vector<ParsedEntry> out;
+  std::uint64_t pos = 0;
+  while (pos < tail) {
+    if (pos + sizeof(UndoEntryHeader) > tail)
+      throw PoolError("undo log: truncated entry header");
+    UndoEntryHeader hdr;
+    std::memcpy(&hdr, undo + pos, sizeof(hdr));
+    const auto kind = static_cast<UndoKind>(hdr.kind);
+    const std::uint64_t payload_len =
+        kind == UndoKind::Snapshot ? hdr.len : 0;
+    if (payload_len > kUndoLogBytes)
+      throw PoolError("undo log: entry payload exceeds log size");
+    const std::uint64_t entry_size =
+        sizeof(UndoEntryHeader) + round16(payload_len);
+    if (pos + entry_size > tail)
+      throw PoolError("undo log: entry exceeds tail");
+
+    // Verify: checksum computed with its own field zeroed.
+    UndoEntryHeader probe = hdr;
+    probe.checksum = 0;
+    std::vector<std::byte> buf(sizeof(probe) + payload_len);
+    std::memcpy(buf.data(), &probe, sizeof(probe));
+    std::memcpy(buf.data() + sizeof(probe), undo + pos + sizeof(hdr),
+                payload_len);
+    if (fletcher64(buf.data(), buf.size()) != hdr.checksum)
+      throw PoolError("undo log: entry checksum mismatch");
+
+    out.push_back(ParsedEntry{kind, hdr.off, hdr.len,
+                              undo + pos + sizeof(UndoEntryHeader)});
+    pos += entry_size;
+  }
+  return out;
+}
+
+/// Atomic free through a lane's redo log; tolerates already-dead objects so
+/// recovery replay is idempotent.
+void atomic_free(PersistentRegion& region, Heap& heap, RedoLog& redo,
+                 std::uint64_t off, std::mutex& alloc_mu) {
+  const std::lock_guard<std::mutex> lock(alloc_mu);
+  RedoSession session(region, redo);
+  if (heap.stage_free(session, off, /*tolerate_dead=*/true)) {
+    session.commit();
+    heap.finish_free(off);
+  }
+}
+
+/// Rolls a lane back: pre-images restored in reverse, fresh allocations
+/// released, lane retired.
+void rollback_lane(PersistentRegion& region, Heap& heap, LaneHeader& lh,
+                   std::byte* undo, std::mutex& alloc_mu) {
+  const auto entries = parse_entries(undo, lh.undo_tail);
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    switch (it->kind) {
+      case UndoKind::Snapshot:
+        region.memcpy_persist(region.base() + it->off, it->payload, it->len);
+        crash_point("tx:rollback-snapshot");
+        break;
+      case UndoKind::AllocAction:
+        atomic_free(region, heap, lh.redo, it->off, alloc_mu);
+        crash_point("tx:rollback-alloc");
+        break;
+      case UndoKind::FreeAction:
+        break;  // never performed; nothing to roll back
+    }
+  }
+  lh.state = static_cast<std::uint32_t>(LaneState::Idle);
+  lh.undo_tail = 0;
+  region.persist(&lh, 16);
+  crash_point("tx:rolled-back");
+}
+
+/// Finishes a committed lane: performs (or re-performs) deferred frees.
+void finish_committed_lane(PersistentRegion& region, Heap& heap,
+                           LaneHeader& lh, std::byte* undo,
+                           std::mutex& alloc_mu) {
+  const auto entries = parse_entries(undo, lh.undo_tail);
+  for (const ParsedEntry& e : entries) {
+    if (e.kind != UndoKind::FreeAction) continue;
+    atomic_free(region, heap, lh.redo, e.off, alloc_mu);
+    crash_point("tx:freed");
+  }
+  lh.state = static_cast<std::uint32_t>(LaneState::Idle);
+  lh.undo_tail = 0;
+  region.persist(&lh, 16);
+  crash_point("tx:retired");
+}
+
+}  // namespace
+
+Transaction::Transaction(ObjectPool& pool, std::uint32_t lane)
+    : pool_(&pool), lane_(lane) {}
+
+void Transaction::begin() {
+  LaneHeader& lh = pool_->lane_header(lane_);
+  lh.state = static_cast<std::uint32_t>(LaneState::Active);
+  lh.undo_tail = 0;
+  pool_->persist(&lh, 16);
+  crash_point("tx:begin");
+}
+
+void Transaction::append_entry(UndoKind kind, std::uint64_t off,
+                               std::uint64_t len, const void* payload) {
+  LaneHeader& lh = pool_->lane_header(lane_);
+  std::byte* undo = pool_->lane_undo(lane_);
+  const std::uint64_t payload_len =
+      kind == UndoKind::Snapshot ? len : 0;
+  const std::uint64_t entry_size =
+      sizeof(UndoEntryHeader) + round16(payload_len);
+  if (lh.undo_tail + entry_size > kUndoLogBytes)
+    throw TxError("undo log full (snapshot too large or too many ranges)");
+
+  std::byte* dst = undo + lh.undo_tail;
+  UndoEntryHeader hdr{static_cast<std::uint32_t>(kind), 0, off, len, 0};
+  std::memcpy(dst, &hdr, sizeof(hdr));
+  if (payload_len > 0)
+    std::memcpy(dst + sizeof(hdr), payload, payload_len);
+  hdr.checksum =
+      fletcher64(dst, sizeof(hdr) + payload_len);  // checksum field is 0
+  std::memcpy(dst + offsetof(UndoEntryHeader, checksum), &hdr.checksum,
+              sizeof(hdr.checksum));
+  pool_->persist(dst, entry_size);
+  crash_point("tx:entry");
+
+  lh.undo_tail += entry_size;
+  pool_->persist(&lh.undo_tail, sizeof(lh.undo_tail));
+  crash_point("tx:tail");
+}
+
+void Transaction::add_range(void* ptr, std::size_t len) {
+  if (len == 0) return;
+  PersistentRegion& region = pool_->region();
+  const auto* p = static_cast<const std::byte*>(ptr);
+  if (p < region.base() || p + len > region.base() + region.size())
+    throw TxError("add_range outside pool");
+  const std::uint64_t off = region.offset_of(ptr);
+  append_entry(UndoKind::Snapshot, off, len, ptr);
+  snapshots_.push_back(Range{off, len});
+  region.note_store(ptr, len);
+}
+
+ObjId Transaction::alloc(std::uint64_t size, std::uint32_t type_num,
+                         bool zero) {
+  const std::lock_guard<std::mutex> lock(pool_->alloc_mu_);
+  RedoSession session(pool_->region(), pool_->lane_header(lane_).redo);
+  const PreparedAlloc pa =
+      pool_->heap_->stage_alloc(session, size, type_num, zero);
+  // Publish the undo action first: a crash can roll the allocation back,
+  // never leak it.
+  append_entry(UndoKind::AllocAction, pa.data_off, 0, nullptr);
+  session.commit();
+  pool_->heap_->finish_alloc(pa);
+  return ObjId{pool_->pool_id(), pa.data_off};
+}
+
+void Transaction::free_obj(ObjId oid) {
+  if (oid.is_null()) return;
+  if (oid.pool_id != pool_->pool_id())
+    throw TxError("tx_free of foreign-pool oid");
+  if (!pool_->heap_->is_live(oid.off))
+    throw TxError("tx_free of non-live object");
+  append_entry(UndoKind::FreeAction, oid.off, 0, nullptr);
+}
+
+void Transaction::commit() {
+  PersistentRegion& region = pool_->region();
+  // (1) user data modified under snapshots becomes durable.
+  for (const Range& r : snapshots_)
+    region.flush(region.base() + r.off, r.len);
+  region.drain();
+  crash_point("tx:flush-user");
+
+  // (2) point of no return.
+  LaneHeader& lh = pool_->lane_header(lane_);
+  lh.state = static_cast<std::uint32_t>(LaneState::Committed);
+  region.persist(&lh.state, sizeof(lh.state));
+  crash_point("tx:committed");
+
+  // (3) deferred frees + retire.
+  finish_committed_lane(region, *pool_->heap_, lh, pool_->lane_undo(lane_),
+                        pool_->alloc_mu_);
+  committed_ = true;
+  finished_ = true;
+}
+
+void Transaction::abort() {
+  rollback_lane(pool_->region(), *pool_->heap_, pool_->lane_header(lane_),
+                pool_->lane_undo(lane_), pool_->alloc_mu_);
+  finished_ = true;
+}
+
+bool recover_lane(ObjectPool& pool, std::uint32_t lane) {
+  PersistentRegion& region = pool.region();
+  LaneHeader& lh = pool.lane_header(lane);
+  bool changed = redo_recover(region, lh.redo);
+
+  switch (static_cast<LaneState>(lh.state)) {
+    case LaneState::Idle:
+      if (lh.undo_tail != 0) {
+        lh.undo_tail = 0;
+        region.persist(&lh.undo_tail, sizeof(lh.undo_tail));
+        changed = true;
+      }
+      break;
+    case LaneState::Active:
+      rollback_lane(region, *pool.heap_, lh, pool.lane_undo(lane),
+                    pool.alloc_mu_);
+      changed = true;
+      break;
+    case LaneState::Committed:
+      finish_committed_lane(region, *pool.heap_, lh, pool.lane_undo(lane),
+                            pool.alloc_mu_);
+      changed = true;
+      break;
+    default:
+      throw PoolError("unknown lane state");
+  }
+  return changed;
+}
+
+void ObjectPool::tx_add_range(void* ptr, std::size_t len) {
+  Transaction* tx = current_tx();
+  if (tx == nullptr) throw TxError("tx_add_range outside a transaction");
+  tx->add_range(ptr, len);
+}
+
+ObjId ObjectPool::tx_alloc(std::uint64_t size, std::uint32_t type_num,
+                           bool zero) {
+  Transaction* tx = current_tx();
+  if (tx == nullptr) throw TxError("tx_alloc outside a transaction");
+  return tx->alloc(size, type_num, zero);
+}
+
+void ObjectPool::tx_free(ObjId oid) {
+  Transaction* tx = current_tx();
+  if (tx == nullptr) throw TxError("tx_free outside a transaction");
+  tx->free_obj(oid);
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,81 @@
+// pmemkit/tx.hpp — undo-log transactions (libpmemobj tx equivalent).
+//
+// Protocol (per lane):
+//   begin   : lane.state = Active, undo_tail = 0                 (persisted)
+//   snapshot: entry {header, pre-image} appended and persisted, THEN
+//             undo_tail bumped and persisted — tail is the publish point
+//   alloc   : AllocAction entry appended BEFORE the allocator's redo commit,
+//             so a crash can never leak the object
+//   free    : FreeAction entry appended; the object stays live until commit
+//   commit  : flush user ranges -> state = Committed -> perform deferred
+//             frees -> state = Idle, tail = 0
+//   abort   : apply entries in REVERSE (pre-images back, fresh allocs freed)
+//             -> state = Idle
+//
+// Recovery (pool open) per lane: finish any published redo, then
+//   Active    -> abort path (pre-tx state restored)
+//   Committed -> re-run deferred frees (idempotent), retire
+// so the user-visible invariant is: after a crash, every transaction is
+// either fully applied or fully rolled back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pmemkit/layout.hpp"
+#include "pmemkit/oid.hpp"
+
+namespace cxlpmem::pmemkit {
+
+class ObjectPool;
+
+class Transaction {
+ public:
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Snapshots [ptr, ptr+len) so an abort/crash restores it; the caller may
+  /// then modify the range freely.  `ptr` must lie inside the pool.
+  void add_range(void* ptr, std::size_t len);
+
+  /// Allocates inside the transaction; freed automatically on abort.
+  ObjId alloc(std::uint64_t size, std::uint32_t type_num, bool zero = false);
+
+  /// Schedules a free for commit time (the object stays readable until
+  /// then, and survives if the transaction aborts).
+  void free_obj(ObjId oid);
+
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+
+ private:
+  friend class ObjectPool;
+
+  explicit Transaction(ObjectPool& pool, std::uint32_t lane);
+  ~Transaction() = default;
+
+  void begin();
+  void commit();
+  void abort();
+
+  /// Appends one undo entry (payload may be null for actions) and publishes
+  /// it by bumping the tail.
+  void append_entry(UndoKind kind, std::uint64_t off, std::uint64_t len,
+                    const void* payload);
+
+  struct Range {
+    std::uint64_t off;
+    std::uint64_t len;
+  };
+
+  ObjectPool* pool_;
+  std::uint32_t lane_;
+  std::vector<Range> snapshots_;  // transient: ranges to flush at commit
+  bool committed_ = false;
+  bool finished_ = false;
+};
+
+/// Lane log recovery — shared by Transaction::abort and pool open.
+/// Returns true when any persistent state was changed.
+bool recover_lane(ObjectPool& pool, std::uint32_t lane);
+
+}  // namespace cxlpmem::pmemkit

@@ -1,0 +1,185 @@
+#include "simkit/bwmodel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace cxlpmem::simkit {
+
+namespace {
+
+/// Internal resource directory: two capacities (read/write) per memory
+/// device, two directional capacities per link, plus an optional combined
+/// capacity per link.
+struct ResourceMap {
+  std::vector<Resource> resources;
+  std::vector<int> mem_read, mem_write, mem_combined;  // by MemoryId
+  std::vector<int> link_tx, link_rx, link_combined;  // by LinkId; -1 if none
+
+  explicit ResourceMap(const Machine& m) {
+    mem_read.assign(m.memory_count(), -1);
+    mem_write.assign(m.memory_count(), -1);
+    mem_combined.assign(m.memory_count(), -1);
+    link_tx.assign(m.link_count(), -1);
+    link_rx.assign(m.link_count(), -1);
+    link_combined.assign(m.link_count(), -1);
+
+    for (MemoryId id = 0; id < m.memory_count(); ++id) {
+      const MemoryDesc& d = m.memory(id);
+      mem_read[id] = add(d.name + "/read", d.peak_read_gbs);
+      mem_write[id] = add(d.name + "/write", d.peak_write_gbs);
+      if (d.peak_combined_gbs > 0)
+        mem_combined[id] = add(d.name + "/combined", d.peak_combined_gbs);
+    }
+    for (LinkId id = 0; id < m.link_count(); ++id) {
+      const LinkDesc& d = m.link(id);
+      link_tx[id] = add(d.name + "/tx", d.peak_tx_gbs);
+      link_rx[id] = add(d.name + "/rx", d.peak_rx_gbs);
+      if (d.peak_combined_gbs > 0)
+        link_combined[id] = add(d.name + "/combined", d.peak_combined_gbs);
+    }
+  }
+
+  int add(std::string name, double cap) {
+    resources.push_back(Resource{std::move(name), cap});
+    return static_cast<int>(resources.size()) - 1;
+  }
+};
+
+/// Per-flow traffic coefficients over counted bytes.
+struct Coefficients {
+  double mem_read = 0.0;   // bytes read from media per counted byte
+  double mem_write = 0.0;  // bytes written to media per counted byte
+  double to_core = 0.0;    // bytes flowing device->core per counted byte
+  double from_core = 0.0;  // bytes flowing core->device per counted byte
+};
+
+Coefficients traffic_coefficients(const KernelTraffic& t, double llc_miss,
+                                  double amplification) {
+  const double scale = llc_miss * amplification;
+  Coefficients c;
+  const double rfo = t.write_allocate ? t.write_frac : 0.0;
+  c.mem_read = (t.read_frac + rfo) * scale;
+  c.mem_write = t.write_frac * scale;
+  // Demand reads and RFOs pull lines toward the core; writebacks (or NT
+  // stores) push lines away from it.
+  c.to_core = (t.read_frac + rfo) * scale;
+  c.from_core = t.write_frac * scale;
+  return c;
+}
+
+}  // namespace
+
+ModelResult BandwidthModel::solve(
+    const std::vector<TrafficSpec>& specs) const {
+  const Machine& m = *machine_;
+  ResourceMap rmap(m);
+
+  struct FlowState {
+    Path path;
+    Coefficients coeff;
+    double total_traffic = 0.0;  // line movements per counted byte
+    double idle_latency_ns = 0.0;
+    double mlp_lines = 0.0;
+    double software_factor = 1.0;
+  };
+
+  std::vector<FlowState> states;
+  states.reserve(specs.size());
+  std::vector<SolverFlow> flows;
+  flows.reserve(specs.size());
+
+  for (const TrafficSpec& s : specs) {
+    FlowState st;
+    const SocketId from = m.socket_of_core(s.core);
+    st.path = resolve_route(m, from, s.memory);
+
+    double llc_miss = 1.0;
+    if (opts_.llc_filter && s.working_set_bytes > 0) {
+      const double l3 = static_cast<double>(m.socket(from).l3_bytes);
+      const double ws = static_cast<double>(s.working_set_bytes);
+      llc_miss = 1.0 - std::min(opts_.llc_hit_max, l3 / ws);
+    }
+    double amp = s.traffic_amplification;
+    if (st.path.crosses_upi(m)) amp *= opts_.remote_amplification;
+
+    st.coeff = traffic_coefficients(s.traffic, llc_miss, amp);
+    st.total_traffic = st.coeff.mem_read + st.coeff.mem_write;
+    st.idle_latency_ns = st.path.latency_ns;
+    st.mlp_lines =
+        s.mlp_override > 0 ? s.mlp_override : m.socket(from).mlp_lines;
+    st.software_factor = s.software_factor;
+
+    SolverFlow f;
+    // Pure-read or pure-write mixes leave some coefficients at zero; the
+    // solver only accepts positive ones.
+    const auto use = [&f](int resource, double coeff) {
+      if (coeff > 0.0) f.usage.emplace_back(resource, coeff);
+    };
+    use(rmap.mem_read[s.memory], st.coeff.mem_read);
+    use(rmap.mem_write[s.memory], st.coeff.mem_write);
+    if (rmap.mem_combined[s.memory] >= 0)
+      use(rmap.mem_combined[s.memory],
+          st.coeff.mem_read + st.coeff.mem_write);
+    for (const Hop& h : st.path.hops) {
+      // Data toward the core travels rx when the request went tx (toward_b).
+      const int toward_core =
+          h.toward_b ? rmap.link_rx[h.link] : rmap.link_tx[h.link];
+      const int from_core =
+          h.toward_b ? rmap.link_tx[h.link] : rmap.link_rx[h.link];
+      use(toward_core, st.coeff.to_core);
+      use(from_core, st.coeff.from_core);
+      if (rmap.link_combined[h.link] >= 0)
+        use(rmap.link_combined[h.link],
+            st.coeff.to_core + st.coeff.from_core);
+    }
+    flows.push_back(std::move(f));
+    states.push_back(std::move(st));
+  }
+
+  // Concurrency-limit rate cap at a given latency: mlp lines in flight cover
+  // `total_traffic` bytes of line movement per counted byte.
+  const auto rate_cap = [](const FlowState& st, double latency_ns) {
+    const double raw =
+        st.mlp_lines * static_cast<double>(kCacheLineBytes) /
+        (latency_ns * 1e-9) / kGB;  // GB/s of raw line traffic
+    return st.software_factor * raw / std::max(st.total_traffic, 1e-12);
+  };
+
+  for (size_t i = 0; i < flows.size(); ++i)
+    flows[i].rate_cap_gbs = rate_cap(states[i], states[i].idle_latency_ns);
+
+  const Allocation alloc = max_min_fair(rmap.resources, flows);
+
+  // Loaded latency is *reported* (the queueing bump a latency probe would
+  // measure at this operating point) but never fed back into the caps: at
+  // saturation the real system self-regulates so that latency x concurrency
+  // equals exactly the fair share, which the solver already produced.
+  std::vector<double> loaded_latency(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    double rho = 0.0;
+    if (opts_.loaded_latency) {
+      for (auto [r, c] : flows[i].usage)
+        rho = std::max(rho, alloc.utilization[r]);
+    }
+    loaded_latency[i] =
+        opts_.latency.loaded_ns(states[i].idle_latency_ns, rho);
+  }
+
+  ModelResult out;
+  out.resources = rmap.resources;
+  out.utilization = alloc.utilization;
+  out.flows.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    out.flows[i].rate_gbs = alloc.rates_gbs[i];
+    out.flows[i].latency_ns = loaded_latency[i];
+    out.flows[i].rate_cap_gbs = flows[i].rate_cap_gbs;
+  }
+  out.total_gbs = std::accumulate(
+      out.flows.begin(), out.flows.end(), 0.0,
+      [](double acc, const FlowResult& f) { return acc + f.rate_gbs; });
+  return out;
+}
+
+}  // namespace cxlpmem::simkit

@@ -1,0 +1,115 @@
+// simkit/bwmodel.hpp — the bandwidth model: turns (machine, set of memory
+// traffic flows) into per-flow sustained bandwidths.
+//
+// Two effects govern streaming bandwidth on real machines, and the model
+// reproduces exactly these two:
+//
+//  1. *Per-core concurrency limit*: a core sustains at most
+//         mlp_lines * 64 B / round_trip_latency
+//     bytes/s of memory traffic (line-fill-buffer bound).  This shapes the
+//     thread-count ramp in every figure.
+//  2. *Shared-resource saturation*: DRAM devices, UPI links and the CXL
+//     link/controller have finite capacities shared max-min fairly between
+//     flows.  This shapes the plateaus and the close/spread affinity kinks.
+//
+// A second solver pass feeds resource utilization back into latency (queueing
+// bump), softening the knee between the two regimes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkit/latency.hpp"
+#include "simkit/route.hpp"
+#include "simkit/topology.hpp"
+#include "simkit/types.hpp"
+#include "simkit/waterfill.hpp"
+
+namespace cxlpmem::simkit {
+
+/// Traffic mix of one benchmark kernel, expressed over *counted* bytes (the
+/// bytes STREAM reports).  read_frac + write_frac == 1.
+struct KernelTraffic {
+  double read_frac = 0.5;
+  double write_frac = 0.5;
+  /// Regular (allocating) stores read the line before writing it (RFO), so a
+  /// counted write moves the line twice.  Non-temporal stores skip the RFO.
+  bool write_allocate = true;
+};
+
+/// Pre-defined STREAM kernel mixes.
+namespace kernel_traffic {
+inline constexpr KernelTraffic kCopy{.read_frac = 0.5, .write_frac = 0.5};
+inline constexpr KernelTraffic kScale{.read_frac = 0.5, .write_frac = 0.5};
+inline constexpr KernelTraffic kAdd{.read_frac = 2.0 / 3.0,
+                                    .write_frac = 1.0 / 3.0};
+inline constexpr KernelTraffic kTriad{.read_frac = 2.0 / 3.0,
+                                      .write_frac = 1.0 / 3.0};
+}  // namespace kernel_traffic
+
+/// One thread's worth of traffic against one memory device.
+struct TrafficSpec {
+  CoreId core = 0;
+  MemoryId memory = 0;
+  KernelTraffic traffic;
+  /// Multiplier < 1 on the achievable per-flow rate modelling software path
+  /// cost (PMDK object indirection + persist barriers).  The App-Direct runs
+  /// use the calibrated PMDK factor; raw CC-NUMA runs use 1.0.
+  double software_factor = 1.0;
+  /// Extra traffic per counted byte (flush-induced rewrites etc.).
+  double traffic_amplification = 1.0;
+  /// Bytes the kernel streams over (all arrays); feeds the LLC filter.
+  std::uint64_t working_set_bytes = 0;
+  /// Overrides the socket's memory-level parallelism for this flow (>0).
+  /// Latency-bound workloads: 1 = pure pointer chasing, small values =
+  /// GUPS-style random access with limited outstanding misses.
+  double mlp_override = 0.0;
+};
+
+struct ModelOptions {
+  /// Report queueing-bumped latencies in FlowResult::latency_ns.  Rate caps
+  /// always use idle latency: at saturation the machine self-regulates, so
+  /// feeding loaded latency back into the caps would double-count contention.
+  bool loaded_latency = true;
+  /// Traffic amplification for flows crossing a UPI link: directory/snoop
+  /// overhead and lost DRAM page locality of interleaved remote streams.
+  double remote_amplification = 1.08;
+  /// LLC filter: a streaming working set of W bytes against an L3 of C bytes
+  /// hits for ~min(hit_max, C/W) of its traffic.
+  bool llc_filter = true;
+  double llc_hit_max = 0.10;
+  LatencyModel latency;
+};
+
+struct FlowResult {
+  double rate_gbs = 0.0;      ///< counted (STREAM-reported) bandwidth
+  double latency_ns = 0.0;    ///< loaded round-trip latency used for the cap
+  double rate_cap_gbs = 0.0;  ///< the concurrency-limit cap applied
+};
+
+struct ModelResult {
+  std::vector<FlowResult> flows;
+  double total_gbs = 0.0;
+  /// Utilization of each internal resource, for diagnostics/ablations.
+  std::vector<Resource> resources;
+  std::vector<double> utilization;
+};
+
+/// Solves the bandwidth allocation for a set of concurrent flows.
+/// Deterministic: same machine + specs => same result, on any host.
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(const Machine& machine, ModelOptions opts = {})
+      : machine_(&machine), opts_(opts) {}
+
+  [[nodiscard]] ModelResult solve(
+      const std::vector<TrafficSpec>& specs) const;
+
+  [[nodiscard]] const ModelOptions& options() const noexcept { return opts_; }
+
+ private:
+  const Machine* machine_;
+  ModelOptions opts_;
+};
+
+}  // namespace cxlpmem::simkit

@@ -1,0 +1,83 @@
+// simkit/event.hpp — minimal deterministic discrete-event simulator.
+//
+// cxlsim uses this to model CXL transactions at flit granularity (request /
+// data / response messages with link occupancy), which validates the analytic
+// link-efficiency constants used by the bandwidth model.  Determinism:
+// simultaneous events fire in scheduling order (monotonic sequence number
+// breaks time ties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cxlpmem::simkit {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time in nanoseconds.
+  [[nodiscard]] double now() const noexcept { return now_ns_; }
+
+  /// Schedules `action` to run `delay_ns >= 0` after the current time.
+  void schedule(double delay_ns, Action action) {
+    schedule_at(now_ns_ + delay_ns, std::move(action));
+  }
+
+  /// Schedules `action` at absolute time `time_ns` (>= now).
+  void schedule_at(double time_ns, Action action) {
+    if (time_ns < now_ns_) time_ns = now_ns_;
+    queue_.push(Event{time_ns, next_seq_++, std::move(action)});
+  }
+
+  /// Runs until the event queue drains.  Returns the number of events fired.
+  std::uint64_t run() {
+    std::uint64_t fired = 0;
+    while (!queue_.empty()) {
+      fired += step();
+    }
+    return fired;
+  }
+
+  /// Runs events with time <= `until_ns`; leaves later events queued and
+  /// advances now() to `until_ns`.  Returns the number of events fired.
+  std::uint64_t run_until(double until_ns) {
+    std::uint64_t fired = 0;
+    while (!queue_.empty() && queue_.top().time_ns <= until_ns) {
+      fired += step();
+    }
+    if (now_ns_ < until_ns) now_ns_ = until_ns;
+    return fired;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time_ns;
+    std::uint64_t seq;
+    Action action;
+    bool operator>(const Event& o) const noexcept {
+      if (time_ns != o.time_ns) return time_ns > o.time_ns;
+      return seq > o.seq;
+    }
+  };
+
+  std::uint64_t step() {
+    // Moving the event out before firing lets actions schedule freely.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ns_ = e.time_ns;
+    e.action();
+    return 1;
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ns_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace cxlpmem::simkit

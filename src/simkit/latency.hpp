@@ -1,0 +1,31 @@
+// simkit/latency.hpp — loaded-latency model.
+//
+// Memory latency grows as the devices and links on the path fill up: queues
+// build at the controller.  We use a bounded queueing bump
+//
+//     loaded = idle * (1 + alpha * rho^2 / (1 - min(rho, rho_max)))
+//
+// which is flat at low utilization, convex as rho -> 1, and capped so the
+// two-pass solve in bwmodel stays stable.  alpha and rho_max are calibrated
+// once (profiles.hpp) and shared by every path; the model's figure shapes are
+// insensitive to their exact values because rate caps dominate the ramp and
+// resource capacities dominate saturation.
+#pragma once
+
+#include <algorithm>
+
+namespace cxlpmem::simkit {
+
+struct LatencyModel {
+  double alpha = 0.6;
+  double rho_max = 0.92;
+
+  /// Loaded round-trip latency for a path with idle latency `idle_ns` whose
+  /// most-utilized resource sits at utilization `rho` in [0, 1].
+  [[nodiscard]] double loaded_ns(double idle_ns, double rho) const noexcept {
+    const double r = std::clamp(rho, 0.0, rho_max);
+    return idle_ns * (1.0 + alpha * r * r / (1.0 - r));
+  }
+};
+
+}  // namespace cxlpmem::simkit

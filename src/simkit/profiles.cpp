@@ -1,0 +1,243 @@
+#include "simkit/profiles.hpp"
+
+namespace cxlpmem::simkit::profiles {
+
+namespace {
+
+SocketDesc spr_socket(const std::string& name) {
+  return SocketDesc{.name = name,
+                    .cores = 10,
+                    .mlp_lines = kSprMlpLines,
+                    .l3_bytes = kSprL3Bytes,
+                    .base_freq_ghz = 2.1};
+}
+
+SocketDesc gold_socket(const std::string& name) {
+  return SocketDesc{.name = name,
+                    .cores = 10,
+                    .mlp_lines = kGoldMlpLines,
+                    .l3_bytes = kGoldL3Bytes,
+                    .base_freq_ghz = 2.5};
+}
+
+MemoryDesc ddr5_dimm(const std::string& name, SocketId home) {
+  return MemoryDesc{.name = name,
+                    .kind = MemoryKind::DramDdr5,
+                    .home_socket = home,
+                    .peak_read_gbs = kDdr5ReadGbs,
+                    .peak_write_gbs = kDdr5WriteGbs,
+                    .idle_latency_ns = kDdr5IdleLatencyNs,
+                    .capacity_bytes = 64ull << 30,
+                    .persistent = false};
+}
+
+MemoryDesc gold_ddr4(const std::string& name, SocketId home) {
+  return MemoryDesc{.name = name,
+                    .kind = MemoryKind::DramDdr4,
+                    .home_socket = home,
+                    .peak_read_gbs = kGoldDdr4ReadGbs,
+                    .peak_write_gbs = kGoldDdr4WriteGbs,
+                    .idle_latency_ns = kGoldDdr4IdleLatencyNs,
+                    .capacity_bytes = 96ull << 30,
+                    .persistent = false};
+}
+
+MemoryDesc cxl_fpga_media(SocketId home) {
+  return MemoryDesc{.name = "cxl-fpga-ddr4",
+                    .kind = MemoryKind::CxlExpander,
+                    .home_socket = home,
+                    .peak_read_gbs = kCxlFpgaReadGbs,
+                    .peak_write_gbs = kCxlFpgaWriteGbs,
+                    // The soft-IP controller is a device-level ceiling,
+                    // shared by every head of a multi-headed exposure.
+                    .peak_combined_gbs = kCxlFpgaCombinedGbs,
+                    .idle_latency_ns = kCxlFpgaIdleLatencyNs,
+                    .capacity_bytes = 16ull << 30,
+                    // Battery-backed per paper §1.4: the device is a
+                    // persistence domain.
+                    .persistent = true};
+}
+
+}  // namespace
+
+SetupOne make_setup_one() {
+  SetupOne s;
+  s.socket0 = s.machine.add_socket(spr_socket("spr-socket0"));
+  s.socket1 = s.machine.add_socket(spr_socket("spr-socket1"));
+  s.ddr5_socket0 = s.machine.add_memory(ddr5_dimm("ddr5-s0", s.socket0));
+  s.ddr5_socket1 = s.machine.add_memory(ddr5_dimm("ddr5-s1", s.socket1));
+  s.cxl = s.machine.add_memory(cxl_fpga_media(kInvalidId));
+  s.upi = s.machine.add_link(LinkDesc{.name = "upi",
+                                      .kind = LinkKind::Upi,
+                                      .a = s.socket0,
+                                      .b = s.socket1,
+                                      .peak_tx_gbs = kSprUpiGbs,
+                                      .peak_rx_gbs = kSprUpiGbs,
+                                      .latency_ns = kSprUpiLatencyNs,
+                                      .attached = {}});
+  s.cxl_link =
+      s.machine.add_link(LinkDesc{.name = "pcie5x16-cxl",
+                                  .kind = LinkKind::PcieCxl,
+                                  .a = s.socket0,
+                                  .b = kInvalidId,
+                                  .peak_tx_gbs = kCxlLinkDirGbs,
+                                  .peak_rx_gbs = kCxlLinkDirGbs,
+                                  .latency_ns = kCxlLinkLatencyNs,
+                                  .attached = {s.cxl}});
+  return s;
+}
+
+SetupOne make_setup_one_media_on_imc() {
+  SetupOne s;
+  s.socket0 = s.machine.add_socket(spr_socket("spr-socket0"));
+  s.socket1 = s.machine.add_socket(spr_socket("spr-socket1"));
+  s.ddr5_socket0 = s.machine.add_memory(ddr5_dimm("ddr5-s0", s.socket0));
+  s.ddr5_socket1 = s.machine.add_memory(ddr5_dimm("ddr5-s1", s.socket1));
+  // Identical media, directly on socket0's IMC at DRAM-class latency: what
+  // the DDR4 modules would do without the CXL fabric (link + soft-IP
+  // controller) in front of them.
+  MemoryDesc media = cxl_fpga_media(s.socket0);
+  media.name = "ddr4-on-imc";
+  media.idle_latency_ns = kGoldDdr4IdleLatencyNs;
+  media.peak_combined_gbs = 0.0;  // the soft IP is part of the ablated fabric
+  s.cxl = s.machine.add_memory(media);
+  s.upi = s.machine.add_link(LinkDesc{.name = "upi",
+                                      .kind = LinkKind::Upi,
+                                      .a = s.socket0,
+                                      .b = s.socket1,
+                                      .peak_tx_gbs = kSprUpiGbs,
+                                      .peak_rx_gbs = kSprUpiGbs,
+                                      .latency_ns = kSprUpiLatencyNs,
+                                      .attached = {}});
+  s.cxl_link = kInvalidId;
+  return s;
+}
+
+SetupTwo make_setup_two() {
+  SetupTwo s;
+  s.socket0 = s.machine.add_socket(gold_socket("gold-socket0"));
+  s.socket1 = s.machine.add_socket(gold_socket("gold-socket1"));
+  s.ddr4_socket0 = s.machine.add_memory(gold_ddr4("ddr4-s0", s.socket0));
+  s.ddr4_socket1 = s.machine.add_memory(gold_ddr4("ddr4-s1", s.socket1));
+  s.upi = s.machine.add_link(LinkDesc{.name = "upi",
+                                      .kind = LinkKind::Upi,
+                                      .a = s.socket0,
+                                      .b = s.socket1,
+                                      .peak_tx_gbs = kGoldUpiGbs,
+                                      .peak_rx_gbs = kGoldUpiGbs,
+                                      .latency_ns = kGoldUpiLatencyNs,
+                                      .attached = {}});
+  return s;
+}
+
+SetupOne make_setup_one_with_media(CxlMediaKind media) {
+  // Build from scratch with swapped media parameters (Machine is immutable
+  // by design).
+  SetupOne out;
+  out.socket0 = out.machine.add_socket(spr_socket("spr-socket0"));
+  out.socket1 = out.machine.add_socket(spr_socket("spr-socket1"));
+  out.ddr5_socket0 =
+      out.machine.add_memory(ddr5_dimm("ddr5-s0", out.socket0));
+  out.ddr5_socket1 =
+      out.machine.add_memory(ddr5_dimm("ddr5-s1", out.socket1));
+
+  MemoryDesc m = cxl_fpga_media(kInvalidId);
+  switch (media) {
+    case CxlMediaKind::Ddr4Fpga:
+      break;  // the paper's prototype, as calibrated
+    case CxlMediaKind::Ddr5Asic:
+      // One DDR5-4800 channel behind a production ASIC: media at DIMM
+      // rates, no soft-IP ceiling, ASIC-class latency.
+      m.name = "cxl-ddr5";
+      m.peak_read_gbs = kDdr5ReadGbs;
+      m.peak_write_gbs = kDdr5WriteGbs;
+      m.peak_combined_gbs = 0.0;
+      m.idle_latency_ns = 140.0;  // device-side; +link = ~250 ns total
+      m.capacity_bytes = 64ull << 30;
+      break;
+    case CxlMediaKind::DcpmmAsic:
+      // Optane media behind CXL: published DCPMM ceilings + media latency.
+      m.name = "cxl-dcpmm";
+      m.kind = MemoryKind::Dcpmm;
+      m.peak_read_gbs = kDcpmmReadGbs;
+      m.peak_write_gbs = kDcpmmWriteGbs;
+      m.peak_combined_gbs = 0.0;
+      m.idle_latency_ns = kDcpmmIdleLatencyNs;
+      m.capacity_bytes = 128ull << 30;
+      break;
+  }
+  out.cxl = out.machine.add_memory(m);
+  out.upi = out.machine.add_link(LinkDesc{.name = "upi",
+                                          .kind = LinkKind::Upi,
+                                          .a = out.socket0,
+                                          .b = out.socket1,
+                                          .peak_tx_gbs = kSprUpiGbs,
+                                          .peak_rx_gbs = kSprUpiGbs,
+                                          .latency_ns = kSprUpiLatencyNs,
+                                          .attached = {}});
+  out.cxl_link =
+      out.machine.add_link(LinkDesc{.name = "pcie5x16-cxl",
+                                    .kind = LinkKind::PcieCxl,
+                                    .a = out.socket0,
+                                    .b = kInvalidId,
+                                    .peak_tx_gbs = kCxlLinkDirGbs,
+                                    .peak_rx_gbs = kCxlLinkDirGbs,
+                                    .latency_ns = kCxlLinkLatencyNs,
+                                    .attached = {out.cxl}});
+  return out;
+}
+
+MultiHostSetup make_multihost_setup(int hosts) {
+  if (hosts < 1 || hosts > 8)
+    throw std::invalid_argument("1..8 hosts supported");
+  MultiHostSetup s;
+  s.shared_cxl = kInvalidId;
+  for (int h = 0; h < hosts; ++h) {
+    const SocketId sock =
+        s.machine.add_socket(spr_socket("host" + std::to_string(h)));
+    s.hosts.push_back(sock);
+    s.host_dram.push_back(
+        s.machine.add_memory(ddr5_dimm("ddr5-h" + std::to_string(h), sock)));
+  }
+  s.shared_cxl = s.machine.add_memory(cxl_fpga_media(kInvalidId));
+  for (int h = 0; h < hosts; ++h) {
+    s.head_links.push_back(s.machine.add_link(
+        LinkDesc{.name = "cxl-head" + std::to_string(h),
+                 .kind = LinkKind::PcieCxl,
+                 .a = s.hosts[h],
+                 .b = kInvalidId,
+                 .peak_tx_gbs = kCxlLinkDirGbs,
+                 .peak_rx_gbs = kCxlLinkDirGbs,
+                 .latency_ns = kCxlLinkLatencyNs,
+                 .attached = {s.shared_cxl}}));
+  }
+  return s;
+}
+
+LegacySetup make_legacy_setup() {
+  LegacySetup s;
+  s.socket0 = s.machine.add_socket(gold_socket("legacy-socket0"));
+  s.socket1 = s.machine.add_socket(gold_socket("legacy-socket1"));
+  s.ddr4_socket0 = s.machine.add_memory(gold_ddr4("ddr4-s0", s.socket0));
+  s.ddr4_socket1 = s.machine.add_memory(gold_ddr4("ddr4-s1", s.socket1));
+  s.dcpmm = s.machine.add_memory(
+      MemoryDesc{.name = "dcpmm-s0",
+                 .kind = MemoryKind::Dcpmm,
+                 .home_socket = s.socket0,
+                 .peak_read_gbs = kDcpmmReadGbs,
+                 .peak_write_gbs = kDcpmmWriteGbs,
+                 .idle_latency_ns = kDcpmmIdleLatencyNs,
+                 .capacity_bytes = 128ull << 30,
+                 .persistent = true});
+  s.upi = s.machine.add_link(LinkDesc{.name = "upi",
+                                      .kind = LinkKind::Upi,
+                                      .a = s.socket0,
+                                      .b = s.socket1,
+                                      .peak_tx_gbs = kGoldUpiGbs,
+                                      .peak_rx_gbs = kGoldUpiGbs,
+                                      .latency_ns = kGoldUpiLatencyNs,
+                                      .attached = {}});
+  return s;
+}
+
+}  // namespace cxlpmem::simkit::profiles

@@ -1,0 +1,163 @@
+// simkit/profiles.hpp — calibrated machine models for the paper's two
+// physical setups, plus the published-baseline device profiles.
+//
+// Every constant is a model *input* documented here once; DESIGN.md §5
+// explains the calibration.  Sources:
+//   * Setup #1 / #2 hardware: paper §2.1, Figures 2 and 3.
+//   * CXL FPGA prototype (Agilex 7, R-Tile, 2x DDR4-1333 8 GB): paper §2.2.
+//   * Realizable fractions: calibrated so the model lands on the paper's
+//     reported plateaus (C1-C9 in DESIGN.md §1).
+//   * DCPMM read 6.6 / write 2.3 GB/s per DIMM: paper §1.4 citing [26].
+//
+// NOTE on Setup #2 DRAM: the paper's text lists 6 channels of DDR4-2666 per
+// socket, but the measured curves (Figs 5e-8e) converge with the ~12 GB/s
+// CXL-DDR4 device, implying a much lower realizable socket bandwidth in the
+// actual runs.  We calibrate the model to the *figures* (single-DIMM-class
+// realizable bandwidth) and record the discrepancy in EXPERIMENTS.md.
+#pragma once
+
+#include "simkit/topology.hpp"
+#include "simkit/types.hpp"
+
+namespace cxlpmem::simkit::profiles {
+
+/// Software-path derating for PMDK-style App-Direct access (object
+/// indirection + persist barriers).  Paper §4 Class 2.(a): "PMDK overheads
+/// over CC-NUMA are 10%-15%"; we use 12%.
+inline constexpr double kPmdkSoftwareFactor = 0.88;
+
+/// STREAM working-set: 100 M doubles per array, three arrays (paper §3.2).
+inline constexpr std::uint64_t kStreamArrayElements = 100'000'000;
+inline constexpr std::uint64_t kStreamWorkingSetBytes =
+    3 * kStreamArrayElements * sizeof(double);
+
+// ---------------------------------------------------------------------------
+// Setup #1 — 2x Intel Xeon 4th-gen (Sapphire Rapids), 10 cores/socket after
+// the BIOS limit, one 64 GB DDR5-4800 DIMM per socket, CXL FPGA prototype.
+// ---------------------------------------------------------------------------
+
+/// One DDR5-4800 DIMM: 38.4 GB/s pin; STREAM-realizable read 0.65 / write
+/// 0.57 of pin.
+inline constexpr double kDdr5ReadGbs = 24.5;
+inline constexpr double kDdr5WriteGbs = 21.5;
+inline constexpr double kDdr5IdleLatencyNs = 95.0;
+
+/// SPR UPI: 3 links x 16 GT/s; STREAM-realizable per direction.
+inline constexpr double kSprUpiGbs = 19.0;
+inline constexpr double kSprUpiLatencyNs = 45.0;
+
+/// Per-core sustained outstanding cachelines (line fill buffers + deeper
+/// SPR uncore queues).
+inline constexpr double kSprMlpLines = 16.0;
+inline constexpr std::uint64_t kSprL3Bytes = 60ull << 20;
+
+/// FPGA prototype media: 2x DDR4-1333 8 GB = 21.3 GB/s pin; soft-IP memory
+/// controller realizes ~0.63 read / 0.56 write.
+inline constexpr double kCxlFpgaReadGbs = 13.5;
+inline constexpr double kCxlFpgaWriteGbs = 12.0;
+/// Load-to-use latency of the prototype (FPGA soft-IP transaction layer),
+/// excluding the PCIe adder below.
+inline constexpr double kCxlFpgaIdleLatencyNs = 350.0;
+
+/// PCIe Gen5 x16 carrying CXL.mem: 64 GB/s raw per direction; 68-byte flit
+/// framing + protocol efficiency ~0.86 (validated by the cxlsim DES).
+inline constexpr double kCxlLinkDirGbs = 55.0;
+/// The prototype's soft IP saturates well below the wire rate; combined
+/// request+response ceiling (paper §2.2: "bandwidth ... subject to current
+/// implementation constraints").
+inline constexpr double kCxlFpgaCombinedGbs = 16.5;
+inline constexpr double kCxlLinkLatencyNs = 110.0;
+
+// ---------------------------------------------------------------------------
+// Setup #2 — 2x Intel Xeon Gold 5215 (Cascade Lake), 10 cores/socket,
+// DDR4 DRAM per socket (see NOTE above), UPI 2x 10.4 GT/s.
+// ---------------------------------------------------------------------------
+
+inline constexpr double kGoldDdr4ReadGbs = 13.0;
+inline constexpr double kGoldDdr4WriteGbs = 11.5;
+inline constexpr double kGoldDdr4IdleLatencyNs = 90.0;
+inline constexpr double kGoldUpiGbs = 11.2;
+inline constexpr double kGoldUpiLatencyNs = 40.0;
+inline constexpr double kGoldMlpLines = 10.0;
+inline constexpr std::uint64_t kGoldL3Bytes = 13'750ull << 10;
+
+// ---------------------------------------------------------------------------
+// Published baseline — single Intel Optane DCPMM DIMM (paper §1.4, [26]).
+// ---------------------------------------------------------------------------
+
+inline constexpr double kDcpmmReadGbs = 6.6;
+inline constexpr double kDcpmmWriteGbs = 2.3;
+inline constexpr double kDcpmmIdleLatencyNs = 305.0;
+
+/// Setup #1 with named component ids.
+struct SetupOne {
+  Machine machine;
+  SocketId socket0 = 0;
+  SocketId socket1 = 1;
+  MemoryId ddr5_socket0 = kInvalidId;
+  MemoryId ddr5_socket1 = kInvalidId;
+  MemoryId cxl = kInvalidId;
+  LinkId upi = kInvalidId;
+  LinkId cxl_link = kInvalidId;
+};
+
+/// Setup #2 with named component ids.
+struct SetupTwo {
+  Machine machine;
+  SocketId socket0 = 0;
+  SocketId socket1 = 1;
+  MemoryId ddr4_socket0 = kInvalidId;
+  MemoryId ddr4_socket1 = kInvalidId;
+  LinkId upi = kInvalidId;
+};
+
+/// A "today" machine for the Figure-1 migration bench: DDR4 local memory
+/// plus one DCPMM DIMM on socket0 (App-Direct), no CXL.
+struct LegacySetup {
+  Machine machine;
+  SocketId socket0 = 0;
+  SocketId socket1 = 1;
+  MemoryId ddr4_socket0 = kInvalidId;
+  MemoryId ddr4_socket1 = kInvalidId;
+  MemoryId dcpmm = kInvalidId;
+  LinkId upi = kInvalidId;
+};
+
+[[nodiscard]] SetupOne make_setup_one();
+[[nodiscard]] SetupTwo make_setup_two();
+[[nodiscard]] LegacySetup make_legacy_setup();
+
+/// The FPGA prototype's media as if it were IMC-attached (no CXL link) —
+/// used by the fabric-overhead ablation (DESIGN.md E9) to split "DDR4 media"
+/// from "CXL fabric" cost exactly as paper §4 Class 1.(b) argues.
+[[nodiscard]] SetupOne make_setup_one_media_on_imc();
+
+// ---------------------------------------------------------------------------
+// Paper §6 future-work variants.
+// ---------------------------------------------------------------------------
+
+/// Media alternatives behind the CXL link ("the CXL memory could also use
+/// DDR5 and even Optane DCPMM" — §6, Hybrid Architectures).
+enum class CxlMediaKind {
+  Ddr4Fpga,   ///< the paper's prototype (DDR4-1333 behind soft IP)
+  Ddr5Asic,   ///< a production ASIC expander with one DDR5-4800 channel
+  DcpmmAsic,  ///< Optane media behind a CXL controller
+};
+
+/// Setup #1 with the CXL device's media swapped (same link, same exposure).
+[[nodiscard]] SetupOne make_setup_one_with_media(CxlMediaKind media);
+
+/// Paper §6 "Scalability": `hosts` independent single-socket SPR-class
+/// nodes, each with its own DDR5 DIMM, all attached to ONE multi-headed
+/// battery-backed expander (one PCIe5 x16 head per host, shared media +
+/// controller).  There is no socket-to-socket interconnect between hosts.
+struct MultiHostSetup {
+  Machine machine;
+  std::vector<SocketId> hosts;
+  std::vector<MemoryId> host_dram;   ///< host i's local DDR5
+  MemoryId shared_cxl = kInvalidId;  ///< the pooled device
+  std::vector<LinkId> head_links;    ///< host i's head
+};
+[[nodiscard]] MultiHostSetup make_multihost_setup(int hosts);
+
+}  // namespace cxlpmem::simkit::profiles

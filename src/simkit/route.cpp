@@ -1,0 +1,56 @@
+#include "simkit/route.hpp"
+
+#include <stdexcept>
+
+namespace cxlpmem::simkit {
+
+namespace {
+
+/// Hop across the UPI link between two sockets, oriented from `from`.
+Hop upi_hop(const Machine& m, SocketId from, SocketId to) {
+  const LinkId l = m.socket_link(from, to);
+  if (l == kInvalidId)
+    throw std::runtime_error("no UPI link between requested sockets");
+  return Hop{.link = l, .toward_b = m.link(l).a == from};
+}
+
+}  // namespace
+
+Path resolve_route(const Machine& machine, SocketId from, MemoryId to) {
+  const MemoryDesc& mem = machine.memory(to);
+  Path path;
+  path.memory = to;
+  path.latency_ns = mem.idle_latency_ns;
+
+  if (mem.home_socket != kInvalidId) {
+    // IMC-attached memory: local, or one UPI hop.
+    if (mem.home_socket != from) {
+      const Hop h = upi_hop(machine, from, mem.home_socket);
+      path.hops.push_back(h);
+      path.latency_ns += machine.link(h.link).latency_ns;
+    }
+    return path;
+  }
+
+  // Link-attached (CXL) memory: multi-headed devices expose one link per
+  // head — take the head rooted at the requesting socket when it exists,
+  // otherwise reach the first head's root over UPI.
+  const auto links = machine.links_of_memory(to);
+  if (links.empty())
+    throw std::runtime_error("memory is neither IMC- nor link-attached");
+  LinkId cxl = links.front();
+  for (const LinkId l : links)
+    if (machine.link(l).a == from) cxl = l;
+  const SocketId root = machine.link(cxl).a;
+  if (root != from) {
+    const Hop h = upi_hop(machine, from, root);
+    path.hops.push_back(h);
+    path.latency_ns += machine.link(h.link).latency_ns;
+  }
+  // Requests always travel A->B on a device link (the socket is endpoint A).
+  path.hops.push_back(Hop{.link = cxl, .toward_b = true});
+  path.latency_ns += machine.link(cxl).latency_ns;
+  return path;
+}
+
+}  // namespace cxlpmem::simkit

@@ -1,0 +1,54 @@
+// simkit/route.hpp — path resolution from a requesting socket to a memory
+// device.
+//
+// Paths are at most two hops in the machines this project models:
+//   socket -> (same-socket IMC memory)                       : no links
+//   socket -> UPI -> (other socket's IMC memory)             : one UPI hop
+//   socket -> PCIe/CXL -> (link-attached memory)             : one CXL hop
+//   socket -> UPI -> PCIe/CXL -> (link-attached memory)      : two hops
+#pragma once
+
+#include <vector>
+
+#include "simkit/topology.hpp"
+#include "simkit/types.hpp"
+
+namespace cxlpmem::simkit {
+
+/// One link traversal.  `toward_b` is true when request traffic flows in the
+/// link's A->B (tx) direction; data returns travel the opposite direction.
+struct Hop {
+  LinkId link = kInvalidId;
+  bool toward_b = true;
+};
+
+/// A resolved route.  `latency_ns` is the full load-to-use round trip: the
+/// target memory's idle latency plus every traversed link's latency adder.
+struct Path {
+  MemoryId memory = kInvalidId;
+  std::vector<Hop> hops;
+  double latency_ns = 0.0;
+
+  /// True when the path crosses a socket-to-socket (UPI) link.  Such flows
+  /// pay the remote-traffic amplification in the bandwidth model.
+  [[nodiscard]] bool crosses_upi(const Machine& m) const {
+    for (const Hop& h : hops)
+      if (m.link(h.link).kind == LinkKind::Upi) return true;
+    return false;
+  }
+
+  /// True when the path crosses a CXL link.
+  [[nodiscard]] bool crosses_cxl(const Machine& m) const {
+    for (const Hop& h : hops)
+      if (m.link(h.link).kind == LinkKind::PcieCxl) return true;
+    return false;
+  }
+};
+
+/// Resolves the route from `from` (a socket) to memory device `to`.
+/// Throws std::runtime_error when the machine provides no route (e.g. the
+/// CXL link hangs off a different socket with no UPI between them).
+[[nodiscard]] Path resolve_route(const Machine& machine, SocketId from,
+                                 MemoryId to);
+
+}  // namespace cxlpmem::simkit

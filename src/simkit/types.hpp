@@ -1,0 +1,84 @@
+// simkit/types.hpp — fundamental identifiers and units for the machine
+// performance model.
+//
+// Conventions (used across the whole project):
+//   * bandwidth is in decimal GB/s (1e9 bytes/second), matching STREAM's
+//     reporting convention;
+//   * latency is in nanoseconds;
+//   * capacities/sizes are in bytes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cxlpmem::simkit {
+
+/// Index of a CPU core within a Machine (dense, 0-based).
+using CoreId = int;
+/// Index of a socket within a Machine (dense, 0-based).
+using SocketId = int;
+/// Index of a memory device within a Machine (dense, 0-based).
+using MemoryId = int;
+/// Index of an interconnect link within a Machine (dense, 0-based).
+using LinkId = int;
+
+inline constexpr int kInvalidId = -1;
+
+/// Bytes per cacheline on every modelled host (x86).
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+
+/// One decimal gigabyte, the STREAM reporting unit.
+inline constexpr double kGB = 1.0e9;
+
+/// Converts a DDR transfer rate (MT/s) and channel count into a peak pin
+/// bandwidth in GB/s (8 bytes per transfer per channel).
+[[nodiscard]] constexpr double ddr_peak_gbs(double mega_transfers_per_s,
+                                            int channels) noexcept {
+  return mega_transfers_per_s * 1.0e6 * 8.0 * channels / kGB;
+}
+
+/// Converts a PCIe/UPI style serial rate into raw GB/s per direction:
+/// giga-transfers/s times lane count, one bit per transfer per lane.
+[[nodiscard]] constexpr double serial_peak_gbs(double giga_transfers_per_s,
+                                               int lanes) noexcept {
+  return giga_transfers_per_s * lanes / 8.0;
+}
+
+/// The kinds of memory media the model distinguishes.  The kind never changes
+/// solver behaviour by itself — it selects default parameters and is used for
+/// reporting.
+enum class MemoryKind {
+  DramDdr4,
+  DramDdr5,
+  CxlExpander,  ///< CXL Type-3 device memory (any media behind the link)
+  Dcpmm,        ///< Intel Optane DC Persistent Memory (published baseline)
+};
+
+[[nodiscard]] inline std::string to_string(MemoryKind k) {
+  switch (k) {
+    case MemoryKind::DramDdr4: return "ddr4";
+    case MemoryKind::DramDdr5: return "ddr5";
+    case MemoryKind::CxlExpander: return "cxl";
+    case MemoryKind::Dcpmm: return "dcpmm";
+  }
+  return "?";
+}
+
+/// The kinds of interconnect link the model distinguishes.
+enum class LinkKind {
+  Upi,      ///< socket-to-socket coherent interconnect
+  PcieCxl,  ///< PCIe physical layer carrying CXL.io/.mem
+};
+
+[[nodiscard]] inline std::string to_string(LinkKind k) {
+  switch (k) {
+    case LinkKind::Upi: return "upi";
+    case LinkKind::PcieCxl: return "pcie-cxl";
+  }
+  return "?";
+}
+
+inline constexpr double kUnbounded = std::numeric_limits<double>::infinity();
+
+}  // namespace cxlpmem::simkit

@@ -1,0 +1,104 @@
+#include "simkit/waterfill.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cxlpmem::simkit {
+
+namespace {
+// Relative slack under which a resource counts as saturated / a flow counts
+// as at-cap.  Progressive filling hits boundaries exactly in real arithmetic;
+// the epsilon only absorbs floating-point rounding.
+constexpr double kRelEps = 1e-9;
+}  // namespace
+
+Allocation max_min_fair(const std::vector<Resource>& resources,
+                        const std::vector<SolverFlow>& flows) {
+  const int nr = static_cast<int>(resources.size());
+  const int nf = static_cast<int>(flows.size());
+
+  for (const Resource& r : resources)
+    if (!(r.capacity_gbs > 0))
+      throw std::invalid_argument("resource capacity must be positive: " +
+                                  r.name);
+  for (const SolverFlow& f : flows) {
+    if (f.rate_cap_gbs == kUnbounded && f.usage.empty())
+      throw std::invalid_argument("flow is unbounded");
+    for (auto [r, c] : f.usage) {
+      if (r < 0 || r >= nr)
+        throw std::invalid_argument("flow references unknown resource");
+      if (!(c > 0))
+        throw std::invalid_argument("flow coefficient must be positive");
+    }
+  }
+
+  Allocation out;
+  out.rates_gbs.assign(nf, 0.0);
+  std::vector<double> remaining(nr);
+  for (int r = 0; r < nr; ++r) remaining[r] = resources[r].capacity_gbs;
+  std::vector<bool> active(nf, true);
+  int active_count = nf;
+
+  while (active_count > 0) {
+    ++out.rounds;
+
+    // Aggregate demand of active flows on each resource.
+    std::vector<double> demand(nr, 0.0);
+    for (int f = 0; f < nf; ++f) {
+      if (!active[f]) continue;
+      for (auto [r, c] : flows[f].usage) demand[r] += c;
+    }
+
+    // Largest uniform rate increment before some boundary is hit.
+    double delta = kUnbounded;
+    for (int r = 0; r < nr; ++r)
+      if (demand[r] > 0) delta = std::min(delta, remaining[r] / demand[r]);
+    for (int f = 0; f < nf; ++f)
+      if (active[f] && flows[f].rate_cap_gbs != kUnbounded)
+        delta = std::min(delta, flows[f].rate_cap_gbs - out.rates_gbs[f]);
+
+    if (!std::isfinite(delta))
+      throw std::invalid_argument(
+          "active flows have no binding constraint (unbounded system)");
+
+    for (int f = 0; f < nf; ++f)
+      if (active[f]) out.rates_gbs[f] += delta;
+    for (int r = 0; r < nr; ++r) remaining[r] -= demand[r] * delta;
+
+    // Freeze flows at their cap and flows crossing a saturated resource.
+    std::vector<bool> saturated(nr, false);
+    for (int r = 0; r < nr; ++r)
+      saturated[r] = remaining[r] <= kRelEps * resources[r].capacity_gbs;
+
+    bool froze = false;
+    for (int f = 0; f < nf; ++f) {
+      if (!active[f]) continue;
+      bool freeze = false;
+      if (flows[f].rate_cap_gbs != kUnbounded &&
+          out.rates_gbs[f] >=
+              flows[f].rate_cap_gbs * (1.0 - kRelEps) - kRelEps)
+        freeze = true;
+      for (auto [r, c] : flows[f].usage)
+        if (saturated[r]) freeze = true;
+      if (freeze) {
+        active[f] = false;
+        --active_count;
+        froze = true;
+      }
+    }
+    // delta is chosen to land exactly on a boundary, so some flow must
+    // freeze every round; guard against FP pathology regardless.
+    if (!froze) break;
+  }
+
+  out.utilization.assign(nr, 0.0);
+  for (int r = 0; r < nr; ++r) {
+    const double used = resources[r].capacity_gbs - remaining[r];
+    out.utilization[r] =
+        std::clamp(used / resources[r].capacity_gbs, 0.0, 1.0);
+  }
+  return out;
+}
+
+}  // namespace cxlpmem::simkit

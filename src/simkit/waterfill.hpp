@@ -1,0 +1,55 @@
+// simkit/waterfill.hpp — max-min fair bandwidth allocation by progressive
+// filling ("water-filling").
+//
+// The solver is generic: it knows nothing about memories or links, only
+// about capacitated resources and flows that consume them linearly.  Every
+// bandwidth number the project reports comes out of this solver, so its
+// invariants are the ones the property tests pin down:
+//
+//   I1 (feasibility)   sum_f coeff(f,r) * rate(f) <= capacity(r)  for all r
+//   I2 (cap respect)   rate(f) <= rate_cap(f)                     for all f
+//   I3 (bottleneck)    every flow is either at its own cap, or uses at least
+//                      one saturated resource
+//   I4 (max-min)       raising any flow's rate requires lowering the rate of
+//                      some flow with an equal-or-smaller rate
+//
+// Progressive filling produces the unique max-min fair allocation for this
+// linear model; it terminates in at most |flows| + |resources| rounds.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simkit/types.hpp"
+
+namespace cxlpmem::simkit {
+
+/// A capacitated resource (GB/s).
+struct Resource {
+  std::string name;
+  double capacity_gbs = 0.0;
+};
+
+/// A flow: consumes `coeff` GB/s of each listed resource per GB/s of its own
+/// rate, up to `rate_cap_gbs` (kUnbounded when only resources constrain it).
+struct SolverFlow {
+  double rate_cap_gbs = kUnbounded;
+  /// (resource index, coefficient > 0) pairs; a resource appears at most once.
+  std::vector<std::pair<int, double>> usage;
+};
+
+/// Solver output: one rate per flow (same order) plus per-resource
+/// utilization in [0, 1] for diagnostics and the loaded-latency pass.
+struct Allocation {
+  std::vector<double> rates_gbs;
+  std::vector<double> utilization;
+  int rounds = 0;
+};
+
+/// Runs progressive filling.  Throws std::invalid_argument when a flow is
+/// unbounded (no finite cap and no resource usage) or indices are bad.
+[[nodiscard]] Allocation max_min_fair(const std::vector<Resource>& resources,
+                                      const std::vector<SolverFlow>& flows);
+
+}  // namespace cxlpmem::simkit

@@ -1,0 +1,57 @@
+#include "stream/arrays.hpp"
+
+namespace cxlpmem::stream {
+
+namespace {
+
+/// Pool file must hold 3 arrays + allocator metadata + lanes.
+std::uint64_t pool_size_for(std::uint64_t n) {
+  const std::uint64_t data = 3 * n * sizeof(double);
+  const std::uint64_t overhead = pmemkit::ObjectPool::min_pool_size() +
+                                 16 * pmemkit::kChunkSize;
+  return data + data / 4 + overhead;
+}
+
+}  // namespace
+
+PmemArrays::PmemArrays(const std::filesystem::path& path, std::uint64_t n)
+    : n_(n) {
+  // pmemobj_create, falling back to pmemobj_open — Listing 2's main().
+  try {
+    pool_ = pmemkit::ObjectPool::create(path, kLayout, pool_size_for(n));
+  } catch (const pmemkit::PoolError&) {
+    pool_ = pmemkit::ObjectPool::open(path, kLayout);
+  }
+
+  auto root_oid = pool_->root<StreamPmemRoot>();
+  auto* root = pool_->direct(root_oid);
+  if (root->n != n) {
+    if (root->n != 0)
+      throw pmemkit::PoolError(
+          "stream pool was created for a different array size");
+    // initiate(): POBJ_ALLOC the three arrays and publish them in the root.
+    const std::uint64_t bytes = n * sizeof(double);
+    pool_->alloc_atomic(bytes, kStreamArrayType, &root->a);
+    pool_->alloc_atomic(bytes, kStreamArrayType, &root->b);
+    pool_->alloc_atomic(bytes, kStreamArrayType, &root->c);
+    root->n = n;
+    pool_->persist(&root->n, sizeof(root->n));
+  }
+}
+
+ArrayView PmemArrays::view() {
+  auto* root = pool_->direct(pool_->root<StreamPmemRoot>());
+  return ArrayView{static_cast<double*>(pool_->direct(root->a)),
+                   static_cast<double*>(pool_->direct(root->b)),
+                   static_cast<double*>(pool_->direct(root->c)), n_};
+}
+
+void PmemArrays::persist_all() {
+  const ArrayView v = view();
+  pool_->flush(v.a, v.n * sizeof(double));
+  pool_->flush(v.b, v.n * sizeof(double));
+  pool_->flush(v.c, v.n * sizeof(double));
+  pool_->drain();
+}
+
+}  // namespace cxlpmem::stream

@@ -1,0 +1,65 @@
+// stream/arrays.hpp — array storage for STREAM: volatile (Memory-Mode runs)
+// or persistent (App-Direct / STREAM-PMem runs).
+//
+// PmemArrays is the Listing-2 code path of the paper: the three arrays are
+// POBJ_ALLOC'd out of an ObjectPool whose file lives on a (DAX) path, and a
+// root object records their oids so a reopened pool finds them again.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "pmemkit/pmemkit.hpp"
+#include "stream/kernels.hpp"
+
+namespace cxlpmem::stream {
+
+/// Volatile arrays (cache-aligned heap storage).
+class HeapArrays {
+ public:
+  explicit HeapArrays(std::uint64_t n)
+      : a_(n, 0.0), b_(n, 0.0), c_(n, 0.0), n_(n) {}
+
+  [[nodiscard]] ArrayView view() noexcept {
+    return ArrayView{a_.data(), b_.data(), c_.data(), n_};
+  }
+
+ private:
+  std::vector<double> a_, b_, c_;
+  std::uint64_t n_;
+};
+
+/// Pool layout root for STREAM-PMem (the paper's POBJ_LAYOUT of Listing 2).
+struct StreamPmemRoot {
+  pmemkit::ObjId a;
+  pmemkit::ObjId b;
+  pmemkit::ObjId c;
+  std::uint64_t n;
+};
+
+inline constexpr std::uint32_t kStreamArrayType = 0x5354;  // 'ST'
+
+/// Persistent arrays in an ObjectPool (create-or-open, pmemobj_create /
+/// pmemobj_open fallback exactly like Listing 2).
+class PmemArrays {
+ public:
+  static constexpr const char* kLayout = "stream-pmem";
+
+  /// Opens (or creates) the pool at `path` sized for `n` elements and
+  /// allocates/locates the three arrays.
+  PmemArrays(const std::filesystem::path& path, std::uint64_t n);
+
+  [[nodiscard]] ArrayView view();
+  [[nodiscard]] pmemkit::ObjectPool& pool() noexcept { return *pool_; }
+
+  /// Flush + fence over all three arrays (persist after a kernel pass).
+  void persist_all();
+
+ private:
+  std::unique_ptr<pmemkit::ObjectPool> pool_;
+  std::uint64_t n_;
+};
+
+}  // namespace cxlpmem::stream

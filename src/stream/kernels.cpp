@@ -1,0 +1,65 @@
+#include "stream/kernels.hpp"
+
+#include <cmath>
+
+namespace cxlpmem::stream {
+
+void copy_chunk(const ArrayView& v, std::uint64_t begin, std::uint64_t end) {
+  const double* __restrict a = v.a;
+  double* __restrict c = v.c;
+  for (std::uint64_t i = begin; i < end; ++i) c[i] = a[i];
+}
+
+void scale_chunk(const ArrayView& v, double s, std::uint64_t begin,
+                 std::uint64_t end) {
+  const double* __restrict c = v.c;
+  double* __restrict b = v.b;
+  for (std::uint64_t i = begin; i < end; ++i) b[i] = s * c[i];
+}
+
+void add_chunk(const ArrayView& v, std::uint64_t begin, std::uint64_t end) {
+  const double* __restrict a = v.a;
+  const double* __restrict b = v.b;
+  double* __restrict c = v.c;
+  for (std::uint64_t i = begin; i < end; ++i) c[i] = a[i] + b[i];
+}
+
+void triad_chunk(const ArrayView& v, double s, std::uint64_t begin,
+                 std::uint64_t end) {
+  const double* __restrict b = v.b;
+  const double* __restrict c = v.c;
+  double* __restrict a = v.a;
+  for (std::uint64_t i = begin; i < end; ++i) a[i] = b[i] + s * c[i];
+}
+
+void init_arrays(const ArrayView& v) {
+  for (std::uint64_t i = 0; i < v.n; ++i) {
+    v.a[i] = 1.0;
+    v.b[i] = 2.0;
+    v.c[i] = 0.0;
+  }
+}
+
+double validate(const ArrayView& v, double scalar, int ntimes) {
+  // Replay the scalar recurrence stream.c uses.
+  double a = 1.0, b = 2.0, c = 0.0;
+  for (int t = 0; t < ntimes; ++t) {
+    c = a;          // copy
+    b = scalar * c; // scale
+    c = a + b;      // add
+    a = b + scalar * c;  // triad
+  }
+  double err_a = 0.0, err_b = 0.0, err_c = 0.0;
+  for (std::uint64_t i = 0; i < v.n; ++i) {
+    err_a += std::fabs(v.a[i] - a);
+    err_b += std::fabs(v.b[i] - b);
+    err_c += std::fabs(v.c[i] - c);
+  }
+  const auto n = static_cast<double>(v.n);
+  const double rel_a = err_a / n / std::fabs(a);
+  const double rel_b = err_b / n / std::fabs(b);
+  const double rel_c = err_c / n / std::fabs(c);
+  return std::fmax(rel_a, std::fmax(rel_b, rel_c));
+}
+
+}  // namespace cxlpmem::stream

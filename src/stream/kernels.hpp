@@ -1,0 +1,87 @@
+// stream/kernels.hpp — the four STREAM kernels (McCalpin) and their traffic
+// characterization.
+//
+//   Copy :  c[i] = a[i]               2 counted words / iteration
+//   Scale:  b[i] = s * c[i]           2
+//   Add  :  c[i] = a[i] + b[i]        3
+//   Triad:  a[i] = b[i] + s * c[i]    3
+//
+// Counted bytes follow the STREAM convention (reads + writes of the named
+// arrays; the write-allocate RFO is *not* counted but *is* modelled as
+// traffic).  The kernels run for real — results are validated the way
+// stream.c validates, with the scalar recurrence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "simkit/bwmodel.hpp"
+
+namespace cxlpmem::stream {
+
+enum class Kernel { Copy, Scale, Add, Triad };
+
+inline constexpr Kernel kAllKernels[] = {Kernel::Copy, Kernel::Scale,
+                                         Kernel::Add, Kernel::Triad};
+
+[[nodiscard]] inline std::string to_string(Kernel k) {
+  switch (k) {
+    case Kernel::Copy: return "Copy";
+    case Kernel::Scale: return "Scale";
+    case Kernel::Add: return "Add";
+    case Kernel::Triad: return "Triad";
+  }
+  return "?";
+}
+
+/// Counted bytes per element per execution of the kernel.
+[[nodiscard]] constexpr std::uint64_t counted_bytes_per_element(Kernel k)
+    noexcept {
+  switch (k) {
+    case Kernel::Copy:
+    case Kernel::Scale:
+      return 2 * sizeof(double);
+    case Kernel::Add:
+    case Kernel::Triad:
+      return 3 * sizeof(double);
+  }
+  return 0;
+}
+
+/// Read/write mix for the bandwidth model.
+[[nodiscard]] constexpr simkit::KernelTraffic traffic_for(Kernel k) noexcept {
+  switch (k) {
+    case Kernel::Copy: return simkit::kernel_traffic::kCopy;
+    case Kernel::Scale: return simkit::kernel_traffic::kScale;
+    case Kernel::Add: return simkit::kernel_traffic::kAdd;
+    case Kernel::Triad: return simkit::kernel_traffic::kTriad;
+  }
+  return {};
+}
+
+/// The STREAM array triple (any backing storage).
+struct ArrayView {
+  double* a = nullptr;
+  double* b = nullptr;
+  double* c = nullptr;
+  std::uint64_t n = 0;
+};
+
+// Chunked kernel bodies (thread workers call these on their [begin, end)).
+void copy_chunk(const ArrayView& v, std::uint64_t begin, std::uint64_t end);
+void scale_chunk(const ArrayView& v, double s, std::uint64_t begin,
+                 std::uint64_t end);
+void add_chunk(const ArrayView& v, std::uint64_t begin, std::uint64_t end);
+void triad_chunk(const ArrayView& v, double s, std::uint64_t begin,
+                 std::uint64_t end);
+
+/// stream.c-style initialization: a = 1, b = 2, c = 0.
+void init_arrays(const ArrayView& v);
+
+/// stream.c-style validation after `ntimes` full Copy/Scale/Add/Triad
+/// cycles: returns the worst relative error across the three arrays.
+[[nodiscard]] double validate(const ArrayView& v, double scalar,
+                              int ntimes);
+
+}  // namespace cxlpmem::stream

@@ -1,0 +1,6 @@
+// stream/stream.hpp — umbrella header for STREAM / STREAM-PMem.
+#pragma once
+
+#include "stream/arrays.hpp"        // IWYU pragma: export
+#include "stream/kernels.hpp"       // IWYU pragma: export
+#include "stream/stream_bench.hpp"  // IWYU pragma: export

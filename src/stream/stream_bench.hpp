@@ -1,0 +1,91 @@
+// stream/stream_bench.hpp — the STREAM / STREAM-PMem benchmark runner.
+//
+// Dual accounting, one honest split:
+//   * REPORTED bandwidth comes from the deterministic machine model
+//     (simkit::BandwidthModel) at the paper's working set (100 M elements),
+//     so figures are reproducible on any host;
+//   * the kernels ALSO run for real on smaller arrays (heap for Memory-Mode
+//     runs, a pmemkit pool for App-Direct runs) and are validated with
+//     stream.c's recurrence — catching real bugs in the kernels, the thread
+//     pool, and the persistent allocator.
+//
+// AccessMode mirrors the paper's two classes: MemoryMode = CC-NUMA access
+// ("numa#" trends), AppDirect = PMDK access ("pmem#" trends, with the
+// calibrated PMDK traffic amplification applied in the model).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "numakit/numakit.hpp"
+#include "simkit/bwmodel.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/arrays.hpp"
+#include "stream/kernels.hpp"
+
+namespace cxlpmem::stream {
+
+enum class AccessMode { MemoryMode, AppDirect };
+
+[[nodiscard]] inline std::string to_string(AccessMode m) {
+  return m == AccessMode::MemoryMode ? "numa" : "pmem";
+}
+
+struct BenchOptions {
+  /// Elements per array in the *model* (the paper runs 100 M).
+  std::uint64_t model_elements = simkit::profiles::kStreamArrayElements;
+  /// Elements per array for the *real* validation run.
+  std::uint64_t verify_elements = 1u << 20;
+  /// Full Copy/Scale/Add/Triad cycles in the real run.
+  int ntimes = 2;
+  double scalar = 3.0;
+  /// Directory for App-Direct pool files (a DAX mount in the paper).
+  std::filesystem::path pmem_dir = std::filesystem::temp_directory_path();
+  /// Model-side PMDK cost: extra traffic per counted byte (DESIGN.md §5).
+  double pmdk_amplification =
+      1.0 / simkit::profiles::kPmdkSoftwareFactor;
+  /// Skip the real execution (model only) — for large sweeps.
+  bool model_only = false;
+};
+
+struct KernelResult {
+  double model_gbs = 0.0;  ///< reported (modelled) bandwidth
+  double wall_gbs = 0.0;   ///< diagnostic: real-run bandwidth on this host
+};
+
+struct StreamResult {
+  std::array<KernelResult, 4> kernels;  ///< indexed by Kernel enum value
+  double validation_error = 0.0;
+  int threads = 0;
+
+  [[nodiscard]] const KernelResult& operator[](Kernel k) const {
+    return kernels[static_cast<std::size_t>(k)];
+  }
+};
+
+class StreamBenchmark {
+ public:
+  StreamBenchmark(const simkit::Machine& machine, BenchOptions options);
+
+  /// Runs the benchmark with threads placed per `affinity` and arrays
+  /// placed per `placement`.
+  [[nodiscard]] StreamResult run(const std::vector<simkit::CoreId>& affinity,
+                                 const numakit::Placement& placement,
+                                 AccessMode mode) const;
+
+  [[nodiscard]] const BenchOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  [[nodiscard]] double model_kernel(
+      Kernel kernel, const std::vector<simkit::CoreId>& affinity,
+      const numakit::Placement& placement, AccessMode mode) const;
+
+  const simkit::Machine* machine_;
+  BenchOptions options_;
+};
+
+}  // namespace cxlpmem::stream

@@ -1,0 +1,201 @@
+#include "streamer/config.hpp"
+
+namespace cxlpmem::streamer {
+
+std::string to_string(TestGroup g) {
+  switch (g) {
+    case TestGroup::Class1a: return "1a";
+    case TestGroup::Class1b: return "1b";
+    case TestGroup::Class1c: return "1c";
+    case TestGroup::Class2a: return "2a";
+    case TestGroup::Class2b: return "2b";
+  }
+  return "?";
+}
+
+std::string title_of(TestGroup g) {
+  switch (g) {
+    case TestGroup::Class1a:
+      return "Class 1.a: Local memory access as PMem (App-Direct)";
+    case TestGroup::Class1b:
+      return "Class 1.b: Remote memory access as PMem (App-Direct)";
+    case TestGroup::Class1c:
+      return "Class 1.c: Remote memory as PMem (thread affinity)";
+    case TestGroup::Class2a:
+      return "Class 2.a: Remote CC-NUMA (Memory Mode)";
+    case TestGroup::Class2b:
+      return "Class 2.b: Remote CC-NUMA, all cores (Memory Mode)";
+  }
+  return "?";
+}
+
+std::vector<GroupSpec> default_matrix(
+    const simkit::profiles::SetupOne& s1,
+    const simkit::profiles::SetupTwo& s2) {
+  using simkit::MemoryKind;
+  using numakit::AffinityPolicy;
+  using stream::AccessMode;
+
+  std::vector<GroupSpec> matrix;
+
+  // ---- Class 1.a ------------------------------------------------------------
+  {
+    GroupSpec g{TestGroup::Class1a, title_of(TestGroup::Class1a), {}};
+    g.trends.push_back(Trend{.label = "cores:s0 pmem#0 (ddr5 local)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.ddr5_socket0,
+                             .symbol = MemoryKind::DramDdr5,
+                             .mode = AccessMode::AppDirect,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "cores:s1 pmem#1 (ddr5 local)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.ddr5_socket1,
+                             .symbol = MemoryKind::DramDdr5,
+                             .mode = AccessMode::AppDirect,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket1,
+                             .max_threads = 10});
+    matrix.push_back(std::move(g));
+  }
+
+  // ---- Class 1.b ------------------------------------------------------------
+  {
+    GroupSpec g{TestGroup::Class1b, title_of(TestGroup::Class1b), {}};
+    g.trends.push_back(Trend{.label = "cores:s0 pmem#1 (ddr5 remote)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.ddr5_socket1,
+                             .symbol = MemoryKind::DramDdr5,
+                             .mode = AccessMode::AppDirect,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "cores:s0 pmem#2 (cxl ddr4)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.cxl,
+                             .symbol = MemoryKind::CxlExpander,
+                             .mode = AccessMode::AppDirect,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "cores:s1 pmem#2 (cxl ddr4, via upi)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.cxl,
+                             .symbol = MemoryKind::CxlExpander,
+                             .mode = AccessMode::AppDirect,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket1,
+                             .max_threads = 10});
+    matrix.push_back(std::move(g));
+  }
+
+  // ---- Class 1.c ------------------------------------------------------------
+  {
+    GroupSpec g{TestGroup::Class1c, title_of(TestGroup::Class1c), {}};
+    for (const auto affinity :
+         {AffinityPolicy::Close, AffinityPolicy::Spread}) {
+      g.trends.push_back(
+          Trend{.label = "cores:all pmem#0 (ddr5, " +
+                         numakit::to_string(affinity) + ")",
+                .setup = SetupKind::SetupOne,
+                .memory = s1.ddr5_socket0,
+                .symbol = MemoryKind::DramDdr5,
+                .mode = AccessMode::AppDirect,
+                .affinity = affinity,
+                .first_socket = s1.socket0,
+                .max_threads = 20});
+      g.trends.push_back(
+          Trend{.label = "cores:all pmem#2 (cxl ddr4, " +
+                         numakit::to_string(affinity) + ")",
+                .setup = SetupKind::SetupOne,
+                .memory = s1.cxl,
+                .symbol = MemoryKind::CxlExpander,
+                .mode = AccessMode::AppDirect,
+                .affinity = affinity,
+                .first_socket = s1.socket0,
+                .max_threads = 20});
+    }
+    matrix.push_back(std::move(g));
+  }
+
+  // ---- Class 2.a ------------------------------------------------------------
+  {
+    GroupSpec g{TestGroup::Class2a, title_of(TestGroup::Class2a), {}};
+    g.trends.push_back(Trend{.label = "cores:s0 numa#2 (cxl ddr4)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.cxl,
+                             .symbol = MemoryKind::CxlExpander,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "cores:s1 numa#2 (cxl ddr4, via upi)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.cxl,
+                             .symbol = MemoryKind::CxlExpander,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket1,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "cores:s0 numa#1 (ddr5 remote)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.ddr5_socket1,
+                             .symbol = MemoryKind::DramDdr5,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 10});
+    g.trends.push_back(Trend{.label = "setup2 cores:s0 numa#1 (ddr4 remote)",
+                             .setup = SetupKind::SetupTwo,
+                             .memory = s2.ddr4_socket1,
+                             .symbol = MemoryKind::DramDdr4,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s2.socket0,
+                             .max_threads = 10});
+    matrix.push_back(std::move(g));
+  }
+
+  // ---- Class 2.b ------------------------------------------------------------
+  {
+    GroupSpec g{TestGroup::Class2b, title_of(TestGroup::Class2b), {}};
+    g.trends.push_back(Trend{.label = "cores:all numa#2 (cxl ddr4)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.cxl,
+                             .symbol = MemoryKind::CxlExpander,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 20});
+    g.trends.push_back(Trend{.label = "cores:all numa#1 (ddr5)",
+                             .setup = SetupKind::SetupOne,
+                             .memory = s1.ddr5_socket1,
+                             .symbol = MemoryKind::DramDdr5,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s1.socket0,
+                             .max_threads = 20});
+    g.trends.push_back(Trend{.label = "setup2 cores:all numa#0 (ddr4)",
+                             .setup = SetupKind::SetupTwo,
+                             .memory = s2.ddr4_socket0,
+                             .symbol = MemoryKind::DramDdr4,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s2.socket0,
+                             .max_threads = 20});
+    g.trends.push_back(Trend{.label = "setup2 cores:all numa#1 (ddr4)",
+                             .setup = SetupKind::SetupTwo,
+                             .memory = s2.ddr4_socket1,
+                             .symbol = MemoryKind::DramDdr4,
+                             .mode = AccessMode::MemoryMode,
+                             .affinity = AffinityPolicy::Close,
+                             .first_socket = s2.socket0,
+                             .max_threads = 20});
+    matrix.push_back(std::move(g));
+  }
+
+  return matrix;
+}
+
+}  // namespace cxlpmem::streamer

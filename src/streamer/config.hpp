@@ -1,0 +1,65 @@
+// streamer/config.hpp — the paper's test-configuration matrix (§3.2,
+// Figure 9) as data.
+//
+// Five groups in two classes:
+//   Class 1 (App-Direct, STREAM-PMem over PMDK):
+//     1a  local memory as PMem           (cores s0 -> pmem0, s1 -> pmem1)
+//     1b  remote memory as PMem          (s0 -> pmem1, s0 -> pmem2,
+//                                         s1 -> pmem2)
+//     1c  remote memory, thread affinity (close/spread onto pmem0, pmem2)
+//   Class 2 (Memory Mode, plain STREAM over CC-NUMA):
+//     2a  remote CC-NUMA, one socket     (s0 -> node1, s0 -> node2,
+//                                         s1 -> node2, setup2 s0 -> node1)
+//     2b  remote CC-NUMA, all cores      (all -> node2, all -> node1,
+//                                         setup2 all -> node0/node1)
+//
+// Trend annotations follow the paper: pmem#/numa# + memory symbol
+// (DDR4 on-node, DDR5 on-node, CXL-attached DDR4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numakit/affinity.hpp"
+#include "simkit/profiles.hpp"
+#include "stream/stream_bench.hpp"
+
+namespace cxlpmem::streamer {
+
+enum class TestGroup { Class1a, Class1b, Class1c, Class2a, Class2b };
+
+inline constexpr TestGroup kAllGroups[] = {
+    TestGroup::Class1a, TestGroup::Class1b, TestGroup::Class1c,
+    TestGroup::Class2a, TestGroup::Class2b};
+
+[[nodiscard]] std::string to_string(TestGroup g);
+[[nodiscard]] std::string title_of(TestGroup g);
+
+/// Which modelled machine a trend runs on.
+enum class SetupKind { SetupOne, SetupTwo };
+
+/// One plotted trend: a fixed (setup, placement, access-mode, affinity)
+/// swept over thread counts.
+struct Trend {
+  std::string label;  ///< e.g. "s0->pmem2 (cxl ddr4)"
+  SetupKind setup = SetupKind::SetupOne;
+  simkit::MemoryId memory = 0;  ///< target memory in that setup's machine
+  simkit::MemoryKind symbol = simkit::MemoryKind::DramDdr5;
+  stream::AccessMode mode = stream::AccessMode::AppDirect;
+  numakit::AffinityPolicy affinity = numakit::AffinityPolicy::Close;
+  simkit::SocketId first_socket = 0;
+  int max_threads = 10;
+};
+
+struct GroupSpec {
+  TestGroup id;
+  std::string title;
+  std::vector<Trend> trends;
+};
+
+/// Builds the full matrix against the canonical Setup #1 / #2 ids.
+[[nodiscard]] std::vector<GroupSpec> default_matrix(
+    const simkit::profiles::SetupOne& s1,
+    const simkit::profiles::SetupTwo& s2);
+
+}  // namespace cxlpmem::streamer

@@ -1,0 +1,106 @@
+// streamer CLI — the paper's open-sourced benchmarking tool, rebuilt:
+// sweeps the §3.2 configuration matrix over the modelled setups and prints
+// figure panels / CSV.
+//
+// Usage:
+//   streamer [--group=1a|1b|1c|2a|2b|all] [--kernel=copy|scale|add|triad|all]
+//            [--csv=FILE] [--step=N] [--no-validate] [--quick]
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "streamer/report.hpp"
+#include "streamer/runner.hpp"
+
+namespace {
+
+using namespace cxlpmem;
+using namespace cxlpmem::streamer;
+
+std::optional<TestGroup> parse_group(const std::string& s) {
+  for (const TestGroup g : kAllGroups)
+    if (s == to_string(g)) return g;
+  return std::nullopt;
+}
+
+std::optional<stream::Kernel> parse_kernel(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  if (s == "copy") return stream::Kernel::Copy;
+  if (s == "scale") return stream::Kernel::Scale;
+  if (s == "add") return stream::Kernel::Add;
+  if (s == "triad") return stream::Kernel::Triad;
+  return std::nullopt;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--group=1a|1b|1c|2a|2b|all] [--kernel=copy|scale|add|triad"
+               "|all]\n"
+               "       [--csv=FILE] [--step=N] [--no-validate] [--quick]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string group_arg = "all";
+  std::string kernel_arg = "all";
+  std::string csv_path;
+  RunnerOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--group=", 0) == 0) {
+      group_arg = arg.substr(8);
+    } else if (arg.rfind("--kernel=", 0) == 0) {
+      kernel_arg = arg.substr(9);
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      csv_path = arg.substr(6);
+    } else if (arg.rfind("--step=", 0) == 0) {
+      options.thread_step = std::stoi(arg.substr(7));
+    } else if (arg == "--no-validate") {
+      options.validate = false;
+    } else if (arg == "--quick") {
+      options.bench.verify_elements = 1u << 18;
+      options.bench.ntimes = 1;
+      options.thread_step = std::max(options.thread_step, 2);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (group_arg != "all" && !parse_group(group_arg)) return usage(argv[0]);
+  if (kernel_arg != "all" && !parse_kernel(kernel_arg)) return usage(argv[0]);
+
+  const Streamer streamer(options);
+  std::vector<Series> series;
+  if (group_arg == "all") {
+    series = streamer.run_all();
+  } else {
+    series = streamer.run_group(*parse_group(group_arg));
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path);
+    if (!csv) {
+      std::cerr << "cannot write " << csv_path << "\n";
+      return 1;
+    }
+    write_csv(csv, series);
+    std::cout << "wrote " << csv_path << "\n";
+  }
+
+  if (kernel_arg == "all") {
+    for (const stream::Kernel k :
+         {stream::Kernel::Scale, stream::Kernel::Add, stream::Kernel::Copy,
+          stream::Kernel::Triad}) {
+      std::cout << "==== " << to_string(k) << " ====\n";
+      print_figure(std::cout, series, k);
+    }
+  } else {
+    print_figure(std::cout, series, *parse_kernel(kernel_arg));
+  }
+  return 0;
+}

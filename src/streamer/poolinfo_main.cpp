@@ -1,0 +1,26 @@
+// poolinfo — `pmempool info` equivalent for pmemkit pools: identity, lane
+// state, heap occupancy, per-type census, structural consistency.
+//
+//   $ poolinfo <pool-file> <layout>
+#include <cstdio>
+#include <iostream>
+
+#include "pmemkit/introspect.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <pool-file> <layout>\n", argv[0]);
+    return 2;
+  }
+  try {
+    auto pool = cxlpmem::pmemkit::ObjectPool::open(argv[1], argv[2]);
+    const auto report = cxlpmem::pmemkit::inspect(*pool);
+    std::cout << cxlpmem::pmemkit::to_text(report);
+    if (pool->recovered())
+      std::cout << "note          : recovery ran during this open\n";
+    return report.consistent ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,101 @@
+#include "streamer/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <string>
+
+namespace cxlpmem::streamer {
+
+void write_csv(std::ostream& os, const std::vector<Series>& series) {
+  os << "group,label,kernel,threads,model_gbs,wall_gbs,validation_error\n";
+  for (const Series& s : series) {
+    for (const SeriesPoint& p : s.points) {
+      os << to_string(s.group) << ',' << '"' << s.label << '"' << ','
+         << to_string(s.kernel) << ',' << p.threads << ',' << std::fixed
+         << std::setprecision(3) << p.model_gbs << ',' << p.wall_gbs << ',';
+      if (p.validation_error >= 0)
+        os << std::scientific << std::setprecision(2) << p.validation_error;
+      os << '\n';
+    }
+  }
+}
+
+namespace {
+/// Plot marks by memory kind, following the paper's legend: DDR4 on-node
+/// (triangle -> '^'), DDR5 on-node (circle -> 'o'), CXL DDR4 (cross -> 'x').
+char mark_for(simkit::MemoryKind k) {
+  switch (k) {
+    case simkit::MemoryKind::DramDdr4: return '^';
+    case simkit::MemoryKind::DramDdr5: return 'o';
+    case simkit::MemoryKind::CxlExpander: return 'x';
+    case simkit::MemoryKind::Dcpmm: return '*';
+  }
+  return '+';
+}
+}  // namespace
+
+void print_panel(std::ostream& os, const std::vector<Series>& all,
+                 TestGroup group, stream::Kernel kernel, int width,
+                 int height) {
+  std::vector<const Series*> picked;
+  for (const Series& s : all)
+    if (s.group == group && s.kernel == kernel && !s.points.empty())
+      picked.push_back(&s);
+  if (picked.empty()) {
+    os << "(no data for group " << to_string(group) << ")\n";
+    return;
+  }
+
+  double max_gbs = 0.0;
+  int max_threads = 1;
+  for (const Series* s : picked)
+    for (const SeriesPoint& p : s->points) {
+      max_gbs = std::max(max_gbs, p.model_gbs);
+      max_threads = std::max(max_threads, p.threads);
+    }
+  max_gbs = std::max(max_gbs * 1.05, 1.0);
+
+  os << "-- " << title_of(group) << " -- " << to_string(kernel) << " --\n";
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  const auto put = [&](int threads, double gbs, char c) {
+    const int x = static_cast<int>(std::lround(
+        (threads - 1) * double(width - 1) / std::max(1, max_threads - 1)));
+    const int y = static_cast<int>(std::lround(
+        (1.0 - gbs / max_gbs) * (height - 1)));
+    canvas[std::clamp(y, 0, height - 1)][std::clamp(x, 0, width - 1)] = c;
+  };
+  for (const Series* s : picked)
+    for (const SeriesPoint& p : s->points)
+      put(p.threads, p.model_gbs, mark_for(s->symbol));
+
+  for (int row = 0; row < height; ++row) {
+    const double gbs = max_gbs * (1.0 - double(row) / (height - 1));
+    os << std::setw(6) << std::fixed << std::setprecision(1) << gbs
+       << " |" << canvas[row] << "\n";
+  }
+  os << "       +" << std::string(width, '-') << "\n        1";
+  os << std::setw(width - 1) << max_threads << " threads\n";
+  for (const Series* s : picked) {
+    os << "    " << mark_for(s->symbol) << "  " << s->label;
+    // Note the saturated (last-point) value like the paper's text does.
+    os << "  [" << std::fixed << std::setprecision(1)
+       << s->points.back().model_gbs << " GB/s @ "
+       << s->points.back().threads << "t]";
+    if (s->points.back().validation_error >= 0)
+      os << "  (validated, err "
+         << std::scientific << std::setprecision(1)
+         << s->points.back().validation_error << ")";
+    os << "\n";
+  }
+}
+
+void print_figure(std::ostream& os, const std::vector<Series>& series,
+                  stream::Kernel kernel) {
+  for (const TestGroup g : kAllGroups) {
+    print_panel(os, series, g, kernel);
+    os << "\n";
+  }
+}
+
+}  // namespace cxlpmem::streamer

@@ -1,0 +1,26 @@
+// streamer/report.hpp — output formats: CSV for post-processing, ASCII
+// charts for the terminal (the figure panels of the paper, one chart per
+// (group, kernel)).
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "streamer/runner.hpp"
+
+namespace cxlpmem::streamer {
+
+/// CSV columns: group,label,kernel,threads,model_gbs,wall_gbs,validation.
+void write_csv(std::ostream& os, const std::vector<Series>& series);
+
+/// Renders one figure panel: every series of `group` x `kernel` as an ASCII
+/// chart (threads on x, GB/s on y) with a legend.
+void print_panel(std::ostream& os, const std::vector<Series>& series,
+                 TestGroup group, stream::Kernel kernel, int width = 72,
+                 int height = 18);
+
+/// All five panels of one kernel (a full paper figure).
+void print_figure(std::ostream& os, const std::vector<Series>& series,
+                  stream::Kernel kernel);
+
+}  // namespace cxlpmem::streamer

@@ -1,0 +1,82 @@
+#include "streamer/runner.hpp"
+
+#include <stdexcept>
+
+#include "numakit/numakit.hpp"
+
+namespace cxlpmem::streamer {
+
+Streamer::Streamer(RunnerOptions options)
+    : options_(std::move(options)),
+      setup1_(simkit::profiles::make_setup_one()),
+      setup2_(simkit::profiles::make_setup_two()),
+      matrix_(default_matrix(setup1_, setup2_)) {}
+
+std::vector<Series> Streamer::run_group(TestGroup group) const {
+  const GroupSpec* spec = nullptr;
+  for (const GroupSpec& g : matrix_)
+    if (g.id == group) spec = &g;
+  if (spec == nullptr) throw std::logic_error("unknown test group");
+
+  std::vector<Series> out;
+  for (const Trend& trend : spec->trends) {
+    const simkit::Machine& machine = machine_for(trend.setup);
+    const auto topo = numakit::NumaTopology::from_machine(
+        machine, machine.memory(trend.memory).home_socket ==
+                         simkit::kInvalidId
+                     ? std::vector<simkit::MemoryId>{trend.memory}
+                     : std::vector<simkit::MemoryId>{});
+    const numakit::Placement placement = numakit::resolve_placement(
+        topo, numakit::MemBindPolicy::bind(topo.node_of_memory(trend.memory)));
+
+    // One series per kernel, filled point by point.
+    std::array<Series, 4> series;
+    for (const stream::Kernel k : stream::kAllKernels) {
+      auto& s = series[static_cast<std::size_t>(k)];
+      s.group = group;
+      s.label = trend.label;
+      s.kernel = k;
+      s.symbol = trend.symbol;
+    }
+
+    // Thread counts: 1, 1+step, ... plus always the trend maximum.
+    const int step = options_.thread_step < 1 ? 1 : options_.thread_step;
+    std::vector<int> counts;
+    for (int t = 1; t < trend.max_threads; t += step) counts.push_back(t);
+    counts.push_back(trend.max_threads);
+    for (const int threads : counts) {
+      const bool last = threads == trend.max_threads;
+      const auto plan = numakit::plan_affinity(machine, threads,
+                                               trend.affinity,
+                                               trend.first_socket);
+      stream::BenchOptions bench = options_.bench;
+      bench.model_only = !(options_.validate && last);
+      const stream::StreamBenchmark benchmark(machine, bench);
+      const stream::StreamResult r =
+          benchmark.run(plan, placement, trend.mode);
+
+      for (const stream::Kernel k : stream::kAllKernels) {
+        SeriesPoint p;
+        p.threads = threads;
+        p.model_gbs = r[k].model_gbs;
+        p.wall_gbs = r[k].wall_gbs;
+        p.validation_error = bench.model_only ? -1.0 : r.validation_error;
+        series[static_cast<std::size_t>(k)].points.push_back(p);
+      }
+    }
+    for (auto& s : series) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Series> Streamer::run_all() const {
+  std::vector<Series> out;
+  for (const GroupSpec& g : matrix_) {
+    auto group = run_group(g.id);
+    out.insert(out.end(), std::make_move_iterator(group.begin()),
+               std::make_move_iterator(group.end()));
+  }
+  return out;
+}
+
+}  // namespace cxlpmem::streamer

@@ -1,0 +1,69 @@
+// streamer/runner.hpp — executes the configuration matrix and collects
+// series (the data behind Figures 5-8).
+//
+// Model bandwidth is evaluated at every thread count; the real-execution
+// validation pass (actual kernels on actual arrays, pmemkit pools for
+// App-Direct) runs once per trend at its maximum thread count, keeping full
+// sweeps fast while still exercising every code path.
+#pragma once
+
+#include <vector>
+
+#include "streamer/config.hpp"
+
+namespace cxlpmem::streamer {
+
+struct SeriesPoint {
+  int threads = 0;
+  double model_gbs = 0.0;
+  double wall_gbs = 0.0;          ///< non-zero only on validated points
+  double validation_error = -1.0;  ///< <0 when not validated at this point
+};
+
+struct Series {
+  TestGroup group;
+  std::string label;
+  stream::Kernel kernel;
+  simkit::MemoryKind symbol;
+  std::vector<SeriesPoint> points;
+};
+
+struct RunnerOptions {
+  stream::BenchOptions bench;
+  /// Validate (real run) at each trend's max thread count.
+  bool validate = true;
+  /// Thread counts swept: 1..max when 0, else this fixed step.
+  int thread_step = 1;
+};
+
+class Streamer {
+ public:
+  explicit Streamer(RunnerOptions options = RunnerOptions());
+
+  /// All series (one per trend x kernel) of one group.
+  [[nodiscard]] std::vector<Series> run_group(TestGroup group) const;
+  /// The whole matrix.
+  [[nodiscard]] std::vector<Series> run_all() const;
+
+  [[nodiscard]] const std::vector<GroupSpec>& matrix() const noexcept {
+    return matrix_;
+  }
+  [[nodiscard]] const simkit::profiles::SetupOne& setup_one() const noexcept {
+    return setup1_;
+  }
+  [[nodiscard]] const simkit::profiles::SetupTwo& setup_two() const noexcept {
+    return setup2_;
+  }
+
+ private:
+  [[nodiscard]] const simkit::Machine& machine_for(SetupKind k) const {
+    return k == SetupKind::SetupOne ? setup1_.machine : setup2_.machine;
+  }
+
+  RunnerOptions options_;
+  simkit::profiles::SetupOne setup1_;
+  simkit::profiles::SetupTwo setup2_;
+  std::vector<GroupSpec> matrix_;
+};
+
+}  // namespace cxlpmem::streamer

@@ -1,0 +1,160 @@
+// Tests for the checkpoint/restart store, including exhaustive crash
+// injection on the save path.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "core/core.hpp"
+#include "pmemkit/crash_hook.hpp"
+
+namespace core = cxlpmem::core;
+namespace pk = cxlpmem::pmemkit;
+namespace profiles = cxlpmem::simkit::profiles;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::byte> payload_of(std::uint8_t fill, std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cptest-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    setup_ = profiles::make_setup_one();
+    ns_ = std::make_unique<core::DaxNamespace>(
+        "pmem2", dir_ / "pmem2", setup_.machine, setup_.cxl, false);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  profiles::SetupOne setup_;
+  std::unique_ptr<core::DaxNamespace> ns_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  core::CheckpointStore store(*ns_, "cp.pool", 1 << 16);
+  EXPECT_FALSE(store.has_checkpoint());
+  EXPECT_TRUE(store.load().empty());
+
+  const auto p1 = payload_of(0x11, 1000);
+  store.save(p1);
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.load(), p1);
+
+  const auto p2 = payload_of(0x22, 5000);
+  store.save(p2);
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_EQ(store.load(), p2);
+}
+
+TEST_F(CheckpointTest, SurvivesReopen) {
+  const auto p = payload_of(0x33, 2048);
+  {
+    core::CheckpointStore store(*ns_, "cp.pool", 1 << 16);
+    store.save(p);
+  }
+  core::CheckpointStore store(*ns_, "cp.pool", 1 << 16);
+  EXPECT_EQ(store.epoch(), 1u);
+  EXPECT_EQ(store.load(), p);
+}
+
+TEST_F(CheckpointTest, ManyEpochsAlternateSlots) {
+  core::CheckpointStore store(*ns_, "cp.pool", 1 << 16);
+  for (std::uint8_t e = 1; e <= 20; ++e) {
+    store.save(payload_of(e, 100 * e));
+    EXPECT_EQ(store.epoch(), e);
+    const auto got = store.load();
+    ASSERT_EQ(got.size(), 100u * e);
+    EXPECT_EQ(got.front(), std::byte{e});
+  }
+}
+
+TEST_F(CheckpointTest, OversizedPayloadRefused) {
+  core::CheckpointStore store(*ns_, "cp.pool", 1024);
+  EXPECT_THROW(store.save(payload_of(1, 2048)), pk::PoolError);
+  EXPECT_EQ(store.epoch(), 0u);
+}
+
+TEST_F(CheckpointTest, EmptyPayloadIsAValidEpoch) {
+  core::CheckpointStore store(*ns_, "cp.pool", 1024);
+  store.save(payload_of(7, 512));
+  store.save({});
+  EXPECT_EQ(store.epoch(), 2u);
+  EXPECT_TRUE(store.load().empty());
+  EXPECT_TRUE(store.has_checkpoint());
+}
+
+TEST_F(CheckpointTest, VolatileNamespaceNeedsOptIn) {
+  core::DaxNamespace pmem0("pmem0", dir_ / "pmem0", setup_.machine,
+                           setup_.ddr5_socket0, true);
+  EXPECT_THROW(core::CheckpointStore(pmem0, "cp.pool", 1024), pk::PoolError);
+  EXPECT_NO_THROW(core::CheckpointStore(pmem0, "cp.pool", 1024, true));
+}
+
+// Crash injection over the save path: after recovery the store holds either
+// the old epoch's payload or the new one — never a mix, never a torn size.
+TEST_F(CheckpointTest, SaveIsCrashAtomic) {
+  // Count pass.
+  std::size_t total_points = 0;
+  {
+    core::CheckpointStore store(*ns_, "count.pool", 4096);
+    store.save(payload_of(0xAA, 1000));
+    pk::set_crash_hook([&](std::string_view) { ++total_points; });
+    store.save(payload_of(0xBB, 2000));
+    pk::set_crash_hook({});
+  }
+  ns_->remove_pool("count.pool");
+  ASSERT_GT(total_points, 5u);
+
+  for (std::size_t k = 1; k <= total_points; ++k) {
+    const std::string file = "crash-" + std::to_string(k) + ".pool";
+    pk::PoolOptions opts;
+    opts.track_shadow = true;
+    auto store = std::make_unique<core::CheckpointStore>(*ns_, file, 4096,
+                                                         false, opts);
+    store->save(payload_of(0xAA, 1000));
+
+    std::size_t seen = 0;
+    pk::set_crash_hook([&](std::string_view point) {
+      if (++seen == k) throw pk::CrashInjected{std::string(point)};
+    });
+    bool crashed = false;
+    try {
+      store->save(payload_of(0xBB, 2000));
+    } catch (const pk::CrashInjected&) {
+      crashed = true;
+    }
+    pk::set_crash_hook({});
+    ASSERT_TRUE(crashed) << "point " << k;
+
+    store->pool().mark_crashed();
+    const auto image =
+        store->pool().shadow()->crash_image(pk::CrashPolicy::DropUnflushed);
+    const fs::path path = store->pool().path();
+    store.reset();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(image.size()));
+    }
+
+    core::CheckpointStore reopened(*ns_, file, 4096);
+    const auto got = reopened.load();
+    if (reopened.epoch() == 1) {
+      ASSERT_EQ(got, payload_of(0xAA, 1000)) << "point " << k;
+    } else {
+      ASSERT_EQ(reopened.epoch(), 2u) << "point " << k;
+      ASSERT_EQ(got, payload_of(0xBB, 2000)) << "point " << k;
+    }
+  }
+}
+
+}  // namespace

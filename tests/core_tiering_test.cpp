@@ -1,0 +1,140 @@
+// Tests for the tiered data-placement advisor.
+#include <gtest/gtest.h>
+
+#include "core/tiering.hpp"
+#include "simkit/profiles.hpp"
+
+namespace core = cxlpmem::core;
+namespace profiles = cxlpmem::simkit::profiles;
+
+namespace {
+
+class TieringTest : public ::testing::Test {
+ protected:
+  TieringTest()
+      : setup_(profiles::make_setup_one()),
+        advisor_(setup_.machine, setup_.socket0) {}
+
+  profiles::SetupOne setup_;
+  core::TierAdvisor advisor_;
+};
+
+TEST_F(TieringTest, TiersCoverEveryDevice) {
+  ASSERT_EQ(advisor_.tiers().size(), 3u);
+  // Local DRAM is the fastest tier; CXL has the highest latency.
+  const auto& tiers = advisor_.tiers();
+  EXPECT_LT(tiers[0].idle_latency_ns, tiers[1].idle_latency_ns);
+  EXPECT_LT(tiers[1].idle_latency_ns, tiers[2].idle_latency_ns);
+  EXPECT_FALSE(tiers[0].durable);
+  EXPECT_TRUE(tiers[2].durable);  // battery-backed CXL
+}
+
+TEST_F(TieringTest, HotStreamingDataGoesToLocalDram) {
+  auto decisions = advisor_.place({{.label = "hot-arrays",
+                                    .bytes = 1ull << 30,
+                                    .needs_persistence = false,
+                                    .mlp = 16.0,
+                                    .read_fraction = 0.67,
+                                    .hotness = 10.0}});
+  ASSERT_TRUE(decisions[0].satisfied);
+  EXPECT_EQ(decisions[0].memory, setup_.ddr5_socket0);
+}
+
+TEST_F(TieringTest, PersistentDataMustLandOnDurableTier) {
+  auto decisions = advisor_.place({{.label = "checkpoints",
+                                    .bytes = 1ull << 30,
+                                    .needs_persistence = true,
+                                    .mlp = 16.0,
+                                    .read_fraction = 0.5,
+                                    .hotness = 1.0}});
+  ASSERT_TRUE(decisions[0].satisfied);
+  EXPECT_EQ(decisions[0].memory, setup_.cxl);  // the only durable tier
+}
+
+TEST_F(TieringTest, CapacityPressureSpillsColdDataToCxl) {
+  // Two volatile requests that cannot both fit in the 64 GiB local DIMM:
+  // the hotter one wins DRAM, the colder one spills.
+  auto decisions = advisor_.place({{.label = "cold",
+                                    .bytes = 40ull << 30,
+                                    .needs_persistence = false,
+                                    .mlp = 16.0,
+                                    .read_fraction = 0.67,
+                                    .hotness = 1.0},
+                                   {.label = "hot",
+                                    .bytes = 40ull << 30,
+                                    .needs_persistence = false,
+                                    .mlp = 16.0,
+                                    .read_fraction = 0.67,
+                                    .hotness = 5.0}});
+  // Output order follows hotness.
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].request.label, "hot");
+  EXPECT_EQ(decisions[0].memory, setup_.ddr5_socket0);
+  EXPECT_EQ(decisions[1].request.label, "cold");
+  EXPECT_NE(decisions[1].memory, setup_.ddr5_socket0);
+  EXPECT_TRUE(decisions[1].satisfied);
+}
+
+TEST_F(TieringTest, LatencyBoundRequestsPreferNearMemoryOverRemote) {
+  // A pointer-chasing request scores tiers by latency, so remote-socket
+  // DDR5 beats CXL even though their streaming numbers are closer.
+  const auto& tiers = advisor_.tiers();
+  core::PlacementRequest chase{.label = "graph",
+                               .bytes = 1 << 20,
+                               .needs_persistence = false,
+                               .mlp = 1.0,
+                               .read_fraction = 1.0,
+                               .hotness = 1.0};
+  const double remote = advisor_.score(tiers[1], chase);
+  const double cxl = advisor_.score(tiers[2], chase);
+  EXPECT_GT(remote, 2.0 * cxl);  // 140 ns vs 460 ns
+}
+
+TEST_F(TieringTest, ImpossibleRequestComesBackUnsatisfied) {
+  auto decisions = advisor_.place({{.label = "too-big",
+                                    .bytes = 1ull << 50,
+                                    .needs_persistence = false,
+                                    .mlp = 16.0,
+                                    .read_fraction = 0.5,
+                                    .hotness = 1.0}});
+  EXPECT_FALSE(decisions[0].satisfied);
+  EXPECT_EQ(decisions[0].memory, cxlpmem::simkit::kInvalidId);
+}
+
+TEST_F(TieringTest, PersistentAndImpossiblePersistentDiffer) {
+  // Fits the CXL tier vs exceeds it.
+  auto ok = advisor_.place({{.label = "cp",
+                             .bytes = 8ull << 30,
+                             .needs_persistence = true,
+                             .mlp = 8.0,
+                             .read_fraction = 0.5,
+                             .hotness = 1.0}});
+  EXPECT_TRUE(ok[0].satisfied);
+  auto too_big = advisor_.place({{.label = "cp",
+                                  .bytes = 32ull << 30,
+                                  .needs_persistence = true,
+                                  .mlp = 8.0,
+                                  .read_fraction = 0.5,
+                                  .hotness = 1.0}});
+  EXPECT_FALSE(too_big[0].satisfied);
+}
+
+TEST_F(TieringTest, PlacementIsDeterministic) {
+  std::vector<core::PlacementRequest> reqs;
+  for (int i = 0; i < 8; ++i)
+    reqs.push_back({.label = "r" + std::to_string(i),
+                    .bytes = 4ull << 30,
+                    .needs_persistence = (i % 3 == 0),
+                    .mlp = static_cast<double>(1 + i % 4) * 4,
+                    .read_fraction = 0.5,
+                    .hotness = static_cast<double>(i % 5)});
+  const auto a = advisor_.place(reqs);
+  const auto b = advisor_.place(reqs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].memory, b[i].memory);
+    EXPECT_EQ(a[i].satisfied, b[i].satisfied);
+  }
+}
+
+}  // namespace

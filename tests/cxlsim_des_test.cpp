@@ -1,0 +1,104 @@
+// Tests for the flit-level DES — and cross-validation of the analytic
+// constants the bandwidth model uses (DESIGN.md E12).
+#include <gtest/gtest.h>
+
+#include "cxlsim/cxlsim.hpp"
+#include "simkit/profiles.hpp"
+
+namespace cs = cxlpmem::cxlsim;
+namespace profiles = cxlpmem::simkit::profiles;
+
+namespace {
+
+TEST(Des, SingleRequesterLatencyMatchesComposition) {
+  const auto p = cs::fpga_prototype_des_params();
+  const auto r = cs::simulate_stream(p, 1, 1, 1.0, 1000, 7);
+  // One op in flight: latency = wire + 2*prop + controller pipeline +
+  // controller slot + media service + fixed media latency.
+  const double wire =
+      (cs::read_slot_cost().host_to_dev + cs::read_slot_cost().dev_to_host) *
+      cs::wire_bytes_per_slot() / p.link.raw_gbs();
+  const double expected = wire + 2 * p.propagation_ns + p.controller_ns +
+                          64.0 / p.timing.controller_combined_gbs +
+                          64.0 / p.timing.media_read_gbs +
+                          p.timing.media_latency_ns;
+  EXPECT_NEAR(r.mean_latency_ns, expected, 1.0);
+  // Throughput = 64 B per latency.
+  EXPECT_NEAR(r.data_gbs, 64.0 / expected, 0.05);
+}
+
+TEST(Des, BandwidthScalesWithMlpUntilMediaBound) {
+  const auto p = cs::fpga_prototype_des_params();
+  const auto one = cs::simulate_stream(p, 1, 1, 1.0, 5000, 7);
+  const auto four = cs::simulate_stream(p, 1, 4, 1.0, 20000, 7);
+  EXPECT_NEAR(four.data_gbs / one.data_gbs, 4.0, 0.2);
+
+  const auto many = cs::simulate_stream(p, 10, 32, 1.0, 200000, 7);
+  // Saturation: min(media read, controller) = min(13.5, 16.5) = 13.5,
+  // within a few percent of the analytic ceiling.
+  EXPECT_GT(many.data_gbs, 12.5);
+  EXPECT_LT(many.data_gbs, 14.0);
+}
+
+TEST(Des, MixedTrafficSaturatesAtTheControllerCeiling) {
+  const auto p = cs::fpga_prototype_des_params();
+  // 2/3 reads (Add/Triad mix): controller sees every line; media splits.
+  const auto r = cs::simulate_stream(p, 10, 32, 2.0 / 3.0, 200000, 7);
+  EXPECT_GT(r.data_gbs, 11.5);
+  EXPECT_LT(r.data_gbs, 14.5);
+}
+
+TEST(Des, LoadedLatencyRisesAtSaturation) {
+  const auto p = cs::fpga_prototype_des_params();
+  const auto idle = cs::simulate_stream(p, 1, 1, 1.0, 2000, 7);
+  const auto loaded = cs::simulate_stream(p, 10, 32, 1.0, 100000, 7);
+  EXPECT_GT(loaded.mean_latency_ns, 1.2 * idle.mean_latency_ns);
+}
+
+TEST(Des, DeterministicForFixedSeed) {
+  const auto p = cs::fpga_prototype_des_params();
+  const auto a = cs::simulate_stream(p, 4, 8, 0.5, 50000, 99);
+  const auto b = cs::simulate_stream(p, 4, 8, 0.5, 50000, 99);
+  EXPECT_DOUBLE_EQ(a.data_gbs, b.data_gbs);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ns, b.mean_latency_ns);
+}
+
+TEST(Des, TagPoolBoundsOutstandingWork) {
+  auto p = cs::fpga_prototype_des_params();
+  p.timing.max_tags = 8;  // artificially small
+  const auto r = cs::simulate_stream(p, 10, 32, 1.0, 50000, 7);
+  // 8 tags x 64 B / ~460 ns ≈ 1.1 GB/s — far below the media bound.
+  EXPECT_LT(r.data_gbs, 2.0);
+}
+
+TEST(Des, ValidatesArguments) {
+  const auto p = cs::fpga_prototype_des_params();
+  EXPECT_THROW((void)cs::simulate_stream(p, 0, 1, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)cs::simulate_stream(p, 1, 0, 1.0, 10),
+               std::invalid_argument);
+  EXPECT_THROW((void)cs::simulate_stream(p, 1, 1, 1.0, 0),
+               std::invalid_argument);
+}
+
+TEST(Des, CrossValidatesAnalyticLatencyProfile) {
+  // The analytic model's CXL idle latency (media 350 + link 110 = 460 ns)
+  // should agree with the DES's single-op latency within ~5%.
+  const auto p = cs::fpga_prototype_des_params();
+  const auto r = cs::simulate_stream(p, 1, 1, 1.0, 2000, 3);
+  const auto setup = profiles::make_setup_one();
+  const double analytic =
+      setup.machine.memory(setup.cxl).idle_latency_ns +
+      setup.machine.link(setup.cxl_link).latency_ns;
+  EXPECT_NEAR(r.mean_latency_ns, analytic, 0.05 * analytic);
+}
+
+TEST(Des, CrossValidatesAnalyticMediaCeiling) {
+  // Saturated pure-read DES bandwidth vs the profile's media read ceiling.
+  const auto p = cs::fpga_prototype_des_params();
+  const auto r = cs::simulate_stream(p, 16, 32, 1.0, 300000, 5);
+  EXPECT_NEAR(r.data_gbs, profiles::kCxlFpgaReadGbs,
+              0.05 * profiles::kCxlFpgaReadGbs);
+}
+
+}  // namespace

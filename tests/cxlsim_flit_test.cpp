@@ -1,0 +1,61 @@
+// Tests for flit/slot arithmetic and link-efficiency math.
+#include <gtest/gtest.h>
+
+#include "cxlsim/flit.hpp"
+
+namespace cs = cxlpmem::cxlsim;
+
+namespace {
+
+TEST(Flit, RawRateMatchesPcie5x16) {
+  const cs::LinkParams link;
+  // 32 GT/s * 16 lanes / 8 bits * 128/130 = 63.02 GB/s per direction.
+  EXPECT_NEAR(link.raw_gbs(), 63.015, 0.01);
+}
+
+TEST(Flit, SlotCostsMatchSpecShapes) {
+  EXPECT_DOUBLE_EQ(cs::read_slot_cost().host_to_dev, 1.0);
+  EXPECT_DOUBLE_EQ(cs::read_slot_cost().dev_to_host, 5.0);
+  EXPECT_DOUBLE_EQ(cs::write_slot_cost().host_to_dev, 5.0);
+  EXPECT_DOUBLE_EQ(cs::write_slot_cost().dev_to_host, 1.0);
+  EXPECT_DOUBLE_EQ(cs::wire_bytes_per_slot(), 17.0);
+}
+
+TEST(Flit, ReadEfficiencyIsPayloadOverWire) {
+  const cs::LinkParams link;
+  // Pure reads: response direction carries 5 slots (85 wire bytes) per 64
+  // payload bytes -> 64/85 ≈ 0.753.
+  EXPECT_NEAR(cs::read_efficiency(link), 64.0 / 85.0, 1e-9);
+}
+
+TEST(Flit, PureWritesMirrorPureReads) {
+  const cs::LinkParams link;
+  EXPECT_NEAR(cs::effective_data_gbs(link, 0.0),
+              cs::effective_data_gbs(link, 1.0), 1e-9);
+}
+
+TEST(Flit, MixedTrafficExceedsSingleDirectionLimit) {
+  // With reads and writes mixed, payload flows on both directions, so the
+  // deliverable data rate exceeds the one-direction pure-read limit.
+  const cs::LinkParams link;
+  EXPECT_GT(cs::effective_data_gbs(link, 0.5),
+            cs::effective_data_gbs(link, 1.0));
+}
+
+TEST(Flit, EffectiveBandwidthScalesWithLanes) {
+  cs::LinkParams x8{.gigatransfers_per_s = 32.0, .lanes = 8};
+  cs::LinkParams x16{.gigatransfers_per_s = 32.0, .lanes = 16};
+  EXPECT_NEAR(2.0 * cs::effective_data_gbs(x8, 1.0),
+              cs::effective_data_gbs(x16, 1.0), 1e-9);
+}
+
+TEST(Flit, Pcie6DoublesTheRate) {
+  // CXL 3.0 over PCIe 6.0: 64 GT/s (PAM4, negligible encoding loss modelled
+  // as 1.0 here).
+  cs::LinkParams g6{.gigatransfers_per_s = 64.0, .lanes = 16,
+                    .encoding = 1.0};
+  cs::LinkParams g5;
+  EXPECT_GT(g6.raw_gbs(), 1.9 * g5.raw_gbs());
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Tests for HDM decoder address math, including interleave round-trip
+// properties across the legal parameter space.
+#include <gtest/gtest.h>
+
+#include "cxlsim/hdm_decoder.hpp"
+
+namespace cs = cxlpmem::cxlsim;
+
+namespace {
+
+TEST(Hdm, SingleTargetIsIdentity) {
+  const cs::HdmDecoder dec(0x1000, 1 << 20, 1, 8);
+  const auto d = dec.decode(0x1000 + 12345);
+  EXPECT_EQ(d.target, 0);
+  EXPECT_EQ(d.dpa, 12345u);
+}
+
+TEST(Hdm, TwoWayInterleaveAlternatesAtGranularity) {
+  const cs::HdmDecoder dec(0, 1 << 20, 2, 8);  // 256 B granules
+  EXPECT_EQ(dec.decode(0).target, 0);
+  EXPECT_EQ(dec.decode(256).target, 1);
+  EXPECT_EQ(dec.decode(512).target, 0);
+  EXPECT_EQ(dec.decode(512).dpa, 256u);
+}
+
+TEST(Hdm, RejectsIllegalParameters) {
+  EXPECT_THROW(cs::HdmDecoder(0, 1 << 20, 3, 8), std::invalid_argument);
+  EXPECT_THROW(cs::HdmDecoder(0, 1 << 20, 32, 8), std::invalid_argument);
+  EXPECT_THROW(cs::HdmDecoder(0, 1 << 20, 2, 7), std::invalid_argument);
+  EXPECT_THROW(cs::HdmDecoder(0, 1 << 20, 2, 15), std::invalid_argument);
+  EXPECT_THROW(cs::HdmDecoder(0, 100, 2, 8), std::invalid_argument);
+  EXPECT_THROW(cs::HdmDecoder(128, 1 << 20, 1, 8), std::invalid_argument);
+}
+
+TEST(Hdm, OutOfWindowThrows) {
+  const cs::HdmDecoder dec(0x1000, 1 << 16, 1, 8);
+  EXPECT_THROW((void)dec.decode(0xfff), std::out_of_range);
+  EXPECT_THROW((void)dec.decode(0x1000 + (1 << 16)), std::out_of_range);
+  EXPECT_THROW((void)dec.encode(1, 0), std::out_of_range);
+  EXPECT_THROW((void)dec.encode(0, 1 << 16), std::out_of_range);
+}
+
+struct HdmParam {
+  int ways;
+  int glog2;
+};
+
+class HdmProperty : public ::testing::TestWithParam<HdmParam> {};
+
+TEST_P(HdmProperty, DecodeEncodeRoundTrip) {
+  const auto [ways, glog2] = GetParam();
+  const std::uint64_t base = 0x4000000000ull;
+  const std::uint64_t size = std::uint64_t(ways) << 24;
+  const cs::HdmDecoder dec(base, size, ways, glog2);
+  for (std::uint64_t probe = 0; probe < size;
+       probe += (size / 257) | 1) {  // irregular stride
+    const auto d = dec.decode(base + probe);
+    EXPECT_GE(d.target, 0);
+    EXPECT_LT(d.target, ways);
+    EXPECT_LT(d.dpa, dec.per_target_bytes());
+    EXPECT_EQ(dec.encode(d.target, d.dpa), base + probe);
+  }
+}
+
+TEST_P(HdmProperty, GranulesAreContiguousOnOneTarget) {
+  const auto [ways, glog2] = GetParam();
+  const std::uint64_t gran = 1ull << glog2;
+  const cs::HdmDecoder dec(0, std::uint64_t(ways) << 24, ways, glog2);
+  const auto first = dec.decode(0);
+  for (std::uint64_t off = 1; off < gran; off += 61) {
+    const auto d = dec.decode(off);
+    EXPECT_EQ(d.target, first.target);
+    EXPECT_EQ(d.dpa, first.dpa + off);
+  }
+}
+
+TEST_P(HdmProperty, EveryTargetReceivesEqualShare) {
+  const auto [ways, glog2] = GetParam();
+  const std::uint64_t gran = 1ull << glog2;
+  const cs::HdmDecoder dec(0, std::uint64_t(ways) * gran * 64, ways, glog2);
+  std::vector<std::uint64_t> granules(static_cast<std::size_t>(ways), 0);
+  for (std::uint64_t hpa = 0; hpa < dec.size(); hpa += gran)
+    granules[static_cast<std::size_t>(dec.decode(hpa).target)] += 1;
+  for (const std::uint64_t g : granules) EXPECT_EQ(g, 64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, HdmProperty,
+    ::testing::Values(HdmParam{1, 8}, HdmParam{2, 8}, HdmParam{4, 8},
+                      HdmParam{8, 8}, HdmParam{16, 8}, HdmParam{2, 12},
+                      HdmParam{4, 14}, HdmParam{8, 10}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.ways) + "g" +
+             std::to_string(info.param.glog2);
+    });
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Tests for CXL.io config space: enumeration registers, DVSEC chain,
+// RO/RW masking.
+#include <gtest/gtest.h>
+
+#include "cxlsim/cxl_io.hpp"
+
+namespace cs = cxlpmem::cxlsim;
+
+namespace {
+
+TEST(CxlIo, EnumerationIdentity) {
+  const cs::ConfigSpace io(0x0d93, true);
+  EXPECT_EQ(io.read16(cs::cfg::kVendorId), cs::kIntelVendorId);
+  EXPECT_EQ(io.read16(cs::cfg::kDeviceId), 0x0d93);
+  // Class code is the CXL memory-device code.
+  EXPECT_EQ(io.read32(cs::cfg::kClassCode) >> 8, cs::kCxlMemClassCode);
+}
+
+TEST(CxlIo, DvsecChainWalks) {
+  const cs::ConfigSpace io(0x1, false);
+  EXPECT_EQ(io.find_dvsec(0), cs::cfg::kCxlDvsec);
+  EXPECT_EQ(io.find_dvsec(8), cs::cfg::kRegLocatorDvsec);
+  EXPECT_EQ(io.find_dvsec(5), 0);  // absent
+}
+
+TEST(CxlIo, CapabilitiesReflectType3) {
+  const cs::ConfigSpace with_init(0x1, true);
+  EXPECT_TRUE(with_init.cxl_capabilities() & cs::kCapMemCapable);
+  EXPECT_TRUE(with_init.cxl_capabilities() & cs::kCapIoCapable);
+  EXPECT_TRUE(with_init.cxl_capabilities() & cs::kCapMemHwInit);
+  EXPECT_FALSE(with_init.cxl_capabilities() & cs::kCapCacheCapable);
+
+  const cs::ConfigSpace no_init(0x1, false);
+  EXPECT_FALSE(no_init.cxl_capabilities() & cs::kCapMemHwInit);
+}
+
+TEST(CxlIo, ReadOnlyBitsIgnoreWrites) {
+  cs::ConfigSpace io(0x1234, true);
+  io.write32(cs::cfg::kVendorId, 0xffffffff);
+  EXPECT_EQ(io.read16(cs::cfg::kVendorId), cs::kIntelVendorId);
+  EXPECT_EQ(io.read16(cs::cfg::kDeviceId), 0x1234);
+}
+
+TEST(CxlIo, CommandRegisterRwBitsStick) {
+  cs::ConfigSpace io(0x1, true);
+  // Memory-space enable (bit 1) + bus master (bit 2) are RW.
+  io.write32(cs::cfg::kCommand, 0x06);
+  EXPECT_EQ(io.read16(cs::cfg::kCommand) & 0x06, 0x06);
+  io.write32(cs::cfg::kCommand, 0x00);
+  EXPECT_EQ(io.read16(cs::cfg::kCommand) & 0x06, 0x00);
+}
+
+TEST(CxlIo, MemEnableControlBitSticks) {
+  cs::ConfigSpace io(0x1, true);
+  const std::uint16_t dvsec = io.find_dvsec(0);
+  io.write32(dvsec + 0x0C, 0x1);
+  EXPECT_EQ(io.read32(dvsec + 0x0C) & 0x1u, 0x1u);
+}
+
+TEST(CxlIo, UnalignedAccessThrows) {
+  cs::ConfigSpace io(0x1, true);
+  EXPECT_THROW((void)io.read32(2), std::out_of_range);
+  EXPECT_THROW((void)io.read16(1), std::out_of_range);
+  EXPECT_THROW(io.write32(0xffe, 0), std::out_of_range);
+}
+
+}  // namespace

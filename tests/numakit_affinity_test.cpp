@@ -1,0 +1,107 @@
+// Tests for close/spread affinity planning (paper Class 1.c policies).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "numakit/affinity.hpp"
+#include "simkit/profiles.hpp"
+
+namespace nk = cxlpmem::numakit;
+namespace profiles = cxlpmem::simkit::profiles;
+
+namespace {
+
+TEST(Affinity, CloseFillsFirstSocketFirst) {
+  const auto s = profiles::make_setup_one();
+  const auto plan =
+      nk::plan_affinity(s.machine, 12, nk::AffinityPolicy::Close, 0);
+  ASSERT_EQ(plan.size(), 12u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(s.machine.socket_of_core(plan[i]), 0) << i;
+  for (int i = 10; i < 12; ++i)
+    EXPECT_EQ(s.machine.socket_of_core(plan[i]), 1) << i;
+}
+
+TEST(Affinity, SpreadAlternatesSockets) {
+  const auto s = profiles::make_setup_one();
+  const auto plan =
+      nk::plan_affinity(s.machine, 8, nk::AffinityPolicy::Spread, 0);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(s.machine.socket_of_core(plan[i]), i % 2) << i;
+}
+
+TEST(Affinity, FirstSocketRotatesTheOrder) {
+  const auto s = profiles::make_setup_one();
+  const auto plan =
+      nk::plan_affinity(s.machine, 4, nk::AffinityPolicy::Close, 1);
+  for (const auto c : plan) EXPECT_EQ(s.machine.socket_of_core(c), 1);
+}
+
+TEST(Affinity, SpreadHandlesExhaustedSockets) {
+  // 20 threads on 2x10 cores: spread must still produce all 20.
+  const auto s = profiles::make_setup_one();
+  const auto plan =
+      nk::plan_affinity(s.machine, 20, nk::AffinityPolicy::Spread, 0);
+  ASSERT_EQ(plan.size(), 20u);
+  const std::set<int> unique(plan.begin(), plan.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Affinity, RejectsBadArguments) {
+  const auto s = profiles::make_setup_one();
+  EXPECT_THROW(
+      (void)nk::plan_affinity(s.machine, 0, nk::AffinityPolicy::Close),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)nk::plan_affinity(s.machine, 21, nk::AffinityPolicy::Close),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)nk::plan_affinity(s.machine, 1, nk::AffinityPolicy::Close, 7),
+      std::invalid_argument);
+}
+
+struct AffinityCase {
+  int threads;
+  nk::AffinityPolicy policy;
+  int first_socket;
+};
+
+class AffinityProperty : public ::testing::TestWithParam<AffinityCase> {};
+
+TEST_P(AffinityProperty, PlansAreValidAndDuplicateFree) {
+  const auto [threads, policy, first] = GetParam();
+  const auto s = profiles::make_setup_one();
+  const auto plan = nk::plan_affinity(s.machine, threads, policy, first);
+  ASSERT_EQ(plan.size(), static_cast<std::size_t>(threads));
+  std::set<int> unique(plan.begin(), plan.end());
+  EXPECT_EQ(unique.size(), plan.size());
+  for (const auto c : plan) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, s.machine.core_count());
+  }
+  // Thread 0 always lands on the requested first socket.
+  EXPECT_EQ(s.machine.socket_of_core(plan[0]), first);
+}
+
+TEST_P(AffinityProperty, SpreadBalancesSockets) {
+  const auto [threads, policy, first] = GetParam();
+  if (policy != nk::AffinityPolicy::Spread) GTEST_SKIP();
+  const auto s = profiles::make_setup_one();
+  const auto plan = nk::plan_affinity(s.machine, threads, policy, first);
+  int per_socket[2] = {0, 0};
+  for (const auto c : plan) per_socket[s.machine.socket_of_core(c)]++;
+  EXPECT_LE(std::abs(per_socket[0] - per_socket[1]), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AffinityProperty,
+    ::testing::Values(AffinityCase{1, nk::AffinityPolicy::Close, 0},
+                      AffinityCase{10, nk::AffinityPolicy::Close, 0},
+                      AffinityCase{11, nk::AffinityPolicy::Close, 1},
+                      AffinityCase{20, nk::AffinityPolicy::Close, 0},
+                      AffinityCase{1, nk::AffinityPolicy::Spread, 0},
+                      AffinityCase{7, nk::AffinityPolicy::Spread, 1},
+                      AffinityCase{16, nk::AffinityPolicy::Spread, 0},
+                      AffinityCase{20, nk::AffinityPolicy::Spread, 1}));
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Tests for the fork-join thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "numakit/threadpool.hpp"
+
+namespace nk = cxlpmem::numakit;
+
+namespace {
+
+TEST(ThreadPool, RunExecutesOnEveryWorker) {
+  nk::ThreadPool pool({0, 1, 2, 3});
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](int idx) { hits[idx].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  nk::ThreadPool pool({0, 1, 2, 3, 4});
+  constexpr std::uint64_t kN = 100003;  // prime, uneven chunks
+  std::vector<std::atomic<std::uint8_t>> touched(kN);
+  pool.parallel_for(kN, [&](int, std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) touched[i].fetch_add(1);
+  });
+  for (std::uint64_t i = 0; i < kN; ++i)
+    ASSERT_EQ(touched[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ChunksAreBalanced) {
+  nk::ThreadPool pool({0, 1, 2});
+  std::vector<std::uint64_t> sizes(3, 0);
+  pool.parallel_for(10, [&](int idx, std::uint64_t b, std::uint64_t e) {
+    sizes[idx] = e - b;
+  });
+  // 10 over 3 workers: 4, 3, 3.
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[2], 4u);
+}
+
+TEST(ThreadPool, SmallRangeLeavesWorkersIdle) {
+  nk::ThreadPool pool({0, 1, 2, 3, 4, 5, 6, 7});
+  std::atomic<int> calls{0};
+  pool.parallel_for(3, [&](int, std::uint64_t b, std::uint64_t e) {
+    EXPECT_LT(b, e);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  nk::ThreadPool pool({0, 1});
+  std::atomic<std::uint64_t> sum{0};
+  for (int round = 0; round < 100; ++round)
+    pool.parallel_for(64, [&](int, std::uint64_t b, std::uint64_t e) {
+      sum.fetch_add(e - b);
+    });
+  EXPECT_EQ(sum.load(), 6400u);
+}
+
+TEST(ThreadPool, WorkerExceptionPropagates) {
+  nk::ThreadPool pool({0, 1, 2});
+  EXPECT_THROW(pool.run([](int idx) {
+    if (idx == 1) throw std::runtime_error("worker failure");
+  }),
+               std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(ThreadPool, AssignmentIsExposed) {
+  const std::vector<int> cores{3, 1, 4, 1, 5};
+  nk::ThreadPool pool(cores);
+  EXPECT_EQ(pool.size(), 5);
+  EXPECT_EQ(pool.assignment(), cores);
+}
+
+TEST(ThreadPool, EmptyAssignmentThrows) {
+  EXPECT_THROW(nk::ThreadPool pool({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for NUMA node construction and numactl-style distances.
+#include <gtest/gtest.h>
+
+#include "numakit/membind.hpp"
+#include "numakit/numa_topology.hpp"
+#include "simkit/profiles.hpp"
+
+namespace nk = cxlpmem::numakit;
+namespace sk = cxlpmem::simkit;
+namespace profiles = sk::profiles;
+
+namespace {
+
+TEST(NumaTopology, SetupOneWithCxlNode) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  ASSERT_EQ(topo.node_count(), 3);
+
+  EXPECT_EQ(topo.node(0).socket, 0);
+  EXPECT_EQ(topo.node(0).cpus.size(), 10u);
+  EXPECT_EQ(topo.node(1).socket, 1);
+  EXPECT_TRUE(topo.node(2).cpuless());
+  EXPECT_EQ(topo.node(2).memories, std::vector<sk::MemoryId>{s.cxl});
+
+  EXPECT_EQ(topo.node_of_core(0), 0);
+  EXPECT_EQ(topo.node_of_core(15), 1);
+  EXPECT_EQ(topo.node_of_memory(s.cxl), 2);
+  EXPECT_EQ(topo.memory_of_node(2), s.cxl);
+}
+
+TEST(NumaTopology, DistancesFollowLatency) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  EXPECT_EQ(topo.distance(0, 0), 10);
+  EXPECT_EQ(topo.distance(1, 1), 10);
+  // Remote socket: 140/95 * 10 ≈ 15.
+  EXPECT_GT(topo.distance(0, 1), 10);
+  EXPECT_LT(topo.distance(0, 1), 25);
+  // CXL node is much farther than the remote socket (460/95*10 ≈ 48).
+  EXPECT_GT(topo.distance(0, 2), topo.distance(0, 1));
+  // Symmetric for the socket pair on this machine.
+  EXPECT_EQ(topo.distance(0, 1), topo.distance(1, 0));
+}
+
+TEST(NumaTopology, CpulessNodeRequiresLinkAttachedMemory) {
+  const auto s = profiles::make_setup_one();
+  EXPECT_THROW(nk::NumaTopology::from_machine(s.machine, {s.ddr5_socket0}),
+               std::invalid_argument);
+}
+
+TEST(NumaTopology, NoCxlNodeUnlessOnlined) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {});
+  EXPECT_EQ(topo.node_count(), 2);
+  EXPECT_EQ(topo.node_of_memory(s.cxl), -1);
+}
+
+TEST(NumaTopology, BoundsChecking) {
+  const auto s = profiles::make_setup_two();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {});
+  EXPECT_THROW((void)topo.node(2), std::out_of_range);
+  EXPECT_THROW((void)topo.distance(0, 9), std::out_of_range);
+  EXPECT_THROW((void)topo.memory_of_node(5), std::out_of_range);
+}
+
+TEST(MemBind, BindResolvesToOneDevice) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  const auto p =
+      nk::resolve_placement(topo, nk::MemBindPolicy::bind(2));
+  ASSERT_EQ(p.shares.size(), 1u);
+  EXPECT_EQ(p.shares[0].first, s.cxl);
+  EXPECT_DOUBLE_EQ(p.shares[0].second, 1.0);
+}
+
+TEST(MemBind, InterleaveSplitsEvenly) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  const auto p = nk::resolve_placement(
+      topo, nk::MemBindPolicy::interleave({0, 1, 2}));
+  ASSERT_EQ(p.shares.size(), 3u);
+  double total = 0.0;
+  for (const auto& [mem, share] : p.shares) {
+    EXPECT_NEAR(share, 1.0 / 3.0, 1e-12);
+    total += share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MemBind, ValidatesPolicies) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {});
+  EXPECT_THROW(
+      nk::resolve_placement(topo, nk::MemBindPolicy{
+                                       nk::MemBindKind::Bind, {}}),
+      std::invalid_argument);
+  EXPECT_THROW(nk::resolve_placement(
+                   topo, nk::MemBindPolicy{nk::MemBindKind::Bind, {0, 1}}),
+               std::invalid_argument);
+}
+
+}  // namespace

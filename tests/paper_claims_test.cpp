@@ -1,0 +1,208 @@
+// The reproduction contract: every quantitative claim of the paper's §4
+// (DESIGN.md C1-C9), encoded as assertions over the model's outputs.
+// These tests define what "the figures have the right shape" means.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "streamer/runner.hpp"
+
+namespace sr = cxlpmem::streamer;
+namespace st = cxlpmem::stream;
+
+namespace {
+
+class PaperClaims : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sr::RunnerOptions o;
+    o.validate = false;  // model-only: claims are about the model's shapes
+    o.thread_step = 1;
+    series_ = new std::vector<sr::Series>(sr::Streamer(o).run_all());
+  }
+  static void TearDownTestSuite() {
+    delete series_;
+    series_ = nullptr;
+  }
+
+  /// The series for (group, label substring, kernel); fails if ambiguous.
+  static const sr::Series& find(sr::TestGroup g, const std::string& label,
+                                st::Kernel k) {
+    const sr::Series* found = nullptr;
+    for (const auto& s : *series_) {
+      if (s.group != g || s.kernel != k) continue;
+      if (s.label.find(label) == std::string::npos) continue;
+      EXPECT_EQ(found, nullptr)
+          << "ambiguous label " << label << " in " << sr::to_string(g);
+      found = &s;
+    }
+    EXPECT_NE(found, nullptr)
+        << "no series " << label << " in " << sr::to_string(g);
+    return *found;
+  }
+
+  static double saturated(const sr::Series& s) {
+    return s.points.back().model_gbs;
+  }
+
+  static std::vector<sr::Series>* series_;
+};
+
+std::vector<sr::Series>* PaperClaims::series_ = nullptr;
+
+// C1: "App-Direct access using PMDK to the local DDR5 memory is saturated
+// around 20-22 GB/s" for all four kernels.
+TEST_F(PaperClaims, C1_LocalDdr5AppDirectSaturatesAt20To22) {
+  for (const auto k : st::kAllKernels) {
+    const double gbs =
+        saturated(find(sr::TestGroup::Class1a, "pmem#0", k));
+    EXPECT_GE(gbs, 19.5) << to_string(k);
+    EXPECT_LE(gbs, 22.5) << to_string(k);
+  }
+}
+
+// C2: remote DDR5 App-Direct loses ~30% vs local.
+TEST_F(PaperClaims, C2_RemoteDdr5AppDirectLosesAboutThirtyPercent) {
+  for (const auto k : st::kAllKernels) {
+    const double local =
+        saturated(find(sr::TestGroup::Class1a, "pmem#0", k));
+    const double remote =
+        saturated(find(sr::TestGroup::Class1b, "pmem#1", k));
+    const double loss = 1.0 - remote / local;
+    EXPECT_GE(loss, 0.20) << to_string(k);
+    EXPECT_LE(loss, 0.40) << to_string(k);
+  }
+}
+
+// C3: CXL-DDR4 App-Direct ~50% below local DDR5; the loss beyond the
+// DDR4-vs-DDR5 media gap — the CXL fabric share — is about 2-3 GB/s.
+TEST_F(PaperClaims, C3_CxlAppDirectLosesAboutHalf_FabricCostsFewGBs) {
+  for (const auto k : st::kAllKernels) {
+    const double local =
+        saturated(find(sr::TestGroup::Class1a, "pmem#0", k));
+    const double cxl =
+        saturated(find(sr::TestGroup::Class1b, "cores:s0 pmem#2", k));
+    const double loss = 1.0 - cxl / local;
+    EXPECT_GE(loss, 0.40) << to_string(k);
+    EXPECT_LE(loss, 0.60) << to_string(k);
+  }
+}
+
+// C4a: close affinity — once the local socket is full, adding remote cores
+// *hurts* bandwidth on a local target.
+TEST_F(PaperClaims, C4a_CloseAffinityDeclinesPastSocketBoundary) {
+  for (const auto k : {st::Kernel::Copy, st::Kernel::Triad}) {
+    const auto& s =
+        find(sr::TestGroup::Class1c, "pmem#0 (ddr5, close)", k);
+    double at10 = 0.0, at20 = 0.0;
+    for (const auto& p : s.points) {
+      if (p.threads == 10) at10 = p.model_gbs;
+      if (p.threads == 20) at20 = p.model_gbs;
+    }
+    EXPECT_LT(at20, at10) << to_string(k);
+  }
+}
+
+// C4b: spread sits between close-local and close-remote at small thread
+// counts (it mixes local and remote accesses).
+TEST_F(PaperClaims, C4b_SpreadAveragesLocalAndRemote) {
+  const auto& close_s =
+      find(sr::TestGroup::Class1c, "pmem#0 (ddr5, close)", st::Kernel::Copy);
+  const auto& spread_s =
+      find(sr::TestGroup::Class1c, "pmem#0 (ddr5, spread)",
+           st::Kernel::Copy);
+  // At 4 threads: close = 4 local; spread = 2 local + 2 remote.
+  double close4 = 0.0, spread4 = 0.0;
+  for (const auto& p : close_s.points)
+    if (p.threads == 4) close4 = p.model_gbs;
+  for (const auto& p : spread_s.points)
+    if (p.threads == 4) spread4 = p.model_gbs;
+  EXPECT_LT(spread4, close4);
+  EXPECT_GT(spread4, 0.4 * close4);
+}
+
+// C4c: "when both sockets are operating with the entire core count, the
+// results converge" per memory target.
+TEST_F(PaperClaims, C4c_FullMachineAffinitiesConverge) {
+  for (const std::string target : {"pmem#0 (ddr5", "pmem#2 (cxl ddr4"}) {
+    const double close_gbs = saturated(
+        find(sr::TestGroup::Class1c, target + ", close)", st::Kernel::Add));
+    const double spread_gbs = saturated(
+        find(sr::TestGroup::Class1c, target + ", spread)", st::Kernel::Add));
+    EXPECT_NEAR(close_gbs, spread_gbs, 0.10 * close_gbs) << target;
+  }
+}
+
+// C5: DDR4 CC-NUMA remote-socket vs CXL-attached are comparable (within
+// 2-5 GB/s), with CXL gaining a slight edge beyond a few threads.
+TEST_F(PaperClaims, C5_CxlComparableToRemoteDdr4_EdgeAfterFewThreads) {
+  const auto& cxl =
+      find(sr::TestGroup::Class2a, "cores:s0 numa#2", st::Kernel::Copy);
+  const auto& s2 =
+      find(sr::TestGroup::Class2a, "setup2 cores:s0 numa#1",
+           st::Kernel::Copy);
+  const double gap = std::abs(saturated(cxl) - saturated(s2));
+  EXPECT_LE(gap, 5.0);
+  // Few threads: remote DDR4 ramps faster (lower latency).
+  EXPECT_GT(s2.points[0].model_gbs, cxl.points[0].model_gbs);
+  // Saturated: CXL slightly ahead.
+  EXPECT_GT(saturated(cxl), saturated(s2));
+}
+
+// C6: DDR5 CC-NUMA holds a ~1.5-2x advantage over DDR4 (either kind).
+TEST_F(PaperClaims, C6_Ddr5NumaFactorOverDdr4) {
+  const double ddr5 = saturated(
+      find(sr::TestGroup::Class2a, "numa#1 (ddr5 remote)", st::Kernel::Copy));
+  const double cxl = saturated(
+      find(sr::TestGroup::Class2a, "cores:s0 numa#2", st::Kernel::Copy));
+  const double s2 = saturated(find(
+      sr::TestGroup::Class2a, "setup2 cores:s0 numa#1", st::Kernel::Copy));
+  for (const double ddr4 : {cxl, s2}) {
+    EXPECT_GE(ddr5 / ddr4, 1.4);
+    EXPECT_LE(ddr5 / ddr4, 2.1);
+  }
+}
+
+// C7: PMDK costs 10-15% over raw CC-NUMA at the same placement.
+TEST_F(PaperClaims, C7_PmdkOverheadTenToFifteenPercent) {
+  for (const auto k : st::kAllKernels) {
+    const double pmdk = saturated(
+        find(sr::TestGroup::Class1b, "cores:s0 pmem#2", k));
+    const double numa =
+        saturated(find(sr::TestGroup::Class2a, "cores:s0 numa#2", k));
+    const double overhead = 1.0 - pmdk / numa;
+    EXPECT_GE(overhead, 0.10) << to_string(k);
+    EXPECT_LE(overhead, 0.15) << to_string(k);
+  }
+}
+
+// C8: with all cores, on-node DDR4 converges with CXL-attached DDR4.
+TEST_F(PaperClaims, C8_AllCoreDdr4ConvergesWithCxl) {
+  const double onnode = saturated(find(
+      sr::TestGroup::Class2b, "setup2 cores:all numa#0", st::Kernel::Copy));
+  const double cxl = saturated(
+      find(sr::TestGroup::Class2b, "cores:all numa#2", st::Kernel::Copy));
+  EXPECT_LE(std::abs(onnode - cxl), 2.5);
+}
+
+// C9: CXL-DDR4 beats published single-DIMM Optane DCPMM bandwidth
+// (6.6 GB/s read / 2.3 GB/s write).
+TEST_F(PaperClaims, C9_CxlBeatsPublishedDcpmm) {
+  for (const auto k : st::kAllKernels) {
+    const double cxl =
+        saturated(find(sr::TestGroup::Class1b, "cores:s0 pmem#2", k));
+    EXPECT_GT(cxl, 6.6) << to_string(k);
+  }
+}
+
+// The headline abstract claim: CXL-DDR4 lands close to local-DDR4-class
+// bandwidth while DDR4 has about half the bandwidth of DDR5 in this model.
+TEST_F(PaperClaims, Abstract_CxlComparableToLocalDdr4) {
+  const double cxl = saturated(
+      find(sr::TestGroup::Class2b, "cores:all numa#2", st::Kernel::Triad));
+  const double ddr4 = saturated(find(
+      sr::TestGroup::Class2b, "setup2 cores:all numa#0", st::Kernel::Triad));
+  EXPECT_NEAR(cxl, ddr4, 0.20 * ddr4);
+}
+
+}  // namespace

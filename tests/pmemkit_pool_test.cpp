@@ -1,0 +1,168 @@
+// Tests for ObjectPool lifecycle: create/open/close, validation, root
+// objects, persistence across reopen.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "pmemkit/pmemkit.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+namespace fs = std::filesystem;
+
+namespace {
+
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pooltest-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path pool_path(const std::string& n = "p") const {
+    return dir_ / n;
+  }
+  fs::path dir_;
+};
+
+constexpr std::uint64_t kSize = pk::ObjectPool::min_pool_size() * 2;
+
+TEST_F(PoolTest, CreateOpenRoundtrip) {
+  std::uint64_t id = 0;
+  {
+    auto p = pk::ObjectPool::create(pool_path(), "layout-x", kSize);
+    id = p->pool_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_EQ(p->layout(), "layout-x");
+    EXPECT_EQ(p->size(), kSize);
+  }
+  auto p = pk::ObjectPool::open(pool_path(), "layout-x");
+  EXPECT_EQ(p->pool_id(), id);
+  EXPECT_FALSE(p->recovered());  // clean shutdown
+}
+
+TEST_F(PoolTest, CreateRejectsBadArguments) {
+  EXPECT_THROW(pk::ObjectPool::create(pool_path(), "l",
+                                      pk::ObjectPool::min_pool_size() - 1),
+               pk::PoolError);
+  const std::string long_layout(100, 'x');
+  EXPECT_THROW(pk::ObjectPool::create(pool_path(), long_layout, kSize),
+               pk::PoolError);
+  // Existing file refuses create.
+  { auto p = pk::ObjectPool::create(pool_path(), "l", kSize); }
+  EXPECT_THROW(pk::ObjectPool::create(pool_path(), "l", kSize),
+               pk::PoolError);
+}
+
+TEST_F(PoolTest, OpenRejectsWrongLayout) {
+  { auto p = pk::ObjectPool::create(pool_path(), "alpha", kSize); }
+  EXPECT_THROW(pk::ObjectPool::open(pool_path(), "beta"), pk::PoolError);
+}
+
+TEST_F(PoolTest, OpenRejectsNonPoolFile) {
+  std::ofstream(pool_path()) << std::string(1 << 20, 'z');
+  EXPECT_THROW(pk::ObjectPool::open(pool_path(), "l"), pk::PoolError);
+}
+
+TEST_F(PoolTest, OpenDetectsHeaderCorruption) {
+  { auto p = pk::ObjectPool::create(pool_path(), "l", kSize); }
+  // Flip a byte inside the checksummed identity area (pool_id).
+  std::fstream f(pool_path(),
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(80);
+  f.put('\x5a');
+  f.close();
+  EXPECT_THROW(pk::ObjectPool::open(pool_path(), "l"), pk::PoolError);
+}
+
+TEST_F(PoolTest, DirtyShutdownIsReportedAsRecovered) {
+  {
+    auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+    p->mark_crashed();  // destructor skips the clean-shutdown flag
+  }
+  auto p = pk::ObjectPool::open(pool_path(), "l");
+  EXPECT_TRUE(p->recovered());
+  // A clean close then resets it.
+  p.reset();
+  auto q = pk::ObjectPool::open(pool_path(), "l");
+  EXPECT_FALSE(q->recovered());
+}
+
+struct Root {
+  std::uint64_t magic;
+  pk::ObjId list;
+};
+
+TEST_F(PoolTest, RootIsZeroedAndStable) {
+  {
+    auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+    auto root = p->root<Root>();
+    Root* r = p->direct(root);
+    EXPECT_EQ(r->magic, 0u);
+    EXPECT_TRUE(r->list.is_null());
+    r->magic = 0xfeed;
+    p->persist(&r->magic, sizeof(r->magic));
+    // Second call returns the same object.
+    EXPECT_EQ(p->root<Root>().raw, root.raw);
+  }
+  auto p = pk::ObjectPool::open(pool_path(), "l");
+  EXPECT_EQ(p->direct(p->root<Root>())->magic, 0xfeedu);
+}
+
+TEST_F(PoolTest, RootSizeMismatchThrows) {
+  auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+  (void)p->root_raw(64);
+  EXPECT_NO_THROW((void)p->root_raw(32));  // smaller is fine
+  EXPECT_THROW((void)p->root_raw(128), pk::PoolError);
+}
+
+TEST_F(PoolTest, DirectValidatesOids) {
+  auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+  EXPECT_THROW((void)p->direct(pk::kNullOid), pk::PoolError);
+  EXPECT_THROW((void)p->direct(pk::ObjId{1234, 64}), pk::PoolError);
+  EXPECT_THROW((void)p->direct(pk::ObjId{p->pool_id(), p->size() + 1}),
+               pk::PoolError);
+}
+
+TEST_F(PoolTest, OidForInvertsDirect) {
+  auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+  const pk::ObjId oid = p->alloc_atomic(256, 1);
+  void* ptr = p->direct(oid);
+  EXPECT_EQ(p->oid_for(ptr), oid);
+  int local = 0;
+  EXPECT_THROW((void)p->oid_for(&local), pk::PoolError);
+}
+
+TEST_F(PoolTest, DataPersistsAcrossReopen) {
+  const char msg[] = "CXL memory as persistent memory";
+  pk::ObjId oid{};
+  {
+    auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+    struct R { pk::ObjId data; };
+    auto* r = p->direct(p->root<R>());
+    oid = p->alloc_atomic(sizeof(msg), 9, &r->data);
+    p->memcpy_persist(p->direct(oid), msg, sizeof(msg));
+  }
+  auto p = pk::ObjectPool::open(pool_path(), "l");
+  struct R { pk::ObjId data; };
+  auto* r = p->direct(p->root<R>());
+  EXPECT_EQ(r->data, oid);
+  EXPECT_STREQ(static_cast<const char*>(p->direct(r->data)), msg);
+}
+
+TEST_F(PoolTest, StatsReflectAllocations) {
+  auto p = pk::ObjectPool::create(pool_path(), "l", kSize);
+  const auto before = p->stats();
+  (void)p->alloc_atomic(1000, 1);
+  (void)p->alloc_atomic(1000, 1);
+  const auto after = p->stats();
+  EXPECT_EQ(after.heap.object_count, before.heap.object_count + 2);
+  EXPECT_GT(after.heap.allocated_bytes, before.heap.allocated_bytes);
+  EXPECT_EQ(after.lane_count, pk::kLaneCount);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the cacheline shadow tracker — the crash-consistency oracle.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "pmemkit/shadow.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+
+namespace {
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  ShadowTest() : live(1024, std::byte{0}), shadow(live.data(), live.size()) {}
+
+  void store(std::size_t off, std::uint8_t value, std::size_t len = 1) {
+    std::memset(live.data() + off, value, len);
+    shadow.record_store(off, len);
+  }
+
+  std::vector<std::byte> live;
+  pk::ShadowTracker shadow;
+};
+
+TEST_F(ShadowTest, UnflushedStoreIsLostUnderStrictPolicy) {
+  store(0, 0xAA);
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[0], std::byte{0});
+}
+
+TEST_F(ShadowTest, FlushWithoutFenceIsStillLost) {
+  store(0, 0xAA);
+  shadow.record_flush(0, 1);
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[0], std::byte{0});
+}
+
+TEST_F(ShadowTest, FlushPlusFencePersists) {
+  store(0, 0xAA);
+  shadow.record_flush(0, 1);
+  shadow.record_fence();
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[0], std::byte{0xAA});
+  EXPECT_EQ(shadow.dirty_lines(), 0u);
+}
+
+TEST_F(ShadowTest, FenceOnlyCommitsFlushedLines) {
+  store(0, 0xAA);
+  store(128, 0xBB);  // a different line
+  shadow.record_flush(0, 1);
+  shadow.record_fence();
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[0], std::byte{0xAA});
+  EXPECT_EQ(img[128], std::byte{0});
+  EXPECT_EQ(shadow.dirty_lines(), 1u);
+}
+
+TEST_F(ShadowTest, FlushCoversWholeLines) {
+  // A store at offset 10 and a flush at offset 60 share the line [0, 64):
+  // flushing any byte of the line flushes the line.
+  store(10, 0xCC);
+  shadow.record_flush(60, 1);
+  shadow.record_fence();
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[10], std::byte{0xCC});
+}
+
+TEST_F(ShadowTest, MultiLineRangeFlush) {
+  store(0, 0xDD, 256);  // four lines
+  shadow.record_flush(0, 256);
+  shadow.record_fence();
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(img[i], std::byte{0xDD});
+}
+
+TEST_F(ShadowTest, RandomEvictIsSeedDeterministic) {
+  store(0, 0xEE, 512);
+  const auto a = shadow.crash_image(pk::CrashPolicy::RandomEvict, 7);
+  const auto b = shadow.crash_image(pk::CrashPolicy::RandomEvict, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ShadowTest, RandomEvictMayKeepSomeDirtyLines) {
+  store(0, 0xEE, 1024);  // 16 dirty lines
+  const auto img = shadow.crash_image(pk::CrashPolicy::RandomEvict, 1);
+  int evicted = 0, dropped = 0;
+  for (std::size_t line = 0; line < 16; ++line) {
+    if (img[line * 64] == std::byte{0xEE})
+      ++evicted;
+    else
+      ++dropped;
+  }
+  // With 16 lines and a fair coin, both outcomes occur for seed 1.
+  EXPECT_GT(evicted, 0);
+  EXPECT_GT(dropped, 0);
+}
+
+TEST_F(ShadowTest, StoreAfterFenceDirtiesAgain) {
+  store(0, 0x11);
+  shadow.record_flush(0, 1);
+  shadow.record_fence();
+  store(0, 0x22);
+  const auto img = shadow.crash_image(pk::CrashPolicy::DropUnflushed);
+  EXPECT_EQ(img[0], std::byte{0x11});  // the fenced value, not the new one
+}
+
+TEST_F(ShadowTest, ZeroLengthOpsAreNoops) {
+  shadow.record_store(0, 0);
+  shadow.record_flush(0, 0);
+  shadow.record_fence();
+  EXPECT_EQ(shadow.dirty_lines(), 0u);
+  EXPECT_EQ(shadow.pending_lines(), 0u);
+}
+
+}  // namespace

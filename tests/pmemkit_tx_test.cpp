@@ -1,0 +1,201 @@
+// Tests for undo-log transactions: commit/abort, tx alloc/free, nesting,
+// log limits, and concurrent transactions on separate lanes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "pmemkit/pmemkit.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Root {
+  std::uint64_t counter;
+  pk::ObjId obj;
+  std::uint64_t values[8];
+};
+
+class TxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("txtest-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove(path_);
+    pool_ = pk::ObjectPool::create(path_, "tx", 32ull << 20);
+    root_ = pool_->direct(pool_->root<Root>());
+  }
+  void TearDown() override {
+    pool_.reset();
+    fs::remove(path_);
+  }
+
+  fs::path path_;
+  std::unique_ptr<pk::ObjectPool> pool_;
+  Root* root_ = nullptr;
+};
+
+TEST_F(TxTest, CommitAppliesChanges) {
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+    root_->counter = 41;
+  });
+  EXPECT_EQ(root_->counter, 41u);
+}
+
+TEST_F(TxTest, ExceptionAbortsAndRestores) {
+  root_->counter = 7;
+  pool_->persist(&root_->counter, 8);
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+    root_->counter = 1000;
+    throw std::runtime_error("bail");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(root_->counter, 7u);
+}
+
+TEST_F(TxTest, AbortRestoresMultipleRangesInOrder) {
+  for (int i = 0; i < 8; ++i) root_->values[i] = i;
+  pool_->persist(root_->values, sizeof(root_->values));
+  EXPECT_THROW(pool_->run_tx([&] {
+    // Overlapping snapshots of the same range: reverse-order undo must
+    // still restore the original values.
+    pool_->tx_add_range(root_->values, sizeof(root_->values));
+    for (int i = 0; i < 8; ++i) root_->values[i] = 100 + i;
+    pool_->tx_add_range(root_->values, sizeof(root_->values));
+    for (int i = 0; i < 8; ++i) root_->values[i] = 200 + i;
+    throw std::logic_error("abort");
+  }),
+               std::logic_error);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(root_->values[i], i);
+}
+
+TEST_F(TxTest, TxAllocIsVisibleAfterCommit) {
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->obj, sizeof(root_->obj));
+    root_->obj = pool_->tx_alloc(128, 3);
+  });
+  EXPECT_FALSE(root_->obj.is_null());
+  EXPECT_EQ(pool_->type_of(root_->obj), 3u);
+}
+
+TEST_F(TxTest, TxAllocRolledBackOnAbort) {
+  EXPECT_THROW(pool_->run_tx([&] {
+    (void)pool_->tx_alloc(128, 3);
+    throw std::runtime_error("no");
+  }),
+               std::runtime_error);
+  EXPECT_TRUE(pool_->first(3).is_null());  // nothing leaked
+}
+
+TEST_F(TxTest, TxFreeHappensAtCommitOnly) {
+  const pk::ObjId oid = pool_->alloc_atomic(64, 4);
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_free(oid);
+    throw std::runtime_error("abort");  // free must NOT happen
+  }),
+               std::runtime_error);
+  EXPECT_EQ(pool_->first(4), oid);
+
+  pool_->run_tx([&] { pool_->tx_free(oid); });
+  EXPECT_TRUE(pool_->first(4).is_null());
+}
+
+TEST_F(TxTest, NestedTransactionsAreFlat) {
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 1;
+    pool_->run_tx([&] {  // joins the outer tx
+      pool_->tx_add_range(&root_->values[0], 8);
+      root_->values[0] = 2;
+    });
+  });
+  EXPECT_EQ(root_->counter, 1u);
+  EXPECT_EQ(root_->values[0], 2u);
+
+  // Inner exception aborts the WHOLE flat transaction.
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 99;
+    pool_->run_tx([&] { throw std::runtime_error("inner"); });
+  }),
+               std::runtime_error);
+  EXPECT_EQ(root_->counter, 1u);
+}
+
+TEST_F(TxTest, TxOpsOutsideTransactionThrow) {
+  EXPECT_THROW(pool_->tx_add_range(&root_->counter, 8), pk::TxError);
+  EXPECT_THROW((void)pool_->tx_alloc(64, 1), pk::TxError);
+  EXPECT_THROW(pool_->tx_free(pk::ObjId{pool_->pool_id(), 64}), pk::TxError);
+}
+
+TEST_F(TxTest, AddRangeOutsidePoolThrows) {
+  std::uint64_t local = 0;
+  pool_->run_tx([&] {
+    EXPECT_THROW(pool_->tx_add_range(&local, 8), pk::TxError);
+  });
+}
+
+TEST_F(TxTest, UndoLogOverflowThrowsAndAborts) {
+  const pk::ObjId big = pool_->alloc_atomic(1u << 20, 1, nullptr, true);
+  auto* p = static_cast<std::uint8_t*>(pool_->direct(big));
+  EXPECT_THROW(pool_->run_tx([&] {
+    // A 1 MiB snapshot exceeds the per-lane undo log.
+    pool_->tx_add_range(p, 1u << 20);
+  }),
+               pk::TxError);
+  // Pool still usable.
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 5;
+  });
+  EXPECT_EQ(root_->counter, 5u);
+}
+
+TEST_F(TxTest, FreeingForeignOidThrows) {
+  pool_->run_tx([&] {
+    EXPECT_THROW(pool_->tx_free(pk::ObjId{0xdead, 64}), pk::TxError);
+  });
+}
+
+TEST_F(TxTest, ConcurrentTransactionsOnSeparateLanes) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50;
+  // Each thread owns one slot of the root array.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        pool_->run_tx([&] {
+          pool_->tx_add_range(&root_->values[t], 8);
+          root_->values[t] += 1;
+          const pk::ObjId tmp = pool_->tx_alloc(64, 100 + t);
+          pool_->tx_free(tmp);
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(root_->values[t], static_cast<std::uint64_t>(kIters));
+  // All temporaries freed.
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_TRUE(pool_->first(100 + t).is_null());
+}
+
+TEST_F(TxTest, CommittedStateSurvivesReopen) {
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 77;
+  });
+  pool_.reset();
+  pool_ = pk::ObjectPool::open(path_, "tx");
+  EXPECT_EQ(pool_->direct(pool_->root<Root>())->counter, 77u);
+}
+
+}  // namespace

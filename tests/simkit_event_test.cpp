@@ -1,0 +1,71 @@
+// Tests for the deterministic discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include "simkit/event.hpp"
+
+namespace sk = cxlpmem::simkit;
+
+namespace {
+
+TEST(Event, FiresInTimeOrder) {
+  sk::Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30.0, [&] { order.push_back(3); });
+  sim.schedule(10.0, [&] { order.push_back(1); });
+  sim.schedule(20.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 30.0);
+}
+
+TEST(Event, TiesBreakByScheduleOrder) {
+  sk::Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    sim.schedule(7.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Event, ActionsMayScheduleMoreEvents) {
+  sk::Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 10) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Event, RunUntilStopsAndAdvancesClock) {
+  sk::Simulator sim;
+  int fired = 0;
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.schedule(15.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Event, PastDeadlinesClampToNow) {
+  sk::Simulator sim;
+  sim.schedule(10.0, [] {});
+  sim.run();
+  double fired_at = -1.0;
+  sim.schedule_at(3.0, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Event, EmptySimulatorRunsToNothing) {
+  sk::Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+}  // namespace

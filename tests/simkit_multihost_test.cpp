@@ -1,0 +1,174 @@
+// Tests for the §6 future-work extensions: multi-host pooling, CXL media
+// variants, and latency-bound (MLP-override) workloads.
+#include <gtest/gtest.h>
+
+#include "simkit/bwmodel.hpp"
+#include "simkit/profiles.hpp"
+#include "simkit/route.hpp"
+
+namespace sk = cxlpmem::simkit;
+namespace profiles = sk::profiles;
+
+namespace {
+
+std::vector<sk::TrafficSpec> host_specs(const profiles::MultiHostSetup& s,
+                                        int host, double mlp = 0.0) {
+  std::vector<sk::TrafficSpec> specs;
+  for (const sk::CoreId c : s.machine.cores_of_socket(s.hosts[host]))
+    specs.push_back({.core = c,
+                     .memory = s.shared_cxl,
+                     .traffic = sk::kernel_traffic::kTriad,
+                     .software_factor = 1.0,
+                     .traffic_amplification = 1.0,
+                     .working_set_bytes = profiles::kStreamWorkingSetBytes,
+                     .mlp_override = mlp});
+  return specs;
+}
+
+TEST(MultiHost, EachHostRoutesThroughItsOwnHead) {
+  const auto s = profiles::make_multihost_setup(4);
+  for (int h = 0; h < 4; ++h) {
+    const sk::Path p =
+        sk::resolve_route(s.machine, s.hosts[h], s.shared_cxl);
+    ASSERT_EQ(p.hops.size(), 1u) << "host " << h;
+    EXPECT_EQ(p.hops[0].link, s.head_links[h]) << "host " << h;
+    EXPECT_FALSE(p.crosses_upi(s.machine));
+  }
+}
+
+TEST(MultiHost, HostsHaveNoInterconnect) {
+  const auto s = profiles::make_multihost_setup(2);
+  // Host 0 cannot reach host 1's DRAM: there is no UPI between hosts.
+  EXPECT_THROW((void)sk::resolve_route(s.machine, s.hosts[0],
+                                       s.host_dram[1]),
+               std::runtime_error);
+}
+
+TEST(MultiHost, AggregateSaturatesAtDeviceCeiling) {
+  double single = 0.0;
+  for (const int n : {1, 2, 4, 8}) {
+    const auto s = profiles::make_multihost_setup(n);
+    const sk::BandwidthModel model(s.machine);
+    std::vector<sk::TrafficSpec> specs;
+    for (int h = 0; h < n; ++h) {
+      const auto hs = host_specs(s, h);
+      specs.insert(specs.end(), hs.begin(), hs.end());
+    }
+    const double total = model.solve(specs).total_gbs;
+    if (n == 1) single = total;
+    // Pooling: aggregate equals the single-host ceiling (same device).
+    EXPECT_NEAR(total, single, 1e-6) << n << " hosts";
+  }
+}
+
+TEST(MultiHost, ConcurrentHostsGetFairShares) {
+  const auto s = profiles::make_multihost_setup(4);
+  const sk::BandwidthModel model(s.machine);
+  std::vector<sk::TrafficSpec> specs;
+  for (int h = 0; h < 4; ++h) {
+    const auto hs = host_specs(s, h);
+    specs.insert(specs.end(), hs.begin(), hs.end());
+  }
+  const auto result = model.solve(specs);
+  std::array<double, 4> hosts{};
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    hosts[static_cast<std::size_t>(specs[i].core) / 10] +=
+        result.flows[i].rate_gbs;
+  for (int h = 1; h < 4; ++h)
+    EXPECT_NEAR(hosts[h], hosts[0], 1e-6 * (1 + hosts[0]));
+}
+
+TEST(MultiHost, SoloHostOnBigPoolGetsFullDevice) {
+  const auto pool8 = profiles::make_multihost_setup(8);
+  const auto pool1 = profiles::make_multihost_setup(1);
+  const double solo8 = sk::BandwidthModel(pool8.machine)
+                           .solve(host_specs(pool8, 0))
+                           .total_gbs;
+  const double solo1 = sk::BandwidthModel(pool1.machine)
+                           .solve(host_specs(pool1, 0))
+                           .total_gbs;
+  EXPECT_NEAR(solo8, solo1, 1e-9);
+}
+
+TEST(MultiHost, ValidatesHostCount) {
+  EXPECT_THROW(profiles::make_multihost_setup(0), std::invalid_argument);
+  EXPECT_THROW(profiles::make_multihost_setup(9), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(CxlMedia, VariantsOrderAsExpected) {
+  const auto triad = [](const profiles::SetupOne& s) {
+    const sk::BandwidthModel model(s.machine);
+    std::vector<sk::TrafficSpec> specs;
+    for (int c = 0; c < 10; ++c)
+      specs.push_back(
+          {.core = c,
+           .memory = s.cxl,
+           .traffic = sk::kernel_traffic::kTriad,
+           .software_factor = 1.0,
+           .traffic_amplification = 1.0,
+           .working_set_bytes = profiles::kStreamWorkingSetBytes,
+           .mlp_override = 0.0});
+    return model.solve(specs).total_gbs;
+  };
+  const double ddr4 = triad(
+      profiles::make_setup_one_with_media(profiles::CxlMediaKind::Ddr4Fpga));
+  const double ddr5 = triad(
+      profiles::make_setup_one_with_media(profiles::CxlMediaKind::Ddr5Asic));
+  const double dcpmm = triad(profiles::make_setup_one_with_media(
+      profiles::CxlMediaKind::DcpmmAsic));
+  EXPECT_GT(ddr5, ddr4);
+  EXPECT_GT(ddr4, dcpmm);
+  // DCPMM media behind CXL still beats nothing: bounded by Optane ceilings.
+  EXPECT_LT(dcpmm, profiles::kDcpmmReadGbs + profiles::kDcpmmWriteGbs);
+}
+
+TEST(CxlMedia, Ddr4VariantMatchesCanonicalSetup) {
+  const auto canonical = profiles::make_setup_one();
+  const auto variant = profiles::make_setup_one_with_media(
+      profiles::CxlMediaKind::Ddr4Fpga);
+  EXPECT_DOUBLE_EQ(canonical.machine.memory(canonical.cxl).peak_read_gbs,
+                   variant.machine.memory(variant.cxl).peak_read_gbs);
+  EXPECT_DOUBLE_EQ(
+      canonical.machine.memory(canonical.cxl).idle_latency_ns,
+      variant.machine.memory(variant.cxl).idle_latency_ns);
+}
+
+TEST(CxlMedia, DcpmmVariantIsStillPersistent) {
+  const auto s = profiles::make_setup_one_with_media(
+      profiles::CxlMediaKind::DcpmmAsic);
+  EXPECT_TRUE(s.machine.memory(s.cxl).persistent);
+  EXPECT_EQ(s.machine.memory(s.cxl).kind, sk::MemoryKind::Dcpmm);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MlpOverride, PointerChaseIsLatencyBound) {
+  const auto s = profiles::make_setup_one();
+  const sk::BandwidthModel model(s.machine);
+  const auto one_thread = [&](sk::MemoryId mem, double mlp) {
+    std::vector<sk::TrafficSpec> specs{{.core = 0,
+                                        .memory = mem,
+                                        .traffic = {.read_frac = 1.0,
+                                                    .write_frac = 0.0,
+                                                    .write_allocate = false},
+                                        .software_factor = 1.0,
+                                        .traffic_amplification = 1.0,
+                                        .working_set_bytes = 0,
+                                        .mlp_override = mlp}};
+    return model.solve(specs).total_gbs;
+  };
+  // MLP=1: exactly one line per round trip.
+  const double local = one_thread(s.ddr5_socket0, 1.0);
+  EXPECT_NEAR(local, 64.0 / 95e-9 / 1e9, 1e-6);
+  const double cxl = one_thread(s.cxl, 1.0);
+  EXPECT_NEAR(cxl, 64.0 / 460e-9 / 1e9, 1e-6);
+  // The ratio equals the latency ratio.
+  EXPECT_NEAR(local / cxl, 460.0 / 95.0, 1e-6);
+  // Zero override falls back to the socket's MLP.
+  EXPECT_NEAR(one_thread(s.ddr5_socket0, 0.0),
+              16.0 * 64.0 / 95e-9 / 1e9, 1e-6);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Tests for the StreamBenchmark runner: model + real-execution integration
+// in both access modes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "numakit/numakit.hpp"
+#include "stream/stream.hpp"
+
+namespace st = cxlpmem::stream;
+namespace nk = cxlpmem::numakit;
+namespace sk = cxlpmem::simkit;
+namespace profiles = sk::profiles;
+namespace fs = std::filesystem;
+
+namespace {
+
+class StreamBenchTest : public ::testing::Test {
+ protected:
+  StreamBenchTest() : setup_(profiles::make_setup_one()) {
+    topo_ = std::make_unique<nk::NumaTopology>(
+        nk::NumaTopology::from_machine(setup_.machine, {setup_.cxl}));
+    options_.verify_elements = 1u << 16;  // fast real runs
+    options_.ntimes = 2;
+  }
+
+  st::BenchOptions options_;
+  profiles::SetupOne setup_;
+  std::unique_ptr<nk::NumaTopology> topo_;
+};
+
+TEST_F(StreamBenchTest, MemoryModeRunsAndValidates) {
+  const st::StreamBenchmark bench(setup_.machine, options_);
+  const auto plan = nk::plan_affinity(setup_.machine, 4,
+                                      nk::AffinityPolicy::Close, 0);
+  const auto placement =
+      nk::resolve_placement(*topo_, nk::MemBindPolicy::bind(0));
+  const auto r = bench.run(plan, placement, st::AccessMode::MemoryMode);
+  EXPECT_EQ(r.threads, 4);
+  EXPECT_LT(r.validation_error, 1e-12);
+  for (const auto k : st::kAllKernels) {
+    EXPECT_GT(r[k].model_gbs, 0.0);
+    EXPECT_GT(r[k].wall_gbs, 0.0);
+  }
+}
+
+TEST_F(StreamBenchTest, AppDirectExercisesPmemPools) {
+  const st::StreamBenchmark bench(setup_.machine, options_);
+  const auto plan = nk::plan_affinity(setup_.machine, 2,
+                                      nk::AffinityPolicy::Close, 0);
+  const auto placement =
+      nk::resolve_placement(*topo_, nk::MemBindPolicy::bind(2));
+  const auto r = bench.run(plan, placement, st::AccessMode::AppDirect);
+  EXPECT_LT(r.validation_error, 1e-12);
+  // App-Direct pays the PMDK amplification vs the same Memory-Mode run.
+  const auto raw = bench.run(plan, placement, st::AccessMode::MemoryMode);
+  for (const auto k : st::kAllKernels)
+    EXPECT_LT(r[k].model_gbs, raw[k].model_gbs);
+}
+
+TEST_F(StreamBenchTest, AppDirectCleansUpPoolFiles) {
+  // Private scratch directory: counting files in the shared temp dir would
+  // race with concurrently running tests.
+  auto opts = options_;
+  opts.pmem_dir = fs::temp_directory_path() /
+                  ("streambench-cleanup-" + std::to_string(::getpid()));
+  fs::create_directories(opts.pmem_dir);
+  const st::StreamBenchmark bench(setup_.machine, opts);
+  const auto plan = nk::plan_affinity(setup_.machine, 1,
+                                      nk::AffinityPolicy::Close, 0);
+  const auto placement =
+      nk::resolve_placement(*topo_, nk::MemBindPolicy::bind(0));
+  (void)bench.run(plan, placement, st::AccessMode::AppDirect);
+  EXPECT_TRUE(fs::is_empty(opts.pmem_dir));
+  fs::remove_all(opts.pmem_dir);
+}
+
+TEST_F(StreamBenchTest, ModelOnlySkipsRealRun) {
+  auto opts = options_;
+  opts.model_only = true;
+  const st::StreamBenchmark bench(setup_.machine, opts);
+  const auto plan = nk::plan_affinity(setup_.machine, 4,
+                                      nk::AffinityPolicy::Close, 0);
+  const auto placement =
+      nk::resolve_placement(*topo_, nk::MemBindPolicy::bind(0));
+  const auto r = bench.run(plan, placement, st::AccessMode::MemoryMode);
+  for (const auto k : st::kAllKernels) {
+    EXPECT_GT(r[k].model_gbs, 0.0);
+    EXPECT_DOUBLE_EQ(r[k].wall_gbs, 0.0);
+  }
+}
+
+TEST_F(StreamBenchTest, InterleavePlacementUsesBothDevices) {
+  const st::StreamBenchmark bench(setup_.machine, options_);
+  const auto plan = nk::plan_affinity(setup_.machine, 10,
+                                      nk::AffinityPolicy::Close, 0);
+  const auto local =
+      nk::resolve_placement(*topo_, nk::MemBindPolicy::bind(0));
+  const auto interleaved = nk::resolve_placement(
+      *topo_, nk::MemBindPolicy::interleave({0, 1}));
+  const auto r_local =
+      bench.run(plan, local, st::AccessMode::MemoryMode);
+  const auto r_il =
+      bench.run(plan, interleaved, st::AccessMode::MemoryMode);
+  // Interleaving across both DIMMs beats a single saturated DIMM.
+  EXPECT_GT(r_il[st::Kernel::Copy].model_gbs,
+            r_local[st::Kernel::Copy].model_gbs);
+}
+
+TEST_F(StreamBenchTest, PmemArraysPersistAcrossReopen) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("streamarrays-" + std::to_string(::getpid()) + ".pool");
+  fs::remove(path);
+  {
+    st::PmemArrays arrays(path, 1024);
+    auto v = arrays.view();
+    st::init_arrays(v);
+    st::copy_chunk(v, 0, 1024);
+    arrays.persist_all();
+  }
+  {
+    st::PmemArrays arrays(path, 1024);  // pmemobj_open path
+    auto v = arrays.view();
+    EXPECT_DOUBLE_EQ(v.c[512], 1.0);  // copy result persisted
+  }
+  // Wrong size rejected.
+  EXPECT_THROW(st::PmemArrays(path, 2048), cxlpmem::pmemkit::PoolError);
+  fs::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for the STREAM kernels and the stream.c-style validation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/kernels.hpp"
+
+namespace st = cxlpmem::stream;
+
+namespace {
+
+struct Arrays {
+  explicit Arrays(std::uint64_t n) : a(n, 0), b(n, 0), c(n, 0) {
+    view = st::ArrayView{a.data(), b.data(), c.data(), n};
+    st::init_arrays(view);
+  }
+  std::vector<double> a, b, c;
+  st::ArrayView view;
+};
+
+TEST(Kernels, InitSetsStreamValues) {
+  Arrays arr(100);
+  EXPECT_DOUBLE_EQ(arr.a[50], 1.0);
+  EXPECT_DOUBLE_EQ(arr.b[50], 2.0);
+  EXPECT_DOUBLE_EQ(arr.c[50], 0.0);
+}
+
+TEST(Kernels, CopyScaleAddTriadSemantics) {
+  Arrays arr(64);
+  st::copy_chunk(arr.view, 0, 64);
+  EXPECT_DOUBLE_EQ(arr.c[10], 1.0);
+  st::scale_chunk(arr.view, 3.0, 0, 64);
+  EXPECT_DOUBLE_EQ(arr.b[10], 3.0);
+  st::add_chunk(arr.view, 0, 64);
+  EXPECT_DOUBLE_EQ(arr.c[10], 4.0);
+  st::triad_chunk(arr.view, 3.0, 0, 64);
+  EXPECT_DOUBLE_EQ(arr.a[10], 3.0 + 3.0 * 4.0);
+}
+
+TEST(Kernels, ChunksComposeToFullRange) {
+  Arrays whole(1000), parts(1000);
+  st::copy_chunk(whole.view, 0, 1000);
+  st::copy_chunk(parts.view, 0, 400);
+  st::copy_chunk(parts.view, 400, 1000);
+  EXPECT_EQ(whole.c, parts.c);
+}
+
+TEST(Kernels, ValidationPassesAfterFullCycles) {
+  Arrays arr(512);
+  const double s = 3.0;
+  for (int t = 0; t < 7; ++t) {
+    st::copy_chunk(arr.view, 0, 512);
+    st::scale_chunk(arr.view, s, 0, 512);
+    st::add_chunk(arr.view, 0, 512);
+    st::triad_chunk(arr.view, s, 0, 512);
+  }
+  EXPECT_LT(st::validate(arr.view, s, 7), 1e-13);
+}
+
+TEST(Kernels, ValidationCatchesCorruption) {
+  Arrays arr(512);
+  const double s = 3.0;
+  st::copy_chunk(arr.view, 0, 512);
+  st::scale_chunk(arr.view, s, 0, 512);
+  st::add_chunk(arr.view, 0, 512);
+  st::triad_chunk(arr.view, s, 0, 512);
+  arr.a[100] *= 2.0;  // corrupt one element
+  EXPECT_GT(st::validate(arr.view, s, 1), 1e-6);
+}
+
+TEST(Kernels, CountedBytesFollowStreamConvention) {
+  EXPECT_EQ(st::counted_bytes_per_element(st::Kernel::Copy), 16u);
+  EXPECT_EQ(st::counted_bytes_per_element(st::Kernel::Scale), 16u);
+  EXPECT_EQ(st::counted_bytes_per_element(st::Kernel::Add), 24u);
+  EXPECT_EQ(st::counted_bytes_per_element(st::Kernel::Triad), 24u);
+}
+
+TEST(Kernels, TrafficMixesMatchKernelShapes) {
+  const auto copy = st::traffic_for(st::Kernel::Copy);
+  EXPECT_DOUBLE_EQ(copy.read_frac, 0.5);
+  EXPECT_DOUBLE_EQ(copy.write_frac, 0.5);
+  const auto add = st::traffic_for(st::Kernel::Add);
+  EXPECT_NEAR(add.read_frac, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(add.write_frac, 1.0 / 3.0, 1e-12);
+  for (const auto k : st::kAllKernels) {
+    const auto t = st::traffic_for(k);
+    EXPECT_NEAR(t.read_frac + t.write_frac, 1.0, 1e-12);
+    EXPECT_TRUE(t.write_allocate);
+  }
+}
+
+}  // namespace

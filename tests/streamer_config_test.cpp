@@ -1,0 +1,130 @@
+// Tests for the STREAMer configuration matrix (paper §3.2 / Figure 9).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "streamer/config.hpp"
+
+namespace sr = cxlpmem::streamer;
+namespace st = cxlpmem::stream;
+namespace sk = cxlpmem::simkit;
+namespace profiles = sk::profiles;
+
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  ConfigTest()
+      : s1_(profiles::make_setup_one()),
+        s2_(profiles::make_setup_two()),
+        matrix_(sr::default_matrix(s1_, s2_)) {}
+
+  const sr::GroupSpec& group(sr::TestGroup g) const {
+    for (const auto& spec : matrix_)
+      if (spec.id == g) return spec;
+    throw std::logic_error("missing group");
+  }
+
+  profiles::SetupOne s1_;
+  profiles::SetupTwo s2_;
+  std::vector<sr::GroupSpec> matrix_;
+};
+
+TEST_F(ConfigTest, AllFiveGroupsPresent) {
+  ASSERT_EQ(matrix_.size(), 5u);
+  for (const auto g : sr::kAllGroups) EXPECT_NO_THROW((void)group(g));
+}
+
+TEST_F(ConfigTest, Class1IsAppDirectClass2IsMemoryMode) {
+  for (const auto& spec : matrix_) {
+    const bool class1 = spec.id == sr::TestGroup::Class1a ||
+                        spec.id == sr::TestGroup::Class1b ||
+                        spec.id == sr::TestGroup::Class1c;
+    for (const auto& t : spec.trends) {
+      EXPECT_EQ(t.mode, class1 ? st::AccessMode::AppDirect
+                               : st::AccessMode::MemoryMode)
+          << t.label;
+      // Annotation convention: pmem# for App-Direct, numa# for Memory Mode.
+      EXPECT_NE(t.label.find(class1 ? "pmem#" : "numa#"), std::string::npos)
+          << t.label;
+    }
+  }
+}
+
+TEST_F(ConfigTest, LabelsAreUniqueWithinGroups) {
+  for (const auto& spec : matrix_) {
+    std::set<std::string> labels;
+    for (const auto& t : spec.trends) labels.insert(t.label);
+    EXPECT_EQ(labels.size(), spec.trends.size()) << sr::to_string(spec.id);
+  }
+}
+
+TEST_F(ConfigTest, Class1aIsLocalOnly) {
+  for (const auto& t : group(sr::TestGroup::Class1a).trends) {
+    ASSERT_EQ(t.setup, sr::SetupKind::SetupOne);
+    // Memory is homed on the first socket of the trend's cores.
+    EXPECT_EQ(s1_.machine.memory(t.memory).home_socket, t.first_socket)
+        << t.label;
+    EXPECT_EQ(t.max_threads, 10);
+  }
+}
+
+TEST_F(ConfigTest, Class1bCoversBothRemoteKinds) {
+  const auto& g = group(sr::TestGroup::Class1b);
+  int cxl = 0, ddr5_remote = 0;
+  for (const auto& t : g.trends) {
+    if (t.memory == s1_.cxl)
+      ++cxl;
+    else
+      ++ddr5_remote;
+  }
+  EXPECT_GE(cxl, 2);          // from both sockets
+  EXPECT_GE(ddr5_remote, 1);  // alternate-socket DDR5
+}
+
+TEST_F(ConfigTest, Class1cSweepsBothAffinities) {
+  const auto& g = group(sr::TestGroup::Class1c);
+  std::set<cxlpmem::numakit::AffinityPolicy> seen;
+  for (const auto& t : g.trends) {
+    seen.insert(t.affinity);
+    EXPECT_EQ(t.max_threads, 20) << t.label;
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST_F(ConfigTest, Class2aIncludesSetupTwoBaseline) {
+  const auto& g = group(sr::TestGroup::Class2a);
+  bool has_setup2 = false;
+  for (const auto& t : g.trends)
+    if (t.setup == sr::SetupKind::SetupTwo) has_setup2 = true;
+  EXPECT_TRUE(has_setup2);
+}
+
+TEST_F(ConfigTest, Class2bUsesAllCores) {
+  for (const auto& t : group(sr::TestGroup::Class2b).trends)
+    EXPECT_EQ(t.max_threads, 20) << t.label;
+}
+
+TEST_F(ConfigTest, MemoryIdsAreValidForTheirSetups) {
+  for (const auto& spec : matrix_)
+    for (const auto& t : spec.trends) {
+      const auto& machine = t.setup == sr::SetupKind::SetupOne
+                                ? s1_.machine
+                                : s2_.machine;
+      EXPECT_GE(t.memory, 0);
+      EXPECT_LT(t.memory, machine.memory_count()) << t.label;
+      EXPECT_GE(t.first_socket, 0);
+      EXPECT_LT(t.first_socket, machine.socket_count()) << t.label;
+      EXPECT_GE(t.max_threads, 1);
+      EXPECT_LE(t.max_threads, machine.core_count()) << t.label;
+    }
+}
+
+TEST_F(ConfigTest, GroupNamesRoundTrip) {
+  EXPECT_EQ(sr::to_string(sr::TestGroup::Class1a), "1a");
+  EXPECT_EQ(sr::to_string(sr::TestGroup::Class2b), "2b");
+  for (const auto g : sr::kAllGroups)
+    EXPECT_FALSE(sr::title_of(g).empty());
+}
+
+}  // namespace

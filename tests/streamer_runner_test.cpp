@@ -1,0 +1,105 @@
+// Tests for the STREAMer runner and report output.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "streamer/report.hpp"
+#include "streamer/runner.hpp"
+
+namespace sr = cxlpmem::streamer;
+namespace st = cxlpmem::stream;
+
+namespace {
+
+sr::RunnerOptions fast_options(bool validate = false) {
+  sr::RunnerOptions o;
+  o.validate = validate;
+  o.thread_step = 3;
+  o.bench.verify_elements = 1u << 14;
+  o.bench.ntimes = 1;
+  return o;
+}
+
+TEST(Runner, GroupProducesOneSeriesPerTrendAndKernel) {
+  const sr::Streamer streamer(fast_options());
+  const auto series = streamer.run_group(sr::TestGroup::Class1a);
+  // 2 trends x 4 kernels.
+  EXPECT_EQ(series.size(), 8u);
+  for (const auto& s : series) {
+    EXPECT_EQ(s.group, sr::TestGroup::Class1a);
+    EXPECT_FALSE(s.points.empty());
+    // Sweep always ends at the trend's max thread count.
+    EXPECT_EQ(s.points.back().threads, 10);
+  }
+}
+
+TEST(Runner, ModelBandwidthIsMonotoneNonDecreasing) {
+  const sr::Streamer streamer(fast_options());
+  for (const auto& s : streamer.run_group(sr::TestGroup::Class2a)) {
+    double prev = 0.0;
+    for (const auto& p : s.points) {
+      EXPECT_GE(p.model_gbs, prev - 1e-9) << s.label;
+      prev = p.model_gbs;
+    }
+  }
+}
+
+TEST(Runner, ValidationRunsOnlyAtTheLastPoint) {
+  const sr::Streamer streamer(fast_options(/*validate=*/true));
+  for (const auto& s : streamer.run_group(sr::TestGroup::Class1a)) {
+    for (std::size_t i = 0; i + 1 < s.points.size(); ++i)
+      EXPECT_LT(s.points[i].validation_error, 0.0);
+    EXPECT_GE(s.points.back().validation_error, 0.0);
+    EXPECT_LT(s.points.back().validation_error, 1e-12);
+    EXPECT_GT(s.points.back().wall_gbs, 0.0);
+  }
+}
+
+TEST(Runner, RunAllCoversEveryGroup) {
+  const sr::Streamer streamer(fast_options());
+  const auto series = streamer.run_all();
+  std::set<std::string> groups;
+  for (const auto& s : series) groups.insert(sr::to_string(s.group));
+  EXPECT_EQ(groups.size(), 5u);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  const sr::Streamer streamer(fast_options());
+  const auto series = streamer.run_group(sr::TestGroup::Class1a);
+  std::ostringstream os;
+  sr::write_csv(os, series);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("group,label,kernel,threads,model_gbs"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1a,"), std::string::npos);
+  EXPECT_NE(csv.find("Copy"), std::string::npos);
+  // Row count: header + series x points.
+  std::size_t rows = 0;
+  for (const char c : csv)
+    if (c == '\n') ++rows;
+  std::size_t expected = 1;
+  for (const auto& s : series) expected += s.points.size();
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(Report, PanelRendersLegendAndAxis) {
+  const sr::Streamer streamer(fast_options());
+  const auto series = streamer.run_group(sr::TestGroup::Class1b);
+  std::ostringstream os;
+  sr::print_panel(os, series, sr::TestGroup::Class1b, st::Kernel::Triad);
+  const std::string panel = os.str();
+  EXPECT_NE(panel.find("Class 1.b"), std::string::npos);
+  EXPECT_NE(panel.find("Triad"), std::string::npos);
+  EXPECT_NE(panel.find("pmem#2"), std::string::npos);
+  EXPECT_NE(panel.find("GB/s"), std::string::npos);
+  EXPECT_NE(panel.find("threads"), std::string::npos);
+}
+
+TEST(Report, EmptyGroupSaysSo) {
+  std::ostringstream os;
+  sr::print_panel(os, {}, sr::TestGroup::Class1a, st::Kernel::Copy);
+  EXPECT_NE(os.str().find("no data"), std::string::npos);
+}
+
+}  // namespace
