@@ -1,48 +1,127 @@
 // bench/figure_common.hpp — shared driver for the per-figure binaries
-// (Figures 5-8): run the full §3.2 matrix for one kernel, print the five
-// panels and a CSV block, exactly the series the paper plots.
+// (Figures 5-8): run the §3.2 matrix for one kernel, print the panels and a
+// CSV block, exactly the series the paper plots.
+//
+// Options (shared by fig5_scale / fig6_add / fig7_copy / fig8_triad):
+//   --quick           coarser thread sweep, no real-run validation
+//   --no-validate     model only (no real kernel runs)
+//   --group <id>      only one test group: 1a 1b 1c 2a or 2b
+//   --threads-step N  sweep every Nth thread count
+//   --csv <path>      also write the CSV block to a file
+//   --csv-only        suppress the ASCII panels (CSV on stdout)
 #pragma once
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "streamer/report.hpp"
 #include "streamer/runner.hpp"
 
 namespace cxlpmem::benchfig {
 
-inline int run_figure(stream::Kernel kernel, const char* figure_name,
-                      int argc, char** argv) {
-  streamer::RunnerOptions options;
-  options.thread_step = 1;
-  options.validate = true;
-  options.bench.verify_elements = 1u << 19;  // fast real-validation arrays
-  options.bench.ntimes = 2;
+struct FigureOptions {
+  streamer::RunnerOptions runner;
+  std::optional<streamer::TestGroup> only_group;
+  std::string csv_path;
+  bool csv_only = false;
+};
+
+inline std::optional<streamer::TestGroup> parse_group(
+    const std::string& name) {
+  for (const streamer::TestGroup g : streamer::kAllGroups)
+    if (to_string(g) == name) return g;
+  return std::nullopt;
+}
+
+/// Parses argv; returns nullopt (after printing usage) on bad input.
+inline std::optional<FigureOptions> parse_figure_args(int argc,
+                                                      char** argv) {
+  FigureOptions o;
+  o.runner.thread_step = 1;
+  o.runner.validate = true;
+  o.runner.bench.verify_elements = 1u << 19;  // fast real-validation arrays
+  o.runner.bench.ntimes = 2;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
-      options.thread_step = 2;
-      options.validate = false;
+      o.runner.thread_step = 2;
+      o.runner.validate = false;
     } else if (arg == "--no-validate") {
-      options.validate = false;
+      o.runner.validate = false;
+    } else if (arg == "--csv-only") {
+      o.csv_only = true;
+    } else if (arg == "--group" && i + 1 < argc) {
+      const auto g = parse_group(argv[++i]);
+      if (!g) {
+        std::cerr << "unknown group '" << argv[i]
+                  << "' (want 1a, 1b, 1c, 2a or 2b)\n";
+        return std::nullopt;
+      }
+      o.only_group = g;
+    } else if (arg == "--threads-step" && i + 1 < argc) {
+      o.runner.thread_step = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      o.csv_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--no-validate] [--group 1a|1b|1c|2a|2b]"
+                   " [--threads-step N] [--csv <path>] [--csv-only]\n";
+      return std::nullopt;
     }
   }
+  return o;
+}
 
-  std::cout << "=== " << figure_name << " — STREAM "
-            << to_string(kernel)
-            << " over the paper's five test groups ===\n"
-            << "(bandwidths are model outputs at the paper's 100M-element"
-               " working set;\n series marked 'validated' also ran for real"
-               " on this host)\n\n";
+inline int run_figure(stream::Kernel kernel, const char* figure_name,
+                      int argc, char** argv) {
+  const auto options = parse_figure_args(argc, argv);
+  if (!options) return 2;
 
-  const streamer::Streamer streamer(options);
-  const auto series = streamer.run_all();
-  streamer::print_figure(std::cout, series, kernel);
+  if (!options->csv_only)
+    std::cout << "=== " << figure_name << " — STREAM " << to_string(kernel)
+              << " over the paper's "
+              << (options->only_group ? "test group " +
+                                            to_string(*options->only_group)
+                                      : std::string("five test groups"))
+              << " ===\n"
+              << "(bandwidths are model outputs at the paper's 100M-element"
+                 " working set;\n series marked 'validated' also ran for real"
+                 " on this host)\n\n";
 
-  std::cout << "---- CSV ----\n";
+  const streamer::Streamer streamer(options->runner);
+  const auto series = options->only_group
+                          ? streamer.run_group(*options->only_group)
+                          : streamer.run_all();
+
   std::vector<streamer::Series> mine;
   for (const auto& s : series)
     if (s.kernel == kernel) mine.push_back(s);
+
+  if (!options->csv_only) {
+    if (options->only_group)
+      streamer::print_panel(std::cout, series, *options->only_group, kernel);
+    else
+      streamer::print_figure(std::cout, series, kernel);
+    std::cout << "---- CSV ----\n";
+  }
   streamer::write_csv(std::cout, mine);
+
+  if (!options->csv_path.empty()) {
+    std::ofstream out(options->csv_path);
+    if (!out) {
+      std::cerr << "cannot write " << options->csv_path << "\n";
+      return 1;
+    }
+    streamer::write_csv(out, mine);
+    std::cerr << figure_name << " CSV written to " << options->csv_path
+              << "\n";
+  }
   return 0;
 }
 

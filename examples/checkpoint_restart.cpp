@@ -3,14 +3,17 @@
 // crashes halfway (simulated), restarts from the last epoch, and verifies
 // the final field matches an uninterrupted run bit-for-bit.
 //
-//   $ checkpoint_restart [workdir]
+// Runs through the cxlpmem facade: the checkpoint store is addressed by
+// namespace name, so pointing it at emulated PMem is a one-argument change.
+//
+//   $ checkpoint_restart [workdir] [namespace]
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <vector>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 
 using namespace cxlpmem;
 
@@ -83,9 +86,14 @@ int main(int argc, char** argv) {
   const std::filesystem::path base =
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "cxlpmem-cr";
+  const std::string ns = argc > 2 ? argv[2] : "pmem2";
   std::filesystem::remove_all(base);
-  auto rt = core::make_setup_one_runtime(base);
-  auto& pmem2 = rt.runtime->dax("pmem2");
+
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
 
   const std::uint64_t payload = sizeof(int) + kN * kN * sizeof(double);
 
@@ -100,24 +108,37 @@ int main(int argc, char** argv) {
   }
 
   // --- run 1: crashes at step 113 -------------------------------------------
-  std::printf("run 1: computing with checkpoints on /mnt/pmem2 ...\n");
+  std::printf("run 1: computing with checkpoints on /mnt/%s ...\n",
+              ns.c_str());
   {
-    core::CheckpointStore store(pmem2, "heat.pool", payload);
+    auto store = rt->checkpoint_store(ns, "heat.pool", payload);
+    if (!store) {
+      std::fprintf(stderr, "checkpoint store: %s\n",
+                   store.error().to_string().c_str());
+      return 1;
+    }
     Grid grid = initial_grid();
-    const int reached = run_phase(store, grid, 0, kSteps, /*fail_at=*/113);
+    const int reached =
+        run_phase(**store, grid, 0, kSteps, /*fail_at=*/113);
     std::printf("  !! node failure at step %d (last durable epoch: %llu)\n",
-                reached, static_cast<unsigned long long>(store.epoch()));
+                reached,
+                static_cast<unsigned long long>((*store)->epoch()));
   }
 
   // --- run 2: restart from the persistent checkpoint ------------------------
   std::printf("run 2: restarting from the CXL-PMem checkpoint ...\n");
   Grid grid(kN * kN, 0.0);
   {
-    core::CheckpointStore store(pmem2, "heat.pool", payload);
-    const int resume_from = unpack(store.load(), grid);
+    auto store = rt->checkpoint_store(ns, "heat.pool", payload);
+    if (!store) {
+      std::fprintf(stderr, "checkpoint store: %s\n",
+                   store.error().to_string().c_str());
+      return 1;
+    }
+    const int resume_from = unpack((*store)->load(), grid);
     std::printf("  resumed at step %d (epoch %llu)\n", resume_from,
-                static_cast<unsigned long long>(store.epoch()));
-    run_phase(store, grid, resume_from, kSteps, /*fail_at=*/-1);
+                static_cast<unsigned long long>((*store)->epoch()));
+    run_phase(**store, grid, resume_from, kSteps, /*fail_at=*/-1);
   }
 
   // --- verify -----------------------------------------------------------------

@@ -1,17 +1,21 @@
-// kv_store — a small persistent key-value store on CXL-backed PMem,
+// kv_store — a small persistent key-value store through the cxlpmem facade,
 // demonstrating pointer-rich persistent data structures (hash table with
 // chained buckets), transactional updates, and typed-object iteration.
 // This is the MOSIQS-style "persistent memory object storage" use-case the
 // paper cites (§1.2, [31]).
 //
-//   $ kv_store [workdir]
+// The store is generic over its backing: main() runs it on whichever
+// namespace is named on the command line (default: the CXL-backed pmem2) —
+// `kv_store work pmem0` runs byte-identical store code on emulated PMem.
+//
+//   $ kv_store [workdir] [namespace]
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <optional>
 #include <string>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 
 using namespace cxlpmem;
 
@@ -34,35 +38,40 @@ struct StoreRoot {
 
 class KvStore {
  public:
-  explicit KvStore(std::unique_ptr<pmemkit::ObjectPool> pool)
+  explicit KvStore(api::Pool pool)
       : pool_(std::move(pool)),
-        root_(pool_->direct(pool_->root<StoreRoot>())) {}
+        root_(pool_.root<StoreRoot>().value()) {}
 
   void put(const std::string& key, const std::string& value) {
     const std::uint32_t b = bucket_of(key);
-    pool_->run_tx([&] {
-      // Remove an existing mapping first (idempotent overwrite).
-      erase_locked(key, b);
-      const std::uint64_t bytes =
-          sizeof(Entry) + key.size() + value.size();
-      const pmemkit::ObjId oid = pool_->tx_alloc(bytes, kEntryType);
-      auto* e = static_cast<Entry*>(pool_->direct(oid));
-      e->next = root_->buckets[b];
-      e->key_len = static_cast<std::uint32_t>(key.size());
-      e->value_len = static_cast<std::uint32_t>(value.size());
-      std::memcpy(payload(e), key.data(), key.size());
-      std::memcpy(payload(e) + key.size(), value.data(), value.size());
-      pool_->persist(e, bytes);
-      pool_->tx_add_range(&root_->buckets[b], sizeof(pmemkit::ObjId));
-      pool_->tx_add_range(&root_->count, sizeof(root_->count));
-      root_->buckets[b] = oid;
-      root_->count += 1;
-    });
+    auto& p = pool_.pmem();
+    pool_
+        .run_tx([&] {
+          // Remove an existing mapping first (idempotent overwrite).
+          erase_locked(key, b);
+          const std::uint64_t bytes =
+              sizeof(Entry) + key.size() + value.size();
+          const pmemkit::ObjId oid = p.tx_alloc(bytes, kEntryType);
+          auto* e = static_cast<Entry*>(p.direct(oid));
+          e->next = root_->buckets[b];
+          e->key_len = static_cast<std::uint32_t>(key.size());
+          e->value_len = static_cast<std::uint32_t>(value.size());
+          std::memcpy(payload(e), key.data(), key.size());
+          std::memcpy(payload(e) + key.size(), value.data(), value.size());
+          p.persist(e, bytes);
+          p.tx_add_range(&root_->buckets[b], sizeof(pmemkit::ObjId));
+          p.tx_add_range(&root_->count, sizeof(root_->count));
+          root_->buckets[b] = oid;
+          root_->count += 1;
+        })
+        .value();
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) {
-    for (pmemkit::ObjId oid = root_->buckets[bucket_of(key)]; !oid.is_null();) {
-      auto* e = static_cast<Entry*>(pool_->direct(oid));
+    auto& p = pool_.pmem();
+    for (pmemkit::ObjId oid = root_->buckets[bucket_of(key)];
+         !oid.is_null();) {
+      auto* e = static_cast<Entry*>(p.direct(oid));
       if (key_of(e) == key)
         return std::string(payload(e) + e->key_len, e->value_len);
       oid = e->next;
@@ -72,17 +81,23 @@ class KvStore {
 
   bool erase(const std::string& key) {
     bool erased = false;
-    pool_->run_tx([&] { erased = erase_locked(key, bucket_of(key)); });
+    pool_.run_tx([&] { erased = erase_locked(key, bucket_of(key)); })
+        .value();
     return erased;
   }
 
   [[nodiscard]] std::uint64_t size() const { return root_->count; }
 
+  [[nodiscard]] const api::MemorySpace& space() const {
+    return pool_.space();
+  }
+
   /// Objects of the entry type, via typed iteration (POBJ_FIRST/NEXT).
   [[nodiscard]] std::uint64_t entries_by_iteration() {
+    auto& p = pool_.pmem();
     std::uint64_t n = 0;
-    for (pmemkit::ObjId o = pool_->first(kEntryType); !o.is_null();
-         o = pool_->next(o, kEntryType))
+    for (pmemkit::ObjId o = p.first(kEntryType); !o.is_null();
+         o = p.next(o, kEntryType))
       ++n;
     return n;
   }
@@ -103,15 +118,16 @@ class KvStore {
 
   /// Unlinks `key` from bucket `b`; must run inside a transaction.
   bool erase_locked(const std::string& key, std::uint32_t b) {
+    auto& p = pool_.pmem();
     pmemkit::ObjId* link = &root_->buckets[b];
     while (!link->is_null()) {
-      auto* e = static_cast<Entry*>(pool_->direct(*link));
+      auto* e = static_cast<Entry*>(p.direct(*link));
       if (key_of(e) == key) {
-        pool_->tx_add_range(link, sizeof(pmemkit::ObjId));
-        pool_->tx_add_range(&root_->count, sizeof(root_->count));
+        p.tx_add_range(link, sizeof(pmemkit::ObjId));
+        p.tx_add_range(&root_->count, sizeof(root_->count));
         const pmemkit::ObjId dead = *link;
         *link = e->next;
-        pool_->tx_free(dead);
+        p.tx_free(dead);
         root_->count -= 1;
         return true;
       }
@@ -120,7 +136,7 @@ class KvStore {
     return false;
   }
 
-  std::unique_ptr<pmemkit::ObjectPool> pool_;
+  api::Pool pool_;
   StoreRoot* root_;
 };
 
@@ -130,18 +146,27 @@ int main(int argc, char** argv) {
   const std::filesystem::path base =
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "cxlpmem-kv";
-  auto rt = core::make_setup_one_runtime(base);
-  auto& pmem2 = rt.runtime->dax("pmem2");
+  const std::string ns = argc > 2 ? argv[2] : "pmem2";
 
-  const bool fresh = !pmem2.pool_exists("kv.pool");
-  auto pool = fresh ? pmem2.create_pool("kv.pool", "kv",
-                                        pmemkit::ObjectPool::min_pool_size())
-                    : pmem2.open_pool("kv.pool", "kv");
-  KvStore store(std::move(pool));
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
 
-  std::printf("%s store with %llu entries\n",
+  const bool fresh = !rt->pool_exists(ns, "kv.pool").value_or(false);
+  auto pool = rt->open_or_create_pool(ns, "kv", {.file = "kv.pool"});
+  if (!pool) {
+    std::fprintf(stderr, "pool on '%s': %s\n", ns.c_str(),
+                 pool.error().to_string().c_str());
+    return 1;
+  }
+  KvStore store(std::move(pool).value());
+
+  std::printf("%s store with %llu entries on /mnt/%s (%s)\n",
               fresh ? "created" : "reopened",
-              static_cast<unsigned long long>(store.size()));
+              static_cast<unsigned long long>(store.size()), ns.c_str(),
+              to_string(store.space().domain).c_str());
 
   // Write a batch of experiment metadata, the way a workflow engine would.
   store.put("experiment", "stream-pmem-on-cxl");
@@ -164,6 +189,8 @@ int main(int argc, char** argv) {
   std::printf("entries: %llu by counter, %llu by typed iteration\n",
               static_cast<unsigned long long>(store.size()),
               static_cast<unsigned long long>(store.entries_by_iteration()));
-  std::printf("\nre-run me: the table persists and run# keys accumulate.\n");
+  std::printf("\nre-run me: the table persists and run# keys accumulate.\n"
+              "re-run with namespace 'pmem0' to run the same store on"
+              " emulated PMem.\n");
   return 0;
 }

@@ -1,12 +1,17 @@
-// quickstart — the 60-second tour: bring up the paper's Setup #1, put a
-// PMDK-style pool on the CXL-backed namespace, mutate it transactionally,
-// and show that reopening finds everything again.
+// quickstart — the 60-second tour through the cxlpmem facade: bring up the
+// paper's Setup #1 with RuntimeBuilder, put a PMDK-style pool on the
+// CXL-backed namespace *by name*, mutate it transactionally, and show that
+// reopening finds everything again.
+//
+// Change kNamespace to "pmem0" and the identical code runs on emulated
+// DRAM-PMem instead — the paper's migration story in one constant.
 //
 //   $ quickstart [workdir]
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 
 using namespace cxlpmem;
 
@@ -16,6 +21,8 @@ struct AppRoot {
   pmemkit::ObjId message;  // a persistent string
 };
 
+constexpr const char* kNamespace = "pmem2";  // the namespace choice
+
 int main(int argc, char** argv) {
   const std::filesystem::path base =
       argc > 1 ? argv[1]
@@ -24,50 +31,62 @@ int main(int argc, char** argv) {
   // 1. Bring up the modelled machine: 2x Sapphire Rapids, DDR5 on both
   //    sockets, the battery-backed CXL FPGA exposed as /mnt/pmem2 and as
   //    NUMA node 2 (paper Figure 2).
-  auto rt = core::make_setup_one_runtime(base);
-  std::printf("machine: %d sockets, %d cores, %d NUMA nodes\n",
-              rt.runtime->machine().socket_count(),
-              rt.runtime->machine().core_count(),
-              rt.runtime->topology().node_count());
-  for (const auto& name : rt.runtime->dax_names()) {
-    const auto& ns = rt.runtime->dax(name);
-    std::printf("  /mnt/%s -> %-14s (%s, %llu GiB)\n", name.c_str(),
-                ns.durable() ? "PERSISTENT" : "emulated PMem",
-                to_string(ns.domain()).c_str(),
-                static_cast<unsigned long long>(ns.capacity_bytes() >> 30));
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("machine: %d sockets, %d cores\n",
+              rt->machine().socket_count(), rt->machine().core_count());
+  for (const auto& name : rt->namespaces()) {
+    const api::MemorySpace ns = rt->space(name).value();
+    std::printf("  /mnt/%s -> %-14s (%s, %llu GiB, %.1f GB/s read)\n",
+                name.c_str(), ns.durable() ? "PERSISTENT" : "emulated PMem",
+                to_string(ns.domain).c_str(),
+                static_cast<unsigned long long>(
+                    ns.profile.capacity_bytes >> 30),
+                ns.profile.peak_read_gbs);
   }
 
-  // 2. Create-or-open a pool on the CXL namespace — the pmemobj_create /
-  //    pmemobj_open fallback of the paper's Listing 2.
-  auto& pmem2 = rt.runtime->dax("pmem2");
-  std::unique_ptr<pmemkit::ObjectPool> pool;
-  if (pmem2.pool_exists("quickstart.pool")) {
-    pool = pmem2.open_pool("quickstart.pool", "quickstart");
-    std::printf("\nopened existing pool (recovery ran: %s)\n",
-                pool->recovered() ? "yes" : "no");
-  } else {
-    pool = pmem2.create_pool("quickstart.pool", "quickstart",
-                             pmemkit::ObjectPool::min_pool_size());
-    std::printf("\ncreated a fresh pool on the CXL device\n");
+  // 2. Create-or-open a pool on the chosen namespace — the pmemobj_create /
+  //    pmemobj_open fallback of the paper's Listing 2, minus the
+  //    path plumbing: the namespace name is the whole placement decision.
+  auto pool = rt->open_or_create_pool(kNamespace, "quickstart");
+  if (!pool) {
+    std::fprintf(stderr, "pool: %s\n", pool.error().to_string().c_str());
+    return 1;
   }
+  std::printf("\npool on /mnt/%s (%s; recovery ran: %s)\n", kNamespace,
+              pool->durable() ? "durable" : "volatile emulation",
+              pool->recovered() ? "yes" : "no");
 
   // 3. Transactional update: counter + message flip together or not at all.
-  auto* root = pool->direct(pool->root<AppRoot>());
+  auto root = pool->root<AppRoot>();
+  if (!root) {
+    std::fprintf(stderr, "root: %s\n", root.error().to_string().c_str());
+    return 1;
+  }
+  AppRoot* r = root.value();
   const std::string text =
-      "hello from launch #" + std::to_string(root->launches + 1);
-  pool->run_tx([&] {
-    pool->tx_add_range(root, sizeof(AppRoot));
-    if (!root->message.is_null()) pool->tx_free(root->message);
-    root->message = pool->tx_alloc(text.size() + 1, /*type=*/1);
-    std::memcpy(pool->direct(root->message), text.c_str(), text.size() + 1);
-    pool->persist(pool->direct(root->message), text.size() + 1);
-    root->launches += 1;
+      "hello from launch #" + std::to_string(r->launches + 1);
+  auto& p = pool->pmem();
+  const auto tx = pool->run_tx([&] {
+    p.tx_add_range(r, sizeof(AppRoot));
+    if (!r->message.is_null()) p.tx_free(r->message);
+    r->message = p.tx_alloc(text.size() + 1, /*type=*/1);
+    std::memcpy(p.direct(r->message), text.c_str(), text.size() + 1);
+    p.persist(p.direct(r->message), text.size() + 1);
+    r->launches += 1;
   });
+  if (!tx.ok()) {
+    std::fprintf(stderr, "tx: %s\n", tx.error().to_string().c_str());
+    return 1;
+  }
 
   std::printf("launches so far : %llu\n",
-              static_cast<unsigned long long>(root->launches));
+              static_cast<unsigned long long>(r->launches));
   std::printf("persistent note : %s\n",
-              static_cast<const char*>(pool->direct(root->message)));
+              static_cast<const char*>(p.direct(r->message)));
   std::printf("\nrun me again — the counter lives on the (modelled) CXL"
               " device across runs.\n");
   return 0;

@@ -1,0 +1,71 @@
+// api/pool.hpp — Pool: a pmemkit ObjectPool bound to the MemorySpace it was
+// opened through.
+//
+// The same Pool surface runs unmodified whether the bytes live on emulated
+// DRAM-PMem, the CXL expander, or a DCPMM model — the binding is the only
+// difference, and it is inspectable (space()).  Pool adds Result-based
+// wrappers for the common entry points; the full low-level ObjectPool API
+// (direct(), persist(), typed iteration, ...) stays reachable via pmem() /
+// operator-> because inside a transaction pmemkit keeps its exception
+// discipline (the crash simulator depends on it).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "api/memory_space.hpp"
+#include "api/result.hpp"
+#include "api/translate.hpp"
+#include "pmemkit/pool.hpp"
+
+namespace cxlpmem::api {
+
+class Pool {
+ public:
+  Pool(MemorySpace space, std::unique_ptr<pmemkit::ObjectPool> impl)
+      : space_(std::move(space)), impl_(std::move(impl)) {}
+
+  Pool(Pool&&) = default;
+  Pool& operator=(Pool&&) = default;
+
+  // --- binding ---------------------------------------------------------------
+  [[nodiscard]] const MemorySpace& space() const noexcept { return space_; }
+  [[nodiscard]] bool durable() const noexcept { return space_.durable(); }
+
+  // --- low-level access ------------------------------------------------------
+  [[nodiscard]] pmemkit::ObjectPool& pmem() noexcept { return *impl_; }
+  [[nodiscard]] const pmemkit::ObjectPool& pmem() const noexcept {
+    return *impl_;
+  }
+  pmemkit::ObjectPool* operator->() noexcept { return impl_.get(); }
+  const pmemkit::ObjectPool* operator->() const noexcept {
+    return impl_.get();
+  }
+
+  [[nodiscard]] bool recovered() const noexcept { return impl_->recovered(); }
+  [[nodiscard]] std::string layout() const { return impl_->layout(); }
+
+  // --- Result-based conveniences --------------------------------------------
+  /// Root object of type T (allocated zeroed on first use), as a direct
+  /// pointer.  Errors (allocation failure, size mismatch) come back as
+  /// Result; inside the call pmemkit may still throw internally.
+  template <typename T>
+  [[nodiscard]] Result<T*> root() {
+    return wrap([&] { return impl_->direct(impl_->root<T>()); });
+  }
+
+  /// Runs `fn` inside a transaction, folding transaction failures into the
+  /// Result channel.  A simulated power cut (pmemkit::CrashInjected) is not
+  /// an error — it unwinds straight through to the crash harness.
+  template <typename F>
+  [[nodiscard]] Result<void> run_tx(F&& fn) {
+    return wrap([&] { impl_->run_tx(std::forward<F>(fn)); });
+  }
+
+ private:
+  MemorySpace space_;
+  std::unique_ptr<pmemkit::ObjectPool> impl_;
+};
+
+}  // namespace cxlpmem::api

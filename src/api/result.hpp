@@ -1,0 +1,155 @@
+// api/result.hpp — Result<T>: the facade's std::expected-style error
+// channel.
+//
+// Facade entry points (RuntimeBuilder::build, Runtime::create_pool /
+// open_pool, ...) report failure as a value instead of throwing: callers
+// branch on ok() and read a unified Error { Errc, message } that spans the
+// pmemkit exception taxonomy and core/simkit configuration failures.
+// Exceptions remain *inside* transaction internals, where the crash
+// simulator needs stack unwinding with no cleanup (see pmemkit::CrashInjected
+// — it deliberately bypasses this layer).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cxlpmem::api {
+
+/// Facade-level error codes.  Coarser than pmemkit::ErrKind on purpose: a
+/// caller of the facade branches on *what to do next* (retry with a bigger
+/// pool, pick another namespace, give up), not on which internal check
+/// tripped.  The message preserves the precise cause.
+enum class Errc {
+  InvalidConfig,       ///< builder/machine wiring misuse
+  DuplicateNamespace,  ///< two exposures claim the same dax name
+  UnknownNamespace,    ///< no namespace with that name in this runtime
+  CapacityMismatch,    ///< attached device disagrees with the machine model
+  DeviceFailure,       ///< CXL device mailbox rejected an operation
+  NotPersistent,       ///< pool on a volatile namespace without opt-in
+  CapacityExceeded,    ///< namespace/device/store out of capacity
+  PoolExists,          ///< create target already exists
+  PoolNotFound,        ///< open target missing
+  PoolCorrupt,         ///< bad magic/version/checksum/heap structures
+  LayoutMismatch,      ///< layout name disagreement
+  BadArgument,         ///< malformed name/oid/size
+  OutOfSpace,          ///< pool heap cannot satisfy the allocation
+  TxFailure,           ///< transaction log overflow or misuse
+  IoFailure,           ///< filesystem / mmap level failure
+  Internal,            ///< anything unclassified
+};
+
+[[nodiscard]] inline const char* to_string(Errc c) noexcept {
+  switch (c) {
+    case Errc::InvalidConfig: return "invalid-config";
+    case Errc::DuplicateNamespace: return "duplicate-namespace";
+    case Errc::UnknownNamespace: return "unknown-namespace";
+    case Errc::CapacityMismatch: return "capacity-mismatch";
+    case Errc::DeviceFailure: return "device-failure";
+    case Errc::NotPersistent: return "not-persistent";
+    case Errc::CapacityExceeded: return "capacity-exceeded";
+    case Errc::PoolExists: return "pool-exists";
+    case Errc::PoolNotFound: return "pool-not-found";
+    case Errc::PoolCorrupt: return "pool-corrupt";
+    case Errc::LayoutMismatch: return "layout-mismatch";
+    case Errc::BadArgument: return "bad-argument";
+    case Errc::OutOfSpace: return "out-of-space";
+    case Errc::TxFailure: return "tx-failure";
+    case Errc::IoFailure: return "io-failure";
+    case Errc::Internal: return "internal";
+  }
+  return "?";
+}
+
+struct Error {
+  Errc code = Errc::Internal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(api::to_string(code)) + ": " + message;
+  }
+};
+
+/// Value-or-Error.  [[nodiscard]] so a failed create_pool cannot be silently
+/// dropped.  value() on an error (and error() on a value) throws
+/// std::logic_error — that is a caller bug, not a runtime condition.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  using value_type = T;
+
+  Result(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return v_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return std::get<0>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::get<0>(std::move(v_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on a success value");
+    return std::get<1>(v_);
+  }
+
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  template <typename U>
+  [[nodiscard]] T value_or(U&& fallback) const& {
+    return ok() ? std::get<0>(v_) : T(std::forward<U>(fallback));
+  }
+
+ private:
+  void require_ok() const {
+    if (!ok())
+      throw std::logic_error("Result::value() on error — " +
+                             std::get<1>(v_).to_string());
+  }
+
+  std::variant<T, Error> v_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  using value_type = void;
+
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), ok_(false) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+
+  /// Asserts success (throws std::logic_error on error), mirroring
+  /// Result<T>::value() for callers that treat failure as a bug.
+  void value() const {
+    if (!ok_)
+      throw std::logic_error("Result::value() on error — " +
+                             error_.to_string());
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok_) throw std::logic_error("Result::error() on a success value");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool ok_ = true;
+};
+
+}  // namespace cxlpmem::api

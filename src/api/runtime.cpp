@@ -1,0 +1,131 @@
+#include "api/runtime.hpp"
+
+#include "api/translate.hpp"
+
+namespace cxlpmem::api {
+
+namespace {
+
+Error unknown_namespace(std::string_view name) {
+  return Error{Errc::UnknownNamespace,
+               "no namespace named '" + std::string(name) + "'"};
+}
+
+/// Exposing DRAM as an emulated-PMem namespace was the operator's explicit
+/// opt-in (the paper's pmem0/pmem1 mounts); only *plain volatile* spaces
+/// still require allow_volatile.
+bool volatile_allowed(const PoolSpec& spec, const MemorySpace& s) {
+  return spec.allow_volatile || s.kind == ExposureKind::EmulatedPmem;
+}
+
+pmemkit::PoolOptions options_of(const PoolSpec& spec) {
+  pmemkit::PoolOptions options;
+  options.track_shadow = spec.track_shadow;
+  return options;
+}
+
+}  // namespace
+
+std::vector<std::string> Runtime::namespaces() const {
+  std::vector<std::string> names;
+  names.reserve(spaces_.size());
+  for (const auto& [name, space] : spaces_) names.push_back(name);
+  return names;
+}
+
+const MemorySpace* Runtime::find_space(std::string_view name) const {
+  const auto it = spaces_.find(name);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+std::string Runtime::default_file(std::string_view layout) {
+  return std::string(layout) + ".pool";
+}
+
+Result<MemorySpace> Runtime::space(std::string_view name) const {
+  const MemorySpace* s = find_space(name);
+  if (s == nullptr) return unknown_namespace(name);
+  return *s;
+}
+
+int Runtime::node_of(std::string_view name) const {
+  const MemorySpace* s = find_space(name);
+  return s == nullptr ? -1 : s->numa_node;
+}
+
+Result<Pool> Runtime::create_pool(std::string_view ns, std::string_view layout,
+                                  PoolSpec spec) {
+  const MemorySpace* s = find_space(ns);
+  if (s == nullptr) return unknown_namespace(ns);
+
+  const std::string file =
+      spec.file.empty() ? default_file(layout) : spec.file;
+  const std::uint64_t size =
+      spec.size != 0 ? spec.size : pmemkit::ObjectPool::min_pool_size();
+
+  // Everything below may throw (bad file name, capacity, EEXIST -> the
+  // PoolExists kind from MappedFile) — keep it all inside wrap().
+  return wrap([&] {
+    return Pool(*s, rt_->dax(s->name).create_pool(
+                        file, layout, size, volatile_allowed(spec, *s),
+                        options_of(spec)));
+  });
+}
+
+Result<Pool> Runtime::open_pool(std::string_view ns, std::string_view layout,
+                                PoolSpec spec) {
+  const MemorySpace* s = find_space(ns);
+  if (s == nullptr) return unknown_namespace(ns);
+
+  const std::string file =
+      spec.file.empty() ? default_file(layout) : spec.file;
+  // ENOENT surfaces as the PoolNotFound kind from MappedFile::open.
+  return wrap([&] {
+    return Pool(*s,
+                rt_->dax(s->name).open_pool(file, layout, options_of(spec)));
+  });
+}
+
+Result<Pool> Runtime::open_or_create_pool(std::string_view ns,
+                                          std::string_view layout,
+                                          PoolSpec spec) {
+  // Try-open-with-fallback rather than exists()-then-act: two callers
+  // racing on a fresh pool must both end up with a handle, not one of them
+  // with a spurious PoolExists.
+  Result<Pool> opened = open_pool(ns, layout, spec);
+  if (opened.ok() || opened.error().code != Errc::PoolNotFound)
+    return opened;
+  Result<Pool> created = create_pool(ns, layout, spec);
+  if (created.ok() || created.error().code != Errc::PoolExists)
+    return created;
+  return open_pool(ns, layout, std::move(spec));  // lost the create race
+}
+
+Result<bool> Runtime::pool_exists(std::string_view ns,
+                                  std::string_view file) const {
+  const MemorySpace* s = find_space(ns);
+  if (s == nullptr) return unknown_namespace(ns);
+  return wrap(
+      [&] { return rt_->dax(s->name).pool_exists(std::string(file)); });
+}
+
+Result<void> Runtime::remove_pool(std::string_view ns,
+                                  std::string_view file) {
+  const MemorySpace* s = find_space(ns);
+  if (s == nullptr) return unknown_namespace(ns);
+  return wrap([&] { rt_->dax(s->name).remove_pool(std::string(file)); });
+}
+
+Result<std::unique_ptr<cxlpmem::core::CheckpointStore>>
+Runtime::checkpoint_store(std::string_view ns, const std::string& file,
+                          std::uint64_t max_payload_bytes, PoolSpec spec) {
+  const MemorySpace* s = find_space(ns);
+  if (s == nullptr) return unknown_namespace(ns);
+  return wrap([&] {
+    return std::make_unique<cxlpmem::core::CheckpointStore>(
+        rt_->dax(s->name), file, max_payload_bytes,
+        volatile_allowed(spec, *s), options_of(spec));
+  });
+}
+
+}  // namespace cxlpmem::api

@@ -1,0 +1,105 @@
+// api/runtime.hpp — the facade Runtime: namespace-addressed pools over a
+// modelled machine.
+//
+// Built by RuntimeBuilder (api/runtime_builder.hpp), never constructed
+// directly.  Every pool operation is addressed by *namespace name* — the
+// paper's migration story ("Optane -> CXL is a namespace choice") is
+// literally one argument here:
+//
+//   auto pool = rt.create_pool("pmem2", "kv");      // CXL-backed
+//   auto pool = rt.create_pool("pmem0", "kv");      // emulated DRAM-PMem
+//
+// Entry points return Result<T>; the underlying core::Runtime remains
+// reachable (core()) for components that still speak the throwing API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/memory_space.hpp"
+#include "api/pool.hpp"
+#include "api/result.hpp"
+#include "core/checkpoint.hpp"
+#include "core/runtime.hpp"
+
+namespace cxlpmem::api {
+
+/// Options for create_pool / open_pool.  Defaults make the quickstart a
+/// one-liner; everything is overridable.
+struct PoolSpec {
+  /// Pool file inside the namespace.  Empty -> "<layout>.pool".
+  std::string file;
+  /// Pool size on create.  0 -> ObjectPool::min_pool_size().
+  std::uint64_t size = 0;
+  /// Permit pools on a *plain volatile* namespace.  Emulated-PMem
+  /// namespaces never need this: exposing DRAM as pmem0/pmem1 was already
+  /// the operator's opt-in, exactly like the paper's emulated mounts.
+  bool allow_volatile = false;
+  /// Maintain the crash-consistency shadow image (slower; for tests).
+  bool track_shadow = false;
+};
+
+class Runtime {
+ public:
+  Runtime(Runtime&&) = default;
+  Runtime& operator=(Runtime&&) = default;
+
+  // --- machine & namespaces --------------------------------------------------
+  [[nodiscard]] const simkit::Machine& machine() const noexcept {
+    return rt_->machine();
+  }
+  /// Namespace names, ascending ("pmem0", "pmem1", "pmem2").
+  [[nodiscard]] std::vector<std::string> namespaces() const;
+  /// The MemorySpace handle behind a namespace name.
+  [[nodiscard]] Result<MemorySpace> space(std::string_view name) const;
+  /// NUMA node a namespace's device is onlined as (Memory Mode), or -1.
+  [[nodiscard]] int node_of(std::string_view name) const;
+
+  // --- pools -----------------------------------------------------------------
+  [[nodiscard]] Result<Pool> create_pool(std::string_view ns,
+                                         std::string_view layout,
+                                         PoolSpec spec = PoolSpec());
+  [[nodiscard]] Result<Pool> open_pool(std::string_view ns,
+                                       std::string_view layout,
+                                       PoolSpec spec = PoolSpec());
+  /// pmemobj_create-or-open: open when the file exists, else create.
+  [[nodiscard]] Result<Pool> open_or_create_pool(std::string_view ns,
+                                                 std::string_view layout,
+                                                 PoolSpec spec = PoolSpec());
+  [[nodiscard]] Result<bool> pool_exists(std::string_view ns,
+                                         std::string_view file) const;
+  [[nodiscard]] Result<void> remove_pool(std::string_view ns,
+                                         std::string_view file);
+
+  // --- checkpoint/restart ----------------------------------------------------
+  /// Double-buffered checkpoint store on namespace `ns` (core::CheckpointStore
+  /// with the facade's namespace addressing and Result errors).
+  [[nodiscard]] Result<std::unique_ptr<cxlpmem::core::CheckpointStore>>
+  checkpoint_store(std::string_view ns, const std::string& file,
+                   std::uint64_t max_payload_bytes, PoolSpec spec = PoolSpec());
+
+  // --- escape hatch ----------------------------------------------------------
+  /// The underlying throwing runtime (device mailboxes, migration, tiering).
+  [[nodiscard]] cxlpmem::core::Runtime& core() noexcept { return *rt_; }
+  [[nodiscard]] const cxlpmem::core::Runtime& core() const noexcept {
+    return *rt_;
+  }
+
+ private:
+  friend class RuntimeBuilder;
+  Runtime(std::unique_ptr<cxlpmem::core::Runtime> rt,
+          std::map<std::string, MemorySpace, std::less<>> spaces)
+      : rt_(std::move(rt)), spaces_(std::move(spaces)) {}
+
+  [[nodiscard]] const MemorySpace* find_space(std::string_view name) const;
+  [[nodiscard]] static std::string default_file(std::string_view layout);
+
+  std::unique_ptr<cxlpmem::core::Runtime> rt_;
+  std::map<std::string, MemorySpace, std::less<>> spaces_;
+};
+
+}  // namespace cxlpmem::api

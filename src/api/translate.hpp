@@ -1,0 +1,87 @@
+// api/translate.hpp — exception-to-Result translation at the facade
+// boundary.
+//
+// Everything below the facade (pmemkit, core, simkit) reports failure by
+// throwing; the facade reports by Result.  wrap() runs a callable and folds
+// the throw taxonomy into api::Error.  pmemkit::CrashInjected is NOT a
+// std::exception and therefore passes through wrap() untouched — simulated
+// power cuts must reach the crash harness with no handling in between.
+#pragma once
+
+#include <filesystem>
+#include <stdexcept>
+#include <type_traits>
+
+#include "api/result.hpp"
+#include "pmemkit/errors.hpp"
+
+namespace cxlpmem::api {
+
+/// pmemkit's precise kinds fold onto the facade's actionable codes.
+[[nodiscard]] inline Errc errc_of(pmemkit::ErrKind k) noexcept {
+  using K = pmemkit::ErrKind;
+  switch (k) {
+    case K::NotAPool:
+    case K::VersionMismatch:
+    case K::ChecksumMismatch:
+    case K::SizeMismatch:
+    case K::CorruptImage:
+      return Errc::PoolCorrupt;
+    case K::LayoutMismatch:
+    case K::LayoutTooLong:
+      return Errc::LayoutMismatch;
+    case K::PoolTooSmall:
+    case K::BadName:
+    case K::BadOid:
+    case K::BadAlloc:
+    case K::InvalidFree:
+      return Errc::BadArgument;
+    case K::PoolExists:
+      return Errc::PoolExists;
+    case K::PoolNotFound:
+      return Errc::PoolNotFound;
+    case K::NotDurable:
+      return Errc::NotPersistent;
+    case K::CapacityExceeded:
+      return Errc::CapacityExceeded;
+    case K::OutOfSpace:
+      return Errc::OutOfSpace;
+    case K::LogOverflow:
+    case K::TxMisuse:
+      return Errc::TxFailure;
+    case K::Io:
+      return Errc::IoFailure;
+    case K::Unspecified:
+      return Errc::Internal;
+  }
+  return Errc::Internal;
+}
+
+[[nodiscard]] inline Error translate(const pmemkit::Error& e) {
+  return Error{errc_of(e.kind()), e.what()};
+}
+
+/// Runs `fn`, translating thrown failures into an error Result.
+/// CrashInjected (not a std::exception) propagates untouched.
+template <typename F>
+[[nodiscard]] auto wrap(F&& fn) -> Result<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  try {
+    if constexpr (std::is_void_v<R>) {
+      fn();
+      return Result<void>();
+    } else {
+      return Result<R>(fn());
+    }
+  } catch (const pmemkit::Error& e) {
+    return translate(e);
+  } catch (const std::invalid_argument& e) {
+    return Error{Errc::InvalidConfig, e.what()};
+  } catch (const std::filesystem::filesystem_error& e) {
+    return Error{Errc::IoFailure, e.what()};
+  } catch (const std::exception& e) {
+    return Error{Errc::Internal, e.what()};
+  }
+}
+
+}  // namespace cxlpmem::api

@@ -32,7 +32,8 @@ CheckpointStore::Root* CheckpointStore::root() const {
 
 void CheckpointStore::save(std::span<const std::byte> payload) {
   if (payload.size() > max_payload_)
-    throw pmemkit::PoolError("checkpoint payload exceeds store maximum");
+    throw pmemkit::PoolError(pmemkit::ErrKind::CapacityExceeded,
+                             "checkpoint payload exceeds store maximum");
   Root* r = root();
   const std::uint32_t target = 1 - (r->epoch == 0 ? 1 : r->active);
 

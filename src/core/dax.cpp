@@ -23,7 +23,8 @@ void DaxNamespace::rescan_used() {
 
 std::filesystem::path DaxNamespace::file_path(const std::string& file) const {
   if (file.empty() || file.find('/') != std::string::npos)
-    throw pmemkit::PoolError("pool file name must be a plain file name");
+    throw pmemkit::PoolError(pmemkit::ErrKind::BadName,
+                             "pool file name must be a plain file name");
   return dir_ / file;
 }
 
@@ -32,15 +33,17 @@ std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::create_pool(
     bool allow_volatile, pmemkit::PoolOptions options) {
   if (!durable() && !allow_volatile)
     throw pmemkit::PoolError(
+        pmemkit::ErrKind::NotDurable,
         "namespace '" + name_ + "' is " + to_string(domain_) +
-        " — pass allow_volatile to create pools on it anyway");
+            " — pass allow_volatile to create pools on it anyway");
   if (size > available_bytes())
-    throw pmemkit::PoolError("namespace '" + name_ +
-                             "' out of capacity: need " +
-                             std::to_string(size) + ", available " +
-                             std::to_string(available_bytes()));
-  auto pool =
-      pmemkit::ObjectPool::create(file_path(file), layout, size, options);
+    throw pmemkit::PoolError(pmemkit::ErrKind::CapacityExceeded,
+                             "namespace '" + name_ +
+                                 "' out of capacity: need " +
+                                 std::to_string(size) + ", available " +
+                                 std::to_string(available_bytes()));
+  pmemkit::FileResource resource(file_path(file));
+  auto pool = pmemkit::ObjectPool::create(resource, layout, size, options);
   used_ += size;
   return pool;
 }
@@ -48,15 +51,21 @@ std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::create_pool(
 std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::open_pool(
     const std::string& file, std::string_view layout,
     pmemkit::PoolOptions options) {
-  return pmemkit::ObjectPool::open(file_path(file), layout, options);
+  pmemkit::FileResource resource(file_path(file));
+  return pmemkit::ObjectPool::open(resource, layout, options);
 }
 
 void DaxNamespace::remove_pool(const std::string& file) {
   const std::filesystem::path p = file_path(file);
+  if (!std::filesystem::exists(p))
+    throw pmemkit::PoolError(pmemkit::ErrKind::PoolNotFound,
+                             "namespace '" + name_ + "' has no pool file '" +
+                                 file + "'");
   std::error_code ec;
   const auto size = std::filesystem::file_size(p, ec);
   if (!std::filesystem::remove(p, ec) || ec)
-    throw pmemkit::PoolError("cannot remove pool " + p.string());
+    throw pmemkit::PoolError(pmemkit::ErrKind::Io,
+                             "cannot remove pool " + p.string());
   used_ -= std::min<std::uint64_t>(used_, size);
 }
 
@@ -68,12 +77,14 @@ std::filesystem::path DaxNamespace::import_file(
     const std::filesystem::path& src, const std::string& file) {
   const std::filesystem::path to = file_path(file);
   if (std::filesystem::exists(to))
-    throw pmemkit::PoolError("namespace already has a file named " + file);
+    throw pmemkit::PoolError(pmemkit::ErrKind::PoolExists,
+                             "namespace already has a file named " + file);
   const auto size =
       static_cast<std::uint64_t>(std::filesystem::file_size(src));
   if (size > available_bytes())
-    throw pmemkit::PoolError("namespace '" + name_ +
-                             "' out of capacity for import of " + file);
+    throw pmemkit::PoolError(pmemkit::ErrKind::CapacityExceeded,
+                             "namespace '" + name_ +
+                                 "' out of capacity for import of " + file);
   std::filesystem::copy_file(src, to);
   used_ += size;
   return to;

@@ -126,4 +126,24 @@ SetupOneRuntime make_setup_one_runtime(
   return out;
 }
 
+SetupTwoRuntime make_setup_two_runtime(
+    const std::filesystem::path& base_dir) {
+  SetupTwoRuntime out;
+  out.ids = simkit::profiles::make_setup_two();
+
+  std::vector<Exposure> exposures{
+      {.memory = out.ids.ddr4_socket0,
+       .dax_name = "pmem0",
+       .memory_mode = false,
+       .emulated_pmem = true},
+      {.memory = out.ids.ddr4_socket1,
+       .dax_name = "pmem1",
+       .memory_mode = false,
+       .emulated_pmem = true},
+  };
+  out.runtime = std::make_unique<Runtime>(std::move(out.ids.machine),
+                                          std::move(exposures), base_dir);
+  return out;
+}
+
 }  // namespace cxlpmem::core

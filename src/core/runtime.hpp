@@ -106,4 +106,13 @@ struct SetupOneRuntime {
 [[nodiscard]] SetupOneRuntime make_setup_one_runtime(
     const std::filesystem::path& base_dir);
 
+/// Setup #2 wired the way the paper runs it: no CXL device — pmem0/pmem1
+/// emulated on the two DDR4 sockets (Figure 3's local/remote PMem runs).
+struct SetupTwoRuntime {
+  simkit::profiles::SetupTwo ids;  ///< machine ids (machine itself is moved)
+  std::unique_ptr<Runtime> runtime;
+};
+[[nodiscard]] SetupTwoRuntime make_setup_two_runtime(
+    const std::filesystem::path& base_dir);
+
 }  // namespace cxlpmem::core

@@ -1,4 +1,10 @@
-// pmemkit/errors.hpp — exception taxonomy for the persistent-memory library.
+// pmemkit/errors.hpp — failure taxonomy for the persistent-memory library.
+//
+// Every pmemkit exception carries a machine-readable ErrKind next to its
+// human-readable message.  The exception *classes* (PoolError / AllocError /
+// TxError) group failures by subsystem for catch-site convenience; the
+// ErrKind identifies the precise condition so higher layers (the api
+// facade's Result<T, Error>) can translate without string matching.
 #pragma once
 
 #include <stdexcept>
@@ -6,22 +12,95 @@
 
 namespace cxlpmem::pmemkit {
 
-/// Pool-level failures: bad file, header corruption, layout mismatch.
-class PoolError : public std::runtime_error {
+/// Precise failure conditions, shared across the pool / allocator /
+/// transaction subsystems and consumed by api::Error.
+enum class ErrKind {
+  Unspecified,
+  // --- pool identity & image ---
+  NotAPool,          ///< bad magic: file is not a pmemkit pool
+  VersionMismatch,   ///< on-media format version differs
+  ChecksumMismatch,  ///< header checksum failed
+  SizeMismatch,      ///< header pool_size disagrees with the file
+  LayoutMismatch,    ///< caller's layout name differs from the pool's
+  LayoutTooLong,     ///< layout name exceeds the header field
+  PoolTooSmall,      ///< create() below min_pool_size()
+  PoolExists,        ///< create() target already exists
+  PoolNotFound,      ///< open() target missing
+  CorruptImage,      ///< heap/lane/undo-log structures fail validation
+  BadOid,            ///< null/foreign/out-of-range object id
+  BadName,           ///< malformed pool file name
+  // --- namespace level ---
+  NotDurable,        ///< pool on a volatile domain without opt-in
+  CapacityExceeded,  ///< namespace/device out of capacity
+  // --- allocator ---
+  OutOfSpace,        ///< heap cannot satisfy the request
+  InvalidFree,       ///< free of a non-live object
+  BadAlloc,          ///< malformed allocation request
+  // --- transactions ---
+  LogOverflow,       ///< undo/redo log full
+  TxMisuse,          ///< tx_* call outside a transaction, bad range, ...
+  // --- platform ---
+  Io,                ///< filesystem / mmap level failure
+};
+
+[[nodiscard]] inline const char* to_string(ErrKind k) noexcept {
+  switch (k) {
+    case ErrKind::Unspecified: return "unspecified";
+    case ErrKind::NotAPool: return "not-a-pool";
+    case ErrKind::VersionMismatch: return "version-mismatch";
+    case ErrKind::ChecksumMismatch: return "checksum-mismatch";
+    case ErrKind::SizeMismatch: return "size-mismatch";
+    case ErrKind::LayoutMismatch: return "layout-mismatch";
+    case ErrKind::LayoutTooLong: return "layout-too-long";
+    case ErrKind::PoolTooSmall: return "pool-too-small";
+    case ErrKind::PoolExists: return "pool-exists";
+    case ErrKind::PoolNotFound: return "pool-not-found";
+    case ErrKind::CorruptImage: return "corrupt-image";
+    case ErrKind::BadOid: return "bad-oid";
+    case ErrKind::BadName: return "bad-name";
+    case ErrKind::NotDurable: return "not-durable";
+    case ErrKind::CapacityExceeded: return "capacity-exceeded";
+    case ErrKind::OutOfSpace: return "out-of-space";
+    case ErrKind::InvalidFree: return "invalid-free";
+    case ErrKind::BadAlloc: return "bad-alloc";
+    case ErrKind::LogOverflow: return "log-overflow";
+    case ErrKind::TxMisuse: return "tx-misuse";
+    case ErrKind::Io: return "io";
+  }
+  return "?";
+}
+
+/// Common base: message + kind.  Catch subsystem classes below, or this to
+/// get everything pmemkit throws (except CrashInjected, by design).
+class Error : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit Error(const std::string& msg)
+      : std::runtime_error(msg), kind_(ErrKind::Unspecified) {}
+  Error(ErrKind kind, const std::string& msg)
+      : std::runtime_error(msg), kind_(kind) {}
+
+  [[nodiscard]] ErrKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrKind kind_;
+};
+
+/// Pool-level failures: bad file, header corruption, layout mismatch.
+class PoolError : public Error {
+ public:
+  using Error::Error;
 };
 
 /// Allocator failures: out of space, invalid free, oversized request.
-class AllocError : public std::runtime_error {
+class AllocError : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  using Error::Error;
 };
 
 /// Transaction failures: log overflow, misuse (add_range outside tx, ...).
-class TxError : public std::runtime_error {
+class TxError : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  using Error::Error;
 };
 
 /// Thrown by an installed crash hook to simulate power failure at an

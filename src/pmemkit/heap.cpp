@@ -31,7 +31,7 @@ Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
            std::uint64_t heap_size)
     : region_(&region), heap_off_(heap_off), heap_size_(heap_size) {
   if (heap_off + heap_size > region.size())
-    throw PoolError("heap region exceeds pool");
+    throw PoolError(ErrKind::CorruptImage, "heap region exceeds pool");
   // Solve for the chunk count given the table consumes heap space too.
   std::uint64_t n = heap_size / kChunkSize;
   while (n > 0) {
@@ -40,7 +40,7 @@ Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
     if (table + n * kChunkSize <= heap_size) break;
     --n;
   }
-  if (n == 0) throw PoolError("heap too small for a single chunk");
+  if (n == 0) throw PoolError(ErrKind::PoolTooSmall, "heap too small for a single chunk");
   chunk_count_ = static_cast<std::uint32_t>(n);
   const std::uint64_t table =
       (n * sizeof(ChunkDesc) + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
@@ -97,26 +97,26 @@ void Heap::rebuild() {
         break;
       case ChunkState::Run: {
         if (d.class_idx >= kSizeClasses.size())
-          throw PoolError("corrupt run descriptor");
+          throw PoolError(ErrKind::CorruptImage, "corrupt run descriptor");
         const RunHeader* rh = run_header(c);
         if (rh->class_idx != d.class_idx)
-          throw PoolError("run header / descriptor class mismatch");
+          throw PoolError(ErrKind::CorruptImage, "run header / descriptor class mismatch");
         std::uint32_t used = 0;
         for (const std::uint64_t w : rh->bitmap)
           used += static_cast<std::uint32_t>(std::popcount(w));
-        if (used > rh->block_count) throw PoolError("corrupt run bitmap");
+        if (used > rh->block_count) throw PoolError(ErrKind::CorruptImage, "corrupt run bitmap");
         if (used < rh->block_count) partial_runs_[d.class_idx].push_back(c);
         ++c;
         break;
       }
       case ChunkState::HugeHead: {
         if (d.span == 0 || c + d.span > chunk_count_)
-          throw PoolError("corrupt huge span");
+          throw PoolError(ErrKind::CorruptImage, "corrupt huge span");
         c += d.span;  // covered chunks keep stale descriptors; skip them
         break;
       }
       default:
-        throw PoolError("unknown chunk state");
+        throw PoolError(ErrKind::CorruptImage, "unknown chunk state");
     }
   }
 }
@@ -131,7 +131,7 @@ std::uint32_t Heap::acquire_span(std::uint32_t span) const {
       run_len = 0;
     }
   }
-  throw AllocError("out of contiguous heap space");
+  throw AllocError(ErrKind::OutOfSpace, "out of contiguous heap space");
 }
 
 std::uint32_t Heap::acquire_run(RedoSession& redo, int class_idx) {
@@ -161,7 +161,7 @@ std::uint32_t Heap::acquire_run(RedoSession& redo, int class_idx) {
 
 PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
                                 std::uint32_t type_num, bool zero) {
-  if (usable == 0) throw AllocError("zero-size allocation");
+  if (usable == 0) throw AllocError(ErrKind::BadAlloc, "zero-size allocation");
   const std::uint64_t total = usable + sizeof(AllocHeader);
   PreparedAlloc out;
 
@@ -227,7 +227,7 @@ bool Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
                       bool tolerate_dead) {
   if (!is_live(data_off)) {
     if (tolerate_dead) return false;
-    throw AllocError("free of non-live object");
+    throw AllocError(ErrKind::InvalidFree, "free of non-live object");
   }
   const std::uint64_t block_off = data_off - sizeof(AllocHeader);
   const std::uint32_t c = chunk_of(block_off);
@@ -311,7 +311,7 @@ bool Heap::is_live(std::uint64_t data_off) const {
 }
 
 const AllocHeader& Heap::header_of(std::uint64_t data_off) const {
-  if (!is_live(data_off)) throw AllocError("not a live object");
+  if (!is_live(data_off)) throw AllocError(ErrKind::InvalidFree, "not a live object");
   return *reinterpret_cast<const AllocHeader*>(region_->base() + data_off -
                                                sizeof(AllocHeader));
 }

@@ -15,16 +15,20 @@
 namespace cxlpmem::pmemkit {
 
 namespace {
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw PoolError(what + ": " + std::strerror(errno));
+[[noreturn]] void throw_errno(const std::string& what,
+                              ErrKind kind = ErrKind::Io) {
+  throw PoolError(kind, what + ": " + std::strerror(errno));
 }
 }  // namespace
 
 MappedFile MappedFile::create(const std::filesystem::path& path,
                               std::size_t size) {
-  if (size == 0) throw PoolError("pool size must be positive");
+  if (size == 0)
+    throw PoolError(ErrKind::PoolTooSmall, "pool size must be positive");
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL, 0644);
-  if (fd < 0) throw_errno("create pool file " + path.string());
+  if (fd < 0)
+    throw_errno("create pool file " + path.string(),
+                errno == EEXIST ? ErrKind::PoolExists : ErrKind::Io);
   if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
     ::close(fd);
     ::unlink(path.c_str());
@@ -46,11 +50,14 @@ MappedFile MappedFile::create(const std::filesystem::path& path,
 
 MappedFile MappedFile::open(const std::filesystem::path& path) {
   const int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) throw_errno("open pool file " + path.string());
+  if (fd < 0)
+    throw_errno("open pool file " + path.string(),
+                errno == ENOENT ? ErrKind::PoolNotFound : ErrKind::Io);
   struct stat st{};
   if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
     ::close(fd);
-    throw PoolError("pool file unreadable or empty: " + path.string());
+    throw PoolError(ErrKind::Io,
+                    "pool file unreadable or empty: " + path.string());
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);

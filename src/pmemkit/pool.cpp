@@ -49,14 +49,30 @@ ObjectPool::ObjectPool(MappedFile file, Options options)
 std::unique_ptr<ObjectPool> ObjectPool::create(
     const std::filesystem::path& path, std::string_view layout,
     std::uint64_t size, Options options) {
+  FileResource resource(path);
+  return create(resource, layout, size, options);
+}
+
+std::unique_ptr<ObjectPool> ObjectPool::open(
+    const std::filesystem::path& path, std::string_view layout,
+    Options options) {
+  FileResource resource(path);
+  return open(resource, layout, options);
+}
+
+std::unique_ptr<ObjectPool> ObjectPool::create(PmemResource& resource,
+                                               std::string_view layout,
+                                               std::uint64_t size,
+                                               Options options) {
   if (layout.size() >= kLayoutNameMax)
-    throw PoolError("layout name too long");
+    throw PoolError(ErrKind::LayoutTooLong, "layout name too long");
   if (size < min_pool_size())
-    throw PoolError("pool size below minimum (" +
-                    std::to_string(min_pool_size()) + " bytes)");
+    throw PoolError(ErrKind::PoolTooSmall,
+                    "pool size below minimum (" +
+                        std::to_string(min_pool_size()) + " bytes)");
 
   auto pool = std::unique_ptr<ObjectPool>(
-      new ObjectPool(MappedFile::create(path, size), options));
+      new ObjectPool(resource.map_create(size), options));
 
   PoolHeader& h = pool->header();
   h.magic = kPoolMagic;
@@ -82,23 +98,28 @@ std::unique_ptr<ObjectPool> ObjectPool::create(
   return pool;
 }
 
-std::unique_ptr<ObjectPool> ObjectPool::open(
-    const std::filesystem::path& path, std::string_view layout,
-    Options options) {
+std::unique_ptr<ObjectPool> ObjectPool::open(PmemResource& resource,
+                                             std::string_view layout,
+                                             Options options) {
   auto pool = std::unique_ptr<ObjectPool>(
-      new ObjectPool(MappedFile::open(path), options));
+      new ObjectPool(resource.map_open(), options));
 
   const PoolHeader& h = pool->header();
-  if (h.magic != kPoolMagic) throw PoolError("not a pmemkit pool: " +
-                                             path.string());
-  if (h.version != kPoolVersion) throw PoolError("pool version mismatch");
+  if (h.magic != kPoolMagic)
+    throw PoolError(ErrKind::NotAPool,
+                    "not a pmemkit pool: " + resource.describe());
+  if (h.version != kPoolVersion)
+    throw PoolError(ErrKind::VersionMismatch, "pool version mismatch");
   if (h.checksum != header_checksum(h))
-    throw PoolError("pool header checksum mismatch");
-  if (h.pool_size != pool->size()) throw PoolError("pool size mismatch");
+    throw PoolError(ErrKind::ChecksumMismatch,
+                    "pool header checksum mismatch");
+  if (h.pool_size != pool->size())
+    throw PoolError(ErrKind::SizeMismatch, "pool size mismatch");
   if (std::string_view(h.layout.data()) != layout)
-    throw PoolError("layout mismatch: pool has '" +
-                    std::string(h.layout.data()) + "', caller wants '" +
-                    std::string(layout) + "'");
+    throw PoolError(ErrKind::LayoutMismatch,
+                    "layout mismatch: pool has '" +
+                        std::string(h.layout.data()) + "', caller wants '" +
+                        std::string(layout) + "'");
 
   pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
   pool->heap_->rebuild();
@@ -134,9 +155,9 @@ std::string ObjectPool::layout() const {
 }
 
 void* ObjectPool::direct(ObjId oid) {
-  if (oid.is_null()) throw PoolError("direct() on null oid");
-  if (oid.pool_id != pool_id()) throw PoolError("oid from another pool");
-  if (oid.off >= size()) throw PoolError("oid offset out of range");
+  if (oid.is_null()) throw PoolError(ErrKind::BadOid, "direct() on null oid");
+  if (oid.pool_id != pool_id()) throw PoolError(ErrKind::BadOid, "oid from another pool");
+  if (oid.off >= size()) throw PoolError(ErrKind::BadOid, "oid offset out of range");
   return region_.base() + oid.off;
 }
 
@@ -147,7 +168,7 @@ const void* ObjectPool::direct(ObjId oid) const {
 ObjId ObjectPool::oid_for(const void* p) const {
   const auto* b = static_cast<const std::byte*>(p);
   if (b < region_.base() || b >= region_.base() + size())
-    throw PoolError("pointer not inside pool");
+    throw PoolError(ErrKind::BadOid, "pointer not inside pool");
   return ObjId{pool_id(),
                static_cast<std::uint64_t>(b - region_.base())};
 }
@@ -183,10 +204,10 @@ ObjId ObjectPool::alloc_atomic(std::uint64_t size, std::uint32_t type_num,
 }
 
 void ObjectPool::free_atomic(ObjId* dest) {
-  if (dest == nullptr) throw AllocError("free_atomic(nullptr)");
+  if (dest == nullptr) throw AllocError(ErrKind::InvalidFree, "free_atomic(nullptr)");
   const ObjId oid = *dest;
   if (oid.is_null()) return;
-  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
 
   const std::lock_guard<std::mutex> lock(alloc_mu_);
   RedoSession session(region_, lane_header(0).redo);
@@ -202,7 +223,7 @@ void ObjectPool::free_atomic(ObjId* dest) {
 
 void ObjectPool::free_atomic(ObjId oid) {
   if (oid.is_null()) return;
-  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
   const std::lock_guard<std::mutex> lock(alloc_mu_);
   RedoSession session(region_, lane_header(0).redo);
   if (!heap_->stage_free(session, oid.off)) return;
@@ -211,12 +232,12 @@ void ObjectPool::free_atomic(ObjId oid) {
 }
 
 std::uint64_t ObjectPool::usable_size(ObjId oid) const {
-  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
   return heap_->usable_size(oid.off);
 }
 
 std::uint32_t ObjectPool::type_of(ObjId oid) const {
-  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
   return heap_->header_of(oid.off).type_num;
 }
 
@@ -226,7 +247,7 @@ ObjId ObjectPool::first(std::uint32_t type_num) const {
 }
 
 ObjId ObjectPool::next(ObjId oid, std::uint32_t type_num) const {
-  if (oid.pool_id != pool_id()) throw AllocError("oid from another pool");
+  if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
   const std::uint64_t off = heap_->next_object(oid.off, type_num);
   return off == 0 ? kNullOid : ObjId{pool_id(), off};
 }
@@ -235,7 +256,7 @@ ObjId ObjectPool::root_raw(std::uint64_t size) {
   PoolHeader& h = header();
   if (h.root_off != 0) {
     if (size > h.root_size)
-      throw PoolError("root object smaller than requested size");
+      throw PoolError(ErrKind::BadAlloc, "root object smaller than requested size");
     return ObjId{pool_id(), h.root_off};
   }
 

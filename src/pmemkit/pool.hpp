@@ -23,6 +23,7 @@
 #include "pmemkit/layout.hpp"
 #include "pmemkit/oid.hpp"
 #include "pmemkit/pmem_ops.hpp"
+#include "pmemkit/resource.hpp"
 #include "pmemkit/tx.hpp"
 
 namespace cxlpmem::pmemkit {
@@ -48,14 +49,23 @@ class ObjectPool {
  public:
   using Options = PoolOptions;
 
-  /// Creates a new pool file.  `size` >= min_pool_size().  The layout name
-  /// is checked on every open (pmemobj_create semantics).
+  /// Creates a new pool inside `resource`.  `size` >= min_pool_size().  The
+  /// layout name is checked on every open (pmemobj_create semantics).
+  static std::unique_ptr<ObjectPool> create(PmemResource& resource,
+                                            std::string_view layout,
+                                            std::uint64_t size,
+                                            Options options = Options());
+
+  /// Opens the pool held by `resource`, validating
+  /// magic/version/layout/checksum and running recovery.
+  static std::unique_ptr<ObjectPool> open(PmemResource& resource,
+                                          std::string_view layout,
+                                          Options options = Options());
+
+  /// Path conveniences: bind a FileResource on `path` and delegate.
   static std::unique_ptr<ObjectPool> create(
       const std::filesystem::path& path, std::string_view layout,
       std::uint64_t size, Options options = Options());
-
-  /// Opens an existing pool, validating magic/version/layout/checksum and
-  /// running recovery.
   static std::unique_ptr<ObjectPool> open(const std::filesystem::path& path,
                                           std::string_view layout,
                                           Options options = Options());

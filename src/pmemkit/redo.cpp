@@ -26,9 +26,9 @@ void apply_cells(PersistentRegion& region, const RedoLog& log) {
 }  // namespace
 
 void RedoSession::stage(std::uint64_t off, std::uint64_t val) {
-  if (count_ >= kRedoCapacity) throw TxError("redo log full");
+  if (count_ >= kRedoCapacity) throw TxError(ErrKind::LogOverflow, "redo log full");
   if (off + sizeof(std::uint64_t) > region_->size())
-    throw TxError("redo target outside pool");
+    throw TxError(ErrKind::TxMisuse, "redo target outside pool");
   log_->cells[count_++] = RedoCell{off, val};
 }
 

@@ -1,0 +1,66 @@
+// pmemkit/resource.hpp — PmemResource: the injectable backend seam between
+// ObjectPool and whatever holds the pool's bytes.
+//
+// ObjectPool used to hard-code "a MappedFile on a filesystem path".  The
+// facade's namespace-addressed pools need the binding to be a *choice* (the
+// paper's point: Optane vs CXL is just a namespace), so the pool now maps
+// its image through this interface.  FileResource is the default backend;
+// core::DaxNamespace routes through it with capacity accounting, and tests
+// can substitute their own.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "pmemkit/errors.hpp"
+#include "pmemkit/mapped_file.hpp"
+
+namespace cxlpmem::pmemkit {
+
+/// Backend interface.  Implementations throw PoolError (with a precise
+/// ErrKind) on failure — ObjectPool never looks at paths itself.
+class PmemResource {
+ public:
+  virtual ~PmemResource() = default;
+
+  /// Creates the backing store (`size` bytes, zero-filled) and maps it.
+  /// Fails with ErrKind::PoolExists when the store already exists.
+  virtual MappedFile map_create(std::uint64_t size) = 0;
+
+  /// Maps the existing backing store read-write at its current size.
+  /// Fails with ErrKind::PoolNotFound when there is nothing to open.
+  virtual MappedFile map_open() = 0;
+
+  [[nodiscard]] virtual bool exists() const = 0;
+
+  /// Human-readable identity for error messages ("/mnt/pmem2/kv.pool").
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// The default backend: one file on a filesystem path.
+class FileResource final : public PmemResource {
+ public:
+  explicit FileResource(std::filesystem::path path)
+      : path_(std::move(path)) {}
+
+  MappedFile map_create(std::uint64_t size) override {
+    return MappedFile::create(path_, size);
+  }
+  MappedFile map_open() override { return MappedFile::open(path_); }
+  [[nodiscard]] bool exists() const override {
+    return std::filesystem::exists(path_);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return path_.string();
+  }
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace cxlpmem::pmemkit

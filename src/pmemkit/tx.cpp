@@ -32,18 +32,18 @@ std::vector<ParsedEntry> parse_entries(const std::byte* undo,
   std::uint64_t pos = 0;
   while (pos < tail) {
     if (pos + sizeof(UndoEntryHeader) > tail)
-      throw PoolError("undo log: truncated entry header");
+      throw PoolError(ErrKind::CorruptImage, "undo log: truncated entry header");
     UndoEntryHeader hdr;
     std::memcpy(&hdr, undo + pos, sizeof(hdr));
     const auto kind = static_cast<UndoKind>(hdr.kind);
     const std::uint64_t payload_len =
         kind == UndoKind::Snapshot ? hdr.len : 0;
     if (payload_len > kUndoLogBytes)
-      throw PoolError("undo log: entry payload exceeds log size");
+      throw PoolError(ErrKind::CorruptImage, "undo log: entry payload exceeds log size");
     const std::uint64_t entry_size =
         sizeof(UndoEntryHeader) + round16(payload_len);
     if (pos + entry_size > tail)
-      throw PoolError("undo log: entry exceeds tail");
+      throw PoolError(ErrKind::CorruptImage, "undo log: entry exceeds tail");
 
     // Verify: checksum computed with its own field zeroed.
     UndoEntryHeader probe = hdr;
@@ -53,7 +53,7 @@ std::vector<ParsedEntry> parse_entries(const std::byte* undo,
     std::memcpy(buf.data() + sizeof(probe), undo + pos + sizeof(hdr),
                 payload_len);
     if (fletcher64(buf.data(), buf.size()) != hdr.checksum)
-      throw PoolError("undo log: entry checksum mismatch");
+      throw PoolError(ErrKind::CorruptImage, "undo log: entry checksum mismatch");
 
     out.push_back(ParsedEntry{kind, hdr.off, hdr.len,
                               undo + pos + sizeof(UndoEntryHeader)});
@@ -137,7 +137,7 @@ void Transaction::append_entry(UndoKind kind, std::uint64_t off,
   const std::uint64_t entry_size =
       sizeof(UndoEntryHeader) + round16(payload_len);
   if (lh.undo_tail + entry_size > kUndoLogBytes)
-    throw TxError("undo log full (snapshot too large or too many ranges)");
+    throw TxError(ErrKind::LogOverflow, "undo log full (snapshot too large or too many ranges)");
 
   std::byte* dst = undo + lh.undo_tail;
   UndoEntryHeader hdr{static_cast<std::uint32_t>(kind), 0, off, len, 0};
@@ -161,7 +161,7 @@ void Transaction::add_range(void* ptr, std::size_t len) {
   PersistentRegion& region = pool_->region();
   const auto* p = static_cast<const std::byte*>(ptr);
   if (p < region.base() || p + len > region.base() + region.size())
-    throw TxError("add_range outside pool");
+    throw TxError(ErrKind::TxMisuse, "add_range outside pool");
   const std::uint64_t off = region.offset_of(ptr);
   append_entry(UndoKind::Snapshot, off, len, ptr);
   snapshots_.push_back(Range{off, len});
@@ -185,9 +185,9 @@ ObjId Transaction::alloc(std::uint64_t size, std::uint32_t type_num,
 void Transaction::free_obj(ObjId oid) {
   if (oid.is_null()) return;
   if (oid.pool_id != pool_->pool_id())
-    throw TxError("tx_free of foreign-pool oid");
+    throw TxError(ErrKind::BadOid, "tx_free of foreign-pool oid");
   if (!pool_->heap_->is_live(oid.off))
-    throw TxError("tx_free of non-live object");
+    throw TxError(ErrKind::InvalidFree, "tx_free of non-live object");
   append_entry(UndoKind::FreeAction, oid.off, 0, nullptr);
 }
 
@@ -242,27 +242,27 @@ bool recover_lane(ObjectPool& pool, std::uint32_t lane) {
       changed = true;
       break;
     default:
-      throw PoolError("unknown lane state");
+      throw PoolError(ErrKind::CorruptImage, "unknown lane state");
   }
   return changed;
 }
 
 void ObjectPool::tx_add_range(void* ptr, std::size_t len) {
   Transaction* tx = current_tx();
-  if (tx == nullptr) throw TxError("tx_add_range outside a transaction");
+  if (tx == nullptr) throw TxError(ErrKind::TxMisuse, "tx_add_range outside a transaction");
   tx->add_range(ptr, len);
 }
 
 ObjId ObjectPool::tx_alloc(std::uint64_t size, std::uint32_t type_num,
                            bool zero) {
   Transaction* tx = current_tx();
-  if (tx == nullptr) throw TxError("tx_alloc outside a transaction");
+  if (tx == nullptr) throw TxError(ErrKind::TxMisuse, "tx_alloc outside a transaction");
   return tx->alloc(size, type_num, zero);
 }
 
 void ObjectPool::tx_free(ObjId oid) {
   Transaction* tx = current_tx();
-  if (tx == nullptr) throw TxError("tx_free outside a transaction");
+  if (tx == nullptr) throw TxError(ErrKind::TxMisuse, "tx_free outside a transaction");
   tx->free_obj(oid);
 }
 

@@ -214,4 +214,50 @@ class Machine {
   std::vector<SocketId> core_socket_;
 };
 
+/// Flattened performance/identity summary of one memory device as seen from
+/// software: media peaks, load-to-use latency *including* the link for
+/// link-attached devices, and how the device is reached.  This is the
+/// profile a MemorySpace handle carries up through the api facade so pool
+/// users can reason about the backend they were bound to.
+struct MemoryProfile {
+  std::string name;
+  MemoryKind kind = MemoryKind::DramDdr4;
+  bool link_attached = false;  ///< reached through a CXL/PCIe link
+  double peak_read_gbs = 0.0;
+  double peak_write_gbs = 0.0;
+  double peak_combined_gbs = 0.0;  ///< 0 = no combined ceiling
+  double idle_latency_ns = 0.0;    ///< media + link traversal
+  std::uint64_t capacity_bytes = 0;
+  bool persistent = false;
+};
+
+/// Builds the profile of memory `m`, folding the first attaching link's
+/// latency and combined ceiling into the media numbers.
+[[nodiscard]] inline MemoryProfile profile_of(const Machine& machine,
+                                              MemoryId m) {
+  const MemoryDesc& mem = machine.memory(m);
+  MemoryProfile p;
+  p.name = mem.name;
+  p.kind = mem.kind;
+  p.link_attached = mem.home_socket == kInvalidId;
+  p.peak_read_gbs = mem.peak_read_gbs;
+  p.peak_write_gbs = mem.peak_write_gbs;
+  p.peak_combined_gbs = mem.peak_combined_gbs;
+  p.idle_latency_ns = mem.idle_latency_ns;
+  p.capacity_bytes = mem.capacity_bytes;
+  p.persistent = mem.persistent;
+  if (p.link_attached) {
+    const LinkId l = machine.link_of_memory(m);
+    if (l != kInvalidId) {
+      const LinkDesc& link = machine.link(l);
+      p.idle_latency_ns += link.latency_ns;
+      if (link.peak_combined_gbs > 0.0 &&
+          (p.peak_combined_gbs == 0.0 ||
+           link.peak_combined_gbs < p.peak_combined_gbs))
+        p.peak_combined_gbs = link.peak_combined_gbs;
+    }
+  }
+  return p;
+}
+
 }  // namespace cxlpmem::simkit
