@@ -46,6 +46,11 @@ class Pool {
   [[nodiscard]] bool recovered() const noexcept { return impl_->recovered(); }
   [[nodiscard]] std::string layout() const { return impl_->layout(); }
 
+  /// Occupancy plus contention counters (lane waits, allocator run-lock
+  /// skips/waits) — the signal a multi-threaded producer watches to decide
+  /// whether the pool, not the workload, is the bottleneck.
+  [[nodiscard]] pmemkit::PoolStats stats() const { return impl_->stats(); }
+
   // --- Result-based conveniences --------------------------------------------
   /// Root object of type T (allocated zeroed on first use), as a direct
   /// pointer.  Errors (allocation failure, size mismatch) come back as

@@ -10,12 +10,22 @@ std::atomic<bool> g_installed{false};
 }  // namespace
 
 void set_crash_hook(CrashHook hook) {
-  g_installed.store(static_cast<bool>(hook), std::memory_order_relaxed);
-  g_hook = std::move(hook);
+  // Release/acquire so a thread observing `installed` also observes the
+  // hook object.  Installation/replacement must still happen-before any
+  // concurrent pool use (e.g. before worker threads spawn), and callers
+  // must quiesce workers before uninstalling — which is why uninstall only
+  // clears the flag and leaves the function object alive: a straggler that
+  // already passed the installed check must not race its destruction.
+  if (hook) {
+    g_hook = std::move(hook);
+    g_installed.store(true, std::memory_order_release);
+  } else {
+    g_installed.store(false, std::memory_order_release);
+  }
 }
 
 bool crash_hook_installed() noexcept {
-  return g_installed.load(std::memory_order_relaxed);
+  return g_installed.load(std::memory_order_acquire);
 }
 
 void crash_point(std::string_view point) {

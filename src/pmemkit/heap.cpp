@@ -1,5 +1,6 @@
 #include "pmemkit/heap.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -47,6 +48,7 @@ Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
   chunks_off_ = heap_off_ + table;
   partial_runs_.assign(kSizeClasses.size(), {});
   chunk_free_.assign(chunk_count_, false);
+  chunk_mu_ = std::make_unique<std::mutex[]>(chunk_count_);
 }
 
 ChunkDesc* Heap::chunk_table() noexcept {
@@ -121,7 +123,7 @@ void Heap::rebuild() {
   }
 }
 
-std::uint32_t Heap::acquire_span(std::uint32_t span) const {
+std::uint32_t Heap::find_free_span(std::uint32_t span) const {
   std::uint32_t run_start = 0, run_len = 0;
   for (std::uint32_t c = 0; c < chunk_count_; ++c) {
     if (chunk_free_[c]) {
@@ -131,37 +133,111 @@ std::uint32_t Heap::acquire_span(std::uint32_t span) const {
       run_len = 0;
     }
   }
-  throw AllocError(ErrKind::OutOfSpace, "out of contiguous heap space");
+  return kNoChunk;
 }
 
-std::uint32_t Heap::acquire_run(RedoSession& redo, int class_idx) {
-  auto& partials = partial_runs_[class_idx];
-  while (!partials.empty()) {
-    const std::uint32_t c = partials.back();
-    const RunHeader* rh = run_header(c);
-    for (std::uint32_t w = 0; w * 64 < rh->block_count; ++w)
-      if (std::popcount(rh->bitmap[w]) < 64 &&
-          w * 64 + static_cast<std::uint32_t>(std::countr_one(
-                       rh->bitmap[w])) < rh->block_count)
-        return c;
-    partials.pop_back();  // actually full; drop the stale hint
+void Heap::unclaim_span(std::uint32_t chunk, std::uint32_t span) {
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  for (std::uint32_t i = 0; i < span && chunk + i < chunk_count_; ++i)
+    chunk_free_[chunk + i] = true;
+}
+
+bool Heap::run_has_free_block(std::uint32_t chunk) const noexcept {
+  const RunHeader* rh = run_header(chunk);
+  for (std::uint32_t w = 0; w * 64 < rh->block_count; ++w)
+    if (std::popcount(rh->bitmap[w]) < 64 &&
+        w * 64 + static_cast<std::uint32_t>(std::countr_one(rh->bitmap[w])) <
+            rh->block_count)
+      return true;
+  return false;
+}
+
+void Heap::acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a) {
+  for (;;) {
+    // (1) An idle partial run of this class.  Busy runs are skipped, not
+    // waited on — that skip IS the sharding: concurrent same-class
+    // allocations fan out across runs.
+    std::uint32_t busy_candidate = kNoChunk;
+    {
+      const std::lock_guard<std::mutex> cl(class_mu_[class_idx]);
+      auto& partials = partial_runs_[class_idx];
+      for (std::size_t i = partials.size(); i-- > 0;) {
+        const std::uint32_t c = partials[i];
+        std::unique_lock<std::mutex> lk(chunk_mu_[c], std::try_to_lock);
+        if (!lk.owns_lock()) {
+          run_lock_skips_.fetch_add(1, std::memory_order_relaxed);
+          busy_candidate = c;
+          continue;
+        }
+        if (run_has_free_block(c)) {
+          a.chunk = c;
+          a.claimed_span = 0;
+          a.owner = std::move(lk);
+          return;
+        }
+        partials.erase(partials.begin() +
+                       static_cast<std::ptrdiff_t>(i));  // stale: full
+      }
+    }
+
+    // (2) Materialize a new run on a free chunk.  The chunk is claimed
+    // transiently under span_mu_ BEFORE its descriptor is staged, so a
+    // concurrent span search cannot hand it out twice; cancel_alloc returns
+    // the claim.  The RunHeader write is inert until the staged descriptor
+    // commits.
+    std::uint32_t c = kNoChunk;
+    {
+      const std::lock_guard<std::mutex> sl(span_mu_);
+      c = find_free_span(1);
+      if (c != kNoChunk) chunk_free_[c] = false;
+    }
+    if (c != kNoChunk) {
+      // May briefly wait for a previous owner (e.g. a huge free) to finish.
+      std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+      try {
+        RunHeader rh{};
+        rh.class_idx = static_cast<std::uint32_t>(class_idx);
+        rh.block_count = blocks_per_run(kSizeClasses[class_idx]);
+        region_->memcpy_persist(run_header(c), &rh, sizeof(rh));
+        ChunkDesc d{static_cast<std::uint8_t>(ChunkState::Run),
+                    static_cast<std::uint8_t>(class_idx), 0, 0};
+        redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
+                   desc_word(d));
+      } catch (...) {
+        lk.unlock();
+        unclaim_span(c, 1);
+        throw;
+      }
+      a.chunk = c;
+      a.claimed_span = 1;
+      a.owner = std::move(lk);
+      return;
+    }
+
+    if (busy_candidate == kNoChunk)
+      throw AllocError(ErrKind::OutOfSpace, "out of contiguous heap space");
+
+    // (3) No free chunk and every partial run is mid-operation: wait for
+    // one (no other lock held, so this cannot deadlock) and re-validate —
+    // its holder may have taken the last block.
+    run_lock_waits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lk(chunk_mu_[busy_candidate]);
+    const ChunkDesc& d = chunk_table()[busy_candidate];
+    if (static_cast<ChunkState>(d.state) == ChunkState::Run &&
+        d.class_idx == static_cast<std::uint8_t>(class_idx) &&
+        run_has_free_block(busy_candidate)) {
+      a.chunk = busy_candidate;
+      a.claimed_span = 0;
+      a.owner = std::move(lk);
+      return;
+    }
   }
-  // Materialize a new run on a free chunk.  The RunHeader write is inert
-  // until the staged descriptor commits.
-  const std::uint32_t c = acquire_span(1);
-  RunHeader rh{};
-  rh.class_idx = static_cast<std::uint32_t>(class_idx);
-  rh.block_count = blocks_per_run(kSizeClasses[class_idx]);
-  region_->memcpy_persist(run_header(c), &rh, sizeof(rh));
-  ChunkDesc d{static_cast<std::uint8_t>(ChunkState::Run),
-              static_cast<std::uint8_t>(class_idx), 0, 0};
-  redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc), desc_word(d));
-  return c;
 }
 
 PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
                                 std::uint32_t type_num, bool zero) {
   if (usable == 0) throw AllocError(ErrKind::BadAlloc, "zero-size allocation");
+  alloc_ops_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t total = usable + sizeof(AllocHeader);
   PreparedAlloc out;
 
@@ -169,32 +245,59 @@ PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
   std::uint64_t block_off;  // pool offset of the block start
   if (cls >= 0) {
     const std::uint32_t block = kSizeClasses[cls];
-    const std::uint32_t c = acquire_run(redo, cls);
+    acquire_run(redo, cls, out);
+    const std::uint32_t c = out.chunk;
     const RunHeader* rh = run_header(c);
-    // acquire_run guarantees a free bit below block_count.
-    std::uint32_t idx = 0;
-    for (std::uint32_t w = 0;; ++w) {
-      const std::uint32_t bit =
-          static_cast<std::uint32_t>(std::countr_one(rh->bitmap[w]));
-      if (bit < 64 && w * 64 + bit < rh->block_count) {
-        idx = w * 64 + bit;
-        redo.stage(
-            chunks_off_ + std::uint64_t{c} * kChunkSize +
-                offsetof(RunHeader, bitmap) + w * 8,
-            rh->bitmap[w] | (1ull << bit));
-        break;
+    try {
+      // acquire_run guarantees a free bit below block_count, and chunk
+      // ownership keeps the bitmap stable until finish/cancel.
+      std::uint32_t idx = 0;
+      for (std::uint32_t w = 0;; ++w) {
+        const std::uint32_t bit =
+            static_cast<std::uint32_t>(std::countr_one(rh->bitmap[w]));
+        if (bit < 64 && w * 64 + bit < rh->block_count) {
+          idx = w * 64 + bit;
+          redo.stage(
+              chunks_off_ + std::uint64_t{c} * kChunkSize +
+                  offsetof(RunHeader, bitmap) + w * 8,
+              rh->bitmap[w] | (1ull << bit));
+          break;
+        }
       }
+      block_off = chunks_off_ + std::uint64_t{c} * kChunkSize +
+                  kRunHeaderSize + std::uint64_t{idx} * block;
+      out.total_size = block;
+    } catch (...) {
+      cancel_alloc(out);
+      throw;
     }
-    block_off = chunks_off_ + std::uint64_t{c} * kChunkSize + kRunHeaderSize +
-                std::uint64_t{idx} * block;
-    out.total_size = block;
   } else {
     const auto span = static_cast<std::uint32_t>(
         (total + kChunkSize - 1) / kChunkSize);
-    const std::uint32_t c = acquire_span(span);
-    ChunkDesc d{static_cast<std::uint8_t>(ChunkState::HugeHead), 0, 0, span};
-    redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
-               desc_word(d));
+    std::uint32_t c = kNoChunk;
+    {
+      const std::lock_guard<std::mutex> sl(span_mu_);
+      c = find_free_span(span);
+      if (c != kNoChunk)
+        for (std::uint32_t i = 0; i < span; ++i) chunk_free_[c + i] = false;
+    }
+    if (c == kNoChunk)
+      throw AllocError(ErrKind::OutOfSpace, "out of contiguous heap space");
+    // A chunk freed moments ago may still be held by its freeing lane for
+    // the last transient update; waiting here holds no other lock.
+    std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+    out.chunk = c;
+    out.claimed_span = span;
+    out.owner = std::move(lk);
+    try {
+      ChunkDesc d{static_cast<std::uint8_t>(ChunkState::HugeHead), 0, 0,
+                  span};
+      redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
+                 desc_word(d));
+    } catch (...) {
+      cancel_alloc(out);
+      throw;
+    }
     block_off = chunks_off_ + std::uint64_t{c} * kChunkSize;
     out.total_size = std::uint64_t{span} * kChunkSize;
   }
@@ -207,30 +310,47 @@ PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
   return out;
 }
 
-void Heap::finish_alloc(const PreparedAlloc& a) {
-  const std::uint32_t c = chunk_of(a.data_off - sizeof(AllocHeader));
-  const ChunkDesc& d = chunk_table()[c];
-  if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
-    chunk_free_[c] = false;
-    auto& partials = partial_runs_[d.class_idx];
-    bool hinted = false;
-    for (const std::uint32_t p : partials) hinted |= (p == c);
-    if (!hinted) partials.push_back(c);
-  } else {
-    const std::uint32_t span =
-        static_cast<std::uint32_t>(a.total_size / kChunkSize);
-    for (std::uint32_t i = 0; i < span; ++i) chunk_free_[c + i] = false;
-  }
+void Heap::hint_partial(std::uint8_t class_idx, std::uint32_t chunk) {
+  const std::lock_guard<std::mutex> cl(class_mu_[class_idx]);
+  auto& partials = partial_runs_[class_idx];
+  bool hinted = false;
+  for (const std::uint32_t p : partials) hinted |= (p == chunk);
+  if (!hinted) partials.push_back(chunk);
 }
 
-bool Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
-                      bool tolerate_dead) {
-  if (!is_live(data_off)) {
-    if (tolerate_dead) return false;
-    throw AllocError(ErrKind::InvalidFree, "free of non-live object");
-  }
+void Heap::finish_alloc(PreparedAlloc& a) {
+  const std::uint32_t c = a.chunk;
+  const ChunkDesc& d = chunk_table()[c];
+  if (static_cast<ChunkState>(d.state) == ChunkState::Run)
+    hint_partial(d.class_idx, c);
+  // Huge spans (and fresh-run chunks) were claimed in chunk_free_ at stage
+  // time; nothing further to publish.
+  if (a.owner.owns_lock()) a.owner.unlock();
+}
+
+void Heap::cancel_alloc(PreparedAlloc& a) {
+  if (a.owner.owns_lock()) a.owner.unlock();
+  if (a.claimed_span > 0) unclaim_span(a.chunk, a.claimed_span);
+  a.claimed_span = 0;
+  a.data_off = 0;
+}
+
+PreparedFree Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
+                              bool tolerate_dead) {
+  PreparedFree out;
   const std::uint64_t block_off = data_off - sizeof(AllocHeader);
   const std::uint32_t c = chunk_of(block_off);
+  if (c == kNoChunk || data_off < chunks_off_ + sizeof(AllocHeader)) {
+    if (tolerate_dead) return out;
+    throw AllocError(ErrKind::InvalidFree, "free of non-live object");
+  }
+  std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+  // Liveness must be judged under the chunk lock: a concurrent operation on
+  // the same chunk may be mid-commit.
+  if (!is_live(data_off)) {
+    if (tolerate_dead) return out;
+    throw AllocError(ErrKind::InvalidFree, "free of non-live object");
+  }
   const ChunkDesc& d = chunk_table()[c];
   const auto* hdr =
       reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
@@ -253,29 +373,39 @@ bool Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
     redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
                desc_word(free_desc));
   }
-  return true;
+  free_ops_.fetch_add(1, std::memory_order_relaxed);
+  out.data_off = data_off;
+  out.chunk = c;
+  out.staged = true;
+  out.owner = std::move(lk);
+  return out;
 }
 
-void Heap::finish_free(std::uint64_t data_off) {
-  const std::uint64_t block_off = data_off - sizeof(AllocHeader);
-  const std::uint32_t c = chunk_of(block_off);
+void Heap::finish_free(PreparedFree& f) {
+  const std::uint32_t c = f.chunk;
   const ChunkDesc& d = chunk_table()[c];
   if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
-    auto& partials = partial_runs_[d.class_idx];
-    bool hinted = false;
-    for (const std::uint32_t p : partials) hinted |= (p == c);
-    if (!hinted) partials.push_back(c);
+    hint_partial(d.class_idx, c);
   } else {
     // The span's head descriptor became Free; covered chunks follow suit
     // transiently.  Recompute the span from the allocation header.
+    const std::uint64_t block_off = f.data_off - sizeof(AllocHeader);
     const auto* hdr =
         reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
     const std::uint64_t total = hdr->size + sizeof(AllocHeader);
     const auto span =
         static_cast<std::uint32_t>((total + kChunkSize - 1) / kChunkSize);
-    for (std::uint32_t i = 0; i < span && c + i < chunk_count_; ++i)
-      chunk_free_[c + i] = true;
+    unclaim_span(c, span);
   }
+  if (f.owner.owns_lock()) f.owner.unlock();
+}
+
+bool Heap::is_live_synced(std::uint64_t data_off) const {
+  if (data_off < chunks_off_ + sizeof(AllocHeader)) return false;
+  const std::uint32_t c = chunk_of(data_off - sizeof(AllocHeader));
+  if (c == kNoChunk) return false;
+  const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
+  return is_live(data_off);
 }
 
 bool Heap::is_live(std::uint64_t data_off) const {
@@ -373,7 +503,12 @@ HeapStats Heap::stats() const {
   s.total_bytes = std::uint64_t{chunk_count_} * kChunkSize;
   const ChunkDesc* table = chunk_table();
   std::uint32_t c = 0;
+  // Per-chunk locking: chunk metadata (descriptor, run bitmap) is only
+  // mutated under that chunk's lock, so the walk reads each head chunk
+  // consistently — stats() is safe to call from a monitoring thread while
+  // lanes allocate.  The aggregate is still a moving snapshot, of course.
   while (c < chunk_count_) {
+    const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
     const ChunkDesc& d = table[c];
     switch (static_cast<ChunkState>(d.state)) {
       case ChunkState::Free:
@@ -393,13 +528,17 @@ HeapStats Heap::stats() const {
       case ChunkState::HugeHead:
         ++s.object_count;
         s.allocated_bytes += std::uint64_t{d.span} * kChunkSize;
-        c += d.span;
+        c += std::max<std::uint32_t>(d.span, 1);
         break;
       default:
         ++c;
         break;
     }
   }
+  s.alloc_ops = alloc_ops_.load(std::memory_order_relaxed);
+  s.free_ops = free_ops_.load(std::memory_order_relaxed);
+  s.run_lock_skips = run_lock_skips_.load(std::memory_order_relaxed);
+  s.run_lock_waits = run_lock_waits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -13,9 +13,29 @@
 //
 // The split into stage_*/finish_* lets the pool compose an allocation with
 // other writes (e.g. publishing the root oid) in one atomic step.
+//
+// Concurrency: the heap is internally sharded so lanes allocate in
+// parallel.  Redo cells store absolute 64-bit values, so two in-flight
+// operations must never stage the same word — the unit of exclusion is the
+// chunk.  Every stage_* call acquires the target chunk's mutex and hands it
+// back inside the Prepared* guard; the caller keeps it across its redo
+// commit and releases it via finish_*/cancel_*.  Around that core:
+//   * per-size-class mutexes guard the partial-run hint lists; busy runs
+//     are skipped (try-lock), so same-class allocations from different
+//     lanes spread across runs instead of queueing;
+//   * one span mutex guards the transient free-chunk map; fresh chunks are
+//     claimed there eagerly at stage time so concurrent span searches never
+//     overlap, and cancel_* returns the claim;
+//   * lock order is chunk -> (class | span); class- and span-holders only
+//     ever try-lock chunks, so the order cannot cycle.
+// Recovery and rebuild still run single-threaded on the open path.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "pmemkit/layout.hpp"
@@ -25,10 +45,25 @@
 namespace cxlpmem::pmemkit {
 
 /// Result of stage_alloc: where the object will live once the session
-/// commits.  `data_off` is the user-visible offset (just past AllocHeader).
+/// commits.  Holds the target chunk's lock from stage to finish/cancel —
+/// move-only, and must be resolved by exactly one of finish_alloc() /
+/// cancel_alloc() before the owning session's lane does anything else.
 struct PreparedAlloc {
   std::uint64_t data_off = 0;
   std::uint64_t total_size = 0;  ///< block/span bytes incl. header
+  std::uint32_t chunk = 0;       ///< head chunk of the block/span
+  std::uint32_t claimed_span = 0;  ///< fresh chunks claimed transiently
+  std::unique_lock<std::mutex> owner;  ///< chunk exclusivity, stage->finish
+};
+
+/// Result of stage_free: the staged release plus the chunk lock.  A
+/// default-constructed (staged == false) value means the object was already
+/// dead and nothing was staged.
+struct PreparedFree {
+  std::uint64_t data_off = 0;
+  std::uint32_t chunk = 0;
+  bool staged = false;
+  std::unique_lock<std::mutex> owner;
 };
 
 struct HeapStats {
@@ -37,6 +72,11 @@ struct HeapStats {
   std::uint64_t object_count = 0;
   std::uint64_t chunk_count = 0;
   std::uint64_t free_chunks = 0;
+  // Contention counters (transient, since open).
+  std::uint64_t alloc_ops = 0;       ///< stage_alloc calls
+  std::uint64_t free_ops = 0;        ///< stage_free calls that staged
+  std::uint64_t run_lock_skips = 0;  ///< partial runs skipped because busy
+  std::uint64_t run_lock_waits = 0;  ///< blocking waits on a busy run
 };
 
 class Heap {
@@ -55,25 +95,39 @@ class Heap {
   /// Stages an allocation of `usable` bytes with the given type number.
   /// Writes the AllocHeader immediately (inert until the staged bitmap /
   /// chunk-state cells commit).  When `zero` is set the data area is
-  /// cleared and persisted before publication.
+  /// cleared and persisted before publication.  The returned guard owns the
+  /// target chunk until finish_alloc()/cancel_alloc().
   PreparedAlloc stage_alloc(RedoSession& redo, std::uint64_t usable,
                             std::uint32_t type_num, bool zero);
 
-  /// Transient bookkeeping after the session committed.
-  void finish_alloc(const PreparedAlloc& a);
+  /// Transient bookkeeping after the session committed; releases the chunk.
+  void finish_alloc(PreparedAlloc& a);
+
+  /// Abandons a staged allocation whose session never committed (e.g. the
+  /// transaction's undo-log append overflowed): returns transiently claimed
+  /// chunks and releases the chunk lock.  The persistent image is untouched
+  /// because the staged cells were never published.
+  void cancel_alloc(PreparedAlloc& a);
 
   /// Stages the release of the object at `data_off`.  Throws AllocError for
   /// invalid/double frees.  Safe to call for an object that a recovery
   /// already released when `tolerate_dead` is set (idempotent replay).
-  /// Returns false when the object was already dead (nothing staged).
-  bool stage_free(RedoSession& redo, std::uint64_t data_off,
-                  bool tolerate_dead = false);
+  /// Result has staged == false when the object was already dead.
+  PreparedFree stage_free(RedoSession& redo, std::uint64_t data_off,
+                          bool tolerate_dead = false);
 
-  /// Transient bookkeeping after a committed free.
-  void finish_free(std::uint64_t data_off);
+  /// Transient bookkeeping after a committed free; releases the chunk.
+  void finish_free(PreparedFree& f);
 
-  /// True when `data_off` points at a live allocation.
+  /// True when `data_off` points at a live allocation.  NOT synchronized
+  /// against concurrent mutation of the same chunk — callers inside a
+  /// stage_* critical section (or single-threaded phases) use this.
   [[nodiscard]] bool is_live(std::uint64_t data_off) const;
+
+  /// is_live() behind the target chunk's lock: the validation entry point
+  /// while other lanes may be committing into the same chunk.  Still a
+  /// point-in-time answer — the object can die the moment the lock drops.
+  [[nodiscard]] bool is_live_synced(std::uint64_t data_off) const;
 
   /// AllocHeader of a live object.
   [[nodiscard]] const AllocHeader& header_of(std::uint64_t data_off) const;
@@ -96,11 +150,6 @@ class Heap {
   [[nodiscard]] std::uint64_t max_alloc_bytes() const noexcept;
 
  private:
-  struct RunRef {
-    std::uint32_t chunk;
-    std::uint32_t free_blocks;
-  };
-
   [[nodiscard]] ChunkDesc* chunk_table() noexcept;
   [[nodiscard]] const ChunkDesc* chunk_table() const noexcept;
   [[nodiscard]] std::byte* chunk_data(std::uint32_t chunk) noexcept;
@@ -113,10 +162,24 @@ class Heap {
   /// Locates the chunk holding pool offset `off`; kInvalid when outside.
   [[nodiscard]] std::uint32_t chunk_of(std::uint64_t off) const noexcept;
 
-  /// Picks (creating if needed) a run of `class_idx` with a free block.
-  std::uint32_t acquire_run(RedoSession& redo, int class_idx);
-  /// Finds `span` contiguous free chunks; throws AllocError when exhausted.
-  std::uint32_t acquire_span(std::uint32_t span) const;
+  /// True when the (locked) run at `chunk` still has a free block.
+  [[nodiscard]] bool run_has_free_block(std::uint32_t chunk) const noexcept;
+
+  /// Records `chunk` in class `class_idx`'s partial-run hint list (no-op if
+  /// already hinted).
+  void hint_partial(std::uint8_t class_idx, std::uint32_t chunk);
+
+  /// Picks a run of `class_idx` with a free block, creating one if needed.
+  /// On return `a.owner` holds the run's chunk lock and `a.chunk` /
+  /// `a.claimed_span` are set.
+  void acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a);
+
+  /// Finds `span` contiguous transiently-free chunks; kNoChunk sentinel
+  /// (~0u) when exhausted.  Caller must hold span_mu_.
+  [[nodiscard]] std::uint32_t find_free_span(std::uint32_t span) const;
+
+  /// Returns [chunk, chunk+span) to the transient free map.
+  void unclaim_span(std::uint32_t chunk, std::uint32_t span);
 
   PersistentRegion* region_;
   std::uint64_t heap_off_;
@@ -124,11 +187,17 @@ class Heap {
   std::uint32_t chunk_count_ = 0;
   std::uint64_t chunks_off_ = 0;  ///< pool offset of chunk 0
 
-  // Transient state.  The heap is NOT internally synchronized: the owning
-  // pool serializes allocator operations (stage..commit..finish must be one
-  // critical section anyway).
+  // Transient state, sharded (see header comment for the lock order).
   std::vector<std::vector<std::uint32_t>> partial_runs_;  ///< per class
+  std::array<std::mutex, kSizeClasses.size()> class_mu_;
   std::vector<bool> chunk_free_;  ///< transient mirror of Free state
+  mutable std::mutex span_mu_;    ///< guards chunk_free_
+  std::unique_ptr<std::mutex[]> chunk_mu_;  ///< per-chunk owner locks
+
+  std::atomic<std::uint64_t> alloc_ops_{0};
+  std::atomic<std::uint64_t> free_ops_{0};
+  std::atomic<std::uint64_t> run_lock_skips_{0};
+  std::atomic<std::uint64_t> run_lock_waits_{0};
 };
 
 }  // namespace cxlpmem::pmemkit

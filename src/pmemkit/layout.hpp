@@ -98,6 +98,13 @@ struct LaneHeader {
   std::uint64_t undo_tail;  ///< bytes of undo log in use
   RedoLog redo;
 };
+// The transaction state machine persists `state` and `undo_tail` as named
+// fields (see tx.cpp).  Recovery depends on them being the leading words of
+// the lane, ahead of the redo log — pin the layout here so a reordering
+// shows up as a compile error, not a recovery bug.
+static_assert(offsetof(LaneHeader, state) == 0);
+static_assert(offsetof(LaneHeader, undo_tail) == 8);
+static_assert(offsetof(LaneHeader, redo) == 16);
 
 /// Usable undo-log bytes per lane.
 inline constexpr std::size_t kUndoLogBytes = kLaneSize - sizeof(LaneHeader);

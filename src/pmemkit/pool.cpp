@@ -42,8 +42,22 @@ thread_local std::vector<std::pair<const ObjectPool*, Transaction*>>
 ObjectPool::ObjectPool(MappedFile file, Options options)
     : region_(std::move(file), options.track_shadow),
       path_(region_.file().path()) {
-  free_lanes_.reserve(kLaneCount - 1);
-  for (std::uint32_t l = 1; l < kLaneCount; ++l) free_lanes_.push_back(l);
+  free_lanes_.reserve(kLaneCount);
+  for (std::uint32_t l = 0; l < kLaneCount; ++l) free_lanes_.push_back(l);
+}
+
+ObjectPool::OpLane::OpLane(ObjectPool& pool) : pool_(pool) {
+  if (Transaction* tx = pool.current_tx(); tx != nullptr) {
+    lane_ = tx->lane_;
+    owned_ = false;
+  } else {
+    lane_ = pool.acquire_tx_lane();
+    owned_ = true;
+  }
+}
+
+ObjectPool::OpLane::~OpLane() {
+  if (owned_) pool_.release_tx_lane(lane_);
 }
 
 std::unique_ptr<ObjectPool> ObjectPool::create(
@@ -187,17 +201,24 @@ std::uint64_t ObjectPool::lane_off(std::uint32_t lane) const noexcept {
 
 ObjId ObjectPool::alloc_atomic(std::uint64_t size, std::uint32_t type_num,
                                ObjId* dest, bool zero) {
-  const std::lock_guard<std::mutex> lock(alloc_mu_);
-  RedoSession session(region_, lane_header(0).redo);
-  const PreparedAlloc pa = heap_->stage_alloc(session, size, type_num, zero);
+  const OpLane lane(*this);
+  RedoSession session(region_, lane_header(lane.lane()).redo);
+  PreparedAlloc pa = heap_->stage_alloc(session, size, type_num, zero);
   const ObjId id{pool_id(), pa.data_off};
 
   const auto* dp = reinterpret_cast<const std::byte*>(dest);
   const bool dest_in_pool =
       dest != nullptr && dp >= region_.base() && dp < region_.base() + this->size();
-  if (dest_in_pool)
-    session.stage_oid(region_.offset_of(dest), id);
-  session.commit();
+  try {
+    if (dest_in_pool)
+      session.stage_oid(region_.offset_of(dest), id);
+    session.commit();
+  } catch (const CrashInjected&) {
+    throw;  // power cut: the staged state is the crash image under test
+  } catch (...) {
+    heap_->cancel_alloc(pa);
+    throw;
+  }
   heap_->finish_alloc(pa);
   if (dest != nullptr && !dest_in_pool) *dest = id;
   return id;
@@ -209,26 +230,28 @@ void ObjectPool::free_atomic(ObjId* dest) {
   if (oid.is_null()) return;
   if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
 
-  const std::lock_guard<std::mutex> lock(alloc_mu_);
-  RedoSession session(region_, lane_header(0).redo);
-  if (!heap_->stage_free(session, oid.off)) return;
+  const OpLane lane(*this);
+  RedoSession session(region_, lane_header(lane.lane()).redo);
+  PreparedFree pf = heap_->stage_free(session, oid.off);
+  if (!pf.staged) return;
   const auto* dp = reinterpret_cast<const std::byte*>(dest);
   const bool dest_in_pool =
       dp >= region_.base() && dp < region_.base() + size();
   if (dest_in_pool) session.stage_oid(region_.offset_of(dest), kNullOid);
   session.commit();
-  heap_->finish_free(oid.off);
+  heap_->finish_free(pf);
   if (!dest_in_pool) *dest = kNullOid;
 }
 
 void ObjectPool::free_atomic(ObjId oid) {
   if (oid.is_null()) return;
   if (oid.pool_id != pool_id()) throw AllocError(ErrKind::BadOid, "oid from another pool");
-  const std::lock_guard<std::mutex> lock(alloc_mu_);
-  RedoSession session(region_, lane_header(0).redo);
-  if (!heap_->stage_free(session, oid.off)) return;
+  const OpLane lane(*this);
+  RedoSession session(region_, lane_header(lane.lane()).redo);
+  PreparedFree pf = heap_->stage_free(session, oid.off);
+  if (!pf.staged) return;
   session.commit();
-  heap_->finish_free(oid.off);
+  heap_->finish_free(pf);
 }
 
 std::uint64_t ObjectPool::usable_size(ObjId oid) const {
@@ -254,20 +277,30 @@ ObjId ObjectPool::next(ObjId oid, std::uint32_t type_num) const {
 
 ObjId ObjectPool::root_raw(std::uint64_t size) {
   PoolHeader& h = header();
+  // root_off is published via a redo apply; reading it under root_mu_ keeps
+  // the check ordered against a concurrent first-use allocation.
+  const std::lock_guard<std::mutex> lock(root_mu_);
   if (h.root_off != 0) {
     if (size > h.root_size)
       throw PoolError(ErrKind::BadAlloc, "root object smaller than requested size");
     return ObjId{pool_id(), h.root_off};
   }
 
-  const std::lock_guard<std::mutex> lock(alloc_mu_);
-  RedoSession session(region_, lane_header(0).redo);
-  const PreparedAlloc pa =
+  const OpLane lane(*this);
+  RedoSession session(region_, lane_header(lane.lane()).redo);
+  PreparedAlloc pa =
       heap_->stage_alloc(session, size, /*type_num=*/0, /*zero=*/true);
-  // Root oid + size publish atomically with the allocation.
-  session.stage(region_.offset_of(&h.root_off), pa.data_off);
-  session.stage(region_.offset_of(&h.root_size), size);
-  session.commit();
+  try {
+    // Root oid + size publish atomically with the allocation.
+    session.stage(region_.offset_of(&h.root_off), pa.data_off);
+    session.stage(region_.offset_of(&h.root_size), size);
+    session.commit();
+  } catch (const CrashInjected&) {
+    throw;  // power cut: no cleanup may happen
+  } catch (...) {
+    heap_->cancel_alloc(pa);
+    throw;
+  }
   heap_->finish_alloc(pa);
   return ObjId{pool_id(), pa.data_off};
 }
@@ -289,7 +322,10 @@ void ObjectPool::set_current_tx(Transaction* tx) {
 
 std::uint32_t ObjectPool::acquire_tx_lane() {
   std::unique_lock<std::mutex> lock(lane_mu_);
-  lane_cv_.wait(lock, [this] { return !free_lanes_.empty(); });
+  if (free_lanes_.empty()) {
+    lane_waits_.fetch_add(1, std::memory_order_relaxed);
+    lane_cv_.wait(lock, [this] { return !free_lanes_.empty(); });
+  }
   const std::uint32_t lane = free_lanes_.back();
   free_lanes_.pop_back();
   return lane;
@@ -308,6 +344,7 @@ PoolStats ObjectPool::stats() const {
   s.heap = heap_->stats();
   s.pool_size = size();
   s.lane_count = header().lane_count;
+  s.lane_waits = lane_waits_.load(std::memory_order_relaxed);
   s.recovered = recovered_;
   return s;
 }

@@ -8,6 +8,7 @@
 // crash-consistency image used by the test harness.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <filesystem>
@@ -35,6 +36,10 @@ struct PoolStats {
   HeapStats heap;
   std::uint64_t pool_size = 0;
   std::uint64_t lane_count = 0;
+  /// Times a thread blocked waiting for a free transaction lane (transient,
+  /// since open) — the pool-level contention signal next to the heap's
+  /// run_lock_skips/run_lock_waits.
+  std::uint64_t lane_waits = 0;
   bool recovered = false;  ///< last open performed recovery actions
 };
 
@@ -216,19 +221,40 @@ class ObjectPool {
   void release_tx_lane(std::uint32_t lane);
   void set_current_tx(Transaction* tx);
 
+  /// RAII lane for a non-transactional (atomic) operation's redo log: the
+  /// calling thread's open transaction lane when there is one (safe — redo
+  /// sessions on a lane are strictly sequential within a thread), otherwise
+  /// a lane checked out of the free pool for the call's duration.  This is
+  /// what retires the old "all atomic ops through lane 0" funnel.
+  class OpLane {
+   public:
+    explicit OpLane(ObjectPool& pool);
+    ~OpLane();
+    OpLane(const OpLane&) = delete;
+    OpLane& operator=(const OpLane&) = delete;
+    [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
+
+   private:
+    ObjectPool& pool_;
+    std::uint32_t lane_;
+    bool owned_;
+  };
+
   PersistentRegion region_;
   std::filesystem::path path_;
   std::unique_ptr<Heap> heap_;
   bool recovered_ = false;
   bool crashed_ = false;
 
-  /// Serializes allocator metadata operations (lane 0 is reserved for them).
-  std::mutex alloc_mu_;
+  /// Serializes first-use root allocation (a once-per-pool event); steady-
+  /// state allocation takes only the heap's sharded locks.
+  std::mutex root_mu_;
 
-  /// Transaction lane pool (lanes 1 .. kLaneCount-1).
+  /// Transaction lane pool (lanes 0 .. kLaneCount-1).
   std::mutex lane_mu_;
   std::condition_variable lane_cv_;
   std::vector<std::uint32_t> free_lanes_;
+  std::atomic<std::uint64_t> lane_waits_{0};
 };
 
 }  // namespace cxlpmem::pmemkit

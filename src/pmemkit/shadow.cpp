@@ -22,6 +22,7 @@ ShadowTracker::ShadowTracker(const std::byte* live, std::size_t size)
 
 void ShadowTracker::record_store(std::size_t off, std::size_t len) {
   if (len == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::size_t first = off / kLine;
   const std::size_t last = (off + len - 1) / kLine;
   for (std::size_t l = first; l <= last; ++l) dirty_.insert(l);
@@ -29,12 +30,14 @@ void ShadowTracker::record_store(std::size_t off, std::size_t len) {
 
 void ShadowTracker::record_flush(std::size_t off, std::size_t len) {
   if (len == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::size_t first = off / kLine;
   const std::size_t last = (off + len - 1) / kLine;
   for (std::size_t l = first; l <= last; ++l) pending_.insert(l);
 }
 
 void ShadowTracker::record_fence() {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (const std::size_t l : pending_) {
     const std::size_t off = l * kLine;
     const std::size_t n = std::min(kLine, shadow_.size() - off);
@@ -46,6 +49,7 @@ void ShadowTracker::record_fence() {
 
 std::vector<std::byte> ShadowTracker::crash_image(CrashPolicy policy,
                                                   std::uint64_t seed) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (policy == CrashPolicy::EadrEverythingSurvives) {
     // Caches are inside the persistence domain: media == everything stored.
     return std::vector<std::byte>(live_, live_ + shadow_.size());

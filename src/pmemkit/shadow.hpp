@@ -23,6 +23,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -44,6 +45,12 @@ class ShadowTracker {
   /// Tracks a live region of `size` bytes.  `live` must outlive the tracker.
   /// The shadow starts as a copy of the live image (a freshly created pool
   /// is all-zero + whatever create() persists explicitly).
+  ///
+  /// Internally synchronized: concurrent lanes flush/fence in parallel, so
+  /// the tracker serializes its bookkeeping (crash tests may be
+  /// multi-threaded; the fence copy itself reads the live image, which is
+  /// racy only for lines the crashing threads were still mutating — exactly
+  /// the lines a real power cut would tear).
   ShadowTracker(const std::byte* live, std::size_t size);
 
   /// Notes that [off, off+len) is being (or about to be) modified without a
@@ -63,13 +70,16 @@ class ShadowTracker {
 
   [[nodiscard]] std::size_t size() const noexcept { return shadow_.size(); }
   [[nodiscard]] std::size_t dirty_lines() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return dirty_.size();
   }
   [[nodiscard]] std::size_t pending_lines() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return pending_.size();
   }
 
  private:
+  mutable std::mutex mu_;
   const std::byte* live_;
   std::vector<std::byte> shadow_;
   /// Line indices stored-to but not yet persisted.

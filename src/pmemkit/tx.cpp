@@ -1,7 +1,6 @@
 #include "pmemkit/tx.hpp"
 
 #include <cstring>
-#include <mutex>
 
 #include "pmemkit/checksum.hpp"
 #include "pmemkit/crash_hook.hpp"
@@ -63,21 +62,32 @@ std::vector<ParsedEntry> parse_entries(const std::byte* undo,
 }
 
 /// Atomic free through a lane's redo log; tolerates already-dead objects so
-/// recovery replay is idempotent.
+/// recovery replay is idempotent.  Concurrency comes from the heap's chunk
+/// locks — no global allocator mutex.
 void atomic_free(PersistentRegion& region, Heap& heap, RedoLog& redo,
-                 std::uint64_t off, std::mutex& alloc_mu) {
-  const std::lock_guard<std::mutex> lock(alloc_mu);
+                 std::uint64_t off) {
   RedoSession session(region, redo);
-  if (heap.stage_free(session, off, /*tolerate_dead=*/true)) {
+  PreparedFree pf = heap.stage_free(session, off, /*tolerate_dead=*/true);
+  if (pf.staged) {
     session.commit();
-    heap.finish_free(off);
+    heap.finish_free(pf);
   }
+}
+
+/// Retires a lane: Idle first, then the tail, as named fields (the layout
+/// static_asserts in layout.hpp pin their offsets).  A crash between the
+/// two persists leaves Idle + a stale tail, which recovery resets.
+void retire_lane(PersistentRegion& region, LaneHeader& lh) {
+  lh.state = static_cast<std::uint32_t>(LaneState::Idle);
+  region.persist(&lh.state, sizeof(lh.state));
+  lh.undo_tail = 0;
+  region.persist(&lh.undo_tail, sizeof(lh.undo_tail));
 }
 
 /// Rolls a lane back: pre-images restored in reverse, fresh allocations
 /// released, lane retired.
 void rollback_lane(PersistentRegion& region, Heap& heap, LaneHeader& lh,
-                   std::byte* undo, std::mutex& alloc_mu) {
+                   std::byte* undo) {
   const auto entries = parse_entries(undo, lh.undo_tail);
   for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
     switch (it->kind) {
@@ -86,32 +96,27 @@ void rollback_lane(PersistentRegion& region, Heap& heap, LaneHeader& lh,
         crash_point("tx:rollback-snapshot");
         break;
       case UndoKind::AllocAction:
-        atomic_free(region, heap, lh.redo, it->off, alloc_mu);
+        atomic_free(region, heap, lh.redo, it->off);
         crash_point("tx:rollback-alloc");
         break;
       case UndoKind::FreeAction:
         break;  // never performed; nothing to roll back
     }
   }
-  lh.state = static_cast<std::uint32_t>(LaneState::Idle);
-  lh.undo_tail = 0;
-  region.persist(&lh, 16);
+  retire_lane(region, lh);
   crash_point("tx:rolled-back");
 }
 
 /// Finishes a committed lane: performs (or re-performs) deferred frees.
 void finish_committed_lane(PersistentRegion& region, Heap& heap,
-                           LaneHeader& lh, std::byte* undo,
-                           std::mutex& alloc_mu) {
+                           LaneHeader& lh, std::byte* undo) {
   const auto entries = parse_entries(undo, lh.undo_tail);
   for (const ParsedEntry& e : entries) {
     if (e.kind != UndoKind::FreeAction) continue;
-    atomic_free(region, heap, lh.redo, e.off, alloc_mu);
+    atomic_free(region, heap, lh.redo, e.off);
     crash_point("tx:freed");
   }
-  lh.state = static_cast<std::uint32_t>(LaneState::Idle);
-  lh.undo_tail = 0;
-  region.persist(&lh, 16);
+  retire_lane(region, lh);
   crash_point("tx:retired");
 }
 
@@ -121,10 +126,19 @@ Transaction::Transaction(ObjectPool& pool, std::uint32_t lane)
     : pool_(&pool), lane_(lane) {}
 
 void Transaction::begin() {
+  // Between lane acquisition and the first lane-header write the power may
+  // fail too.  This point also matters for multi-threaded crash tests: a
+  // lane released by a thread that just "lost power" mid-commit must not be
+  // re-begun (wiping its undo tail) by a thread that has not noticed the
+  // cut yet — the hook stops it here, before any mutation.
+  crash_point("tx:acquire");
   LaneHeader& lh = pool_->lane_header(lane_);
-  lh.state = static_cast<std::uint32_t>(LaneState::Active);
+  // Tail first, then the state, as named fields (offsets pinned in
+  // layout.hpp): Active must never become durable next to a stale tail.
   lh.undo_tail = 0;
-  pool_->persist(&lh, 16);
+  pool_->persist(&lh.undo_tail, sizeof(lh.undo_tail));
+  lh.state = static_cast<std::uint32_t>(LaneState::Active);
+  pool_->persist(&lh.state, sizeof(lh.state));
   crash_point("tx:begin");
 }
 
@@ -163,6 +177,16 @@ void Transaction::add_range(void* ptr, std::size_t len) {
   if (p < region.base() || p + len > region.base() + region.size())
     throw TxError(ErrKind::TxMisuse, "add_range outside pool");
   const std::uint64_t off = region.offset_of(ptr);
+  // A range fully covered by an earlier snapshot needs no new entry: the
+  // first snapshot already holds the pre-image an abort must restore, and
+  // commit already flushes the covering range.  Re-appending would only
+  // burn undo space (spurious LogOverflow) and duplicate commit flushes.
+  for (const Range& r : snapshots_) {
+    if (off >= r.off && off + len <= r.off + r.len) {
+      region.note_store(ptr, len);
+      return;
+    }
+  }
   append_entry(UndoKind::Snapshot, off, len, ptr);
   snapshots_.push_back(Range{off, len});
   region.note_store(ptr, len);
@@ -170,13 +194,23 @@ void Transaction::add_range(void* ptr, std::size_t len) {
 
 ObjId Transaction::alloc(std::uint64_t size, std::uint32_t type_num,
                          bool zero) {
-  const std::lock_guard<std::mutex> lock(pool_->alloc_mu_);
   RedoSession session(pool_->region(), pool_->lane_header(lane_).redo);
-  const PreparedAlloc pa =
+  PreparedAlloc pa =
       pool_->heap_->stage_alloc(session, size, type_num, zero);
-  // Publish the undo action first: a crash can roll the allocation back,
-  // never leak it.
-  append_entry(UndoKind::AllocAction, pa.data_off, 0, nullptr);
+  try {
+    // Publish the undo action first: a crash can roll the allocation back,
+    // never leak it.
+    append_entry(UndoKind::AllocAction, pa.data_off, 0, nullptr);
+  } catch (const CrashInjected&) {
+    throw;  // power cut: no cleanup may happen
+  } catch (...) {
+    // Undo log full (or any other append failure) before the session
+    // committed: nothing persistent was published, but the staged transient
+    // claims (chunk ownership, fresh-chunk reservations) must be returned
+    // or the heap leaks them until close.
+    pool_->heap_->cancel_alloc(pa);
+    throw;
+  }
   session.commit();
   pool_->heap_->finish_alloc(pa);
   return ObjId{pool_->pool_id(), pa.data_off};
@@ -186,7 +220,7 @@ void Transaction::free_obj(ObjId oid) {
   if (oid.is_null()) return;
   if (oid.pool_id != pool_->pool_id())
     throw TxError(ErrKind::BadOid, "tx_free of foreign-pool oid");
-  if (!pool_->heap_->is_live(oid.off))
+  if (!pool_->heap_->is_live_synced(oid.off))
     throw TxError(ErrKind::InvalidFree, "tx_free of non-live object");
   append_entry(UndoKind::FreeAction, oid.off, 0, nullptr);
 }
@@ -206,15 +240,14 @@ void Transaction::commit() {
   crash_point("tx:committed");
 
   // (3) deferred frees + retire.
-  finish_committed_lane(region, *pool_->heap_, lh, pool_->lane_undo(lane_),
-                        pool_->alloc_mu_);
+  finish_committed_lane(region, *pool_->heap_, lh, pool_->lane_undo(lane_));
   committed_ = true;
   finished_ = true;
 }
 
 void Transaction::abort() {
   rollback_lane(pool_->region(), *pool_->heap_, pool_->lane_header(lane_),
-                pool_->lane_undo(lane_), pool_->alloc_mu_);
+                pool_->lane_undo(lane_));
   finished_ = true;
 }
 
@@ -232,13 +265,11 @@ bool recover_lane(ObjectPool& pool, std::uint32_t lane) {
       }
       break;
     case LaneState::Active:
-      rollback_lane(region, *pool.heap_, lh, pool.lane_undo(lane),
-                    pool.alloc_mu_);
+      rollback_lane(region, *pool.heap_, lh, pool.lane_undo(lane));
       changed = true;
       break;
     case LaneState::Committed:
-      finish_committed_lane(region, *pool.heap_, lh, pool.lane_undo(lane),
-                            pool.alloc_mu_);
+      finish_committed_lane(region, *pool.heap_, lh, pool.lane_undo(lane));
       changed = true;
       break;
     default:

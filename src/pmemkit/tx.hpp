@@ -35,10 +35,14 @@ class Transaction {
   Transaction& operator=(const Transaction&) = delete;
 
   /// Snapshots [ptr, ptr+len) so an abort/crash restores it; the caller may
-  /// then modify the range freely.  `ptr` must lie inside the pool.
+  /// then modify the range freely.  `ptr` must lie inside the pool.  A range
+  /// fully covered by an earlier snapshot of this transaction is coalesced
+  /// away (the first snapshot already holds the pre-image to restore).
   void add_range(void* ptr, std::size_t len);
 
-  /// Allocates inside the transaction; freed automatically on abort.
+  /// Allocates inside the transaction; freed automatically on abort.  When
+  /// logging the allocation overflows the undo log, the staged heap state
+  /// is cancelled before the error propagates — nothing leaks.
   ObjId alloc(std::uint64_t size, std::uint32_t type_num, bool zero = false);
 
   /// Schedules a free for commit time (the object stays readable until

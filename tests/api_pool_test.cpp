@@ -258,4 +258,29 @@ TEST_F(ApiPoolTest, ObjectPoolRunsOnAnInjectedBackend) {
   }
 }
 
+// The facade exposes occupancy AND contention counters, so a multi-threaded
+// producer can see whether the pool is the bottleneck without dropping to
+// pmemkit internals.
+TEST_F(ApiPoolTest, StatsExposeOccupancyAndContentionCounters) {
+  auto pool = rt_->create_pool("pmem2", "kv");
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+
+  const pmemkit::PoolStats before = pool.value().stats();
+  EXPECT_EQ(before.lane_waits, 0u);
+
+  const pmemkit::ObjId a = pool.value()->alloc_atomic(512, 3);
+  auto tx = pool.value().run_tx([&] {
+    (void)pool.value()->tx_alloc(128, 4);
+  });
+  ASSERT_TRUE(tx.ok());
+
+  const pmemkit::PoolStats after = pool.value().stats();
+  EXPECT_EQ(after.heap.alloc_ops, before.heap.alloc_ops + 2);
+  EXPECT_EQ(after.heap.object_count, before.heap.object_count + 2);
+  EXPECT_EQ(after.lane_count, pmemkit::kLaneCount);
+
+  pool.value()->free_atomic(a);
+  EXPECT_EQ(pool.value().stats().heap.free_ops, after.heap.free_ops + 1);
+}
+
 }  // namespace

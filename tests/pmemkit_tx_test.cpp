@@ -188,6 +188,103 @@ TEST_F(TxTest, ConcurrentTransactionsOnSeparateLanes) {
     EXPECT_TRUE(pool_->first(100 + t).is_null());
 }
 
+// Filling the undo log to the byte and then tx-allocating forces the
+// LogOverflow out of append_entry AFTER the heap staged the allocation.
+// The cancel path must return every transient claim: the regression mode
+// was a huge-span reservation (or fresh-run chunk) leaking until close, so
+// afterwards the heap must still satisfy a span covering ALL free chunks.
+TEST_F(TxTest, UndoOverflowDuringTxAllocLeaksNoHeapState) {
+  constexpr auto round16 = [](std::uint64_t n) {
+    return (n + 15) & ~std::uint64_t{15};
+  };
+  const std::uint64_t hdr = sizeof(pk::UndoEntryHeader);
+  // Snapshot source: 1 MiB of distinct ranges (coalescing must not kick in).
+  const pk::ObjId src = pool_->alloc_atomic(1u << 20, 42, nullptr, true);
+  auto* base = static_cast<std::byte*>(pool_->direct(src));
+
+  const auto fill_log = [&] {
+    std::uint64_t remaining = pk::kUndoLogBytes;
+    std::uint64_t off = 0;
+    // All quantities stay multiples of 16, so the log ends exactly full and
+    // even a payload-free AllocAction entry (hdr bytes) cannot fit.
+    ASSERT_EQ(pk::kUndoLogBytes % 16, 0u);
+    while (remaining >= hdr + 16) {
+      // remaining and hdr are multiples of 16, so len is too and
+      // round16(len) == len: entries pack with no slack.
+      const std::uint64_t len = std::min<std::uint64_t>(4080, remaining - hdr);
+      ASSERT_EQ(round16(len), len);
+      pool_->tx_add_range(base + off, len);
+      off += len;
+      remaining -= hdr + len;
+    }
+    ASSERT_LT(remaining, hdr);
+  };
+
+  const std::uint64_t free_before = pool_->stats().heap.free_chunks;
+
+  // Huge-span variant: the staged allocation claims chunks transiently.
+  EXPECT_THROW(pool_->run_tx([&] {
+    fill_log();
+    (void)pool_->tx_alloc(512u << 10, 7);  // 3 chunks; append must overflow
+  }),
+               pk::TxError);
+  EXPECT_TRUE(pool_->first(7).is_null()) << "canceled alloc became visible";
+
+  // Run-class variant: cancel must release the run's chunk lock, or the
+  // next same-class allocation deadlocks.
+  EXPECT_THROW(pool_->run_tx([&] {
+    fill_log();
+    (void)pool_->tx_alloc(64, 8);
+  }),
+               pk::TxError);
+  const pk::ObjId small = pool_->alloc_atomic(64, 8);
+  pool_->free_atomic(small);
+
+  // Nothing persistent changed...
+  EXPECT_EQ(pool_->stats().heap.free_chunks, free_before);
+  // ...and nothing transient leaked: after releasing the snapshot source, a
+  // span covering every free chunk must still be allocatable.
+  pool_->free_atomic(src);
+  const std::uint64_t all_free = pool_->stats().heap.free_chunks;
+  const pk::ObjId whole = pool_->alloc_atomic(
+      all_free * (256u << 10) - 16, 9);
+  EXPECT_FALSE(whole.is_null());
+  pool_->free_atomic(whole);
+}
+
+// Re-snapshotting a range already covered by an earlier snapshot must not
+// consume more undo space: thousands of add_range calls on the same word
+// would otherwise overflow the lane log.
+TEST_F(TxTest, AddRangeCoalescesCoveredRanges) {
+  for (int i = 0; i < 8; ++i) root_->values[i] = i;
+  pool_->persist(root_->values, sizeof(root_->values));
+
+  pool_->run_tx([&] {
+    pool_->tx_add_range(root_->values, sizeof(root_->values));
+    // ~10k re-adds of covered (sub)ranges: would need ~1 MiB of undo log
+    // without coalescing (kUndoLogBytes is ~63 KiB).
+    for (int i = 0; i < 10000; ++i) {
+      pool_->tx_add_range(root_->values, sizeof(root_->values));
+      pool_->tx_add_range(&root_->values[i % 8], 8);
+      root_->values[i % 8] = 1000 + i;
+    }
+  });
+
+  // Abort must still restore from the one real snapshot.
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(root_->values, sizeof(root_->values));
+    for (int i = 0; i < 8; ++i) {
+      pool_->tx_add_range(&root_->values[i], 8);  // covered: skipped
+      root_->values[i] = 7777;
+    }
+    throw std::runtime_error("abort");
+  }),
+               std::runtime_error);
+  // Last committed write to slot i was iteration 9992+i.
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(root_->values[i], 1000u + 9992 + i) << "i=" << i;
+}
+
 TEST_F(TxTest, CommittedStateSurvivesReopen) {
   pool_->run_tx([&] {
     pool_->tx_add_range(&root_->counter, 8);
