@@ -3,14 +3,17 @@
 // crashes halfway (simulated), restarts from the last epoch, and verifies
 // the final field matches an uninterrupted run bit-for-bit.
 //
-// Runs through the cxlpmem facade: the checkpoint store is addressed by
-// namespace name, so pointing it at emulated PMem is a one-argument change.
+// Runs entirely through the cxlpmem facade: the checkpoint store is
+// addressed by namespace name (so pointing it at emulated PMem is a
+// one-argument change) and the restart path uses the allocation-free
+// load_into() — the restart buffer is sized once, not reallocated per load.
 //
 //   $ checkpoint_restart [workdir] [namespace]
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "api/cxlpmem.hpp"
@@ -53,7 +56,7 @@ std::vector<std::byte> pack(int step_no, const Grid& g) {
   return out;
 }
 
-int unpack(const std::vector<std::byte>& payload, Grid& g) {
+int unpack(std::span<const std::byte> payload, Grid& g) {
   int step_no = 0;
   std::memcpy(&step_no, payload.data(), sizeof(int));
   std::memcpy(g.data(), payload.data() + sizeof(int),
@@ -63,7 +66,7 @@ int unpack(const std::vector<std::byte>& payload, Grid& g) {
 
 /// Runs [from, to) steps, checkpointing; returns the step at which the
 /// simulated failure strikes (or `to` when none does).
-int run_phase(core::CheckpointStore& store, Grid& grid, int from, int to,
+int run_phase(api::CheckpointStore& store, Grid& grid, int from, int to,
               int fail_at) {
   Grid scratch = grid;
   for (int s = from; s < to; ++s) {
@@ -71,10 +74,11 @@ int run_phase(core::CheckpointStore& store, Grid& grid, int from, int to,
     step(grid, scratch);
     std::swap(grid, scratch);
     if ((s + 1) % kCheckpointEvery == 0) {
-      store.save(pack(s + 1, grid));
+      const auto payload = pack(s + 1, grid);
+      store.save(payload).value();
       std::printf("  step %4d: checkpoint epoch %llu saved (%zu KiB)\n",
                   s + 1, static_cast<unsigned long long>(store.epoch()),
-                  pack(s + 1, grid).size() / 1024);
+                  payload.size() / 1024);
     }
   }
   return to;
@@ -119,10 +123,10 @@ int main(int argc, char** argv) {
     }
     Grid grid = initial_grid();
     const int reached =
-        run_phase(**store, grid, 0, kSteps, /*fail_at=*/113);
+        run_phase(*store, grid, 0, kSteps, /*fail_at=*/113);
     std::printf("  !! node failure at step %d (last durable epoch: %llu)\n",
                 reached,
-                static_cast<unsigned long long>((*store)->epoch()));
+                static_cast<unsigned long long>(store->epoch()));
   }
 
   // --- run 2: restart from the persistent checkpoint ------------------------
@@ -135,10 +139,13 @@ int main(int argc, char** argv) {
                    store.error().to_string().c_str());
       return 1;
     }
-    const int resume_from = unpack((*store)->load(), grid);
+    // Allocation-free restart: one preallocated buffer, filled in place.
+    std::vector<std::byte> buf(store->payload_bytes());
+    const std::uint64_t n = store->load_into(buf).value();
+    const int resume_from = unpack(std::span(buf.data(), n), grid);
     std::printf("  resumed at step %d (epoch %llu)\n", resume_from,
-                static_cast<unsigned long long>((*store)->epoch()));
-    run_phase(**store, grid, resume_from, kSteps, /*fail_at=*/-1);
+                static_cast<unsigned long long>(store->epoch()));
+    run_phase(*store, grid, resume_from, kSteps, /*fail_at=*/-1);
   }
 
   // --- verify -----------------------------------------------------------------

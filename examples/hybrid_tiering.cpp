@@ -1,14 +1,16 @@
 // hybrid_tiering — the paper's §6 "Hybrid Architectures" future work as a
 // working policy: an application with mixed data (hot solver arrays, a
-// pointer-heavy index, cold history, checkpoints) asks the TierAdvisor
-// where each belongs on a DDR5 + CXL machine, then actually executes the
-// persistent placements.
+// pointer-heavy index, cold history, checkpoints) asks the runtime where
+// each belongs on a DDR5 + CXL machine, then actually executes the
+// persistent placements — all through the cxlpmem facade (tiers / place /
+// namespace_for / checkpoint_store).
 //
 //   $ hybrid_tiering [workdir]
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 
 using namespace cxlpmem;
 
@@ -17,18 +19,21 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "cxlpmem-tiering";
   std::filesystem::remove_all(base);
-  auto rt = core::make_setup_one_runtime(base);
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
 
-  const core::TierAdvisor advisor(rt.runtime->machine(), 0);
   std::printf("tiers (probed from socket 0):\n");
-  for (const auto& t : advisor.tiers())
+  for (const auto& t : rt->tiers())
     std::printf("  %-14s %5.0f ns, %5.1f GB/s saturated, %3llu GiB, %s\n",
                 t.name.c_str(), t.idle_latency_ns, t.saturated_gbs,
                 static_cast<unsigned long long>(t.capacity_bytes >> 30),
                 t.durable ? "durable" : "volatile");
 
   // The application's data inventory.
-  std::vector<core::PlacementRequest> requests{
+  std::vector<api::PlacementRequest> requests{
       {.label = "solver arrays (hot, streaming)",
        .bytes = 48ull << 30,
        .needs_persistence = false,
@@ -55,9 +60,15 @@ int main(int argc, char** argv) {
        .hotness = 2.0},
   };
 
-  std::printf("\nplacement plan:\n");
-  const auto plan = advisor.place(requests);
-  for (const auto& d : plan) {
+  auto plan = rt->place(requests);
+  if (!plan) {
+    std::fprintf(stderr, "place: %s\n", plan.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("\nplacement plan (%s):\n",
+              plan->fully_satisfied() ? "all requests placed"
+                                      : "some requests unplaceable");
+  for (const auto& d : plan->decisions) {
     if (!d.satisfied) {
       std::printf("  %-34s -> UNPLACEABLE\n", d.request.label.c_str());
       continue;
@@ -69,20 +80,23 @@ int main(int argc, char** argv) {
 
   // Execute the persistent part of the plan for real: the checkpoint data
   // lands in a pool on the namespace backing the chosen device.
-  for (const auto& d : plan) {
+  for (const auto& d : plan->decisions) {
     if (!d.satisfied || !d.request.needs_persistence) continue;
-    for (const auto& name : rt.runtime->dax_names()) {
-      auto& ns = rt.runtime->dax(name);
-      if (ns.memory() != d.memory) continue;
-      core::CheckpointStore store(ns, "tiered-cp.pool", 1 << 20);
-      std::vector<std::byte> payload(1 << 20, std::byte{0x5a});
-      store.save(payload);
-      std::printf("\nexecuted: '%s' -> pool on /mnt/%s (epoch %llu,"
-                  " durable: %s)\n",
-                  d.request.label.c_str(), name.c_str(),
-                  static_cast<unsigned long long>(store.epoch()),
-                  ns.durable() ? "yes" : "no");
+    auto ns = rt->namespace_for(d.memory);
+    if (!ns) continue;  // device without a DAX namespace
+    auto store = rt->checkpoint_store(*ns, "tiered-cp.pool", 1 << 20);
+    if (!store) {
+      std::fprintf(stderr, "store on '%s': %s\n", ns->c_str(),
+                   store.error().to_string().c_str());
+      return 1;
     }
+    std::vector<std::byte> payload(1 << 20, std::byte{0x5a});
+    store->save(payload).value();
+    std::printf("\nexecuted: '%s' -> pool on /mnt/%s (epoch %llu,"
+                " durable: %s)\n",
+                d.request.label.c_str(), ns->c_str(),
+                static_cast<unsigned long long>(store->epoch()),
+                rt->space(*ns)->durable() ? "yes" : "no");
   }
 
   std::printf(

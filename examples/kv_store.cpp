@@ -1,8 +1,9 @@
 // kv_store — a small persistent key-value store through the cxlpmem facade,
 // demonstrating pointer-rich persistent data structures (hash table with
-// chained buckets), transactional updates, and typed-object iteration.
-// This is the MOSIQS-style "persistent memory object storage" use-case the
-// paper cites (§1.2, [31]).
+// chained buckets) in the typed programming model: ptr<Entry> links,
+// snapshot-on-write p<> fields, make_sized<> for inline payloads, and typed
+// iteration — no raw object ids, no unchecked casts.  This is the MOSIQS-style
+// "persistent memory object storage" use-case the paper cites (§1.2, [31]).
 //
 // The store is generic over its backing: main() runs it on whichever
 // namespace is named on the command line (default: the CXL-backed pmem2) —
@@ -22,66 +23,58 @@ using namespace cxlpmem;
 namespace {
 
 constexpr std::uint32_t kBucketCount = 64;
-constexpr std::uint32_t kEntryType = 0x4b56;  // 'KV'
 
 struct Entry {
-  pmemkit::ObjId next;
-  std::uint32_t key_len;
-  std::uint32_t value_len;
-  // key bytes, then value bytes, follow inline.
+  api::p<api::ptr<Entry>> next;
+  api::p<std::uint32_t> key_len;
+  api::p<std::uint32_t> value_len;
+  // key bytes, then value bytes, follow inline (make_sized).
 };
 
 struct StoreRoot {
-  pmemkit::ObjId buckets[kBucketCount];
-  std::uint64_t count;
+  api::p<api::ptr<Entry>> buckets[kBucketCount];
+  api::p<std::uint64_t> count;
 };
 
 class KvStore {
  public:
   explicit KvStore(api::Pool pool)
-      : pool_(std::move(pool)),
-        root_(pool_.root<StoreRoot>().value()) {}
+      : pool_(std::move(pool)), root_(pool_.root<StoreRoot>().value()) {}
 
   void put(const std::string& key, const std::string& value) {
     const std::uint32_t b = bucket_of(key);
-    auto& p = pool_.pmem();
     pool_
         .run_tx([&] {
           // Remove an existing mapping first (idempotent overwrite).
-          erase_locked(key, b);
-          const std::uint64_t bytes =
-              sizeof(Entry) + key.size() + value.size();
-          const pmemkit::ObjId oid = p.tx_alloc(bytes, kEntryType);
-          auto* e = static_cast<Entry*>(p.direct(oid));
+          erase_in_tx(key, b);
+          api::ptr<Entry> e = pool_.make_sized<Entry>(
+              sizeof(Entry) + key.size() + value.size());
           e->next = root_->buckets[b];
           e->key_len = static_cast<std::uint32_t>(key.size());
           e->value_len = static_cast<std::uint32_t>(value.size());
           std::memcpy(payload(e), key.data(), key.size());
           std::memcpy(payload(e) + key.size(), value.data(), value.size());
-          p.persist(e, bytes);
-          p.tx_add_range(&root_->buckets[b], sizeof(pmemkit::ObjId));
-          p.tx_add_range(&root_->count, sizeof(root_->count));
-          root_->buckets[b] = oid;
+          // No persist call: the entry is a fresh allocation of this
+          // transaction, so commit flushes its whole range; the p<> fields
+          // above snapshotted themselves.
+          root_->buckets[b] = e;
           root_->count += 1;
         })
         .value();
   }
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) {
-    auto& p = pool_.pmem();
-    for (pmemkit::ObjId oid = root_->buckets[bucket_of(key)];
-         !oid.is_null();) {
-      auto* e = static_cast<Entry*>(p.direct(oid));
+    for (api::ptr<Entry> e = root_->buckets[bucket_of(key)]; e;
+         e = e->next) {
       if (key_of(e) == key)
         return std::string(payload(e) + e->key_len, e->value_len);
-      oid = e->next;
     }
     return std::nullopt;
   }
 
   bool erase(const std::string& key) {
     bool erased = false;
-    pool_.run_tx([&] { erased = erase_locked(key, bucket_of(key)); })
+    pool_.run_tx([&] { erased = erase_in_tx(key, bucket_of(key)); })
         .value();
     return erased;
   }
@@ -92,21 +85,16 @@ class KvStore {
     return pool_.space();
   }
 
-  /// Objects of the entry type, via typed iteration (POBJ_FIRST/NEXT).
+  /// Entries counted by typed iteration (POBJ_FIRST/NEXT equivalent).
   [[nodiscard]] std::uint64_t entries_by_iteration() {
-    auto& p = pool_.pmem();
-    std::uint64_t n = 0;
-    for (pmemkit::ObjId o = p.first(kEntryType); !o.is_null();
-         o = p.next(o, kEntryType))
-      ++n;
-    return n;
+    return pool_.count<Entry>();
   }
 
  private:
-  static char* payload(Entry* e) {
-    return reinterpret_cast<char*>(e + 1);
+  static char* payload(api::ptr<Entry> e) {
+    return reinterpret_cast<char*>(e.get() + 1);
   }
-  std::string key_of(Entry* e) {
+  static std::string key_of(api::ptr<Entry> e) {
     return std::string(payload(e), e->key_len);
   }
   [[nodiscard]] std::uint32_t bucket_of(const std::string& key) const {
@@ -117,17 +105,13 @@ class KvStore {
   }
 
   /// Unlinks `key` from bucket `b`; must run inside a transaction.
-  bool erase_locked(const std::string& key, std::uint32_t b) {
-    auto& p = pool_.pmem();
-    pmemkit::ObjId* link = &root_->buckets[b];
-    while (!link->is_null()) {
-      auto* e = static_cast<Entry*>(p.direct(*link));
+  bool erase_in_tx(const std::string& key, std::uint32_t b) {
+    api::p<api::ptr<Entry>>* link = &root_->buckets[b];
+    while (!link->get().is_null()) {
+      api::ptr<Entry> e = *link;
       if (key_of(e) == key) {
-        p.tx_add_range(link, sizeof(pmemkit::ObjId));
-        p.tx_add_range(&root_->count, sizeof(root_->count));
-        const pmemkit::ObjId dead = *link;
-        *link = e->next;
-        p.tx_free(dead);
+        *link = e->next;         // snapshot-on-write unlink
+        pool_.destroy(e);        // freed at commit; survives an abort
         root_->count -= 1;
         return true;
       }
@@ -137,7 +121,7 @@ class KvStore {
   }
 
   api::Pool pool_;
-  StoreRoot* root_;
+  api::ptr<StoreRoot> root_;
 };
 
 }  // namespace

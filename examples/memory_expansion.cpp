@@ -1,13 +1,15 @@
 // memory_expansion — the paper's Memory-Mode use-case: a working set larger
 // than node DRAM spills onto the CXL expander, driven exactly like
 // `numactl --membind` / `--interleave`.  Prints the capacity ledger and the
-// modelled bandwidth consequences of each placement policy.
+// modelled bandwidth consequences of each placement policy.  The machine
+// comes up through the cxlpmem facade; the DRAM capacity is read off the
+// memory device backing the pmem0 namespace.
 //
 //   $ memory_expansion [workdir]
 #include <cstdio>
 #include <filesystem>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 #include "stream/stream.hpp"
 
 using namespace cxlpmem;
@@ -30,9 +32,13 @@ int main(int argc, char** argv) {
   const std::filesystem::path base =
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "cxlpmem-memmode";
-  auto rt = core::make_setup_one_runtime(base);
-  const auto& machine = rt.runtime->machine();
-  const auto& topo = rt.runtime->topology();
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
+  const auto& machine = rt->machine();
+  const auto& topo = rt->topology();
 
   // --- the capacity story -----------------------------------------------------
   std::printf("NUMA nodes (numactl -H equivalent):\n");
@@ -53,12 +59,13 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // An application whose working set exceeds one socket's DRAM:
+  // An application whose working set exceeds one socket's DRAM.  pmem0 is
+  // the emulated-PMem namespace on socket 0's DIMM — its MemorySpace hands
+  // back the underlying memory device.
   const double ws_gib = 72.0;
-  const double dram_gib = static_cast<double>(
-                              machine.memory(rt.ids.ddr5_socket0)
-                                  .capacity_bytes) /
-                          (1ull << 30);
+  const auto dram = rt->space("pmem0").value().memory;
+  const double dram_gib =
+      static_cast<double>(machine.memory(dram).capacity_bytes) / (1ull << 30);
   std::printf("\nworking set %.0f GiB vs %.0f GiB socket DRAM -> %.0f GiB"
               " must spill to node 2 (CXL)\n",
               ws_gib, dram_gib, ws_gib - dram_gib);

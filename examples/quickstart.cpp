@@ -1,7 +1,8 @@
 // quickstart — the 60-second tour through the cxlpmem facade: bring up the
 // paper's Setup #1 with RuntimeBuilder, put a PMDK-style pool on the
-// CXL-backed namespace *by name*, mutate it transactionally, and show that
-// reopening finds everything again.
+// CXL-backed namespace *by name*, mutate it through the typed persistent
+// programming model (ptr<T> / p<T> / make<T>), and show that reopening
+// finds everything again.
 //
 // Change kNamespace to "pmem0" and the identical code runs on emulated
 // DRAM-PMem instead — the paper's migration story in one constant.
@@ -15,10 +16,16 @@
 
 using namespace cxlpmem;
 
-// The application's persistent layout: a root with a counter and a log.
+// A persistent message object; fixed capacity keeps the example simple.
+struct Note {
+  char text[120];
+};
+
+// The application's persistent layout.  p<> fields snapshot themselves on
+// first write inside a transaction; ptr<> is a typed persistent pointer.
 struct AppRoot {
-  std::uint64_t launches;
-  pmemkit::ObjId message;  // a persistent string
+  api::p<std::uint64_t> launches;
+  api::p<api::ptr<Note>> message;
 };
 
 constexpr const char* kNamespace = "pmem2";  // the namespace choice
@@ -60,22 +67,25 @@ int main(int argc, char** argv) {
               pool->durable() ? "durable" : "volatile emulation",
               pool->recovered() ? "yes" : "no");
 
-  // 3. Transactional update: counter + message flip together or not at all.
+  // 3. Typed root: allocated zeroed (and typed) on first use; reopening as
+  //    a different type would fail with Errc::TypeMismatch.
   auto root = pool->root<AppRoot>();
   if (!root) {
     std::fprintf(stderr, "root: %s\n", root.error().to_string().c_str());
     return 1;
   }
-  AppRoot* r = root.value();
+  api::ptr<AppRoot> r = root.value();
+
+  // 4. Transactional update: counter + message flip together or not at all.
+  //    No manual add_range — the p<> fields snapshot themselves; the old
+  //    Note is reclaimed and the new one allocated by the same transaction.
   const std::string text =
       "hello from launch #" + std::to_string(r->launches + 1);
-  auto& p = pool->pmem();
   const auto tx = pool->run_tx([&] {
-    p.tx_add_range(r, sizeof(AppRoot));
-    if (!r->message.is_null()) p.tx_free(r->message);
-    r->message = p.tx_alloc(text.size() + 1, /*type=*/1);
-    std::memcpy(p.direct(r->message), text.c_str(), text.size() + 1);
-    p.persist(p.direct(r->message), text.size() + 1);
+    pool->destroy(r->message.get());
+    api::ptr<Note> note = pool->make<Note>();
+    std::snprintf(note->text, sizeof(note->text), "%s", text.c_str());
+    r->message = note;  // fresh Note flushes at commit; p<> fields snapshot
     r->launches += 1;
   });
   if (!tx.ok()) {
@@ -85,8 +95,7 @@ int main(int argc, char** argv) {
 
   std::printf("launches so far : %llu\n",
               static_cast<unsigned long long>(r->launches));
-  std::printf("persistent note : %s\n",
-              static_cast<const char*>(p.direct(r->message)));
+  std::printf("persistent note : %s\n", r->message.get()->text);
   std::printf("\nrun me again — the counter lives on the (modelled) CXL"
               " device across runs.\n");
   return 0;

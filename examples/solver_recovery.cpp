@@ -5,14 +5,20 @@
 // restarted process continues from the exact same Krylov state and lands on
 // the exact same iterate sequence.
 //
+// Runs through the cxlpmem facade: per-iteration state goes into a
+// double-buffered crash-atomic checkpoint store on the "pmem2" namespace,
+// and the restart path reconstructs the state in place with the
+// allocation-free load_into().
+//
 //   $ solver_recovery [workdir]
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <span>
 #include <vector>
 
-#include "core/core.hpp"
+#include "api/cxlpmem.hpp"
 
 using namespace cxlpmem;
 
@@ -21,6 +27,7 @@ namespace {
 constexpr int kN = 512;        // unknowns
 constexpr double kTol = 1e-10;
 constexpr int kFailAtIter = 40;
+constexpr const char* kNamespace = "pmem2";
 
 /// y = A x for the 1-D Poisson matrix (tridiagonal 2,-1).
 void apply_poisson(const std::vector<double>& x, std::vector<double>& y) {
@@ -38,7 +45,7 @@ double dot(const std::vector<double>& a, const std::vector<double>& b) {
   return s;
 }
 
-/// Persistent CG state: iteration counter, scalars, and the three vectors.
+/// The full CG iteration state, persisted verbatim each iteration.
 struct SolverState {
   std::uint64_t iter;
   double rs_old;
@@ -47,28 +54,39 @@ struct SolverState {
   double p[kN];
 };
 
+std::span<const std::byte> bytes_of(const SolverState& s) {
+  return std::span(reinterpret_cast<const std::byte*>(&s), sizeof(s));
+}
+
 class PersistentCg {
  public:
-  PersistentCg(core::DaxNamespace& ns, const std::vector<double>& b)
-      : b_(b) {
-    const bool fresh = !ns.pool_exists("cg.pool");
-    pool_ = fresh ? ns.create_pool("cg.pool", "cg-solver",
-                                   pmemkit::ObjectPool::min_pool_size() * 2)
-                  : ns.open_pool("cg.pool", "cg-solver");
-    state_ = pool_->direct(pool_->root<SolverState>());
-    if (fresh || state_->iter == 0) init();
+  PersistentCg(api::Runtime& rt, const std::vector<double>& b)
+      : store_(rt.checkpoint_store(kNamespace, "cg.pool",
+                                   sizeof(SolverState))
+                   .value()),
+        b_(b) {
+    if (store_.has_checkpoint()) {
+      // Exact-state restart, reconstructed in place: no allocation, no
+      // recomputation — the NVM-ESR property.
+      (void)store_
+          .load_into(std::span(reinterpret_cast<std::byte*>(&state_),
+                               sizeof(state_)))
+          .value();
+    } else {
+      init();
+    }
   }
 
   /// Runs until convergence or `fail_at` (simulated power cut); returns the
   /// iteration count reached.
   int solve(int fail_at) {
-    std::vector<double> x(state_->x, state_->x + kN);
-    std::vector<double> r(state_->r, state_->r + kN);
-    std::vector<double> p(state_->p, state_->p + kN);
-    double rs_old = state_->rs_old;
+    std::vector<double> x(state_.x, state_.x + kN);
+    std::vector<double> r(state_.r, state_.r + kN);
+    std::vector<double> p(state_.p, state_.p + kN);
+    double rs_old = state_.rs_old;
     std::vector<double> ap(kN);
 
-    auto iter = static_cast<int>(state_->iter);
+    auto iter = static_cast<int>(state_.iter);
     while (rs_old > kTol * kTol) {
       if (iter == fail_at) return iter;  // power cut before this iteration
       apply_poisson(p, ap);
@@ -87,38 +105,35 @@ class PersistentCg {
   }
 
   [[nodiscard]] std::vector<double> solution() const {
-    return std::vector<double>(state_->x, state_->x + kN);
+    return std::vector<double>(state_.x, state_.x + kN);
   }
-  [[nodiscard]] std::uint64_t iterations() const { return state_->iter; }
-  [[nodiscard]] double residual() const { return std::sqrt(state_->rs_old); }
+  [[nodiscard]] std::uint64_t iterations() const { return state_.iter; }
+  [[nodiscard]] double residual() const { return std::sqrt(state_.rs_old); }
 
  private:
   void init() {
-    pool_->run_tx([&] {
-      pool_->tx_add_range(state_, sizeof(SolverState));
-      state_->iter = 0;
-      std::memset(state_->x, 0, sizeof(state_->x));
-      // x0 = 0  =>  r0 = p0 = b.
-      std::memcpy(state_->r, b_.data(), sizeof(state_->r));
-      std::memcpy(state_->p, b_.data(), sizeof(state_->p));
-      state_->rs_old = dot(b_, b_);
-    });
+    state_.iter = 0;
+    std::memset(state_.x, 0, sizeof(state_.x));
+    // x0 = 0  =>  r0 = p0 = b.
+    std::memcpy(state_.r, b_.data(), sizeof(state_.r));
+    std::memcpy(state_.p, b_.data(), sizeof(state_.p));
+    state_.rs_old = dot(b_, b_);
+    store_.save(bytes_of(state_)).value();
   }
 
   void commit(int iter, double rs_old, const std::vector<double>& x,
               const std::vector<double>& r, const std::vector<double>& p) {
-    pool_->run_tx([&] {
-      pool_->tx_add_range(state_, sizeof(SolverState));
-      state_->iter = static_cast<std::uint64_t>(iter);
-      state_->rs_old = rs_old;
-      std::memcpy(state_->x, x.data(), sizeof(state_->x));
-      std::memcpy(state_->r, r.data(), sizeof(state_->r));
-      std::memcpy(state_->p, p.data(), sizeof(state_->p));
-    });
+    state_.iter = static_cast<std::uint64_t>(iter);
+    state_.rs_old = rs_old;
+    std::memcpy(state_.x, x.data(), sizeof(state_.x));
+    std::memcpy(state_.r, r.data(), sizeof(state_.r));
+    std::memcpy(state_.p, p.data(), sizeof(state_.p));
+    // A crash inside save() leaves iteration k or k+1 — never a torn state.
+    store_.save(bytes_of(state_)).value();
   }
 
-  std::unique_ptr<pmemkit::ObjectPool> pool_;
-  SolverState* state_;
+  api::CheckpointStore store_;
+  SolverState state_{};
   std::vector<double> b_;
 };
 
@@ -129,34 +144,37 @@ int main(int argc, char** argv) {
       argc > 1 ? argv[1]
                : std::filesystem::temp_directory_path() / "cxlpmem-cg";
   std::filesystem::remove_all(base);
-  auto rt = core::make_setup_one_runtime(base);
-  auto& pmem2 = rt.runtime->dax("pmem2");
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(base).build();
+  if (!rt) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
 
   std::vector<double> b(kN);
   for (int i = 0; i < kN; ++i) b[i] = std::sin(0.1 * i);
 
-  // Reference: uninterrupted in-memory CG.
+  // Reference: uninterrupted solve.
   std::vector<double> ref;
   {
-    PersistentCg solver(pmem2, b);
+    PersistentCg solver(*rt, b);
     solver.solve(/*fail_at=*/-1);
     ref = solver.solution();
     std::printf("reference solve : %llu iterations, residual %.2e\n",
                 static_cast<unsigned long long>(solver.iterations()),
                 solver.residual());
   }
-  pmem2.remove_pool("cg.pool");
+  rt->remove_pool(kNamespace, "cg.pool").value();
 
   // Run 1: fails at iteration kFailAtIter.
   {
-    PersistentCg solver(pmem2, b);
+    PersistentCg solver(*rt, b);
     const int reached = solver.solve(kFailAtIter);
     std::printf("run 1           : power cut at iteration %d\n", reached);
   }
 
   // Run 2: a new process resumes from the persistent Krylov state.
   {
-    PersistentCg solver(pmem2, b);
+    PersistentCg solver(*rt, b);
     std::printf("run 2           : resuming at iteration %llu"
                 " (exact state, no recomputation)\n",
                 static_cast<unsigned long long>(solver.iterations()));

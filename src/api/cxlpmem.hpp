@@ -5,9 +5,13 @@
 // RuntimeBuilder, get namespaces ("pmem0", "pmem1", "pmem2"), and open
 // PMDK-style pools *by namespace name* — so moving a workload from emulated
 // DRAM-PMem to a CXL expander (or any future backend) is a one-argument
-// change.  Entry points return Result<T> instead of throwing; the unified
-// Errc taxonomy spans pool, allocator, transaction, device and
-// configuration failures.
+// change.  On top of pools sits the typed object model (ptr<T> / p<T> /
+// make<T>, api/ptr.hpp) and the service surface for every scenario the
+// repo models: checkpoint/restart (Runtime::checkpoint_store), pool
+// migration between tiers (Runtime::migrate_pool), and hybrid data
+// placement (Runtime::tiers / place).  Entry points return Result<T>
+// instead of throwing; the unified Errc taxonomy spans pool, allocator,
+// transaction, device and configuration failures.
 //
 //   #include "api/cxlpmem.hpp"
 //   using namespace cxlpmem;
@@ -24,8 +28,10 @@
 // everything by design).
 #pragma once
 
-#include "api/memory_space.hpp"    // IWYU pragma: export
-#include "api/pool.hpp"            // IWYU pragma: export
-#include "api/result.hpp"          // IWYU pragma: export
-#include "api/runtime.hpp"         // IWYU pragma: export
-#include "api/runtime_builder.hpp" // IWYU pragma: export
+#include "api/checkpoint_store.hpp" // IWYU pragma: export
+#include "api/memory_space.hpp"     // IWYU pragma: export
+#include "api/pool.hpp"             // IWYU pragma: export
+#include "api/ptr.hpp"              // IWYU pragma: export
+#include "api/result.hpp"           // IWYU pragma: export
+#include "api/runtime.hpp"          // IWYU pragma: export
+#include "api/runtime_builder.hpp"  // IWYU pragma: export

@@ -1,0 +1,191 @@
+// api/ptr.hpp — the typed persistent programming model of the facade.
+//
+// Three pieces, mirroring libpmemobj++:
+//
+//   * type_number<T>() — every persistent type gets a 32-bit type number,
+//     derived at compile time from the type's name (specializable through
+//     type_number_of<T> when a pool must be shared across differently-
+//     compiled binaries).  Allocations made through the typed surface carry
+//     it, and every typed dereference checks it — a ptr<T> aimed at a U
+//     fails loudly (ErrKind::TypeMismatch) instead of reinterpreting bytes.
+//
+//   * ptr<T> — a persistent typed pointer (persistent_ptr<T> equivalent).
+//     It stores nothing but an ObjId, so it is itself trivially copyable
+//     and may live *inside* pool memory; dereference resolves the owning
+//     pool through the process-wide open-pool registry, which makes
+//     operator->/get() valid only while that pool is open.
+//
+//   * p<T> — a field wrapper for mutable members of persistent structs
+//     (libpmemobj++ p<> equivalent).  Assignment inside a transaction
+//     snapshots the field via Transaction::add_range before the store, so
+//     plain `root->count += 1` is undo-logged with no manual add_range;
+//     the pool's range coalescing makes repeated writes to the same field
+//     free.  Outside a transaction it is a plain store (the caller owns
+//     flushing, exactly like a raw field).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "pmemkit/oid.hpp"
+#include "pmemkit/pool.hpp"
+
+namespace cxlpmem::api {
+
+namespace detail {
+
+/// FNV-1a over the instantiated function signature — a compile-time type
+/// fingerprint, stable for a given compiler.  0 (untyped allocations) and
+/// ~0u (the any-type iteration wildcard) are remapped.
+template <typename T>
+consteval std::uint32_t fingerprint_type() noexcept {
+  std::uint32_t h = 2166136261u;
+  for (const char c : std::string_view(__PRETTY_FUNCTION__))
+    h = (h ^ static_cast<unsigned char>(c)) * 16777619u;
+  if (h == 0u || h == ~0u) h = 0x7e59ed41u;
+  return h;
+}
+
+}  // namespace detail
+
+/// Customization point: specialize to pin a stable type number (e.g. when a
+/// pool is shared between binaries built by different compilers).
+template <typename T>
+struct type_number_of {
+  static constexpr std::uint32_t value = detail::fingerprint_type<T>();
+};
+
+template <typename T>
+[[nodiscard]] constexpr std::uint32_t type_number() noexcept {
+  return type_number_of<T>::value;
+}
+
+/// Persistent typed pointer.  Holds only the ObjId, so it is storable in
+/// pool memory; the owning pool is re-resolved on every dereference via the
+/// open-pool registry (with a type-number check).  Dereferencing a pointer
+/// whose pool has been closed throws pmemkit::PoolError(PoolNotFound);
+/// dereferencing null via operator->/operator* throws
+/// pmemkit::PoolError(BadOid), while get() returns nullptr.  Dereferencing
+/// a pointer whose object was destroyed (and the destroy committed) throws
+/// AllocError(InvalidFree) — the liveness bit is checked under the chunk
+/// lock.  As with PMEMoids, a slot later reused by a same-typed allocation
+/// makes a stale pointer indistinguishable from a fresh one; retiring
+/// stale ptrs is the application's contract.
+template <typename T>
+class ptr {
+ public:
+  using element_type = T;
+
+  constexpr ptr() noexcept = default;
+  explicit constexpr ptr(pmemkit::ObjId oid) noexcept : oid_(oid) {}
+
+  [[nodiscard]] constexpr pmemkit::ObjId oid() const noexcept { return oid_; }
+  [[nodiscard]] constexpr bool is_null() const noexcept {
+    return oid_.is_null();
+  }
+  explicit constexpr operator bool() const noexcept { return !is_null(); }
+
+  /// Direct pointer, or nullptr for a null ptr.  Valid only while the
+  /// owning pool is open, and only until it is closed.
+  [[nodiscard]] T* get() const {
+    if (is_null()) return nullptr;
+    return resolve();
+  }
+
+  [[nodiscard]] T* operator->() const { return resolve(); }
+  [[nodiscard]] T& operator*() const { return *resolve(); }
+
+  friend constexpr bool operator==(const ptr& a, const ptr& b) noexcept {
+    return a.oid_ == b.oid_;
+  }
+  friend constexpr bool operator!=(const ptr& a, const ptr& b) noexcept {
+    return !(a == b);
+  }
+
+ private:
+  [[nodiscard]] T* resolve() const {
+    pmemkit::ObjectPool* pool = pmemkit::pool_by_id(oid_.pool_id);
+    if (pool == nullptr)
+      throw pmemkit::PoolError(
+          oid_.is_null() ? pmemkit::ErrKind::BadOid
+                         : pmemkit::ErrKind::PoolNotFound,
+          oid_.is_null() ? "dereference of null ptr<T>"
+                         : "ptr<T> dereferenced after its pool was closed");
+    return static_cast<T*>(pool->direct_checked(oid_, type_number<T>()));
+  }
+
+  pmemkit::ObjId oid_{};
+};
+
+static_assert(std::is_trivially_copyable_v<ptr<int>>,
+              "ptr<T> must be storable in pool memory");
+
+/// Snapshot-on-write field wrapper for members of persistent structs.
+template <typename T>
+class p {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "p<T> fields live in pool memory and must be trivially "
+                "copyable");
+
+ public:
+  p() noexcept = default;
+  p(const T& value) noexcept : value_(value) {}  // NOLINT(runtime/explicit)
+
+  /// Value read — no snapshot, no registry lookup.
+  [[nodiscard]] operator T() const noexcept { return value_; }
+  [[nodiscard]] const T& get() const noexcept { return value_; }
+
+  p& operator=(const T& value) {
+    snapshot();
+    value_ = value;
+    return *this;
+  }
+  p& operator=(const p& other) {
+    snapshot();
+    value_ = other.value_;
+    return *this;
+  }
+
+  p& operator+=(const T& d) { return *this = static_cast<T>(value_ + d); }
+  p& operator-=(const T& d) { return *this = static_cast<T>(value_ - d); }
+  p& operator++() { return *this += T{1}; }
+  p& operator--() { return *this -= T{1}; }
+
+ private:
+  /// Undo-logs this field when it sits inside a pool with an open
+  /// transaction on the calling thread.  Writes outside any transaction
+  /// (or to a stack copy) degrade to plain stores, matching raw fields.
+  /// The hot-path lookup is thread-local (the thread's open-transaction
+  /// list), so non-transactional writes and concurrent lanes never touch a
+  /// global lock.  Writing a field of pool B from inside pool A's
+  /// transaction would silently be neither undo-logged nor flushed — that
+  /// is a misuse, detected (via the registry, off the hot path) and
+  /// reported as TxError(TxMisuse) instead of corrupting on crash.
+  void snapshot() {
+    if (pmemkit::ObjectPool* pool = pmemkit::tx_pool_containing(this);
+        pool != nullptr) {
+      pool->tx_add_range(this, sizeof(*this));
+      return;
+    }
+    if (pmemkit::thread_in_tx() && pmemkit::pool_containing(this) != nullptr)
+      throw pmemkit::TxError(
+          pmemkit::ErrKind::TxMisuse,
+          "p<> write into a pool the calling thread has no open "
+          "transaction on (the enclosing transaction belongs to a "
+          "different pool)");
+  }
+
+  T value_{};
+};
+
+// Assignment snapshots, so p<T> is not *trivially* copyable — but its bytes
+// are (trivial copy ctor/dtor, standard layout), which is what zeroed
+// allocation and undo-log restore rely on.
+static_assert(std::is_standard_layout_v<p<std::uint64_t>> &&
+                  std::is_trivially_copy_constructible_v<p<std::uint64_t>> &&
+                  std::is_trivially_destructible_v<p<std::uint64_t>>,
+              "p<T> must be storable in pool memory");
+
+}  // namespace cxlpmem::api

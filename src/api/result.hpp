@@ -33,6 +33,7 @@ enum class Errc {
   PoolNotFound,        ///< open target missing
   PoolCorrupt,         ///< bad magic/version/checksum/heap structures
   LayoutMismatch,      ///< layout name disagreement
+  TypeMismatch,        ///< typed object access with the wrong type number
   BadArgument,         ///< malformed name/oid/size
   OutOfSpace,          ///< pool heap cannot satisfy the allocation
   TxFailure,           ///< transaction log overflow or misuse
@@ -53,6 +54,7 @@ enum class Errc {
     case Errc::PoolNotFound: return "pool-not-found";
     case Errc::PoolCorrupt: return "pool-corrupt";
     case Errc::LayoutMismatch: return "layout-mismatch";
+    case Errc::TypeMismatch: return "type-mismatch";
     case Errc::BadArgument: return "bad-argument";
     case Errc::OutOfSpace: return "out-of-space";
     case Errc::TxFailure: return "tx-failure";

@@ -116,15 +116,49 @@ Result<void> Runtime::remove_pool(std::string_view ns,
   return wrap([&] { rt_->dax(s->name).remove_pool(std::string(file)); });
 }
 
-Result<std::unique_ptr<cxlpmem::core::CheckpointStore>>
-Runtime::checkpoint_store(std::string_view ns, const std::string& file,
-                          std::uint64_t max_payload_bytes, PoolSpec spec) {
+Result<std::string> Runtime::namespace_for(simkit::MemoryId memory) const {
+  for (const auto& [name, space] : spaces_)
+    if (space.memory == memory) return name;
+  return Error{Errc::UnknownNamespace,
+               "no namespace exposes memory device " +
+                   std::to_string(memory)};
+}
+
+Result<CheckpointStore> Runtime::checkpoint_store(
+    std::string_view ns, const std::string& file,
+    std::uint64_t max_payload_bytes, PoolSpec spec) {
   const MemorySpace* s = find_space(ns);
   if (s == nullptr) return unknown_namespace(ns);
   return wrap([&] {
-    return std::make_unique<cxlpmem::core::CheckpointStore>(
+    return CheckpointStore(std::make_unique<cxlpmem::core::CheckpointStore>(
         rt_->dax(s->name), file, max_payload_bytes,
-        volatile_allowed(spec, *s), options_of(spec));
+        volatile_allowed(spec, *s), options_of(spec)));
+  });
+}
+
+Result<MigrationReport> Runtime::migrate_pool(std::string_view src_ns,
+                                              std::string_view dst_ns,
+                                              const std::string& file,
+                                              std::string_view layout) {
+  const MemorySpace* src = find_space(src_ns);
+  if (src == nullptr) return unknown_namespace(src_ns);
+  const MemorySpace* dst = find_space(dst_ns);
+  if (dst == nullptr) return unknown_namespace(dst_ns);
+  return wrap([&] {
+    return cxlpmem::core::migrate_pool(rt_->dax(src->name),
+                                       rt_->dax(dst->name), file, layout);
+  });
+}
+
+std::vector<Tier> Runtime::tiers(simkit::SocketId viewpoint_socket) const {
+  return cxlpmem::core::TierAdvisor(rt_->machine(), viewpoint_socket).tiers();
+}
+
+Result<PlacementPlan> Runtime::place(std::vector<PlacementRequest> requests,
+                                     simkit::SocketId viewpoint_socket) const {
+  return wrap([&] {
+    return cxlpmem::core::TierAdvisor(rt_->machine(), viewpoint_socket)
+        .plan(std::move(requests));
   });
 }
 

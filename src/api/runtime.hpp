@@ -20,13 +20,24 @@
 #include <string_view>
 #include <vector>
 
+#include "api/checkpoint_store.hpp"
 #include "api/memory_space.hpp"
 #include "api/pool.hpp"
 #include "api/result.hpp"
-#include "core/checkpoint.hpp"
+#include "core/migrate.hpp"
 #include "core/runtime.hpp"
+#include "core/tiering.hpp"
 
 namespace cxlpmem::api {
+
+// The facade vocabulary for the placement and migration services — aliases
+// so applications say api::PlacementRequest and never spell a core:: name.
+using Tier = cxlpmem::core::Tier;
+using PlacementRequest = cxlpmem::core::PlacementRequest;
+using PlacementDecision = cxlpmem::core::PlacementDecision;
+using PlacementPlan = cxlpmem::core::PlacementPlan;
+using MigrationReport = cxlpmem::core::MigrationReport;
+using PersistenceDomain = cxlpmem::core::PersistenceDomain;
 
 /// Options for create_pool / open_pool.  Defaults make the quickstart a
 /// one-liner; everything is overridable.
@@ -52,12 +63,20 @@ class Runtime {
   [[nodiscard]] const simkit::Machine& machine() const noexcept {
     return rt_->machine();
   }
+  /// NUMA view of the machine (numactl -H equivalent).
+  [[nodiscard]] const numakit::NumaTopology& topology() const noexcept {
+    return rt_->topology();
+  }
   /// Namespace names, ascending ("pmem0", "pmem1", "pmem2").
   [[nodiscard]] std::vector<std::string> namespaces() const;
   /// The MemorySpace handle behind a namespace name.
   [[nodiscard]] Result<MemorySpace> space(std::string_view name) const;
   /// NUMA node a namespace's device is onlined as (Memory Mode), or -1.
   [[nodiscard]] int node_of(std::string_view name) const;
+  /// The namespace backed by a machine memory device — the bridge from a
+  /// PlacementDecision::memory back into pool/checkpoint addressing.
+  [[nodiscard]] Result<std::string> namespace_for(
+      simkit::MemoryId memory) const;
 
   // --- pools -----------------------------------------------------------------
   [[nodiscard]] Result<Pool> create_pool(std::string_view ns,
@@ -76,11 +95,32 @@ class Runtime {
                                          std::string_view file);
 
   // --- checkpoint/restart ----------------------------------------------------
-  /// Double-buffered checkpoint store on namespace `ns` (core::CheckpointStore
-  /// with the facade's namespace addressing and Result errors).
-  [[nodiscard]] Result<std::unique_ptr<cxlpmem::core::CheckpointStore>>
-  checkpoint_store(std::string_view ns, const std::string& file,
-                   std::uint64_t max_payload_bytes, PoolSpec spec = PoolSpec());
+  /// Double-buffered crash-atomic checkpoint store on namespace `ns`, sized
+  /// for payloads up to `max_payload_bytes`.
+  [[nodiscard]] Result<CheckpointStore> checkpoint_store(
+      std::string_view ns, const std::string& file,
+      std::uint64_t max_payload_bytes, PoolSpec spec = PoolSpec());
+
+  // --- migration -------------------------------------------------------------
+  /// Migrates pool `file` (layout `layout`) from namespace `src_ns` to
+  /// `dst_ns` — the paper's Optane→CXL scenario (ref [22]) as one call.
+  /// The source is left intact; the report says what changed about
+  /// durability (a volatile destination is legal but flagged).
+  [[nodiscard]] Result<MigrationReport> migrate_pool(std::string_view src_ns,
+                                                     std::string_view dst_ns,
+                                                     const std::string& file,
+                                                     std::string_view layout);
+
+  // --- data placement (hybrid tiering, paper §6) -----------------------------
+  /// Every memory device as a placement tier, probed from
+  /// `viewpoint_socket` with the machine's bandwidth model.
+  [[nodiscard]] std::vector<Tier> tiers(
+      simkit::SocketId viewpoint_socket = 0) const;
+  /// Places requests (hotness-descending) across the tiers, honouring
+  /// capacity and durability constraints.
+  [[nodiscard]] Result<PlacementPlan> place(
+      std::vector<PlacementRequest> requests,
+      simkit::SocketId viewpoint_socket = 0) const;
 
   // --- escape hatch ----------------------------------------------------------
   /// The underlying throwing runtime (device mailboxes, migration, tiering).

@@ -30,6 +30,8 @@ namespace cxlpmem::api {
     case K::LayoutMismatch:
     case K::LayoutTooLong:
       return Errc::LayoutMismatch;
+    case K::TypeMismatch:
+      return Errc::TypeMismatch;
     case K::PoolTooSmall:
     case K::BadName:
     case K::BadOid:

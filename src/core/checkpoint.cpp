@@ -67,13 +67,29 @@ void CheckpointStore::save(std::span<const std::byte> payload) {
 }
 
 std::vector<std::byte> CheckpointStore::load() const {
-  const Root* r = root();
-  if (r->epoch == 0) return {};
-  const std::uint64_t n = r->size[r->active];
-  std::vector<std::byte> out(n);
-  if (n > 0)
-    std::memcpy(out.data(), pool_->direct(r->slot[r->active]), n);
+  std::vector<std::byte> out(payload_bytes());
+  (void)load_into(out);
   return out;
+}
+
+std::uint64_t CheckpointStore::load_into(std::span<std::byte> dst) const {
+  const Root* r = root();
+  if (r->epoch == 0) return 0;
+  const std::uint64_t n = r->size[r->active];
+  if (n > dst.size())
+    throw pmemkit::PoolError(
+        pmemkit::ErrKind::CapacityExceeded,
+        "load_into buffer (" + std::to_string(dst.size()) +
+            " bytes) smaller than checkpoint payload (" + std::to_string(n) +
+            " bytes)");
+  if (n > 0)
+    std::memcpy(dst.data(), pool_->direct(r->slot[r->active]), n);
+  return n;
+}
+
+std::uint64_t CheckpointStore::payload_bytes() const {
+  const Root* r = root();
+  return r->epoch == 0 ? 0 : r->size[r->active];
 }
 
 std::uint64_t CheckpointStore::epoch() const { return root()->epoch; }

@@ -37,7 +37,18 @@ class CheckpointStore {
   void save(std::span<const std::byte> payload);
 
   /// The latest checkpoint payload; empty when none was ever saved.
+  /// Heap-allocates a fresh copy — restart loops that already own a buffer
+  /// should use load_into().
   [[nodiscard]] std::vector<std::byte> load() const;
+
+  /// Copies the latest payload into `dst` without allocating; returns the
+  /// number of bytes written (0 when nothing was ever saved).  Throws
+  /// PoolError(CapacityExceeded) when `dst` is smaller than the payload —
+  /// size the buffer with payload_bytes() or max_payload_bytes().
+  std::uint64_t load_into(std::span<std::byte> dst) const;
+
+  /// Size of the latest payload (0 when nothing was ever saved).
+  [[nodiscard]] std::uint64_t payload_bytes() const;
 
   /// Monotonic save counter (0 = nothing saved yet).
   [[nodiscard]] std::uint64_t epoch() const;

@@ -24,6 +24,8 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "simkit/bwmodel.hpp"
@@ -63,6 +65,31 @@ struct PlacementDecision {
   bool satisfied = false;  ///< false when nothing could host it
 };
 
+/// The advisor's answer as one value: every decision (hotness-descending)
+/// plus plan-level queries, so callers don't re-derive "did everything
+/// fit?" from the vector.
+struct PlacementPlan {
+  std::vector<PlacementDecision> decisions;
+
+  [[nodiscard]] bool fully_satisfied() const noexcept {
+    for (const auto& d : decisions)
+      if (!d.satisfied) return false;
+    return true;
+  }
+  [[nodiscard]] std::size_t unsatisfied_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& d : decisions) n += d.satisfied ? 0 : 1;
+    return n;
+  }
+  /// The decision for a request label, or nullptr.
+  [[nodiscard]] const PlacementDecision* find(std::string_view label)
+      const noexcept {
+    for (const auto& d : decisions)
+      if (d.request.label == label) return &d;
+    return nullptr;
+  }
+};
+
 class TierAdvisor {
  public:
   /// Builds tiers from every memory device of `machine`, probing each with
@@ -79,6 +106,12 @@ class TierAdvisor {
   /// satisfied == false.
   [[nodiscard]] std::vector<PlacementDecision> place(
       std::vector<PlacementRequest> requests) const;
+
+  /// place() packaged as a PlacementPlan.
+  [[nodiscard]] PlacementPlan plan(
+      std::vector<PlacementRequest> requests) const {
+    return PlacementPlan{place(std::move(requests))};
+  }
 
   /// Modelled single-thread bandwidth of `request` on `tier` (the scoring
   /// function, exposed for tests and ablations).

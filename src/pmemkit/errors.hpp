@@ -29,6 +29,7 @@ enum class ErrKind {
   CorruptImage,      ///< heap/lane/undo-log structures fail validation
   BadOid,            ///< null/foreign/out-of-range object id
   BadName,           ///< malformed pool file name
+  TypeMismatch,      ///< object's type number differs from the caller's
   // --- namespace level ---
   NotDurable,        ///< pool on a volatile domain without opt-in
   CapacityExceeded,  ///< namespace/device out of capacity
@@ -58,6 +59,7 @@ enum class ErrKind {
     case ErrKind::CorruptImage: return "corrupt-image";
     case ErrKind::BadOid: return "bad-oid";
     case ErrKind::BadName: return "bad-name";
+    case ErrKind::TypeMismatch: return "type-mismatch";
     case ErrKind::NotDurable: return "not-durable";
     case ErrKind::CapacityExceeded: return "capacity-exceeded";
     case ErrKind::OutOfSpace: return "out-of-space";

@@ -446,6 +446,16 @@ const AllocHeader& Heap::header_of(std::uint64_t data_off) const {
                                                sizeof(AllocHeader));
 }
 
+std::uint32_t Heap::type_of_synced(std::uint64_t data_off) const {
+  if (data_off < chunks_off_ + sizeof(AllocHeader))
+    throw AllocError(ErrKind::BadOid, "offset outside the heap");
+  const std::uint32_t c = chunk_of(data_off - sizeof(AllocHeader));
+  if (c == kNoChunk)
+    throw AllocError(ErrKind::BadOid, "offset outside the heap");
+  const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
+  return header_of(data_off).type_num;
+}
+
 std::uint64_t Heap::first_object(std::uint32_t type_num) const {
   return next_object(0, type_num);
 }

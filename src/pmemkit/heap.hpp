@@ -132,6 +132,11 @@ class Heap {
   /// AllocHeader of a live object.
   [[nodiscard]] const AllocHeader& header_of(std::uint64_t data_off) const;
 
+  /// Type number of the live object at `data_off`, read behind the target
+  /// chunk's lock — the validation entry point while other lanes may be
+  /// committing into the same chunk (same contract as is_live_synced).
+  [[nodiscard]] std::uint32_t type_of_synced(std::uint64_t data_off) const;
+
   /// Usable size of the live object at `data_off`.
   [[nodiscard]] std::uint64_t usable_size(std::uint64_t data_off) const {
     return header_of(data_off).size;

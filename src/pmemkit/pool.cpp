@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <random>
+#include <shared_mutex>
 #include <utility>
 
 #include "pmemkit/checksum.hpp"
@@ -37,7 +38,52 @@ std::uint64_t random_pool_id() {
 thread_local std::vector<std::pair<const ObjectPool*, Transaction*>>
     t_current_tx;
 
+/// Process-wide registry of open pools, in open order.  Read-mostly: every
+/// typed-pointer dereference takes the shared lock; registration only
+/// happens on pool open/close.
+std::shared_mutex g_pools_mu;
+std::vector<ObjectPool*> g_pools;
+
+void register_pool(ObjectPool* pool) {
+  const std::unique_lock lock(g_pools_mu);
+  g_pools.push_back(pool);
+}
+
+void unregister_pool(ObjectPool* pool) {
+  const std::unique_lock lock(g_pools_mu);
+  std::erase(g_pools, pool);
+}
+
 }  // namespace
+
+ObjectPool* pool_by_id(std::uint64_t pool_id) noexcept {
+  const std::shared_lock lock(g_pools_mu);
+  for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it)
+    if ((*it)->pool_id() == pool_id) return *it;
+  return nullptr;
+}
+
+ObjectPool* pool_containing(const void* p) noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  const std::shared_lock lock(g_pools_mu);
+  for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it) {
+    PersistentRegion& region = (*it)->region();
+    if (b >= region.base() && b < region.base() + region.size()) return *it;
+  }
+  return nullptr;
+}
+
+ObjectPool* tx_pool_containing(const void* p) noexcept {
+  const auto* b = static_cast<const std::byte*>(p);
+  for (const auto& [pool, tx] : t_current_tx) {
+    PersistentRegion& region = const_cast<ObjectPool*>(pool)->region();
+    if (b >= region.base() && b < region.base() + region.size())
+      return const_cast<ObjectPool*>(pool);
+  }
+  return nullptr;
+}
+
+bool thread_in_tx() noexcept { return !t_current_tx.empty(); }
 
 ObjectPool::ObjectPool(MappedFile file, Options options)
     : region_(std::move(file), options.track_shadow),
@@ -109,6 +155,7 @@ std::unique_ptr<ObjectPool> ObjectPool::create(PmemResource& resource,
   // Lanes are zero (Idle) in a fresh file; only the heap needs formatting.
   pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
   pool->heap_->format();
+  register_pool(pool.get());
   return pool;
 }
 
@@ -138,10 +185,12 @@ std::unique_ptr<ObjectPool> ObjectPool::open(PmemResource& resource,
   pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
   pool->heap_->rebuild();
   pool->run_recovery();
+  register_pool(pool.get());
   return pool;
 }
 
 ObjectPool::~ObjectPool() {
+  unregister_pool(this);
   if (crashed_) return;  // crash simulation: leave the image as-is
   PoolHeader& h = header();
   h.flags |= kFlagCleanShutdown;
@@ -177,6 +226,17 @@ void* ObjectPool::direct(ObjId oid) {
 
 const void* ObjectPool::direct(ObjId oid) const {
   return const_cast<ObjectPool*>(this)->direct(oid);
+}
+
+void* ObjectPool::direct_checked(ObjId oid, std::uint32_t expected_type) {
+  void* p = direct(oid);
+  const std::uint32_t actual = heap_->type_of_synced(oid.off);
+  if (actual != expected_type)
+    throw PoolError(ErrKind::TypeMismatch,
+                    "object at offset " + std::to_string(oid.off) +
+                        " has type number " + std::to_string(actual) +
+                        ", caller expected " + std::to_string(expected_type));
+  return p;
 }
 
 ObjId ObjectPool::oid_for(const void* p) const {
@@ -275,7 +335,7 @@ ObjId ObjectPool::next(ObjId oid, std::uint32_t type_num) const {
   return off == 0 ? kNullOid : ObjId{pool_id(), off};
 }
 
-ObjId ObjectPool::root_raw(std::uint64_t size) {
+ObjId ObjectPool::root_raw(std::uint64_t size, std::uint32_t type_num) {
   PoolHeader& h = header();
   // root_off is published via a redo apply; reading it under root_mu_ keeps
   // the check ordered against a concurrent first-use allocation.
@@ -283,13 +343,20 @@ ObjId ObjectPool::root_raw(std::uint64_t size) {
   if (h.root_off != 0) {
     if (size > h.root_size)
       throw PoolError(ErrKind::BadAlloc, "root object smaller than requested size");
+    if (type_num != 0) {
+      const std::uint32_t actual = heap_->type_of_synced(h.root_off);
+      if (actual != type_num)
+        throw PoolError(ErrKind::TypeMismatch,
+                        "root object has type number " +
+                            std::to_string(actual) + ", caller expected " +
+                            std::to_string(type_num));
+    }
     return ObjId{pool_id(), h.root_off};
   }
 
   const OpLane lane(*this);
   RedoSession session(region_, lane_header(lane.lane()).redo);
-  PreparedAlloc pa =
-      heap_->stage_alloc(session, size, /*type_num=*/0, /*zero=*/true);
+  PreparedAlloc pa = heap_->stage_alloc(session, size, type_num, /*zero=*/true);
   try {
     // Root oid + size publish atomically with the allocation.
     session.stage(region_.offset_of(&h.root_off), pa.data_off);

@@ -104,6 +104,10 @@ class ObjectPool {
   [[nodiscard]] T* direct(TypedOid<T> oid) {
     return static_cast<T*>(direct(oid.raw));
   }
+  /// direct() plus a type-number check against the object's AllocHeader;
+  /// throws PoolError(TypeMismatch) when the allocation was made with a
+  /// different type number.  Backs the facade's checked ptr<T> dereference.
+  [[nodiscard]] void* direct_checked(ObjId oid, std::uint32_t expected_type);
   /// ObjId for a pointer inside the pool (inverse of direct()).
   [[nodiscard]] ObjId oid_for(const void* p) const;
 
@@ -137,8 +141,11 @@ class ObjectPool {
   /// Returns the root object, allocating it (zeroed) on first use.
   /// The size is fixed at first allocation; a mismatching later request
   /// throws PoolError (pmemobj_root with a larger size would resize — not
-  /// supported here).
-  ObjId root_raw(std::uint64_t size);
+  /// supported here).  A non-zero `type_num` types the root allocation and
+  /// is validated against an existing root's recorded type on reopen
+  /// (PoolError(TypeMismatch) on disagreement); 0 skips the check, keeping
+  /// the untyped root_raw path byte-compatible.
+  ObjId root_raw(std::uint64_t size, std::uint32_t type_num = 0);
   template <typename T>
   TypedOid<T> root() {
     return TypedOid<T>{root_raw(sizeof(T))};
@@ -256,5 +263,32 @@ class ObjectPool {
   std::vector<std::uint32_t> free_lanes_;
   std::atomic<std::uint64_t> lane_waits_{0};
 };
+
+// --- open-pool registry ------------------------------------------------------
+// Every live ObjectPool is registered process-wide (pmemobj_pool_by_oid /
+// pmemobj_pool_by_ptr equivalents).  This is what lets a persistent typed
+// pointer carry nothing but an ObjId and still resolve to an address, and
+// what backs the field wrapper's misuse check (a transactional write into a
+// pool the thread has no transaction on).  The wrapper's *hot path* never
+// touches the registry — it uses the thread-local tx_pool_containing()
+// below.  Lookups return nullptr once the pool is closed.
+
+/// The open pool whose pool_id matches, or nullptr.  When two open pools
+/// share an id (a freshly migrated copy next to its source), the most
+/// recently opened one wins.
+[[nodiscard]] ObjectPool* pool_by_id(std::uint64_t pool_id) noexcept;
+
+/// The open pool whose mapping contains `p`, or nullptr.
+[[nodiscard]] ObjectPool* pool_containing(const void* p) noexcept;
+
+/// The pool on which the *calling thread* has an open transaction and whose
+/// mapping contains `p`, or nullptr.  Purely thread-local (scans the
+/// thread's open-transaction list, at most a handful of entries) — no
+/// global lock, which is what keeps snapshot-on-write field wrappers off
+/// the registry on the transactional hot path.
+[[nodiscard]] ObjectPool* tx_pool_containing(const void* p) noexcept;
+
+/// True when the calling thread has any open transaction (thread-local).
+[[nodiscard]] bool thread_in_tx() noexcept;
 
 }  // namespace cxlpmem::pmemkit

@@ -192,6 +192,19 @@ void Transaction::add_range(void* ptr, std::size_t len) {
   region.note_store(ptr, len);
 }
 
+void Transaction::add_fresh_range(void* ptr, std::size_t len) {
+  if (len == 0) return;
+  PersistentRegion& region = pool_->region();
+  const auto* p = static_cast<const std::byte*>(ptr);
+  if (p < region.base() || p + len > region.base() + region.size())
+    throw TxError(ErrKind::TxMisuse, "add_fresh_range outside pool");
+  // No undo entry: the AllocAction already logged for this object is the
+  // rollback.  Recording the range makes commit flush it and makes later
+  // add_range calls inside it coalesce to nothing.
+  snapshots_.push_back(Range{region.offset_of(ptr), len});
+  region.note_store(ptr, len);
+}
+
 ObjId Transaction::alloc(std::uint64_t size, std::uint32_t type_num,
                          bool zero) {
   RedoSession session(pool_->region(), pool_->lane_header(lane_).redo);

@@ -40,6 +40,14 @@ class Transaction {
   /// away (the first snapshot already holds the pre-image to restore).
   void add_range(void* ptr, std::size_t len);
 
+  /// Registers [ptr, ptr+len) as freshly allocated *by this transaction*:
+  /// the range is flushed at commit and covers later add_range calls (so
+  /// snapshot-on-write fields inside it burn no undo entries), but no
+  /// pre-image is logged — on abort/crash the allocation itself is rolled
+  /// back, which discards the bytes wholesale.  Never use it on memory that
+  /// existed before the transaction.
+  void add_fresh_range(void* ptr, std::size_t len);
+
   /// Allocates inside the transaction; freed automatically on abort.  When
   /// logging the allocation overflows the undo log, the staged heap state
   /// is cancelled before the error propagates — nothing leaks.

@@ -143,7 +143,7 @@ void run_kv_workload(api::Runtime& rt, const std::string& ns) {
     auto pool = rt.create_pool(ns, "kvwl");
     ASSERT_TRUE(pool.ok()) << pool.error().to_string();
     auto& p = pool->pmem();
-    KvRoot* root = pool->root<KvRoot>().value();
+    api::ptr<KvRoot> root = pool->root<KvRoot>().value();
 
     for (int i = 0; i < 4; ++i) {
       pool->run_tx([&] {
@@ -151,7 +151,7 @@ void run_kv_workload(api::Runtime& rt, const std::string& ns) {
           const pmemkit::ObjId oid = p.tx_alloc(v.size() + 1, 7);
           std::memcpy(p.direct(oid), v.c_str(), v.size() + 1);
           p.persist(p.direct(oid), v.size() + 1);
-          p.tx_add_range(root, sizeof(KvRoot));
+          p.tx_add_range(root.get(), sizeof(KvRoot));
           root->items[root->count] = oid;
           root->count += 1;
         }).value();
@@ -179,7 +179,7 @@ void run_kv_workload(api::Runtime& rt, const std::string& ns) {
     EXPECT_TRUE(pool->recovered());
 
     auto& p = pool->pmem();
-    KvRoot* root = pool->root<KvRoot>().value();
+    api::ptr<KvRoot> root = pool->root<KvRoot>().value();
     ASSERT_EQ(root->count, 4u);
     for (int i = 0; i < 4; ++i) {
       const auto* s = static_cast<const char*>(p.direct(root->items[i]));

@@ -1,0 +1,435 @@
+// Tests for the typed persistent programming model: type numbers, ptr<T>
+// null/round-trip/lifetime semantics, make<T>/make_sized<T>/destroy inside
+// transactions, type-number mismatch detection, and the p<T> field wrapper's
+// snapshot-on-first-write — the latter verified by a CrashSimulator sweep
+// that cuts power at every persistence-ordering point of a transaction that
+// never calls add_range by hand.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "api/cxlpmem.hpp"
+#include "pmemkit/crash_sim.hpp"
+
+namespace api = cxlpmem::api;
+namespace pmemkit = cxlpmem::pmemkit;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Node {
+  api::p<api::ptr<Node>> next;
+  api::p<std::uint64_t> value;
+};
+
+struct Blob {
+  api::p<std::uint32_t> len;
+  // payload follows inline
+};
+
+struct TypedRoot {
+  api::p<api::ptr<Node>> head;
+  api::p<std::uint64_t> count;
+};
+
+struct OtherRoot {
+  api::p<std::uint64_t> a;
+  api::p<std::uint64_t> b;
+};
+
+class ApiTypedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("apityped-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    auto rt = api::RuntimeBuilder::setup_one().base_dir(dir_).build();
+    ASSERT_TRUE(rt.ok()) << rt.error().to_string();
+    rt_ = std::make_unique<api::Runtime>(std::move(rt).value());
+  }
+  void TearDown() override {
+    rt_.reset();
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] api::Pool make_pool(const char* layout = "typed") {
+    auto pool = rt_->create_pool("pmem2", layout);
+    EXPECT_TRUE(pool.ok()) << pool.error().to_string();
+    return std::move(pool).value();
+  }
+
+  fs::path dir_;
+  std::unique_ptr<api::Runtime> rt_;
+};
+
+TEST(TypeNumberTest, DistinctTypesGetDistinctNonReservedNumbers) {
+  EXPECT_NE(api::type_number<Node>(), api::type_number<Blob>());
+  EXPECT_NE(api::type_number<Node>(), api::type_number<TypedRoot>());
+  // 0 is the untyped/root default; ~0u is the any-type iteration wildcard.
+  EXPECT_NE(api::type_number<Node>(), 0u);
+  EXPECT_NE(api::type_number<Node>(), ~0u);
+  // Deterministic within a binary.
+  EXPECT_EQ(api::type_number<Node>(), api::type_number<Node>());
+}
+
+TEST_F(ApiTypedTest, NullPtrSemantics) {
+  const api::ptr<Node> null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(static_cast<bool>(null));
+  EXPECT_EQ(null.get(), nullptr);
+  EXPECT_EQ(null, api::ptr<Node>{});
+  // Arrow/star on null is a caller bug and throws (BadOid), not UB.
+  EXPECT_THROW((void)null->value.get(), pmemkit::PoolError);
+}
+
+TEST_F(ApiTypedTest, MakeRoundTripsThroughOidAndReopen) {
+  pmemkit::ObjId oid;
+  {
+    api::Pool pool = make_pool();
+    api::ptr<TypedRoot> root = pool.root<TypedRoot>().value();
+
+    api::ptr<Node> made;
+    ASSERT_TRUE(pool.run_tx([&] {
+      made = pool.make<Node>();
+      made->value = 42;
+      root->head = made;
+      root->count += 1;
+    }).ok());
+
+    // oid round trip: rebuilding the ptr from its oid reaches the object.
+    const api::ptr<Node> again(made.oid());
+    EXPECT_EQ(again, made);
+    EXPECT_EQ(again->value, 42u);
+    EXPECT_EQ(root->head.get(), made);
+    oid = made.oid();
+  }
+
+  // Reopen: same typed surface, same contents (a ptr<T> stores only its
+  // oid, so it re-resolves through the fresh mapping).
+  auto reopened = rt_->open_pool("pmem2", "typed");
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  api::ptr<TypedRoot> root2 = reopened->root<TypedRoot>().value();
+  EXPECT_EQ(root2->count, 1u);
+  EXPECT_EQ(root2->head.get().oid(), oid);
+  EXPECT_EQ(root2->head.get()->value, 42u);
+}
+
+TEST_F(ApiTypedTest, MakeOutsideTransactionThrowsTxMisuse) {
+  api::Pool pool = make_pool();
+  try {
+    (void)pool.make<Node>();
+    FAIL() << "expected TxError";
+  } catch (const pmemkit::TxError& e) {
+    EXPECT_EQ(e.kind(), pmemkit::ErrKind::TxMisuse);
+  }
+}
+
+TEST_F(ApiTypedTest, MakeSizedCarriesInlinePayload) {
+  api::Pool pool = make_pool();
+  const std::string text = "inline payload bytes";
+  api::ptr<Blob> blob;
+  ASSERT_TRUE(pool.run_tx([&] {
+    blob = pool.make_sized<Blob>(sizeof(Blob) + text.size());
+    blob->len = static_cast<std::uint32_t>(text.size());
+    // No persist: the fresh range flushes at commit.
+    std::memcpy(reinterpret_cast<char*>(blob.get() + 1), text.data(),
+                text.size());
+  }).ok());
+  EXPECT_GE(pool.pmem().usable_size(blob.oid()), sizeof(Blob) + text.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(blob.get() + 1),
+                        blob->len),
+            text);
+
+  // Below-sizeof(T) sizes are malformed.
+  auto too_small = pool.run_tx([&] {
+    (void)pool.make_sized<Blob>(1);
+  });
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.error().code, api::Errc::BadArgument);
+}
+
+TEST_F(ApiTypedTest, TypeMismatchIsDetectedOnDereference) {
+  api::Pool pool = make_pool();
+  api::ptr<Node> node;
+  ASSERT_TRUE(pool.run_tx([&] { node = pool.make<Node>(); }).ok());
+
+  // A ptr<Blob> aimed at a Node fails loudly instead of reinterpreting.
+  const api::ptr<Blob> wrong(node.oid());
+  try {
+    (void)wrong->len.get();
+    FAIL() << "expected PoolError(TypeMismatch)";
+  } catch (const pmemkit::PoolError& e) {
+    EXPECT_EQ(e.kind(), pmemkit::ErrKind::TypeMismatch);
+  }
+  EXPECT_THROW((void)wrong.get(), pmemkit::PoolError);
+
+  // destroy() is typed too: destroying through the wrong type refuses
+  // before freeing anything.
+  auto wrong_destroy = pool.run_tx([&] { pool.destroy(wrong); });
+  ASSERT_FALSE(wrong_destroy.ok());
+  EXPECT_EQ(wrong_destroy.error().code, api::Errc::TypeMismatch);
+  EXPECT_EQ(node->value, 0u);  // still alive, still a Node
+}
+
+TEST_F(ApiTypedTest, RootReopenedAsDifferentTypeIsTypeMismatch) {
+  {
+    api::Pool pool = make_pool();
+    ASSERT_TRUE(pool.root<TypedRoot>().ok());
+  }
+  auto pool = rt_->open_pool("pmem2", "typed");
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  auto wrong = pool->root<OtherRoot>();
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.error().code, api::Errc::TypeMismatch);
+  // The correctly-typed root still resolves.
+  EXPECT_TRUE(pool->root<TypedRoot>().ok());
+}
+
+TEST_F(ApiTypedTest, DereferenceAfterPoolCloseThrowsPoolNotFound) {
+  api::ptr<Node> dangling;
+  {
+    api::Pool pool = make_pool();
+    ASSERT_TRUE(pool.run_tx([&] { dangling = pool.make<Node>(); }).ok());
+    EXPECT_EQ(dangling->value, 0u);  // valid while the pool is open
+  }
+  try {
+    (void)dangling->value.get();
+    FAIL() << "expected PoolError(PoolNotFound)";
+  } catch (const pmemkit::PoolError& e) {
+    EXPECT_EQ(e.kind(), pmemkit::ErrKind::PoolNotFound);
+  }
+}
+
+TEST_F(ApiTypedTest, DestroyReclaimsAndAbortPreservesObjects) {
+  api::Pool pool = make_pool();
+  api::ptr<TypedRoot> root = pool.root<TypedRoot>().value();
+
+  api::ptr<Node> node;
+  ASSERT_TRUE(pool.run_tx([&] {
+    node = pool.make<Node>();
+    root->head = node;
+  }).ok());
+  EXPECT_EQ(pool.count<Node>(), 1u);
+
+  // An aborted transaction frees what it made and keeps what it destroyed.
+  auto aborted = pool.run_tx([&] {
+    (void)pool.make<Node>();
+    pool.destroy(root->head.get());
+    throw std::runtime_error("application error");
+  });
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(pool.count<Node>(), 1u);
+  EXPECT_EQ(node->value, 0u);  // the destroy never committed
+
+  ASSERT_TRUE(pool.run_tx([&] {
+    pool.destroy(root->head.get());
+    root->head = api::ptr<Node>{};
+  }).ok());
+  EXPECT_EQ(pool.count<Node>(), 0u);
+  // destroy(null) is a no-op.
+  EXPECT_TRUE(pool.run_tx([&] { pool.destroy(api::ptr<Node>{}); }).ok());
+}
+
+TEST_F(ApiTypedTest, DereferenceAfterCommittedDestroyThrows) {
+  api::Pool pool = make_pool();
+  api::ptr<Node> node;
+  ASSERT_TRUE(pool.run_tx([&] { node = pool.make<Node>(); }).ok());
+  ASSERT_TRUE(pool.run_tx([&] { pool.destroy(node); }).ok());
+
+  // The liveness bit was cleared by the committed free: a stale ptr fails
+  // loudly instead of handing out a pointer into free space.
+  try {
+    (void)node->value.get();
+    FAIL() << "expected AllocError on a dead object";
+  } catch (const pmemkit::AllocError& e) {
+    EXPECT_EQ(e.kind(), pmemkit::ErrKind::InvalidFree);
+  }
+  EXPECT_THROW((void)node.get(), pmemkit::AllocError);
+}
+
+TEST_F(ApiTypedTest, ForEachVisitsTypedObjectsOnly) {
+  api::Pool pool = make_pool();
+  ASSERT_TRUE(pool.run_tx([&] {
+    for (int i = 0; i < 3; ++i) {
+      api::ptr<Node> n = pool.make<Node>();
+      n->value = static_cast<std::uint64_t>(i);
+    }
+    (void)pool.make_sized<Blob>(sizeof(Blob) + 8);
+  }).ok());
+
+  std::uint64_t sum = 0, nodes = 0;
+  pool.for_each<Node>([&](api::ptr<Node> n) {
+    sum += n->value;
+    ++nodes;
+  });
+  EXPECT_EQ(nodes, 3u);
+  EXPECT_EQ(sum, 0u + 1u + 2u);
+  EXPECT_EQ(pool.count<Blob>(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// p<T> snapshot-on-first-write, proven by exhaustive crash injection: the
+// scenario mutates fields through p<> assignments only (no manual
+// add_range), and after a power cut at every instrumentation point the
+// recovered pool must hold the pre-transaction state or the committed one —
+// never a torn mix.
+// ---------------------------------------------------------------------------
+
+TEST(ApiTypedCrashTest, PSnapshotOnWriteIsCrashAtomic) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("apityped-crash-" + std::to_string(::getpid()) + ".pool");
+
+  pmemkit::CrashSimulator::Config config;
+  config.pool_path = path;
+  pmemkit::CrashSimulator sim(config);
+
+  const auto root_of = [](pmemkit::ObjectPool& p) {
+    return static_cast<OtherRoot*>(p.direct(
+        p.root_raw(sizeof(OtherRoot), api::type_number<OtherRoot>())));
+  };
+
+  const std::size_t points = sim.run(
+      /*setup=*/
+      [&](pmemkit::ObjectPool& p) {
+        OtherRoot* r = root_of(p);
+        p.run_tx([&] {
+          r->a = 1;
+          r->b = 2;
+        });
+      },
+      /*scenario=*/
+      [&](pmemkit::ObjectPool& p) {
+        OtherRoot* r = root_of(p);
+        p.run_tx([&] {
+          r->a = 10;  // p<> snapshots this field itself
+          r->b = 20;
+        });
+      },
+      /*verify=*/
+      [&](pmemkit::ObjectPool& p) {
+        OtherRoot* r = root_of(p);
+        const std::uint64_t a = r->a, b = r->b;
+        const bool old_state = (a == 1 && b == 2);
+        const bool new_state = (a == 10 && b == 20);
+        if (!old_state && !new_state)
+          throw std::runtime_error("torn p<> state: a=" + std::to_string(a) +
+                                   " b=" + std::to_string(b));
+      });
+  // The sweep must actually have exercised the undo/redo machinery (two
+  // field snapshots + commit cross several persistence-ordering points).
+  EXPECT_GT(points, 5u);
+  fs::remove(path);
+}
+
+// Fresh allocations registered with add_fresh_range (the make/make_sized
+// path) are flushed by commit with no explicit persist anywhere: a power
+// cut at every point must leave the object either fully absent (the
+// AllocAction rolled back) or fully written — never published with torn
+// content.
+TEST(ApiTypedCrashTest, FreshRangeWritesAreCommitFlushedAtomically) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("apityped-fresh-" + std::to_string(::getpid()) + ".pool");
+
+  pmemkit::CrashSimulator::Config config;
+  config.pool_path = path;
+  pmemkit::CrashSimulator sim(config);
+
+  struct FreshRoot {
+    pmemkit::ObjId obj;
+    api::p<std::uint64_t> count;
+  };
+  constexpr std::uint32_t kType = 0x77;
+
+  const auto root_of = [](pmemkit::ObjectPool& p) {
+    return static_cast<FreshRoot*>(p.direct(p.root_raw(sizeof(FreshRoot))));
+  };
+
+  const std::size_t points = sim.run(
+      /*setup=*/[&](pmemkit::ObjectPool& p) { (void)root_of(p); },
+      /*scenario=*/
+      [&](pmemkit::ObjectPool& p) {
+        FreshRoot* r = root_of(p);
+        p.run_tx([&] {
+          const pmemkit::ObjId oid = p.tx_alloc(64, kType, /*zero=*/true);
+          auto* w = static_cast<std::uint64_t*>(p.direct(oid));
+          p.current_tx()->add_fresh_range(w, 64);
+          w[0] = 0xabcdefull;  // no persist: commit flushes the range
+          w[7] = 0x123456ull;
+          p.tx_add_range(&r->obj, sizeof(r->obj));
+          r->obj = oid;
+          r->count += 1;
+        });
+      },
+      /*verify=*/
+      [&](pmemkit::ObjectPool& p) {
+        FreshRoot* r = root_of(p);
+        const std::uint64_t count = r->count;
+        if (count == 0) {
+          if (!r->obj.is_null())
+            throw std::runtime_error("rolled-back tx left a published oid");
+          if (!p.first(kType).is_null())
+            throw std::runtime_error("rolled-back tx leaked an allocation");
+          return;
+        }
+        if (count != 1) throw std::runtime_error("impossible count");
+        const auto* w = static_cast<const std::uint64_t*>(p.direct(r->obj));
+        if (w[0] != 0xabcdefull || w[7] != 0x123456ull)
+          throw std::runtime_error("committed fresh object has torn bytes");
+      });
+  EXPECT_GT(points, 5u);
+  fs::remove(path);
+}
+
+// Without a transaction, p<> assignment is a plain store (caller owns
+// persistence) — it must not throw or touch any undo log.
+TEST_F(ApiTypedTest, PAssignmentOutsideTransactionIsPlainStore) {
+  api::Pool pool = make_pool();
+  api::ptr<OtherRoot> root = pool.root<OtherRoot>().value();
+  root->a = 7;
+  root->a += 3;
+  EXPECT_EQ(root->a, 10u);
+
+  // And on a stack copy (outside any pool) it is also just a store.
+  OtherRoot local;
+  local.b = 5;
+  ++local.b;
+  EXPECT_EQ(local.b, 6u);
+}
+
+// Writing pool B's p<> field from inside pool A's transaction would be
+// neither undo-logged nor commit-flushed — it must fail loudly (TxMisuse),
+// not silently lose crash-atomicity.  A stack copy stays writable from
+// inside a transaction (it lives in no pool).
+TEST_F(ApiTypedTest, PWriteIntoForeignPoolFromOpenTransactionIsMisuse) {
+  api::Pool pool_a = make_pool("pool-a");
+  auto pool_b_result = rt_->create_pool("pmem0", "pool-b");
+  ASSERT_TRUE(pool_b_result.ok()) << pool_b_result.error().to_string();
+  api::Pool pool_b = std::move(pool_b_result).value();
+
+  api::ptr<OtherRoot> root_b = pool_b.root<OtherRoot>().value();
+
+  auto crossed = pool_a.run_tx([&] {
+    root_b->a = 99;  // foreign pool: not covered by pool_a's transaction
+  });
+  ASSERT_FALSE(crossed.ok());
+  EXPECT_EQ(crossed.error().code, api::Errc::TxFailure);
+  EXPECT_EQ(root_b->a, 0u);  // the store never happened
+
+  // Stack copies are fine from inside a transaction.
+  ASSERT_TRUE(pool_a.run_tx([&] {
+    OtherRoot scratch;
+    scratch.a = 1;
+    EXPECT_EQ(scratch.a, 1u);
+  }).ok());
+
+  // And the same write works when pool_b's own transaction is open.
+  ASSERT_TRUE(pool_b.run_tx([&] { root_b->a = 99; }).ok());
+  EXPECT_EQ(root_b->a, 99u);
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 // injection on the save path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -81,6 +82,34 @@ TEST_F(CheckpointTest, OversizedPayloadRefused) {
   core::CheckpointStore store(*ns_, "cp.pool", 1024);
   EXPECT_THROW(store.save(payload_of(1, 2048)), pk::PoolError);
   EXPECT_EQ(store.epoch(), 0u);
+}
+
+TEST_F(CheckpointTest, LoadIntoIsAllocationFreeAndSizeChecked) {
+  core::CheckpointStore store(*ns_, "cp.pool", 1 << 16);
+
+  std::vector<std::byte> buf(64, std::byte{0xcd});
+  EXPECT_EQ(store.load_into(buf), 0u);      // nothing saved yet
+  EXPECT_EQ(buf[0], std::byte{0xcd});       // buffer untouched
+  EXPECT_EQ(store.payload_bytes(), 0u);
+
+  const auto p = payload_of(0x66, 3000);
+  store.save(p);
+  EXPECT_EQ(store.payload_bytes(), 3000u);
+
+  // One buffer reused across epochs — the restart-loop pattern.
+  buf.assign(store.max_payload_bytes(), std::byte{0});
+  EXPECT_EQ(store.load_into(buf), 3000u);
+  EXPECT_TRUE(std::equal(p.begin(), p.end(), buf.begin()));
+
+  store.save(payload_of(0x77, 500));
+  EXPECT_EQ(store.load_into(buf), 500u);
+  EXPECT_EQ(buf[499], std::byte{0x77});
+
+  // A too-small buffer is refused without partial writes.
+  std::vector<std::byte> tiny(100, std::byte{0x01});
+  EXPECT_THROW((void)store.load_into(tiny), pk::PoolError);
+  EXPECT_EQ(tiny[0], std::byte{0x01});
+  EXPECT_EQ(store.load(), payload_of(0x77, 500));  // load() agrees
 }
 
 TEST_F(CheckpointTest, EmptyPayloadIsAValidEpoch) {
