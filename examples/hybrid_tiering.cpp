@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::vector<std::byte> payload(1 << 20, std::byte{0x5a});
-    store->save(payload).value();
+    (void)store->save(payload).value();
     std::printf("\nexecuted: '%s' -> pool on /mnt/%s (epoch %llu,"
                 " durable: %s)\n",
                 d.request.label.c_str(), ns->c_str(),

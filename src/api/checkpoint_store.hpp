@@ -22,6 +22,12 @@
 
 namespace cxlpmem::api {
 
+// Facade vocabulary for the incremental engine — applications never spell
+// a core:: name.
+using SaveMode = cxlpmem::core::SaveMode;
+using SaveStats = cxlpmem::core::SaveStats;
+using CheckpointOptions = cxlpmem::core::CheckpointOptions;
+
 class CheckpointStore {
  public:
   explicit CheckpointStore(
@@ -34,8 +40,20 @@ class CheckpointStore {
   /// Atomically replaces the checkpoint: a crash at any instant leaves
   /// either the previous epoch or this one, never a torn mix.  Payloads
   /// above max_payload_bytes() come back as Errc::CapacityExceeded.
-  [[nodiscard]] Result<void> save(std::span<const std::byte> payload) {
-    return wrap([&] { impl_->save(payload); });
+  /// Incremental by default — only chunks whose fingerprint changed since
+  /// this slot was last sealed are rewritten; pass SaveMode::Full to force
+  /// a complete rewrite.  Returns what the save moved.
+  [[nodiscard]] Result<SaveStats> save(
+      std::span<const std::byte> payload,
+      SaveMode mode = SaveMode::Incremental) {
+    return wrap([&] { return impl_->save(payload, mode); });
+  }
+
+  /// save() with SaveMode::Full spelled as a verb — the baseline path for
+  /// benches and paranoid callers.
+  [[nodiscard]] Result<SaveStats> save_full(
+      std::span<const std::byte> payload) {
+    return save(payload, SaveMode::Full);
   }
 
   /// The latest payload as a fresh buffer (empty when nothing was saved).
@@ -60,6 +78,17 @@ class CheckpointStore {
   }
   [[nodiscard]] std::uint64_t max_payload_bytes() const noexcept {
     return impl_->max_payload_bytes();
+  }
+
+  /// Effective incremental-engine chunk size (pinned into the pool at
+  /// creation; reopens report the on-media value).
+  [[nodiscard]] std::uint64_t chunk_size() const noexcept {
+    return impl_->chunk_size();
+  }
+
+  /// Stats of the most recent save() on this handle (zeroes before one).
+  [[nodiscard]] const SaveStats& last_save() const noexcept {
+    return impl_->last_save();
   }
 
   /// True when the backing pool needed recovery at open (writer crashed).

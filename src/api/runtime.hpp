@@ -54,6 +54,16 @@ struct PoolSpec {
   bool track_shadow = false;
 };
 
+/// Options for checkpoint_store: the pool spec plus the incremental
+/// engine's knobs.  `chunk_size` is the dirty-tracking granularity (rounded
+/// to 4 KiB, pinned into the pool at creation); `threads` sizes the save
+/// worker pool (0 = NUMA-aware default, 1 = saves stay on the caller).
+struct CheckpointSpec {
+  PoolSpec pool;
+  std::uint64_t chunk_size = cxlpmem::core::kDefaultCheckpointChunk;
+  int threads = 0;
+};
+
 class Runtime {
  public:
   Runtime(Runtime&&) = default;
@@ -96,10 +106,20 @@ class Runtime {
 
   // --- checkpoint/restart ----------------------------------------------------
   /// Double-buffered crash-atomic checkpoint store on namespace `ns`, sized
-  /// for payloads up to `max_payload_bytes`.
+  /// for payloads up to `max_payload_bytes`.  This overload keeps saves on
+  /// the calling thread (threads = 1) — the conservative legacy behaviour.
   [[nodiscard]] Result<CheckpointStore> checkpoint_store(
       std::string_view ns, const std::string& file,
       std::uint64_t max_payload_bytes, PoolSpec spec = PoolSpec());
+
+  /// checkpoint_store with the incremental-engine knobs.  `threads == 0`
+  /// picks a NUMA-aware default: up to four workers labelled with the cores
+  /// of the namespace's NUMA node (or the nearest node with CPUs for a
+  /// CPU-less CXL node) — multi-threaded streams are what saturate CXL
+  /// bandwidth, and crossing sockets to reach the device wastes them.
+  [[nodiscard]] Result<CheckpointStore> checkpoint_store(
+      std::string_view ns, const std::string& file,
+      std::uint64_t max_payload_bytes, const CheckpointSpec& spec);
 
   // --- migration -------------------------------------------------------------
   /// Migrates pool `file` (layout `layout`) from namespace `src_ns` to

@@ -1,69 +1,297 @@
 #include "core/checkpoint.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+
+#include "pmemkit/checksum.hpp"
+#include "pmemkit/crash_hook.hpp"
+#include "pmemkit/layout.hpp"
 
 namespace cxlpmem::core {
 
 namespace {
-std::uint64_t pool_size_for(std::uint64_t max_payload) {
-  // Two slots + allocator slack + fixed overhead.
-  return 2 * max_payload + max_payload / 2 +
+
+/// Largest per-slot chunk table we are willing to undo-log in the seal
+/// transaction (a full rewrite snapshots every entry): 4096 entries = 32 KiB
+/// of pre-image against the lane's ~63 KiB undo budget.
+constexpr std::uint64_t kMaxChunksPerSlot = 4096;
+
+/// Above this many discontiguous dirty-entry runs, the seal transaction
+/// snapshots the whole table as one range: per-range undo headers (32 B
+/// each) would otherwise blow the lane budget long before the entries do.
+constexpr std::uint64_t kMaxSealRanges = 256;
+
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t to) {
+  return (v + to - 1) / to * to;
+}
+
+/// The requested chunk size, sanitised: a 4 KiB multiple, and large enough
+/// that max_payload never needs more than kMaxChunksPerSlot chunks.
+std::uint64_t effective_chunk_size(std::uint64_t requested,
+                                   std::uint64_t max_payload) {
+  std::uint64_t chunk = std::max<std::uint64_t>(round_up(requested, 4096), 4096);
+  const std::uint64_t floor =
+      round_up((max_payload + kMaxChunksPerSlot - 1) / kMaxChunksPerSlot, 4096);
+  return std::max(chunk, std::max<std::uint64_t>(floor, 4096));
+}
+
+/// Bytes the slot allocation must provide for `payload` bytes: exact for
+/// single-chunk payloads (the legacy exact-fit contract), whole chunks
+/// above that so payload jitter within a chunk never forces a realloc (a
+/// realloc discards every fingerprint).
+std::uint64_t slot_usable_for(std::uint64_t payload, std::uint64_t chunk) {
+  return payload <= chunk ? payload : round_up(payload, chunk);
+}
+
+/// Heap bytes a live allocation of `usable` bytes occupies — size class for
+/// runs, whole 256 KiB heap chunks for huge spans.  Two usables with equal
+/// footprints are "the same size" to the allocator, so reallocating between
+/// them would churn without reclaiming anything.
+std::uint64_t alloc_footprint(std::uint64_t usable) {
+  const std::uint64_t total = usable + sizeof(pmemkit::AllocHeader);
+  const int cls = pmemkit::size_class_for(total);
+  if (cls >= 0) return pmemkit::kSizeClasses[static_cast<std::size_t>(cls)];
+  return round_up(total, pmemkit::kChunkSize);
+}
+
+std::uint64_t pool_size_for(std::uint64_t max_payload,
+                            std::uint64_t chunk_size,
+                            std::uint64_t table_capacity) {
+  // Two data slots (chunk-rounded + span slack), two checksum tables,
+  // allocator slack + fixed overhead.
+  const std::uint64_t per_slot =
+      slot_usable_for(std::max<std::uint64_t>(max_payload, 1), chunk_size) +
+      pmemkit::kChunkSize;
+  const std::uint64_t per_table = round_up(
+      table_capacity * sizeof(std::uint64_t) + pmemkit::kRunHeaderSize, 4096);
+  return 2 * per_slot + 2 * per_table + max_payload / 2 +
          pmemkit::ObjectPool::min_pool_size() + 8 * pmemkit::kChunkSize;
 }
+
 }  // namespace
 
 CheckpointStore::CheckpointStore(DaxNamespace& ns, const std::string& file,
                                  std::uint64_t max_payload_bytes,
                                  bool allow_volatile,
-                                 pmemkit::PoolOptions pool_options)
-    : max_payload_(max_payload_bytes) {
+                                 pmemkit::PoolOptions pool_options,
+                                 CheckpointOptions options)
+    : max_payload_(max_payload_bytes), options_(std::move(options)) {
+  chunk_size_ = effective_chunk_size(options_.chunk_size, max_payload_bytes);
+  table_capacity_ = std::max<std::uint64_t>(
+      (max_payload_bytes + chunk_size_ - 1) / chunk_size_, 1);
   if (ns.pool_exists(file)) {
     pool_ = ns.open_pool(file, kLayout, pool_options);
   } else {
-    pool_ = ns.create_pool(file, kLayout, pool_size_for(max_payload_bytes),
-                           allow_volatile, pool_options);
+    pool_ = ns.create_pool(
+        file, kLayout,
+        pool_size_for(max_payload_bytes, chunk_size_, table_capacity_),
+        allow_volatile, pool_options);
   }
-  (void)root();  // allocate the root up front
+  init_tables();
 }
 
 CheckpointStore::Root* CheckpointStore::root() const {
   return pool_->direct(pool_->root<Root>());
 }
 
-void CheckpointStore::save(std::span<const std::byte> payload) {
+void CheckpointStore::init_tables() {
+  Root* r = root();
+  if (!r->table[0].is_null()) {
+    // Reopen: the media's framing wins over this handle's request — a store
+    // and its pool must agree on chunk boundaries or fingerprints are
+    // meaningless.
+    chunk_size_ = r->chunk_size;
+    table_capacity_ = r->table_capacity;
+    return;
+  }
+  pool_->run_tx([&] {
+    pool_->tx_add_range(r, sizeof(Root));
+    r->chunk_size = chunk_size_;
+    r->table_capacity = table_capacity_;
+    r->table[0] = pool_->tx_alloc(table_capacity_ * sizeof(std::uint64_t),
+                                  kTableType, /*zero=*/true);
+    r->table[1] = pool_->tx_alloc(table_capacity_ * sizeof(std::uint64_t),
+                                  kTableType, /*zero=*/true);
+  });
+}
+
+numakit::ThreadPool* CheckpointStore::worker_pool() {
+  if (options_.threads <= 1) return nullptr;
+  if (!workers_) {
+    std::vector<simkit::CoreId> assignment = options_.affinity;
+    if (assignment.empty())
+      for (int i = 0; i < options_.threads; ++i) assignment.push_back(i);
+    // Fewer placement cores than threads: wrap (hyperthread-style stacking
+    // on the namespace's node beats spilling to a far socket).
+    const std::size_t base = assignment.size();
+    while (static_cast<int>(assignment.size()) < options_.threads)
+      assignment.push_back(assignment[assignment.size() % base]);
+    assignment.resize(static_cast<std::size_t>(options_.threads));
+    workers_ = std::make_unique<numakit::ThreadPool>(std::move(assignment));
+  }
+  return workers_.get();
+}
+
+SaveStats CheckpointStore::save_empty(Root* r, std::uint32_t target) {
+  // An empty epoch needs no copy phase: free the slot (the stale payload
+  // would otherwise pin peak capacity forever) and flip in one transaction.
+  pool_->run_tx([&] {
+    pool_->tx_add_range(r, sizeof(Root));
+    if (!r->slot[target].is_null()) {
+      pool_->tx_free(r->slot[target]);
+      r->slot[target] = pmemkit::kNullOid;
+    }
+    r->size[target] = 0;
+    r->valid[target] = 0;  // no fingerprints to trust
+    r->active = target;
+    r->epoch += 1;
+  });
+  SaveStats stats;
+  last_save_ = stats;
+  return stats;
+}
+
+void CheckpointStore::copy_chunks(std::byte* dst,
+                                  std::span<const std::byte> payload,
+                                  const std::uint64_t* old_sums, bool trusted,
+                                  std::uint64_t nchunks,
+                                  std::vector<std::uint64_t>& sums,
+                                  std::vector<std::uint8_t>& dirty,
+                                  SaveStats& stats) {
+  std::atomic<std::uint64_t> chunks_written{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+  const auto one_chunk = [&](std::uint64_t i) {
+    const std::uint64_t off = i * chunk_size_;
+    const std::uint64_t n = std::min(chunk_size_, payload.size() - off);
+    const std::uint64_t sum =
+        pmemkit::fingerprint64(payload.data() + off, n);
+    sums[i] = sum;
+    if (trusted && old_sums[i] == sum) return;
+    dirty[i] = 1;
+    std::memcpy(dst + off, payload.data() + off, n);
+    pool_->persist(dst + off, n);
+    chunks_written.fetch_add(1, std::memory_order_relaxed);
+    bytes_written.fetch_add(n, std::memory_order_relaxed);
+  };
+
+  // Crash hooks are single-threaded by contract, so an installed hook (or a
+  // serial configuration) keeps the copy on the calling thread — which is
+  // also what gives the crash sweep its deterministic per-chunk points.
+  numakit::ThreadPool* pool = worker_pool();
+  if (pool == nullptr || pmemkit::crash_hook_installed()) {
+    for (std::uint64_t i = 0; i < nchunks; ++i) {
+      one_chunk(i);
+      pmemkit::crash_point("ckpt:chunk");
+    }
+    stats.threads_used = 1;
+  } else {
+    pool->parallel_for(nchunks, [&](int, std::uint64_t begin,
+                                    std::uint64_t end) {
+      for (std::uint64_t i = begin; i < end; ++i) one_chunk(i);
+    });
+    stats.threads_used = pool->size();
+  }
+  stats.chunks_written = chunks_written.load();
+  stats.bytes_written = bytes_written.load();
+}
+
+SaveStats CheckpointStore::save(std::span<const std::byte> payload,
+                                SaveMode mode) {
   if (payload.size() > max_payload_)
     throw pmemkit::PoolError(pmemkit::ErrKind::CapacityExceeded,
                              "checkpoint payload exceeds store maximum");
   Root* r = root();
   const std::uint32_t target = 1 - (r->epoch == 0 ? 1 : r->active);
+  if (payload.empty()) return save_empty(r, target);
 
+  const std::uint64_t nchunks =
+      (payload.size() + chunk_size_ - 1) / chunk_size_;
+  if (nchunks > table_capacity_)
+    throw pmemkit::PoolError(
+        pmemkit::ErrKind::CapacityExceeded,
+        "checkpoint payload spans " + std::to_string(nchunks) +
+            " chunks, table holds " + std::to_string(table_capacity_));
+
+  SaveStats stats;
+  stats.chunks_total = nchunks;
+
+  // Exact-fit sizing: realloc when the slot is too small OR when a fresh
+  // allocation would occupy a smaller heap footprint — shrinking grossly
+  // oversized slots is what keeps sawtooth payloads from pinning peak
+  // capacity forever.
+  const std::uint64_t needed = slot_usable_for(payload.size(), chunk_size_);
+  const bool realloc =
+      r->slot[target].is_null() ||
+      pool_->usable_size(r->slot[target]) < needed ||
+      alloc_footprint(pool_->usable_size(r->slot[target])) !=
+          alloc_footprint(needed);
+  const bool trusted =
+      !realloc && r->valid[target] != 0 && mode == SaveMode::Incremental;
+  stats.full_rewrite = !trusted;
+
+  // Phase A — prepare: durably invalidate the target slot BEFORE any of its
+  // bytes change (a crash mid-copy must never leave fingerprints that claim
+  // to describe the half-overwritten contents), reallocating if needed.
+  if (realloc || r->valid[target] != 0) {
+    pool_->run_tx([&] {
+      pool_->tx_add_range(r, sizeof(Root));
+      r->valid[target] = 0;
+      if (realloc) {
+        if (!r->slot[target].is_null()) pool_->tx_free(r->slot[target]);
+        r->slot[target] = pool_->tx_alloc(needed, kPayloadType);
+      }
+    });
+  }
+  pmemkit::crash_point("ckpt:prepared");
+
+  // Phase B — copy: fingerprint every chunk, rewrite the dirty ones.
+  auto* dst = static_cast<std::byte*>(pool_->direct(r->slot[target]));
+  auto* table = static_cast<std::uint64_t*>(pool_->direct(r->table[target]));
+  std::vector<std::uint64_t> sums(nchunks, 0);
+  std::vector<std::uint8_t> dirty(nchunks, 0);
+  copy_chunks(dst, payload, table, trusted, nchunks, sums, dirty, stats);
+  pmemkit::crash_point("ckpt:chunks-done");
+
+  // Phase C — seal: one small transaction updates the dirty fingerprints
+  // and flips {size, valid, active, epoch} atomically.  Runs of adjacent
+  // dirty entries are snapshotted as one range; every range costs a 32-byte
+  // undo header on top of its 8-byte entries, so a badly fragmented dirty
+  // pattern (e.g. every other chunk) is snapshotted as ONE whole-table
+  // range instead — kMaxChunksPerSlot entries = 32 KiB of pre-image, which
+  // the lane budget covers, where thousands of per-run headers would not.
+  std::uint64_t ranges = 0;
+  for (std::uint64_t i = 0; i < nchunks; ++i)
+    if (table[i] != sums[i] && (i == 0 || table[i - 1] == sums[i - 1]))
+      ++ranges;
   pool_->run_tx([&] {
-    // Snapshot the root before ANY mutation of it.
     pool_->tx_add_range(r, sizeof(Root));
-
-    // Size the target slot (exact-fit realloc keeps the pool bounded).
-    if (!r->slot[target].is_null() &&
-        pool_->usable_size(r->slot[target]) < payload.size()) {
-      pool_->tx_free(r->slot[target]);
-      r->slot[target] = pmemkit::kNullOid;
+    if (ranges > kMaxSealRanges) {
+      pool_->tx_add_range(table, nchunks * sizeof(std::uint64_t));
+      std::copy(sums.begin(), sums.end(), table);
+    } else {
+      std::uint64_t i = 0;
+      while (i < nchunks) {
+        if (table[i] == sums[i]) {
+          ++i;
+          continue;
+        }
+        std::uint64_t j = i + 1;
+        while (j < nchunks && table[j] != sums[j]) ++j;
+        pool_->tx_add_range(&table[i], (j - i) * sizeof(std::uint64_t));
+        std::copy(sums.begin() + static_cast<std::ptrdiff_t>(i),
+                  sums.begin() + static_cast<std::ptrdiff_t>(j), table + i);
+        i = j;
+      }
     }
-    pmemkit::ObjId slot = r->slot[target];
-    if (slot.is_null() && !payload.empty())
-      slot = pool_->tx_alloc(payload.size(), kPayloadType);
-
-    // Payload first (persisted before the metadata flip commits).
-    if (!payload.empty()) {
-      void* dst = pool_->direct(slot);
-      std::memcpy(dst, payload.data(), payload.size());
-      pool_->persist(dst, payload.size());
-    }
-
-    // Atomic flip.
-    r->slot[target] = slot;
     r->size[target] = payload.size();
+    r->valid[target] = 1;
     r->active = target;
     r->epoch += 1;
   });
+
+  last_save_ = stats;
+  return stats;
 }
 
 std::vector<std::byte> CheckpointStore::load() const {

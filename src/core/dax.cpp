@@ -1,6 +1,44 @@
 #include "core/dax.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
 namespace cxlpmem::core {
+
+namespace {
+
+std::function<void(const std::filesystem::path&)> g_sync_observer;
+
+/// fsync `p` (a file, or a directory when `directory`) so the bytes — or
+/// the directory entry — are on media before we claim durability.
+void sync_path(const std::filesystem::path& p, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(p.c_str(), flags);
+  if (fd < 0)
+    throw pmemkit::PoolError(pmemkit::ErrKind::Io,
+                             "cannot open " + p.string() +
+                                 " for fsync: " + std::strerror(errno));
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw pmemkit::PoolError(pmemkit::ErrKind::Io,
+                             "fsync " + p.string() + ": " +
+                                 std::strerror(err));
+  }
+  ::close(fd);
+  if (g_sync_observer) g_sync_observer(p);
+}
+
+}  // namespace
+
+void set_sync_observer(
+    std::function<void(const std::filesystem::path&)> observer) {
+  g_sync_observer = std::move(observer);
+}
 
 DaxNamespace::DaxNamespace(std::string name, std::filesystem::path dir,
                            const simkit::Machine& machine,
@@ -86,6 +124,20 @@ std::filesystem::path DaxNamespace::import_file(
                              "namespace '" + name_ +
                                  "' out of capacity for import of " + file);
   std::filesystem::copy_file(src, to);
+  // copy_file leaves the bytes in the page cache; a migration reported as
+  // durable must survive a power cut, so sync the file contents AND the
+  // directory entry (the rename/creation is not durable until its parent
+  // directory is) before returning.  A failed sync removes the copy: the
+  // import either completes durably or leaves no trace — an orphan would
+  // wedge every retry on PoolExists and dodge capacity accounting.
+  try {
+    sync_path(to, /*directory=*/false);
+    sync_path(dir_, /*directory=*/true);
+  } catch (...) {
+    std::error_code ec;
+    std::filesystem::remove(to, ec);
+    throw;
+  }
   used_ += size;
   return to;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -20,6 +21,16 @@
 #include "simkit/topology.hpp"
 
 namespace cxlpmem::core {
+
+/// Test seam: `observer` is invoked after every durability fsync the
+/// namespace performs (import_file syncs the copied file, then its
+/// directory).  The fsync-before-durable-report contract cannot be crash-
+/// simulated against a real filesystem, so regression tests pin it by
+/// observing the sync sequence instead; an observer that throws propagates
+/// exactly like an fsync failure (used to test the cleanup path).  Pass {}
+/// to clear; not thread-safe.
+void set_sync_observer(
+    std::function<void(const std::filesystem::path&)> observer);
 
 class DaxNamespace {
  public:

@@ -13,16 +13,18 @@ MigrationReport migrate_pool(DaxNamespace& src, DaxNamespace& dst,
 
   // Validate the source (recovery runs if it was dirty) and capture its
   // identity for post-copy verification.
-  std::uint64_t src_size = 0;
   {
     auto pool = src.open_pool(file, layout);
     report.pool_id = pool->pool_id();
     report.object_count = pool->stats().heap.object_count;
-    src_size = pool->size();
   }
+  // Report what actually moved: the destination file's on-disk size, not
+  // the source pool's logical size (the two can disagree — e.g. a file
+  // with bytes past the mapped region — and "copied" must mean copied).
   const std::filesystem::path to =
       dst.import_file(src.path() / file, file);
-  report.bytes_copied = src_size;
+  report.bytes_copied =
+      static_cast<std::uint64_t>(std::filesystem::file_size(to));
 
   // Verify the destination opens and matches.
   try {

@@ -50,6 +50,19 @@ void ThreadPool::worker(int index) {
 }
 
 void ThreadPool::run(const std::function<void(int)>& fn) {
+  // A second run() while one is in flight — from another thread, or
+  // reentrantly from inside a task — would clobber task_/remaining_ and
+  // leave both calls waiting on corrupted state.  Detect and refuse; a
+  // reentrant call surfaces as this exception rethrown by the outer run().
+  if (running_.exchange(true, std::memory_order_acquire))
+    throw std::logic_error(
+        "ThreadPool::run invoked while another run is in flight "
+        "(concurrent or reentrant use of the same pool)");
+  struct Guard {
+    std::atomic<bool>& flag;
+    ~Guard() { flag.store(false, std::memory_order_release); }
+  } guard{running_};
+
   std::unique_lock<std::mutex> lock(mu_);
   task_ = &fn;
   remaining_ = size();

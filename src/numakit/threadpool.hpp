@@ -8,6 +8,7 @@
 // machine being modelled.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -38,6 +39,10 @@ class ThreadPool {
 
   /// Runs fn(thread_index) on every worker; returns when all finish.
   /// The first exception thrown by any worker is rethrown here.
+  /// One run at a time: a concurrent or reentrant (from inside a task)
+  /// invocation throws std::logic_error instead of silently corrupting the
+  /// dispatch state — library code (the checkpoint engine) now drives
+  /// pools, so misuse must be loud.
   void run(const std::function<void(int)>& fn);
 
   /// Static-chunked parallel loop over [0, n):
@@ -60,6 +65,7 @@ class ThreadPool {
   int remaining_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+  std::atomic<bool> running_{false};  ///< one run() in flight at a time
 };
 
 }  // namespace cxlpmem::numakit

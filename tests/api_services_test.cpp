@@ -83,6 +83,56 @@ TEST_F(ApiServicesTest, CheckpointSaveLoadIntoRoundTrip) {
   EXPECT_EQ(store->load().value(), p1);
 }
 
+TEST_F(ApiServicesTest, CheckpointSpecKnobsDriveTheIncrementalEngine) {
+  // The facade overload carries the chunk-size and thread-count knobs; the
+  // NUMA-aware thread default binds workers to the namespace's placement.
+  api::CheckpointSpec spec;
+  spec.chunk_size = 8192;
+  spec.threads = 2;
+  auto store = rt_->checkpoint_store("pmem2", "cp.pool", 1 << 20, spec);
+  ASSERT_TRUE(store.ok()) << store.error().to_string();
+  EXPECT_EQ(store->chunk_size(), 8192u);
+
+  auto p = payload_of(0x55, 64 * 1024);  // 8 chunks
+  auto st = store->save(p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().chunks_total, 8u);
+  EXPECT_EQ(st.value().threads_used, 2);
+  ASSERT_TRUE(store->save(p).ok());
+
+  // Identical payload against a sealed slot: nothing moves.
+  st = store->save(p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().chunks_written, 0u);
+  EXPECT_EQ(store->last_save().chunks_written, 0u);
+
+  // One dirty byte: exactly one chunk moves; save_full rewrites all 8.
+  p[20000] = std::byte{0x77};
+  st = store->save(p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().chunks_written, 1u);
+  st = store->save_full(p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().chunks_written, 8u);
+  EXPECT_TRUE(st.value().full_rewrite);
+  EXPECT_EQ(store->load().value(), p);
+}
+
+TEST_F(ApiServicesTest, CheckpointThreadsDefaultIsNumaSized) {
+  // threads == 0: the runtime picks up to four workers from the CXL
+  // namespace's nearest CPU node — never zero, never an error.
+  api::CheckpointSpec spec;
+  spec.threads = 0;
+  auto store = rt_->checkpoint_store("pmem2", "cp.pool", 1 << 18, spec);
+  ASSERT_TRUE(store.ok()) << store.error().to_string();
+  const auto p = payload_of(0x66, 1 << 18);
+  auto st = store->save(p);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GE(st.value().threads_used, 1);
+  EXPECT_LE(st.value().threads_used, 4);
+  EXPECT_EQ(store->load().value(), p);
+}
+
 TEST_F(ApiServicesTest, CheckpointLoadIntoTooSmallBufferIsCapacityError) {
   auto store = rt_->checkpoint_store("pmem2", "cp.pool", 1 << 16);
   ASSERT_TRUE(store.ok()) << store.error().to_string();

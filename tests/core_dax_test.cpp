@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <vector>
 
 #include "core/core.hpp"
 
@@ -96,6 +97,53 @@ TEST_F(DaxTest, ImportEnforcesCapacityAndUniqueness) {
   (void)dst.import_file(src.path() / "m", "m");
   EXPECT_EQ(dst.used_bytes(), kPool);
   EXPECT_THROW((void)dst.import_file(src.path() / "m", "m"), pk::PoolError);
+}
+
+// Satellite regression: import_file must fsync the copied file and then
+// its parent directory BEFORE returning — a migration whose report claims
+// durability while the bytes sit in the page cache is a lie a power cut
+// exposes.  The real fsync cannot be crash-simulated, so the sync-observer
+// seam pins the sequence instead.
+TEST_F(DaxTest, ImportFileSyncsFileThenDirectory) {
+  core::DaxNamespace src("pmem0", dir_ / "pmem0", setup_.machine,
+                         setup_.ddr5_socket0, true);
+  core::DaxNamespace dst("pmem2", dir_ / "pmem2", setup_.machine, setup_.cxl,
+                         false);
+  { auto p = src.create_pool("m", "l", kPool, true); }
+
+  std::vector<std::filesystem::path> synced;
+  core::set_sync_observer(
+      [&](const std::filesystem::path& p) { synced.push_back(p); });
+  const auto to = dst.import_file(src.path() / "m", "m");
+  core::set_sync_observer({});
+
+  ASSERT_EQ(synced.size(), 2u);
+  EXPECT_EQ(synced[0], to);           // file contents first
+  EXPECT_EQ(synced[1], dst.path());   // then the directory entry
+}
+
+// Review regression: when the durability sync fails, the half-imported
+// copy must be removed — otherwise every retry dies on PoolExists and the
+// orphan's bytes escape capacity accounting.  (The observer throwing
+// stands in for an fsync error: it fires on the same path.)
+TEST_F(DaxTest, FailedImportSyncLeavesNoOrphan) {
+  core::DaxNamespace src("pmem0", dir_ / "pmem0", setup_.machine,
+                         setup_.ddr5_socket0, true);
+  core::DaxNamespace dst("pmem2", dir_ / "pmem2", setup_.machine, setup_.cxl,
+                         false);
+  { auto p = src.create_pool("m", "l", kPool, true); }
+
+  core::set_sync_observer([](const std::filesystem::path&) {
+    throw pk::PoolError(pk::ErrKind::Io, "injected fsync failure");
+  });
+  EXPECT_THROW((void)dst.import_file(src.path() / "m", "m"), pk::PoolError);
+  core::set_sync_observer({});
+
+  EXPECT_FALSE(dst.pool_exists("m"));
+  EXPECT_EQ(dst.used_bytes(), 0u);
+  // The retry must now succeed cleanly.
+  EXPECT_NO_THROW((void)dst.import_file(src.path() / "m", "m"));
+  EXPECT_EQ(dst.used_bytes(), kPool);
 }
 
 TEST_F(DaxTest, PersistenceDomainClassification) {

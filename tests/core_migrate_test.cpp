@@ -3,6 +3,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "core/core.hpp"
 
@@ -107,6 +108,65 @@ TEST_F(MigrateTest, DuplicateDestinationRefused) {
   (void)core::migrate_pool(*src_, *dst_, "dup.pool", "l");
   EXPECT_THROW(core::migrate_pool(*src_, *dst_, "dup.pool", "l"),
                pk::PoolError);
+}
+
+// Satellite regression: bytes_copied must report what actually landed at
+// the destination — the copied file's on-disk size — not a number captured
+// from the source pool before the copy even ran.
+TEST_F(MigrateTest, BytesCopiedReportsDestinationFile) {
+  constexpr std::uint64_t kSize = 2 * pk::ObjectPool::min_pool_size() + 4096;
+  { auto p = src_->create_pool("sz.pool", "l", kSize); }
+  const auto report = core::migrate_pool(*src_, *dst_, "sz.pool", "l");
+  EXPECT_EQ(report.bytes_copied, fs::file_size(dst_->path() / "sz.pool"));
+  EXPECT_EQ(report.bytes_copied, kSize);
+}
+
+// Satellite regression: a migration reported durable must actually be on
+// media.  import_file has to fsync the copied file AND its directory
+// before migrate_pool returns — pinned by observing the sync sequence —
+// and the on-disk image must then survive a simulated power cut (remount =
+// reread the file bytes elsewhere and open).
+TEST_F(MigrateTest, MigrationIsDurableBeforeReporting) {
+  constexpr std::uint64_t kN = 1000;
+  {
+    auto pool = src_->create_pool("dur.pool", "solver",
+                                  pk::ObjectPool::min_pool_size() * 2);
+    auto* r = pool->direct(pool->root<Root>());
+    const pk::ObjId oid =
+        pool->alloc_atomic(kN * sizeof(double), 1, &r->data);
+    auto* d = static_cast<double*>(pool->direct(oid));
+    for (std::uint64_t i = 0; i < kN; ++i) d[i] = static_cast<double>(i);
+    pool->persist(d, kN * sizeof(double));
+    r->n = kN;
+    pool->persist(&r->n, 8);
+  }
+
+  std::vector<fs::path> synced;
+  core::set_sync_observer([&](const fs::path& p) { synced.push_back(p); });
+  const auto report =
+      core::migrate_pool(*src_, *dst_, "dur.pool", "solver");
+  core::set_sync_observer({});
+
+  // File first, then its directory entry — both before migrate returned.
+  ASSERT_GE(synced.size(), 2u);
+  EXPECT_EQ(synced[synced.size() - 2], dst_->path() / "dur.pool");
+  EXPECT_EQ(synced.back(), dst_->path());
+  EXPECT_GT(report.bytes_copied, 0u);
+
+  // Power cut: all that survives is what is on media.  The fsynced file
+  // bytes are; reread them into a fresh "remounted" namespace and verify
+  // the pool opens with its content intact.
+  const fs::path remount_dir = dir_ / "remount";
+  core::DaxNamespace remounted("pmem2b", remount_dir, modern_.machine,
+                               modern_.cxl, false);
+  fs::copy_file(dst_->path() / "dur.pool", remount_dir / "dur.pool");
+  auto pool = remounted.open_pool("dur.pool", "solver");
+  EXPECT_EQ(pool->pool_id(), report.pool_id);
+  auto* r = pool->direct(pool->root<Root>());
+  ASSERT_EQ(r->n, kN);
+  const auto* d = static_cast<const double*>(pool->direct(r->data));
+  for (std::uint64_t i = 0; i < kN; i += 37)
+    ASSERT_DOUBLE_EQ(d[i], static_cast<double>(i));
 }
 
 TEST_F(MigrateTest, DowngradeIsFlagged) {

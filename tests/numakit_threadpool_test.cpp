@@ -2,7 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "numakit/threadpool.hpp"
@@ -71,6 +74,60 @@ TEST(ThreadPool, WorkerExceptionPropagates) {
   std::atomic<int> ok{0};
   pool.run([&](int) { ok.fetch_add(1); });
   EXPECT_EQ(ok.load(), 3);
+}
+
+// Satellite regression: run() used to silently corrupt task_/remaining_
+// when invoked while a run was in flight.  Library code (the checkpoint
+// engine) now drives pools, so misuse must throw, not corrupt.
+TEST(ThreadPool, ReentrantRunThrows) {
+  nk::ThreadPool pool({0, 1});
+  // The inner run() throws std::logic_error inside the task; the outer
+  // run() rethrows the first worker exception.
+  std::atomic<int> attempted{0};
+  EXPECT_THROW(pool.run([&](int index) {
+    if (index == 0) {
+      attempted.fetch_add(1);
+      pool.run([](int) {});
+    }
+  }),
+               std::logic_error);
+  EXPECT_EQ(attempted.load(), 1);
+  // The refusal must not wedge the pool.
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, ConcurrentRunThrows) {
+  nk::ThreadPool pool({0});
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::thread first([&] {
+    pool.run([&](int) {
+      started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  // A second caller while the first run is still in flight is refused
+  // instead of clobbering the dispatch state.
+  EXPECT_THROW(pool.run([](int) {}), std::logic_error);
+  release.store(true);
+  first.join();
+  std::atomic<int> ok{0};
+  pool.run([&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ThreadPool, ReentrantParallelForThrows) {
+  nk::ThreadPool pool({0, 1, 2});
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](int, std::uint64_t, std::uint64_t) {
+                                   pool.parallel_for(
+                                       2, [](int, std::uint64_t,
+                                             std::uint64_t) {});
+                                 }),
+               std::logic_error);
 }
 
 TEST(ThreadPool, AssignmentIsExposed) {
