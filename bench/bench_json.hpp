@@ -1,0 +1,31 @@
+// bench/bench_json.hpp — shared emitter for the BENCH_*.json artifacts.
+//
+// Each micro benchmark builds its own (schema-specific) JSON string; this
+// keeps the file write + error reporting identical across them, so CI's
+// artifact handling sees one behaviour.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace cxlpmem::bench {
+
+/// Writes `json` to `path` (no-op returning true when `path` is empty).
+/// Prints the standard "wrote <path>" / "cannot write <path>" lines and
+/// returns false on failure so callers can exit non-zero.
+inline bool write_bench_json(const std::filesystem::path& path,
+                             const std::string& json) {
+  if (path.empty()) return true;
+  FILE* f = std::fopen(path.string().c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.string().c_str());
+  return true;
+}
+
+}  // namespace cxlpmem::bench

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "core/core.hpp"
 
 namespace core = cxlpmem::core;
@@ -217,16 +218,7 @@ int main(int argc, char** argv) {
   }
   json += "  ]\n}\n";
 
-  if (!cfg.json.empty()) {
-    if (FILE* f = std::fopen(cfg.json.string().c_str(), "w")) {
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fclose(f);
-      std::printf("wrote %s\n", cfg.json.string().c_str());
-    } else {
-      std::fprintf(stderr, "cannot write %s\n", cfg.json.string().c_str());
-      return 1;
-    }
-  }
+  if (!cxlpmem::bench::write_bench_json(cfg.json, json)) return 1;
   fs::remove_all(dir);
 
   if (cfg.smoke) {

@@ -7,11 +7,13 @@
 // log, so this curve was flat by construction; with per-chunk ownership and
 // per-lane redo it should rise with cores.
 //
-//   micro_mt_alloc [--smoke] [--ops N] [--threads-max T]
+//   micro_mt_alloc [--smoke] [--ops N] [--threads-max T] [--json PATH]
 //
 // --smoke (used from ctest) shrinks the run and fails the process when
 // multi-threaded throughput collapses versus single-threaded — and, on
 // machines with >= 4 hardware threads, when it fails to beat it.
+// --json writes the scaling curve as BENCH_mt_alloc.json-style output so
+// CI can archive it next to the other BENCH_*.json artifacts.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -22,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "pmemkit/pmemkit.hpp"
 
 namespace pk = cxlpmem::pmemkit;
@@ -101,6 +104,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::uint64_t ops = 20000;
   int threads_max = 8;
+  fs::path json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke" || arg == "--quick") {
@@ -110,9 +114,12 @@ int main(int argc, char** argv) {
       ops = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--threads-max" && i + 1 < argc) {
       threads_max = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--smoke] [--ops N] [--threads-max T]\n",
+                   "usage: %s [--smoke] [--ops N] [--threads-max T] "
+                   "[--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -129,6 +136,11 @@ int main(int argc, char** argv) {
               "lane_waits", "run_skips", "run_waits");
 
   double mops1 = 0, mops_best_mt = 0;
+  std::string json = "{\n  \"ops_per_thread\": " + std::to_string(ops) +
+                     ",\n  \"hw_threads\": " +
+                     std::to_string(std::thread::hardware_concurrency()) +
+                     ",\n  \"scaling\": [\n";
+  bool json_first = true;
   for (int threads = 1; threads <= threads_max; threads *= 2) {
     // Best of three trials so a loaded CI machine doesn't skew the curve.
     RunResult best;
@@ -140,9 +152,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(best.stats.lane_waits),
                 static_cast<unsigned long long>(best.stats.heap.run_lock_skips),
                 static_cast<unsigned long long>(best.stats.heap.run_lock_waits));
+    json += std::string(json_first ? "" : ",\n") +
+            "    {\"threads\": " + std::to_string(threads) +
+            ", \"mops\": " + std::to_string(best.mops) +
+            ", \"lane_waits\": " + std::to_string(best.stats.lane_waits) +
+            ", \"run_lock_skips\": " +
+            std::to_string(best.stats.heap.run_lock_skips) +
+            ", \"run_lock_waits\": " +
+            std::to_string(best.stats.heap.run_lock_waits) + "}";
+    json_first = false;
     if (threads == 1) mops1 = best.mops;
     if (threads > 1) mops_best_mt = std::max(mops_best_mt, best.mops);
   }
+  json += "\n  ]\n}\n";
+  if (!cxlpmem::bench::write_bench_json(json_path, json)) return 1;
 
   if (smoke && threads_max > 1) {
     // On a single core true parallel speedup is impossible; the honest

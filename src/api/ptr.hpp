@@ -13,7 +13,11 @@
 //     It stores nothing but an ObjId, so it is itself trivially copyable
 //     and may live *inside* pool memory; dereference resolves the owning
 //     pool through the process-wide open-pool registry, which makes
-//     operator->/get() valid only while that pool is open.
+//     operator->/get() valid only while that pool is open.  Steady-state
+//     resolution is served by a thread-local cache invalidated by the
+//     registry's open/close generation counter (see pool.hpp), so the
+//     read path takes no lock and scans nothing; only the first deref
+//     after a pool open/close pays the locked registry walk.
 //
 //   * p<T> — a field wrapper for mutable members of persistent structs
 //     (libpmemobj++ p<> equivalent).  Assignment inside a transaction

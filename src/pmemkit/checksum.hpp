@@ -9,21 +9,63 @@
 
 namespace cxlpmem::pmemkit {
 
-/// Fletcher-64 over `len` bytes (len is rounded down to a multiple of 4,
-/// callers checksum fixed-size structs).  Never returns 0, so 0 can mean
-/// "unset" in on-media structs.
+/// Resumable Fletcher-64: feed discontiguous pieces of the checksummed
+/// bytes through update() and read final().  A sub-word tail (of any
+/// chunk — leftovers carry across calls) is absorbed zero-padded, so every
+/// byte fed in is covered: the undo log uses this checksum as its publish
+/// point, and an uncovered tail byte would be a hole a torn write could
+/// slip through.  This is what lets the undo-log scan verify header +
+/// payload in place — no per-entry copy buffer.
+class Fletcher64 {
+ public:
+  void update(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    std::size_t i = 0;
+    if (pending_len_ > 0) {
+      while (pending_len_ < 4 && i < len) pending_[pending_len_++] = p[i++];
+      if (pending_len_ == 4) {
+        absorb(pending_);
+        pending_len_ = 0;
+      }
+    }
+    for (; i + 4 <= len; i += 4) absorb(p + i);
+    while (i < len) pending_[pending_len_++] = p[i++];
+  }
+  [[nodiscard]] std::uint64_t final() const noexcept {
+    std::uint64_t lo = lo_, hi = hi_;
+    if (pending_len_ > 0) {
+      std::uint8_t tail[4] = {0, 0, 0, 0};
+      for (std::size_t i = 0; i < pending_len_; ++i) tail[i] = pending_[i];
+      std::uint32_t word;
+      std::memcpy(&word, tail, 4);
+      lo += word;
+      hi += lo;
+    }
+    const std::uint64_t sum = (hi << 32) | (lo & 0xffffffffu);
+    return sum == 0 ? 1 : sum;
+  }
+
+ private:
+  void absorb(const std::uint8_t* p) noexcept {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);
+    lo_ += word;
+    hi_ += lo_;
+  }
+
+  std::uint64_t lo_ = 0, hi_ = 0;
+  std::uint8_t pending_[4] = {0, 0, 0, 0};
+  std::size_t pending_len_ = 0;
+};
+
+/// Fletcher-64 over `len` bytes; a trailing sub-word is absorbed
+/// zero-padded, so all `len` bytes are covered.  Never returns 0, so 0 can
+/// mean "unset" in on-media structs.
 [[nodiscard]] inline std::uint64_t fletcher64(const void* data,
                                               std::size_t len) noexcept {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint64_t lo = 0, hi = 0;
-  for (std::size_t i = 0; i + 4 <= len; i += 4) {
-    std::uint32_t word;
-    std::memcpy(&word, p + i, 4);
-    lo += word;
-    hi += lo;
-  }
-  const std::uint64_t sum = (hi << 32) | (lo & 0xffffffffu);
-  return sum == 0 ? 1 : sum;
+  Fletcher64 f;
+  f.update(data, len);
+  return f.final();
 }
 
 /// Bulk-data fingerprint (xxHash64-style rounds over four independent

@@ -15,16 +15,38 @@ PoolReport inspect(const ObjectPool& pool) {
   r.has_root = h.root_off != 0;
   r.root_size = h.root_size;
 
-  // Lanes: anything non-idle means a crash interrupted a transaction (an
-  // OPEN pool is always mid-flight from an outside observer's view, but we
-  // inspect via the same handle, so non-idle == genuinely in-flight work).
+  // Lanes.  The live undo tail is transient since layout version 2, so
+  // the published bytes are recomputed the way recovery would see them:
+  // the checksum-valid current-generation entry prefix.  Both that scan
+  // and the header reads are only performed where they cannot race with a
+  // concurrent transaction: lanes sitting in the free pool (no one can
+  // check one out while lane_mu_ is held, and a past owner's writes
+  // happened-before its mutex-protected release) and the calling thread's
+  // own transaction lane.  A lane another thread is actively transacting
+  // on is in motion end to end — it is counted, never read.
   auto& mutable_pool = const_cast<ObjectPool&>(pool);
-  for (std::uint32_t l = 0; l < h.lane_count; ++l) {
-    const LaneHeader& lane = mutable_pool.lane_header(l);
-    const auto state = static_cast<LaneState>(lane.state);
-    if (state == LaneState::Idle && lane.redo.valid == 0) continue;
-    r.busy_lanes.push_back(LaneSummary{l, state, lane.undo_tail,
-                                       lane.redo.valid != 0});
+  {
+    const std::lock_guard<std::mutex> lane_lock(mutable_pool.lane_mu_);
+    std::vector<bool> lane_free(h.lane_count, false);
+    for (const std::uint32_t l : mutable_pool.free_lanes_)
+      lane_free[l] = true;
+    const std::uint32_t own_lane = mutable_pool.current_tx_lane();
+    for (std::uint32_t l = 0; l < h.lane_count; ++l) {
+      if (!lane_free[l] && l != own_lane) {
+        ++r.lanes_in_flight;
+        continue;
+      }
+      const LaneHeader& lane = mutable_pool.lane_header(l);
+      const auto state = static_cast<LaneState>(lane.state);
+      if (state == LaneState::Idle && lane.redo.valid == 0) continue;
+      const std::uint64_t undo_bytes =
+          state == LaneState::Idle
+              ? 0
+              : undo_published_bytes(mutable_pool.lane_undo(l),
+                                     lane.undo_gen);
+      r.busy_lanes.push_back(LaneSummary{l, state, undo_bytes,
+                                         lane.redo.valid != 0});
+    }
   }
 
   r.heap = pool.stats().heap;
@@ -81,10 +103,13 @@ std::string to_text(const PoolReport& r) {
      << r.heap.allocated_bytes << " / " << r.heap.total_bytes
      << " bytes allocated, " << r.heap.free_chunks << "/"
      << r.heap.chunk_count << " chunks free\n";
-  if (r.busy_lanes.empty()) {
+  if (r.busy_lanes.empty() && r.lanes_in_flight == 0) {
     os << "lanes         : all idle\n";
   } else {
-    os << "lanes         : " << r.busy_lanes.size() << " in flight\n";
+    os << "lanes         : " << r.busy_lanes.size() << " in flight";
+    if (r.lanes_in_flight > 0)
+      os << " + " << r.lanes_in_flight << " busy on other threads";
+    os << "\n";
     for (const LaneSummary& l : r.busy_lanes)
       os << "  lane " << l.index << ": state "
          << static_cast<int>(l.state) << ", undo " << l.undo_bytes

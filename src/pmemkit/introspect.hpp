@@ -20,7 +20,11 @@ namespace cxlpmem::pmemkit {
 struct LaneSummary {
   std::uint32_t index = 0;
   LaneState state = LaneState::Idle;
-  std::uint64_t undo_bytes = 0;  ///< published undo-log bytes
+  /// Published undo-log bytes (the checksum-valid entry prefix recovery
+  /// would act on).  0 means a redo-only entry (Idle lane with a published
+  /// redo log); lanes other threads are actively transacting on never
+  /// appear here at all — see PoolReport::lanes_in_flight.
+  std::uint64_t undo_bytes = 0;
   bool redo_published = false;
 };
 
@@ -40,7 +44,16 @@ struct PoolReport {
   std::uint64_t root_size = 0;
 
   // Activity.
-  std::vector<LaneSummary> busy_lanes;  ///< non-idle lanes only
+  /// Non-idle lanes, among those inspect() may scan race-free: lanes in
+  /// the free pool and the calling thread's own transaction lane.  Lanes
+  /// other threads are actively transacting on are never read (their
+  /// headers and logs are in motion) — they are counted instead.
+  std::vector<LaneSummary> busy_lanes;
+  /// Lanes checked out by other threads' in-flight operations at the time
+  /// of inspection (not scanned, not in busy_lanes).  Always 0 when
+  /// inspecting a pool no other thread is using — the offline
+  /// `pmempool check` style use this report is built for.
+  std::uint64_t lanes_in_flight = 0;
   HeapStats heap;
   std::vector<TypeCensusRow> census;    ///< by ascending type_num
 

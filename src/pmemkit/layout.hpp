@@ -19,7 +19,10 @@
 namespace cxlpmem::pmemkit {
 
 inline constexpr std::uint64_t kPoolMagic = 0x43584c504d454d31ull;  // CXLPMEM1
-inline constexpr std::uint32_t kPoolVersion = 1;
+/// Version 2: self-validating undo-log entries (per-entry generation +
+/// checksum are the publish point; the per-entry persistent tail bump of
+/// version 1 is gone, and LaneHeader gained `undo_gen`).
+inline constexpr std::uint32_t kPoolVersion = 2;
 inline constexpr std::size_t kLayoutNameMax = 64;
 
 inline constexpr std::size_t kHeaderSize = 4096;
@@ -67,13 +70,24 @@ enum class UndoKind : std::uint32_t {
   FreeAction = 3,   ///< a deferred free to perform on commit
 };
 
+/// Undo entries are self-validating: `gen` ties the entry to one execution
+/// of its lane's log (LaneHeader::undo_gen at the time the transaction
+/// began) and `checksum` covers header + payload.  Recovery scans the log
+/// from the start and treats the first entry that fails either check as the
+/// torn end-of-log — there is no separately persisted tail to bump, which
+/// is what makes publishing an entry a single fenced persist.
 struct UndoEntryHeader {
   std::uint32_t kind;   ///< UndoKind
   std::uint32_t flags;  ///< reserved
+  std::uint64_t gen;    ///< lane log generation this entry belongs to
   std::uint64_t off;    ///< target pool offset (Snapshot) / object offset
   std::uint64_t len;    ///< payload length (Snapshot) or 0
+  std::uint64_t reserved;  ///< keeps the header a multiple of 16 bytes
   std::uint64_t checksum;  ///< fletcher64 of header(checksum=0) + payload
 };
+static_assert(sizeof(UndoEntryHeader) == 48 &&
+                  sizeof(UndoEntryHeader) % 16 == 0,
+              "entries must pack at 16-byte alignment");
 
 /// Redo-log: fixed array of 8-byte absolute writes, applied atomically.
 inline constexpr std::size_t kRedoCapacity = 62;
@@ -95,16 +109,32 @@ static_assert(sizeof(RedoLog) == 32 + kRedoCapacity * 16);
 struct LaneHeader {
   std::uint32_t state;  ///< LaneState
   std::uint32_t reserved;
-  std::uint64_t undo_tail;  ///< bytes of undo log in use
+  /// Bytes of undo log in use.  Since layout version 2 this is no longer
+  /// bumped per entry (the live tail is transient in the Transaction and
+  /// recovery scans entries until the first invalid one); it is written only
+  /// at the protocol's remaining hard points — reset together with `state`
+  /// when a lane retires.
+  std::uint64_t undo_tail;
+  /// Log generation: bumped (and persisted, ordered before Active) by every
+  /// begin(), and embedded in each entry's header.  A checksum-valid entry
+  /// left over from an earlier transaction on this lane carries a stale
+  /// generation, so the recovery scan can never revalidate it.
+  std::uint64_t undo_gen;
+  std::uint64_t reserved2;  ///< keeps kUndoLogBytes a multiple of 16
   RedoLog redo;
 };
-// The transaction state machine persists `state` and `undo_tail` as named
-// fields (see tx.cpp).  Recovery depends on them being the leading words of
-// the lane, ahead of the redo log — pin the layout here so a reordering
-// shows up as a compile error, not a recovery bug.
+// The transaction state machine persists `state`, `undo_tail` and
+// `undo_gen` as named fields (see tx.cpp).  Recovery depends on them being
+// the leading words of the lane, ahead of the redo log, and the single-
+// fence begin/retire paths depend on all three sharing the lane's first
+// cache line (lanes are 64-byte aligned) — pin the layout here so a
+// reordering shows up as a compile error, not a recovery bug.
 static_assert(offsetof(LaneHeader, state) == 0);
 static_assert(offsetof(LaneHeader, undo_tail) == 8);
-static_assert(offsetof(LaneHeader, redo) == 16);
+static_assert(offsetof(LaneHeader, undo_gen) == 16);
+static_assert(offsetof(LaneHeader, redo) == 32);
+static_assert(offsetof(LaneHeader, undo_gen) + sizeof(std::uint64_t) <= 64,
+              "state/tail/gen must share the lane's first cache line");
 
 /// Usable undo-log bytes per lane.
 inline constexpr std::size_t kUndoLogBytes = kLaneSize - sizeof(LaneHeader);

@@ -44,7 +44,17 @@ class PersistentRegion {
     if (shadow_) shadow_->record_flush(offset_of(p), n);
   }
   void drain() {
+    ++t_drain_count;
     if (shadow_) shadow_->record_fence();
+  }
+
+  /// Fences (drain calls) issued by the calling thread, across all regions,
+  /// since thread start.  Thread-local so the count costs nothing to
+  /// maintain and nothing to read; benchmarks and tests diff it around an
+  /// operation to assert its fence budget (e.g. "one fenced persist per
+  /// published snapshot").
+  [[nodiscard]] static std::uint64_t thread_drain_count() noexcept {
+    return t_drain_count;
   }
   void persist(const void* p, std::size_t n) {
     flush(p, n);
@@ -67,6 +77,8 @@ class PersistentRegion {
   [[nodiscard]] ShadowTracker* shadow() noexcept { return shadow_.get(); }
 
  private:
+  static inline thread_local std::uint64_t t_drain_count = 0;
+
   MappedFile file_;
   std::unique_ptr<ShadowTracker> shadow_;
 };

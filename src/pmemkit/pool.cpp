@@ -1,6 +1,7 @@
 #include "pmemkit/pool.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <random>
 #include <shared_mutex>
@@ -38,39 +39,115 @@ std::uint64_t random_pool_id() {
 thread_local std::vector<std::pair<const ObjectPool*, Transaction*>>
     t_current_tx;
 
-/// Process-wide registry of open pools, in open order.  Read-mostly: every
-/// typed-pointer dereference takes the shared lock; registration only
-/// happens on pool open/close.
+/// Process-wide registry of open pools, in open order.  Registration only
+/// happens on pool open/close; every mutation bumps g_pools_gen so the
+/// thread-local lookup caches below know their entries went stale.  The
+/// locked scan is only the cache-miss slow path.
 std::shared_mutex g_pools_mu;
 std::vector<ObjectPool*> g_pools;
+std::atomic<std::uint64_t> g_pools_gen{1};
 
 void register_pool(ObjectPool* pool) {
   const std::unique_lock lock(g_pools_mu);
   g_pools.push_back(pool);
+  g_pools_gen.fetch_add(1, std::memory_order_release);
 }
 
 void unregister_pool(ObjectPool* pool) {
   const std::unique_lock lock(g_pools_mu);
   std::erase(g_pools, pool);
+  g_pools_gen.fetch_add(1, std::memory_order_release);
 }
+
+/// Thread-local registry lookup cache.  Entries are valid only while
+/// `gen` matches g_pools_gen — any pool open/close resets the whole cache,
+/// so a hit can never return a closed pool or shadow a newer same-id one
+/// ("most recently opened wins" re-resolves through the slow path).  Only
+/// positive results are cached; a nullptr answer is the throw-side path of
+/// every caller and stays on the locked scan.
+constexpr std::size_t kLookupCacheSlots = 4;
+
+struct LookupCache {
+  std::uint64_t gen = 0;
+  struct ById {
+    std::uint64_t pool_id = 0;
+    ObjectPool* pool = nullptr;
+  };
+  struct ByAddr {
+    const std::byte* base = nullptr;
+    std::size_t size = 0;
+    ObjectPool* pool = nullptr;
+  };
+  std::array<ById, kLookupCacheSlots> by_id{};
+  std::array<ByAddr, kLookupCacheSlots> by_addr{};
+  std::size_t id_clock = 0;
+  std::size_t addr_clock = 0;
+
+  /// Revalidates against the registry generation; stale => emptied.
+  void refresh() noexcept {
+    const std::uint64_t now = g_pools_gen.load(std::memory_order_acquire);
+    if (gen != now) {
+      *this = LookupCache{};
+      gen = now;
+    }
+  }
+};
+
+thread_local LookupCache t_lookup_cache;
 
 }  // namespace
 
+std::uint64_t pool_registry_generation() noexcept {
+  return g_pools_gen.load(std::memory_order_acquire);
+}
+
 ObjectPool* pool_by_id(std::uint64_t pool_id) noexcept {
-  const std::shared_lock lock(g_pools_mu);
-  for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it)
-    if ((*it)->pool_id() == pool_id) return *it;
-  return nullptr;
+  LookupCache& cache = t_lookup_cache;
+  cache.refresh();
+  for (const auto& e : cache.by_id)
+    if (e.pool != nullptr && e.pool_id == pool_id) return e.pool;
+
+  ObjectPool* found = nullptr;
+  {
+    const std::shared_lock lock(g_pools_mu);
+    for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it)
+      if ((*it)->pool_id() == pool_id) {
+        found = *it;
+        break;
+      }
+  }
+  if (found != nullptr)
+    cache.by_id[cache.id_clock++ % kLookupCacheSlots] = {pool_id, found};
+  return found;
 }
 
 ObjectPool* pool_containing(const void* p) noexcept {
   const auto* b = static_cast<const std::byte*>(p);
-  const std::shared_lock lock(g_pools_mu);
-  for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it) {
-    PersistentRegion& region = (*it)->region();
-    if (b >= region.base() && b < region.base() + region.size()) return *it;
+  LookupCache& cache = t_lookup_cache;
+  cache.refresh();
+  for (const auto& e : cache.by_addr)
+    if (e.pool != nullptr && b >= e.base && b < e.base + e.size)
+      return e.pool;
+
+  ObjectPool* found = nullptr;
+  const std::byte* base = nullptr;
+  std::size_t size = 0;
+  {
+    const std::shared_lock lock(g_pools_mu);
+    for (auto it = g_pools.rbegin(); it != g_pools.rend(); ++it) {
+      PersistentRegion& region = (*it)->region();
+      if (b >= region.base() && b < region.base() + region.size()) {
+        found = *it;
+        base = region.base();
+        size = region.size();
+        break;
+      }
+    }
   }
-  return nullptr;
+  if (found != nullptr)
+    cache.by_addr[cache.addr_clock++ % kLookupCacheSlots] = {base, size,
+                                                             found};
+  return found;
 }
 
 ObjectPool* tx_pool_containing(const void* p) noexcept {
@@ -87,7 +164,8 @@ bool thread_in_tx() noexcept { return !t_current_tx.empty(); }
 
 ObjectPool::ObjectPool(MappedFile file, Options options)
     : region_(std::move(file), options.track_shadow),
-      path_(region_.file().path()) {
+      path_(region_.file().path()),
+      tx_publish_(options.tx_publish) {
   free_lanes_.reserve(kLaneCount);
   for (std::uint32_t l = 0; l < kLaneCount; ++l) free_lanes_.push_back(l);
 }
@@ -376,6 +454,11 @@ Transaction* ObjectPool::current_tx() const {
   for (const auto& [pool, tx] : t_current_tx)
     if (pool == this) return tx;
   return nullptr;
+}
+
+std::uint32_t ObjectPool::current_tx_lane() const {
+  const Transaction* tx = current_tx();
+  return tx == nullptr ? static_cast<std::uint32_t>(kLaneCount) : tx->lane_;
 }
 
 void ObjectPool::set_current_tx(Transaction* tx) {

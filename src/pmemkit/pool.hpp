@@ -48,6 +48,11 @@ struct PoolReport;  // introspect.hpp
 struct PoolOptions {
   /// Maintain a ShadowTracker for crash simulation (slower).
   bool track_shadow = false;
+  /// Undo-entry publish protocol.  TwoPersistReference is the version-1
+  /// baseline (tail bump per entry, O(n) snapshot scan), compiled in so
+  /// bench/micro_tx can A/B the fence halving on identical pools; recovery
+  /// is protocol-agnostic.
+  TxPublish tx_publish = TxPublish::SingleFence;
 };
 
 class ObjectPool {
@@ -205,6 +210,9 @@ class ObjectPool {
   /// clean shutdown nor sync.  Used by the crash harness after CrashInjected.
   void mark_crashed() noexcept { crashed_ = true; }
 
+  /// The undo-entry publish protocol this handle runs (PoolOptions).
+  [[nodiscard]] TxPublish tx_publish() const noexcept { return tx_publish_; }
+
  private:
   friend class Transaction;
   friend bool recover_lane(ObjectPool& pool, std::uint32_t lane);
@@ -227,6 +235,10 @@ class ObjectPool {
   std::uint32_t acquire_tx_lane();
   void release_tx_lane(std::uint32_t lane);
   void set_current_tx(Transaction* tx);
+  /// Lane index of the calling thread's open transaction on this pool, or
+  /// kLaneCount when there is none.  Lets introspection recognize the one
+  /// in-flight lane it may scan race-free (its own).
+  [[nodiscard]] std::uint32_t current_tx_lane() const;
 
   /// RAII lane for a non-transactional (atomic) operation's redo log: the
   /// calling thread's open transaction lane when there is one (safe — redo
@@ -250,6 +262,7 @@ class ObjectPool {
   PersistentRegion region_;
   std::filesystem::path path_;
   std::unique_ptr<Heap> heap_;
+  TxPublish tx_publish_ = TxPublish::SingleFence;
   bool recovered_ = false;
   bool crashed_ = false;
 
@@ -272,6 +285,16 @@ class ObjectPool {
 // pool the thread has no transaction on).  The wrapper's *hot path* never
 // touches the registry — it uses the thread-local tx_pool_containing()
 // below.  Lookups return nullptr once the pool is closed.
+//
+// Both lookups are served from a small thread-local cache in the steady
+// state: the registry keeps a generation counter (bumped on every pool
+// open/close, i.e. the only events that can change an answer), and a
+// lookup whose cached generation still matches returns without taking the
+// registry's shared lock or scanning it.  A miss — or any open/close since
+// the cache was filled — falls back to the locked scan and refills.  This
+// is what makes a ptr<T> dereference lock-free and scan-free on the read
+// path; the usual registry lifetime contract is unchanged (a pointer
+// resolved from either path is valid only while its pool stays open).
 
 /// The open pool whose pool_id matches, or nullptr.  When two open pools
 /// share an id (a freshly migrated copy next to its source), the most
@@ -280,6 +303,10 @@ class ObjectPool {
 
 /// The open pool whose mapping contains `p`, or nullptr.
 [[nodiscard]] ObjectPool* pool_containing(const void* p) noexcept;
+
+/// Pool open/close epoch — the thread-local lookup caches invalidate on
+/// any change.  Exposed for tests.
+[[nodiscard]] std::uint64_t pool_registry_generation() noexcept;
 
 /// The pool on which the *calling thread* has an open transaction and whose
 /// mapping contains `p`, or nullptr.  Purely thread-local (scans the

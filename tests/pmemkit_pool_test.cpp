@@ -2,6 +2,7 @@
 // objects, persistence across reopen.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -32,6 +33,67 @@ class PoolTest : public ::testing::Test {
 };
 
 constexpr std::uint64_t kSize = pk::ObjectPool::min_pool_size() * 2;
+
+// Readers hammer the cached registry lookups while other pools churn
+// open/close: lookups must stay coherent (never the churning pool for the
+// stable pool's id) and data-race-free (this test is in the TSan CI
+// suite).  The churn threads force continual generation bumps, so both the
+// hit path and the invalidate-and-refill path run hot.
+TEST_F(PoolTest, RegistryLookupsRaceWithOpenClose) {
+  auto stable = pk::ObjectPool::create(pool_path("stable"), "reg", kSize);
+  const std::uint64_t id = stable->pool_id();
+  const void* inside = stable->region().base() + 4096;
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    for (int i = 0; i < 40; ++i) {
+      auto p = pk::ObjectPool::create(pool_path("churn"), "reg", kSize);
+      p.reset();
+      fs::remove(pool_path("churn"));
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        ASSERT_EQ(pk::pool_by_id(id), stable.get());
+        ASSERT_EQ(pk::pool_containing(inside), stable.get());
+      }
+    });
+  }
+  churn.join();
+  for (auto& r : readers) r.join();
+}
+
+// The registry lookups are served from a generation-validated thread-local
+// cache on the hot path.  Every open/close must bump the generation so a
+// cached answer can never outlive the pool it names or shadow a newer
+// same-id pool.
+TEST_F(PoolTest, RegistryLookupCacheInvalidatesOnOpenAndClose) {
+  auto a = pk::ObjectPool::create(pool_path("a"), "reg", kSize);
+  const std::uint64_t id = a->pool_id();
+  const void* inside = a->region().base() + 4096;
+
+  // Warm the cache, then hit it.
+  EXPECT_EQ(pk::pool_by_id(id), a.get());
+  EXPECT_EQ(pk::pool_by_id(id), a.get());
+  EXPECT_EQ(pk::pool_containing(inside), a.get());
+  EXPECT_EQ(pk::pool_containing(inside), a.get());
+
+  const std::uint64_t gen_before = pk::pool_registry_generation();
+  auto b = pk::ObjectPool::create(pool_path("b"), "reg", kSize);
+  EXPECT_GT(pk::pool_registry_generation(), gen_before);
+  EXPECT_EQ(pk::pool_by_id(b->pool_id()), b.get());
+  EXPECT_EQ(pk::pool_by_id(id), a.get());  // refilled after invalidation
+
+  // Close A: cached hits for it must die with the generation bump.
+  a.reset();
+  EXPECT_EQ(pk::pool_by_id(id), nullptr);
+  EXPECT_EQ(pk::pool_containing(inside), nullptr);
+  // B survives, through a fresh cache fill.
+  EXPECT_EQ(pk::pool_by_id(b->pool_id()), b.get());
+}
 
 TEST_F(PoolTest, CreateOpenRoundtrip) {
   std::uint64_t id = 0;

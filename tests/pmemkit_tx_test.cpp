@@ -1,10 +1,12 @@
 // Tests for undo-log transactions: commit/abort, tx alloc/free, nesting,
-// log limits, and concurrent transactions on separate lanes.
+// log limits, fence budgets of the single-persist publish protocol, and
+// concurrent transactions on separate lanes.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <thread>
 
+#include "pmemkit/introspect.hpp"
 #include "pmemkit/pmemkit.hpp"
 
 namespace pk = cxlpmem::pmemkit;
@@ -283,6 +285,127 @@ TEST_F(TxTest, AddRangeCoalescesCoveredRanges) {
   // Last committed write to slot i was iteration 9992+i.
   for (std::uint64_t i = 0; i < 8; ++i)
     EXPECT_EQ(root_->values[i], 1000u + 9992 + i) << "i=" << i;
+}
+
+// The protocol's headline invariant: publishing a snapshot costs exactly
+// one fenced persist (the entry is self-validating; there is no tail bump),
+// and a covered re-add costs none.
+TEST_F(TxTest, SnapshotPublishCostsExactlyOneFence) {
+  pool_->run_tx([&] {
+    const auto before = pk::PersistentRegion::thread_drain_count();
+    pool_->tx_add_range(&root_->values[0], 8);
+    EXPECT_EQ(pk::PersistentRegion::thread_drain_count() - before, 1u);
+    root_->values[0] = 1;
+
+    const auto covered = pk::PersistentRegion::thread_drain_count();
+    pool_->tx_add_range(&root_->values[0], 8);  // fully covered
+    EXPECT_EQ(pk::PersistentRegion::thread_drain_count() - covered, 0u);
+
+    // Several gaps still publish under a single fence: [1] and [3] are
+    // covered, so adding values[0..5) leaves three holes in one call.
+    pool_->tx_add_range(&root_->values[1], 8);
+    pool_->tx_add_range(&root_->values[3], 8);
+    const auto gaps = pk::PersistentRegion::thread_drain_count();
+    pool_->tx_add_range(&root_->values[0], 5 * 8);
+    EXPECT_EQ(pk::PersistentRegion::thread_drain_count() - gaps, 1u);
+  });
+}
+
+// Whole-transaction fence budget: begin is one fenced line write (gen +
+// Active together), commit is flush-user + commit marker + single-fence
+// retire.
+TEST_F(TxTest, EmptyTransactionCostsFourFences) {
+  const auto before = pk::PersistentRegion::thread_drain_count();
+  pool_->run_tx([] {});
+  EXPECT_EQ(pk::PersistentRegion::thread_drain_count() - before, 4u);
+}
+
+// The compiled-in benchmark baseline pays the version-1 tail bump again.
+TEST(TxReference, TwoPersistReferencePublishesWithTwoFences) {
+  const fs::path path = fs::temp_directory_path() /
+                        ("txtest-ref-" + std::to_string(::getpid()));
+  fs::remove(path);
+  pk::PoolOptions opts;
+  opts.tx_publish = pk::TxPublish::TwoPersistReference;
+  auto pool = pk::ObjectPool::create(path, "tx", 32ull << 20, opts);
+  auto* root = pool->direct(pool->root<Root>());
+
+  pool->run_tx([&] {
+    const auto before = pk::PersistentRegion::thread_drain_count();
+    pool->tx_add_range(&root->counter, 8);
+    EXPECT_EQ(pk::PersistentRegion::thread_drain_count() - before, 2u);
+    root->counter = 9;
+  });
+  EXPECT_EQ(root->counter, 9u);
+
+  // Abort and reopen behave identically under either protocol.
+  EXPECT_THROW(pool->run_tx([&] {
+    pool->tx_add_range(&root->counter, 8);
+    root->counter = 77;
+    throw std::runtime_error("abort");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(root->counter, 9u);
+  pool.reset();
+  pool = pk::ObjectPool::open(path, "tx");
+  EXPECT_EQ(pool->direct(pool->root<Root>())->counter, 9u);
+  pool.reset();
+  fs::remove(path);
+}
+
+// Partial overlaps log only the uncovered gaps.  Entry sizes are visible
+// through introspection (busy-lane undo bytes = published prefix).
+TEST_F(TxTest, PartialOverlapSnapshotsOnlyTheGaps) {
+  const std::uint64_t entry = sizeof(pk::UndoEntryHeader);
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->values[0], 32);  // 32-byte payload
+    const auto r1 = pk::inspect(*pool_);
+    ASSERT_EQ(r1.busy_lanes.size(), 1u);
+    EXPECT_EQ(r1.busy_lanes[0].undo_bytes, entry + 32);
+
+    // [16, 64) overlaps [0, 32): only [32, 64) may be logged.
+    pool_->tx_add_range(&root_->values[2], 48);
+    const auto r2 = pk::inspect(*pool_);
+    EXPECT_EQ(r2.busy_lanes[0].undo_bytes, 2 * (entry + 32));
+  });
+}
+
+// A range bridging several covered holes restores exactly on abort.
+TEST_F(TxTest, BridgingRangeRestoresAllGapsOnAbort) {
+  for (int i = 0; i < 8; ++i) root_->values[i] = 10 + i;
+  pool_->persist(root_->values, sizeof(root_->values));
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->values[0], 8);
+    pool_->tx_add_range(&root_->values[2], 8);
+    pool_->tx_add_range(&root_->values[5], 8);
+    root_->values[0] = 100;
+    root_->values[2] = 102;
+    root_->values[5] = 105;
+    // Bridges all three islands: gaps [1], [3..4], [6..7] get entries.
+    pool_->tx_add_range(root_->values, sizeof(root_->values));
+    for (int i = 0; i < 8; ++i) root_->values[i] = 200 + i;
+    throw std::runtime_error("abort");
+  }),
+               std::runtime_error);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    EXPECT_EQ(root_->values[i], 10 + i) << "i=" << i;
+}
+
+// Regression: `p + len` overflowed the bounds check for huge lengths (UB,
+// and a wrapped pointer could slip past it); the check now compares
+// offsets/sizes.
+TEST_F(TxTest, HugeLenCannotWrapTheBoundsCheck) {
+  pool_->run_tx([&] {
+    EXPECT_THROW(pool_->tx_add_range(root_->values, SIZE_MAX), pk::TxError);
+    EXPECT_THROW(pool_->tx_add_range(root_->values, SIZE_MAX - 7), pk::TxError);
+    EXPECT_THROW(
+        pool_->current_tx()->add_fresh_range(root_->values, SIZE_MAX),
+        pk::TxError);
+    // The pool stays usable inside the same transaction.
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 3;
+  });
+  EXPECT_EQ(root_->counter, 3u);
 }
 
 TEST_F(TxTest, CommittedStateSurvivesReopen) {
