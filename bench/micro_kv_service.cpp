@@ -1,0 +1,307 @@
+// micro_kv_service — closed-loop load generator for cxlpmemd's engine.
+//
+// Embeds a service::Server in-process (ephemeral loopback port, shard pools
+// on the CXL namespace of the Setup #1 machine) and drives it through
+// service::Client — the full wire path: RESP encode, TCP, epoll, shard
+// routing, batched transaction commit, sequenced replies.  The grid sweeps
+// connection count x pipeline depth x value size at a fixed write mix and
+// emits BENCH_kv.json: throughput and client-perceived p50/p99 latency per
+// point, plus the 1->4 shard-worker scaling ratio.
+//
+//   micro_kv_service [--smoke] [--seconds S] [--value-bytes N]
+//                    [--write-pct P] [--json PATH]
+//
+// --smoke (used from ctest) shrinks the grid and fails the process when
+//   - any client sees a transport or server error,
+//   - the 8-connection point does not complete (the daemon must serve >= 8
+//     concurrent connections), or
+//   - 4 shard workers fail to out-serve 1 by the usual scaling floor
+//     (1.15x on >= 4-core hosts, no-collapse 0.50x on starved runners).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cxlpmem.hpp"
+#include "bench_json.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace fs = std::filesystem;
+using namespace cxlpmem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Config {
+  bool smoke = false;
+  double seconds = 2.0;
+  int value_bytes = 128;
+  int write_pct = 50;
+  fs::path json = "BENCH_kv.json";
+};
+
+struct LoadPoint {
+  int shards = 4;
+  int connections = 1;
+  int depth = 16;
+};
+
+struct LoadResult {
+  std::uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  const std::size_t k = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+/// One closed-loop client: queue `depth` commands, flush, repeat until the
+/// deadline.  The write mix rotates through a small per-connection keyspace
+/// so GETs hit keys earlier bursts wrote.
+void client_loop(std::uint16_t port, int id, const Config& cfg, int depth,
+                 Clock::time_point deadline, std::uint64_t& ops_out,
+                 std::vector<double>& lat_us_out, std::uint64_t& errs_out) {
+  api::Result<service::Client> conn = service::Client::connect(port);
+  if (!conn.ok()) {
+    errs_out += 1;
+    return;
+  }
+  service::Client c = std::move(conn).value();
+  const std::string value(static_cast<std::size_t>(cfg.value_bytes), 'v');
+  const int keyspace = 512;
+  std::uint64_t n = 0, errs = 0;
+  std::uint64_t ops = 0;
+  std::vector<double> lat_us;
+  while (Clock::now() < deadline) {
+    const int writes = depth * cfg.write_pct / 100;
+    for (int i = 0; i < depth; ++i) {
+      const std::string key = "conn" + std::to_string(id) + "/k" +
+                              std::to_string((n + static_cast<std::uint64_t>(i)) %
+                                             keyspace);
+      if (i < writes)
+        c.queue_set(key, value);
+      else
+        c.queue_get(key);
+    }
+    n += static_cast<std::uint64_t>(depth);
+    const auto t0 = Clock::now();
+    const api::Result<std::vector<service::RespValue>> replies = c.flush();
+    const auto t1 = Clock::now();
+    if (!replies.ok()) {
+      errs += 1;
+      break;  // transport failure: this client is done
+    }
+    for (const service::RespValue& r : replies.value())
+      if (r.type == service::RespValue::Type::Error) errs += 1;
+    ops += replies.value().size();
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count() /
+        static_cast<double>(depth));
+  }
+  ops_out = ops;
+  lat_us_out = std::move(lat_us);
+  errs_out = errs;
+}
+
+LoadResult run_point(api::Runtime& rt, const Config& cfg,
+                     const LoadPoint& pt) {
+  service::ServerOptions opts;
+  opts.shards = pt.shards;
+  opts.pool_stem = "bench-" + std::to_string(pt.shards) + "s";
+  api::Result<std::unique_ptr<service::Server>> server =
+      service::Server::start(rt, opts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.error().to_string().c_str());
+    return LoadResult{.errors = 1};
+  }
+  const std::uint16_t port = server.value()->port();
+
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(pt.connections), 0);
+  std::vector<std::uint64_t> errs(static_cast<std::size_t>(pt.connections), 0);
+  std::vector<std::vector<double>> lats(
+      static_cast<std::size_t>(pt.connections));
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(cfg.seconds));
+  std::vector<std::thread> threads;
+  for (int i = 0; i < pt.connections; ++i)
+    threads.emplace_back([&, i] {
+      client_loop(port, i, cfg, pt.depth, deadline,
+                  ops[static_cast<std::size_t>(i)],
+                  lats[static_cast<std::size_t>(i)],
+                  errs[static_cast<std::size_t>(i)]);
+    });
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  server.value()->stop();
+
+  LoadResult r;
+  r.seconds = elapsed;
+  std::vector<double> all_lat;
+  for (int i = 0; i < pt.connections; ++i) {
+    r.ops += ops[static_cast<std::size_t>(i)];
+    r.errors += errs[static_cast<std::size_t>(i)];
+    all_lat.insert(all_lat.end(), lats[static_cast<std::size_t>(i)].begin(),
+                   lats[static_cast<std::size_t>(i)].end());
+  }
+  r.ops_per_sec = elapsed > 0 ? static_cast<double>(r.ops) / elapsed : 0;
+  r.p50_us = percentile(all_lat, 0.50);
+  r.p99_us = percentile(all_lat, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke" || arg == "--quick") {
+      cfg.smoke = true;
+      cfg.seconds = 0.5;
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      cfg.seconds = std::atof(argv[++i]);
+    } else if (arg == "--value-bytes" && i + 1 < argc) {
+      cfg.value_bytes = std::atoi(argv[++i]);
+    } else if (arg == "--write-pct" && i + 1 < argc) {
+      cfg.write_pct = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      cfg.json = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--seconds S] [--value-bytes N] "
+                   "[--write-pct P] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const fs::path dir = fs::temp_directory_path() / "cxlpmem-micro-kv";
+  fs::remove_all(dir);
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(dir).build();
+  if (!rt.ok()) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
+
+  // Grid: connection scaling at fixed depth, then pipeline depth at fixed
+  // connections, then the 1-shard reference for the scaling ratio.
+  const std::vector<int> conn_grid =
+      cfg.smoke ? std::vector<int>{1, 4, 8} : std::vector<int>{1, 2, 4, 8, 16};
+  const std::vector<int> depth_grid =
+      cfg.smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 4, 16, 64};
+
+  struct Row {
+    LoadPoint pt;
+    LoadResult r;
+  };
+  std::vector<Row> rows;
+  std::uint64_t total_errors = 0;
+  bool served_8 = false;
+
+  for (const int conns : conn_grid) {
+    const LoadPoint pt{.shards = 4, .connections = conns, .depth = 16};
+    const LoadResult r = run_point(rt.value(), cfg, pt);
+    std::printf("shards=%d conns=%2d depth=%2d  %9.0f ops/s  p50 %6.1f us  "
+                "p99 %6.1f us  (%llu ops, %llu errors)\n",
+                pt.shards, pt.connections, pt.depth, r.ops_per_sec, r.p50_us,
+                r.p99_us, static_cast<unsigned long long>(r.ops),
+                static_cast<unsigned long long>(r.errors));
+    total_errors += r.errors;
+    if (conns >= 8 && r.errors == 0 && r.ops > 0) served_8 = true;
+    rows.push_back({pt, r});
+  }
+  for (const int depth : depth_grid) {
+    const LoadPoint pt{.shards = 4, .connections = 4, .depth = depth};
+    const LoadResult r = run_point(rt.value(), cfg, pt);
+    std::printf("shards=%d conns=%2d depth=%2d  %9.0f ops/s  p50 %6.1f us  "
+                "p99 %6.1f us\n",
+                pt.shards, pt.connections, pt.depth, r.ops_per_sec, r.p50_us,
+                r.p99_us);
+    total_errors += r.errors;
+    rows.push_back({pt, r});
+  }
+
+  // Shard-worker scaling: the same 4-connection pipelined load against one
+  // worker, then four.  Disjoint keyspaces mean this measures worker
+  // parallelism, not lock contention.
+  const LoadPoint one{.shards = 1, .connections = 4, .depth = 16};
+  const LoadPoint four{.shards = 4, .connections = 4, .depth = 16};
+  const LoadResult r1 = run_point(rt.value(), cfg, one);
+  const LoadResult r4 = run_point(rt.value(), cfg, four);
+  total_errors += r1.errors + r4.errors;
+  rows.push_back({one, r1});
+  rows.push_back({four, r4});
+  const double scaling =
+      r1.ops_per_sec > 0 ? r4.ops_per_sec / r1.ops_per_sec : 0;
+  std::printf("shard scaling 1->4 workers: %.2fx (%0.f -> %0.f ops/s)\n",
+              scaling, r1.ops_per_sec, r4.ops_per_sec);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"micro_kv_service\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw) + ",\n";
+  json += "  \"value_bytes\": " + std::to_string(cfg.value_bytes) + ",\n";
+  json += "  \"write_pct\": " + std::to_string(cfg.write_pct) + ",\n";
+  json += "  \"seconds_per_point\": " + std::to_string(cfg.seconds) + ",\n";
+  json += "  \"shard_scaling_1_to_4\": " + std::to_string(scaling) + ",\n";
+  json += "  \"points\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json += "    {\"shards\": " + std::to_string(row.pt.shards) +
+            ", \"connections\": " + std::to_string(row.pt.connections) +
+            ", \"pipeline\": " + std::to_string(row.pt.depth) +
+            ", \"ops_per_sec\": " + std::to_string(row.r.ops_per_sec) +
+            ", \"p50_us\": " + std::to_string(row.r.p50_us) +
+            ", \"p99_us\": " + std::to_string(row.r.p99_us) +
+            ", \"ops\": " + std::to_string(row.r.ops) +
+            ", \"errors\": " + std::to_string(row.r.errors) + "}" +
+            (i + 1 < rows.size() ? "," : "") + "\n";
+  }
+  json += "  ]\n}\n";
+  if (!bench::write_bench_json(cfg.json, json)) return 1;
+  fs::remove_all(dir);
+
+  if (cfg.smoke) {
+    if (total_errors != 0) {
+      std::fprintf(stderr, "FAIL: %llu client-visible errors\n",
+                   static_cast<unsigned long long>(total_errors));
+      return 1;
+    }
+    if (!served_8) {
+      std::fprintf(stderr,
+                   "FAIL: the 8-connection point did not complete cleanly\n");
+      return 1;
+    }
+    // Mirrors micro_mt_alloc / micro_checkpoint: honest floor on real
+    // cores, no-collapse floor on starved single/dual-core runners.
+    const double floor = hw >= 4 ? 1.15 : 0.50;
+    if (scaling < floor) {
+      std::fprintf(stderr,
+                   "FAIL: 1->4 shard scaling %.2fx < %.2fx floor (hw=%u)\n",
+                   scaling, floor, hw);
+      return 1;
+    }
+    std::printf("smoke OK: no errors, 8 connections served, scaling %.2fx "
+                "(floor %.2fx, hw=%u)\n",
+                scaling, floor, hw);
+  }
+  return 0;
+}

@@ -1,9 +1,14 @@
 // kv_store — a small persistent key-value store through the cxlpmem facade,
 // demonstrating pointer-rich persistent data structures (hash table with
 // chained buckets) in the typed programming model: ptr<Entry> links,
-// snapshot-on-write p<> fields, make_sized<> for inline payloads, and typed
-// iteration — no raw object ids, no unchecked casts.  This is the MOSIQS-style
-// "persistent memory object storage" use-case the paper cites (§1.2, [31]).
+// snapshot-on-write p<> fields, inline payloads, and typed iteration — no
+// raw object ids, no unchecked casts.  This is the MOSIQS-style "persistent
+// memory object storage" use-case the paper cites (§1.2, [31]).
+//
+// The hash table itself lives in service/durable_map.hpp — the SAME
+// structure cxlpmemd serves over TCP, so the example and the daemon can
+// never drift: what this program walks on disk is byte-for-byte what a
+// redis-cli SET against the daemon produces.
 //
 // The store is generic over its backing: main() runs it on whichever
 // namespace is named on the command line (default: the CXL-backed pmem2) —
@@ -11,120 +16,13 @@
 //
 //   $ kv_store [workdir] [namespace]
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <optional>
 #include <string>
 
 #include "api/cxlpmem.hpp"
+#include "service/durable_map.hpp"
 
 using namespace cxlpmem;
-
-namespace {
-
-constexpr std::uint32_t kBucketCount = 64;
-
-struct Entry {
-  api::p<api::ptr<Entry>> next;
-  api::p<std::uint32_t> key_len;
-  api::p<std::uint32_t> value_len;
-  // key bytes, then value bytes, follow inline (make_sized).
-};
-
-struct StoreRoot {
-  api::p<api::ptr<Entry>> buckets[kBucketCount];
-  api::p<std::uint64_t> count;
-};
-
-class KvStore {
- public:
-  explicit KvStore(api::Pool pool)
-      : pool_(std::move(pool)), root_(pool_.root<StoreRoot>().value()) {}
-
-  void put(const std::string& key, const std::string& value) {
-    const std::uint32_t b = bucket_of(key);
-    pool_
-        .run_tx([&] {
-          // Remove an existing mapping first (idempotent overwrite).
-          erase_in_tx(key, b);
-          api::ptr<Entry> e = pool_.make_sized<Entry>(
-              sizeof(Entry) + key.size() + value.size());
-          e->next = root_->buckets[b];
-          e->key_len = static_cast<std::uint32_t>(key.size());
-          e->value_len = static_cast<std::uint32_t>(value.size());
-          std::memcpy(payload(e), key.data(), key.size());
-          std::memcpy(payload(e) + key.size(), value.data(), value.size());
-          // No persist call: the entry is a fresh allocation of this
-          // transaction, so commit flushes its whole range; the p<> fields
-          // above snapshotted themselves.
-          root_->buckets[b] = e;
-          root_->count += 1;
-        })
-        .value();
-  }
-
-  [[nodiscard]] std::optional<std::string> get(const std::string& key) {
-    for (api::ptr<Entry> e = root_->buckets[bucket_of(key)]; e;
-         e = e->next) {
-      if (key_of(e) == key)
-        return std::string(payload(e) + e->key_len, e->value_len);
-    }
-    return std::nullopt;
-  }
-
-  bool erase(const std::string& key) {
-    bool erased = false;
-    pool_.run_tx([&] { erased = erase_in_tx(key, bucket_of(key)); })
-        .value();
-    return erased;
-  }
-
-  [[nodiscard]] std::uint64_t size() const { return root_->count; }
-
-  [[nodiscard]] const api::MemorySpace& space() const {
-    return pool_.space();
-  }
-
-  /// Entries counted by typed iteration (POBJ_FIRST/NEXT equivalent).
-  [[nodiscard]] std::uint64_t entries_by_iteration() {
-    return pool_.count<Entry>();
-  }
-
- private:
-  static char* payload(api::ptr<Entry> e) {
-    return reinterpret_cast<char*>(e.get() + 1);
-  }
-  static std::string key_of(api::ptr<Entry> e) {
-    return std::string(payload(e), e->key_len);
-  }
-  [[nodiscard]] std::uint32_t bucket_of(const std::string& key) const {
-    std::uint64_t h = 1469598103934665603ull;
-    for (const char c : key) h = (h ^ static_cast<unsigned char>(c)) *
-                                 1099511628211ull;
-    return static_cast<std::uint32_t>(h % kBucketCount);
-  }
-
-  /// Unlinks `key` from bucket `b`; must run inside a transaction.
-  bool erase_in_tx(const std::string& key, std::uint32_t b) {
-    api::p<api::ptr<Entry>>* link = &root_->buckets[b];
-    while (!link->get().is_null()) {
-      api::ptr<Entry> e = *link;
-      if (key_of(e) == key) {
-        *link = e->next;         // snapshot-on-write unlink
-        pool_.destroy(e);        // freed at commit; survives an abort
-        root_->count -= 1;
-        return true;
-      }
-      link = &e->next;
-    }
-    return false;
-  }
-
-  api::Pool pool_;
-  api::ptr<StoreRoot> root_;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const std::filesystem::path base =
@@ -145,12 +43,13 @@ int main(int argc, char** argv) {
                  pool.error().to_string().c_str());
     return 1;
   }
-  KvStore store(std::move(pool).value());
+  api::Pool p = std::move(pool).value();
+  service::DurableMap store(p.pmem());
 
   std::printf("%s store with %llu entries on /mnt/%s (%s)\n",
               fresh ? "created" : "reopened",
               static_cast<unsigned long long>(store.size()), ns.c_str(),
-              to_string(store.space().domain).c_str());
+              to_string(p.space().domain).c_str());
 
   // Write a batch of experiment metadata, the way a workflow engine would.
   store.put("experiment", "stream-pmem-on-cxl");
@@ -170,9 +69,21 @@ int main(int argc, char** argv) {
   const bool erased = store.erase("arrays");
   std::printf("erase(arrays)   = %s\n", erased ? "erased" : "missing");
 
+  // A pipelined burst the way a cxlpmemd shard worker commits one: several
+  // mutations folded into ONE transaction on one undo lane.
+  p.run_tx([&] {
+      store.put_in_tx("batch/a", "1");
+      store.put_in_tx("batch/b", "2");
+      store.erase_in_tx("batch/a");
+    }).value();
+  std::printf("batched tx      = a:%s b:%s (one commit)\n",
+              store.exists("batch/a") ? "?!" : "gone",
+              store.get("batch/b")->c_str());
+
   std::printf("entries: %llu by counter, %llu by typed iteration\n",
               static_cast<unsigned long long>(store.size()),
-              static_cast<unsigned long long>(store.entries_by_iteration()));
+              static_cast<unsigned long long>(
+                  p.count<service::DurableMap::Entry>()));
   std::printf("\nre-run me: the table persists and run# keys accumulate.\n"
               "re-run with namespace 'pmem0' to run the same store on"
               " emulated PMem.\n");

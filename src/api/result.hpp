@@ -12,6 +12,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -37,7 +38,8 @@ enum class Errc {
   BadArgument,         ///< malformed name/oid/size
   OutOfSpace,          ///< pool heap cannot satisfy the allocation
   TxFailure,           ///< transaction log overflow or misuse
-  IoFailure,           ///< filesystem / mmap level failure
+  IoFailure,           ///< filesystem / socket / mmap level failure
+  Protocol,            ///< malformed/oversized wire frame (service layer)
   Internal,            ///< anything unclassified
 };
 
@@ -59,9 +61,20 @@ enum class Errc {
     case Errc::OutOfSpace: return "out-of-space";
     case Errc::TxFailure: return "tx-failure";
     case Errc::IoFailure: return "io-failure";
+    case Errc::Protocol: return "protocol";
     case Errc::Internal: return "internal";
   }
   return "?";
+}
+
+/// Inverse of to_string(Errc), for errors that crossed a wire as text (the
+/// service layer prefixes its RESP error replies with the token so a remote
+/// failure round-trips into the same taxonomy a local one uses).  Unknown
+/// tokens come back as Errc::Internal.
+[[nodiscard]] inline Errc errc_from_token(std::string_view token) noexcept {
+  for (int c = 0; c <= static_cast<int>(Errc::Internal); ++c)
+    if (token == to_string(static_cast<Errc>(c))) return static_cast<Errc>(c);
+  return Errc::Internal;
 }
 
 struct Error {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/translate.hpp"
+#include "numakit/affinity.hpp"
 
 namespace cxlpmem::api {
 
@@ -136,28 +137,6 @@ Result<CheckpointStore> Runtime::checkpoint_store(
   return checkpoint_store(ns, file, max_payload_bytes, cp);
 }
 
-namespace {
-
-/// Cores to label the checkpoint worker pool with: the namespace's NUMA
-/// node when it has CPUs, else the closest node that does (a CXL expander
-/// is CPU-less — its save threads belong on the attach socket, not across
-/// UPI).
-std::vector<simkit::CoreId> checkpoint_affinity(
-    const numakit::NumaTopology& topo, simkit::MemoryId memory) {
-  const int home = topo.node_of_memory(memory);
-  int best = -1;
-  for (int n = 0; n < topo.node_count(); ++n) {
-    if (topo.node(n).cpuless()) continue;
-    if (home >= 0 && n == home) return topo.node(n).cpus;
-    if (best < 0 || (home >= 0 &&
-                     topo.distance(n, home) < topo.distance(best, home)))
-      best = n;
-  }
-  return best >= 0 ? topo.node(best).cpus : std::vector<simkit::CoreId>{0};
-}
-
-}  // namespace
-
 Result<CheckpointStore> Runtime::checkpoint_store(
     std::string_view ns, const std::string& file,
     std::uint64_t max_payload_bytes, const CheckpointSpec& spec) {
@@ -165,7 +144,8 @@ Result<CheckpointStore> Runtime::checkpoint_store(
   if (s == nullptr) return unknown_namespace(ns);
   cxlpmem::core::CheckpointOptions options;
   options.chunk_size = spec.chunk_size;
-  options.affinity = checkpoint_affinity(rt_->topology(), s->memory);
+  options.affinity = numakit::nearest_cpus(
+      rt_->topology(), rt_->topology().node_of_memory(s->memory));
   options.threads =
       spec.threads != 0
           ? spec.threads

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "numakit/numa_topology.hpp"
+
 namespace cxlpmem::numakit {
 
 std::vector<simkit::CoreId> plan_affinity(const simkit::Machine& machine,
@@ -46,6 +48,20 @@ std::vector<simkit::CoreId> plan_affinity(const simkit::Machine& machine,
     }
   }
   return plan;
+}
+
+std::vector<simkit::CoreId> nearest_cpus(const NumaTopology& topo,
+                                         int home_node) {
+  int best = -1;
+  for (int n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).cpuless()) continue;
+    if (home_node >= 0 && n == home_node) return topo.node(n).cpus;
+    if (best < 0 ||
+        (home_node >= 0 &&
+         topo.distance(n, home_node) < topo.distance(best, home_node)))
+      best = n;
+  }
+  return best >= 0 ? topo.node(best).cpus : std::vector<simkit::CoreId>{0};
 }
 
 }  // namespace cxlpmem::numakit

@@ -32,4 +32,16 @@ enum class AffinityPolicy {
     const simkit::Machine& machine, int nthreads, AffinityPolicy policy,
     simkit::SocketId first_socket = 0);
 
+class NumaTopology;
+
+/// Cores to label memory-bound workers with, given the NUMA node the bytes
+/// live on: the node's own CPUs when it has any, else the CPUs of the
+/// nearest node that does (a CXL expander is CPU-less — its workers belong
+/// on the attach socket, not across UPI).  `home_node` < 0 (device not
+/// exposed as a node) falls back to the first CPU-ful node.  Shared by the
+/// checkpoint engine's save pool and cxlpmemd's shard workers, so "pin
+/// workers to the namespace's node" is one rule, not two.
+[[nodiscard]] std::vector<simkit::CoreId> nearest_cpus(
+    const NumaTopology& topo, int home_node);
+
 }  // namespace cxlpmem::numakit

@@ -39,6 +39,19 @@ std::uint64_t random_pool_id() {
 thread_local std::vector<std::pair<const ObjectPool*, Transaction*>>
     t_current_tx;
 
+/// Per-thread pinned lanes (LaneSession), keyed by pool.  Checked by
+/// acquire_tx_lane before the free-pool mutex: a thread holding a session
+/// runs every transaction on its pinned lane for free.
+thread_local std::vector<std::pair<const ObjectPool*, std::uint32_t>>
+    t_lane_sessions;
+
+[[nodiscard]] const std::uint32_t* session_lane_of(
+    const ObjectPool* pool) noexcept {
+  for (const auto& [p, lane] : t_lane_sessions)
+    if (p == pool) return &lane;
+  return nullptr;
+}
+
 /// Process-wide registry of open pools, in open order.  Registration only
 /// happens on pool open/close; every mutation bumps g_pools_gen so the
 /// thread-local lookup caches below know their entries went stale.  The
@@ -471,6 +484,19 @@ void ObjectPool::set_current_tx(Transaction* tx) {
 }
 
 std::uint32_t ObjectPool::acquire_tx_lane() {
+  if (const std::uint32_t* pinned = session_lane_of(this))
+    return *pinned;  // the thread's LaneSession owns this lane
+  return acquire_lane_raw();
+}
+
+void ObjectPool::release_tx_lane(std::uint32_t lane) {
+  if (const std::uint32_t* pinned = session_lane_of(this);
+      pinned != nullptr && *pinned == lane)
+    return;  // stays checked out until the LaneSession ends
+  release_lane_raw(lane);
+}
+
+std::uint32_t ObjectPool::acquire_lane_raw() {
   std::unique_lock<std::mutex> lock(lane_mu_);
   if (free_lanes_.empty()) {
     lane_waits_.fetch_add(1, std::memory_order_relaxed);
@@ -481,12 +507,27 @@ std::uint32_t ObjectPool::acquire_tx_lane() {
   return lane;
 }
 
-void ObjectPool::release_tx_lane(std::uint32_t lane) {
+void ObjectPool::release_lane_raw(std::uint32_t lane) {
   {
     const std::lock_guard<std::mutex> lock(lane_mu_);
     free_lanes_.push_back(lane);
   }
   lane_cv_.notify_one();
+}
+
+ObjectPool::LaneSession::LaneSession(ObjectPool& pool) : pool_(pool) {
+  if (session_lane_of(&pool) != nullptr)
+    throw TxError(ErrKind::TxMisuse,
+                  "LaneSession: thread already holds a session on this pool");
+  lane_ = pool.acquire_lane_raw();
+  t_lane_sessions.emplace_back(&pool, lane_);
+}
+
+ObjectPool::LaneSession::~LaneSession() {
+  std::erase_if(t_lane_sessions, [this](const auto& e) {
+    return e.first == &pool_ && e.second == lane_;
+  });
+  pool_.release_lane_raw(lane_);
 }
 
 PoolStats ObjectPool::stats() const {

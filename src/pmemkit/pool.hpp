@@ -213,6 +213,27 @@ class ObjectPool {
   /// The undo-entry publish protocol this handle runs (PoolOptions).
   [[nodiscard]] TxPublish tx_publish() const noexcept { return tx_publish_; }
 
+  /// Pins a transaction lane to the constructing thread for the session's
+  /// lifetime: every run_tx (and atomic-op redo session) this thread runs
+  /// on the pool reuses the pinned lane without touching the lane mutex.
+  /// This is the server-worker idiom — a shard thread that commits one
+  /// transaction per request batch checks its lane out once, not per batch.
+  /// One session per thread per pool (a second construction throws
+  /// TxError(TxMisuse)); the session must be destroyed on the thread that
+  /// created it, before the pool.
+  class LaneSession {
+   public:
+    explicit LaneSession(ObjectPool& pool);
+    ~LaneSession();
+    LaneSession(const LaneSession&) = delete;
+    LaneSession& operator=(const LaneSession&) = delete;
+    [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
+
+   private:
+    ObjectPool& pool_;
+    std::uint32_t lane_;
+  };
+
  private:
   friend class Transaction;
   friend bool recover_lane(ObjectPool& pool, std::uint32_t lane);
@@ -232,8 +253,12 @@ class ObjectPool {
   [[nodiscard]] std::uint64_t lane_off(std::uint32_t lane) const noexcept;
 
   void run_recovery();
+  /// Session-aware checkout: the calling thread's pinned LaneSession lane
+  /// when it has one, else a lane from the free pool (raw path).
   std::uint32_t acquire_tx_lane();
   void release_tx_lane(std::uint32_t lane);
+  std::uint32_t acquire_lane_raw();
+  void release_lane_raw(std::uint32_t lane);
   void set_current_tx(Transaction* tx);
   /// Lane index of the calling thread's open transaction on this pool, or
   /// kLaneCount when there is none.  Lets introspection recognize the one

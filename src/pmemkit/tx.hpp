@@ -92,6 +92,10 @@ class Transaction {
 
   [[nodiscard]] bool committed() const noexcept { return committed_; }
 
+  /// The lane this transaction runs on — observable so a LaneSession
+  /// holder (and its tests) can pin that batched commits stay on one lane.
+  [[nodiscard]] std::uint32_t lane() const noexcept { return lane_; }
+
  private:
   friend class ObjectPool;
 

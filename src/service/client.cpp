@@ -1,0 +1,202 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace cxlpmem::service {
+
+api::Result<Client> Client::connect(std::uint16_t port,
+                                    const std::string& host) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return io_error("socket", errno);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return api::Error{api::Errc::InvalidConfig, "bad host: " + host};
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return io_error("connect", err);
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      parser_(std::move(other.parser_)),
+      outbox_(std::move(other.outbox_)),
+      queued_(std::exchange(other.queued_, 0)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    parser_ = std::move(other.parser_);
+    outbox_ = std::move(other.outbox_);
+    queued_ = std::exchange(other.queued_, 0);
+  }
+  return *this;
+}
+
+api::Result<void> Client::send_all(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return io_error("send", errno);
+  }
+  return api::Result<void>();
+}
+
+api::Result<RespValue> Client::read_reply() {
+  RespValue v;
+  for (;;) {
+    switch (parser_.next(v)) {
+      case RespParser::Status::Value:
+        return v;
+      case RespParser::Status::Malformed:
+        return api::Error{api::Errc::Protocol, parser_.malformed_reason()};
+      case RespParser::Status::NeedMore:
+        break;
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    // n == 0 is the short-read-to-EOF case: the server closed mid-reply.
+    return io_error("recv", n == 0 ? 0 : errno);
+  }
+}
+
+api::Result<RespValue> Client::roundtrip(const std::string& frame) {
+  if (const api::Result<void> sent = send_all(frame); !sent.ok())
+    return sent.error();
+  return read_reply();
+}
+
+api::Result<void> Client::set(std::string_view key, std::string_view value) {
+  const api::Result<RespValue> r =
+      roundtrip(encode_command({"SET", key, value}));
+  if (!r.ok()) return r.error();
+  if (r.value().type == RespValue::Type::Error)
+    return decode_error_reply(r.value().text);
+  if (r.value().type != RespValue::Type::Simple || r.value().text != "OK")
+    return api::Error{api::Errc::Protocol, "unexpected SET reply"};
+  return api::Result<void>();
+}
+
+api::Result<std::optional<std::string>> Client::get(std::string_view key) {
+  const api::Result<RespValue> r = roundtrip(encode_command({"GET", key}));
+  if (!r.ok()) return r.error();
+  switch (r.value().type) {
+    case RespValue::Type::Bulk:
+      return std::optional<std::string>(r.value().text);
+    case RespValue::Type::Null:
+      return std::optional<std::string>();
+    case RespValue::Type::Error:
+      return decode_error_reply(r.value().text);
+    default:
+      return api::Error{api::Errc::Protocol, "unexpected GET reply"};
+  }
+}
+
+namespace {
+
+api::Result<bool> as_bool(const api::Result<RespValue>& r,
+                          const char* what) {
+  if (!r.ok()) return r.error();
+  if (r.value().type == RespValue::Type::Error)
+    return decode_error_reply(r.value().text);
+  if (r.value().type != RespValue::Type::Integer)
+    return api::Error{api::Errc::Protocol,
+                      std::string("unexpected ") + what + " reply"};
+  return r.value().integer != 0;
+}
+
+}  // namespace
+
+api::Result<bool> Client::del(std::string_view key) {
+  return as_bool(roundtrip(encode_command({"DEL", key})), "DEL");
+}
+
+api::Result<bool> Client::exists(std::string_view key) {
+  return as_bool(roundtrip(encode_command({"EXISTS", key})), "EXISTS");
+}
+
+api::Result<std::string> Client::ping(std::string_view msg) {
+  const api::Result<RespValue> r =
+      msg.empty() ? roundtrip(encode_command({"PING"}))
+                  : roundtrip(encode_command({"PING", msg}));
+  if (!r.ok()) return r.error();
+  if (r.value().type == RespValue::Type::Error)
+    return decode_error_reply(r.value().text);
+  if (r.value().type != RespValue::Type::Simple &&
+      r.value().type != RespValue::Type::Bulk)
+    return api::Error{api::Errc::Protocol, "unexpected PING reply"};
+  return r.value().text;
+}
+
+api::Result<std::string> Client::info() {
+  const api::Result<RespValue> r = roundtrip(encode_command({"INFO"}));
+  if (!r.ok()) return r.error();
+  if (r.value().type == RespValue::Type::Error)
+    return decode_error_reply(r.value().text);
+  if (r.value().type != RespValue::Type::Bulk)
+    return api::Error{api::Errc::Protocol, "unexpected INFO reply"};
+  return r.value().text;
+}
+
+void Client::queue(std::initializer_list<std::string_view> args) {
+  outbox_ += encode_command(args);
+  ++queued_;
+}
+
+void Client::queue_set(std::string_view key, std::string_view value) {
+  queue({"SET", key, value});
+}
+
+void Client::queue_get(std::string_view key) { queue({"GET", key}); }
+
+api::Result<std::vector<RespValue>> Client::flush() {
+  const std::size_t n = queued_;
+  const std::string burst = std::move(outbox_);
+  outbox_.clear();
+  queued_ = 0;
+  if (n == 0) return std::vector<RespValue>();
+  if (const api::Result<void> sent = send_all(burst); !sent.ok())
+    return sent.error();
+  std::vector<RespValue> replies;
+  replies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    api::Result<RespValue> r = read_reply();
+    if (!r.ok()) return r.error();
+    replies.push_back(std::move(r).value());
+  }
+  return replies;
+}
+
+}  // namespace cxlpmem::service

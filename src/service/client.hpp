@@ -1,0 +1,84 @@
+// service/client.hpp — blocking RESP client for cxlpmemd.
+//
+// The library half of the wire contract: tests, the kill-restart smoke and
+// bench/micro_kv_service all drive the daemon through this class, so the
+// protocol is exercised end to end even when redis-cli isn't around.
+//
+// Two modes:
+//   - one-shot calls (set/get/del/exists/ping/info): send one command, wait
+//     for its reply;
+//   - pipelining: queue_*() buffers commands locally, flush() writes them
+//     in one burst and then reads exactly that many replies.  This is what
+//     makes the server's batch commit visible — a pipelined burst of SETs
+//     lands on a shard queue together and is folded into one transaction.
+//
+// Failure mapping: socket-level failures become Errc::IoFailure (via
+// io_error), RESP violations become Errc::Protocol, and `-ERR <token>: …`
+// replies are decoded back into the taxonomy the server encoded from
+// (decode_error_reply), so a server-side OutOfSpace arrives as
+// Errc::OutOfSpace here, not as a stringly-typed error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/result.hpp"
+#include "service/resp.hpp"
+
+namespace cxlpmem::service {
+
+class Client {
+ public:
+  /// Connects to a daemon on `host`:`port` (blocking socket, TCP_NODELAY).
+  [[nodiscard]] static api::Result<Client> connect(
+      std::uint16_t port, const std::string& host = "127.0.0.1");
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // --- one-shot commands ---------------------------------------------------
+
+  [[nodiscard]] api::Result<void> set(std::string_view key,
+                                      std::string_view value);
+  /// nullopt = key absent (the RESP null bulk).
+  [[nodiscard]] api::Result<std::optional<std::string>> get(
+      std::string_view key);
+  /// true = the key existed and was removed.
+  [[nodiscard]] api::Result<bool> del(std::string_view key);
+  [[nodiscard]] api::Result<bool> exists(std::string_view key);
+  [[nodiscard]] api::Result<std::string> ping(std::string_view msg = {});
+  [[nodiscard]] api::Result<std::string> info();
+
+  // --- pipelining ----------------------------------------------------------
+
+  /// Buffers a command locally; nothing hits the wire until flush().
+  void queue(std::initializer_list<std::string_view> args);
+  void queue_set(std::string_view key, std::string_view value);
+  void queue_get(std::string_view key);
+  [[nodiscard]] std::size_t queued() const noexcept { return queued_; }
+
+  /// Writes the queued burst, then reads exactly one reply per queued
+  /// command (in order).  Per-command failures stay RespValue::Type::Error
+  /// entries — decode with decode_error_reply — so one failed SET doesn't
+  /// hide its burst-mates' replies; only transport failures fail the call.
+  [[nodiscard]] api::Result<std::vector<RespValue>> flush();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  [[nodiscard]] api::Result<void> send_all(std::string_view bytes);
+  [[nodiscard]] api::Result<RespValue> read_reply();
+  [[nodiscard]] api::Result<RespValue> roundtrip(const std::string& frame);
+
+  int fd_ = -1;
+  RespParser parser_;
+  std::string outbox_;
+  std::size_t queued_ = 0;
+};
+
+}  // namespace cxlpmem::service

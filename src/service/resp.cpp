@@ -1,0 +1,297 @@
+#include "service/resp.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace cxlpmem::service {
+
+namespace {
+
+/// Parses a RESP length/integer line body (digits, optional leading '-').
+/// Returns false on junk or overflow — the caller reports Malformed.
+bool parse_int(std::string_view s, std::int64_t& out) {
+  if (s.empty() || s.size() > 19 + (s[0] == '-')) return false;
+  bool neg = false;
+  std::size_t i = 0;
+  if (s[0] == '-') {
+    neg = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  std::int64_t v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  out = neg ? -v : v;
+  return true;
+}
+
+std::string upper(std::string_view s) {
+  std::string u(s);
+  std::transform(u.begin(), u.end(), u.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return u;
+}
+
+api::Error protocol_error(std::string msg) {
+  return api::Error{api::Errc::Protocol, std::move(msg)};
+}
+
+}  // namespace
+
+void RespParser::feed(std::string_view bytes) {
+  // Compact the consumed prefix before it grows unbounded under pipelining.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+RespParser::Status RespParser::fail(const std::string& why) {
+  poisoned_ = true;
+  reason_ = why;
+  return Status::Malformed;
+}
+
+RespParser::Status RespParser::parse_line(std::size_t& p,
+                                          std::string_view& line) {
+  const std::size_t nl = buf_.find('\n', p);
+  if (nl == std::string::npos) {
+    if (buf_.size() - p > kMaxInlineBytes) return fail("line too long");
+    return Status::NeedMore;
+  }
+  std::size_t end = nl;
+  if (end > p && buf_[end - 1] == '\r') --end;  // tolerate bare '\n'
+  line = std::string_view(buf_).substr(p, end - p);
+  p = nl + 1;
+  return Status::Value;
+}
+
+RespParser::Status RespParser::parse_inline(std::size_t& p, RespValue& out) {
+  std::string_view line;
+  if (const Status s = parse_line(p, line); s != Status::Value) return s;
+  out = RespValue{};
+  out.type = RespValue::Type::Array;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ') ++j;
+    if (j > i) {
+      RespValue arg;
+      arg.type = RespValue::Type::Bulk;
+      arg.text.assign(line.substr(i, j - i));
+      out.elems.push_back(std::move(arg));
+      if (out.elems.size() > kMaxArrayElems) return fail("too many arguments");
+    }
+    i = j;
+  }
+  return Status::Value;
+}
+
+RespParser::Status RespParser::parse_value(std::size_t& p, RespValue& out,
+                                           bool top_level) {
+  if (p >= buf_.size()) return Status::NeedMore;
+  const char tag = buf_[p];
+  switch (tag) {
+    case '+':
+    case '-': {
+      std::size_t q = p + 1;
+      std::string_view line;
+      if (const Status s = parse_line(q, line); s != Status::Value) return s;
+      out = RespValue{};
+      out.type =
+          tag == '+' ? RespValue::Type::Simple : RespValue::Type::Error;
+      out.text.assign(line);
+      p = q;
+      return Status::Value;
+    }
+    case ':': {
+      std::size_t q = p + 1;
+      std::string_view line;
+      if (const Status s = parse_line(q, line); s != Status::Value) return s;
+      std::int64_t v = 0;
+      if (!parse_int(line, v)) return fail("bad integer");
+      out = RespValue{};
+      out.type = RespValue::Type::Integer;
+      out.integer = v;
+      p = q;
+      return Status::Value;
+    }
+    case '$': {
+      std::size_t q = p + 1;
+      std::string_view line;
+      if (const Status s = parse_line(q, line); s != Status::Value) return s;
+      std::int64_t len = 0;
+      if (!parse_int(line, len)) return fail("bad bulk length");
+      if (len == -1) {  // null bulk
+        out = RespValue{};
+        out.type = RespValue::Type::Null;
+        p = q;
+        return Status::Value;
+      }
+      if (len < 0) return fail("negative bulk length");
+      if (static_cast<std::uint64_t>(len) > kMaxBulkBytes)
+        return fail("bulk too large");
+      if (buf_.size() - q < static_cast<std::size_t>(len) + 2)
+        return Status::NeedMore;
+      if (buf_[q + len] != '\r' || buf_[q + len + 1] != '\n')
+        return fail("bulk not terminated by CRLF");
+      out = RespValue{};
+      out.type = RespValue::Type::Bulk;
+      out.text.assign(buf_, q, static_cast<std::size_t>(len));
+      p = q + len + 2;
+      return Status::Value;
+    }
+    case '*': {
+      if (!top_level) return fail("nested array");
+      std::size_t q = p + 1;
+      std::string_view line;
+      if (const Status s = parse_line(q, line); s != Status::Value) return s;
+      std::int64_t n = 0;
+      if (!parse_int(line, n)) return fail("bad array length");
+      if (n < 0) return fail("negative array length");
+      if (static_cast<std::uint64_t>(n) > kMaxArrayElems)
+        return fail("array too large");
+      RespValue arr;
+      arr.type = RespValue::Type::Array;
+      arr.elems.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        RespValue elem;
+        if (const Status s = parse_value(q, elem, /*top_level=*/false);
+            s != Status::Value)
+          return s;
+        arr.elems.push_back(std::move(elem));
+      }
+      out = std::move(arr);
+      p = q;
+      return Status::Value;
+    }
+    default:
+      // No RESP tag: the inline-command form (a space-separated line).
+      return parse_inline(p, out);
+  }
+}
+
+RespParser::Status RespParser::next(RespValue& out) {
+  if (poisoned_) return Status::Malformed;
+  std::size_t p = pos_;
+  const Status s = parse_value(p, out, /*top_level=*/true);
+  if (s == Status::Value) pos_ = p;  // consume only on a complete frame
+  return s;
+}
+
+// --- encoding ---------------------------------------------------------------
+
+std::string encode_simple(std::string_view s) {
+  return "+" + std::string(s) + "\r\n";
+}
+
+std::string encode_error(std::string_view s) {
+  return "-" + std::string(s) + "\r\n";
+}
+
+std::string encode_integer(std::int64_t v) {
+  return ":" + std::to_string(v) + "\r\n";
+}
+
+std::string encode_bulk(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 16);
+  out += "$";
+  out += std::to_string(s.size());
+  out += "\r\n";
+  out.append(s.data(), s.size());
+  out += "\r\n";
+  return out;
+}
+
+std::string encode_null_bulk() { return "$-1\r\n"; }
+
+namespace {
+
+template <typename Range>
+std::string encode_command_range(const Range& args, std::size_t count) {
+  std::string out = "*" + std::to_string(count) + "\r\n";
+  for (const auto& a : args) out += encode_bulk(a);
+  return out;
+}
+
+}  // namespace
+
+std::string encode_command(std::initializer_list<std::string_view> args) {
+  return encode_command_range(args, args.size());
+}
+
+std::string encode_command(const std::vector<std::string>& args) {
+  return encode_command_range(args, args.size());
+}
+
+// --- command layer ----------------------------------------------------------
+
+api::Result<Command> parse_command(const RespValue& frame) {
+  if (frame.type != RespValue::Type::Array || frame.elems.empty())
+    return protocol_error("expected a command array");
+  for (const RespValue& e : frame.elems)
+    if (e.type != RespValue::Type::Bulk &&
+        e.type != RespValue::Type::Simple)
+      return protocol_error("command arguments must be strings");
+
+  const std::string verb = upper(frame.elems[0].text);
+  const std::size_t argc = frame.elems.size();
+  const auto arity = [&](std::size_t want) -> bool { return argc == want; };
+
+  Command cmd;
+  if (verb == "GET" && arity(2)) cmd.verb = Verb::Get;
+  else if (verb == "SET" && arity(3)) cmd.verb = Verb::Set;
+  else if (verb == "DEL" && arity(2)) cmd.verb = Verb::Del;
+  else if (verb == "EXISTS" && arity(2)) cmd.verb = Verb::Exists;
+  else if (verb == "PING" && (arity(1) || arity(2))) cmd.verb = Verb::Ping;
+  else if (verb == "INFO" && (arity(1) || arity(2))) cmd.verb = Verb::Info;
+  else if (verb == "GET" || verb == "SET" || verb == "DEL" ||
+           verb == "EXISTS" || verb == "PING" || verb == "INFO")
+    return protocol_error("wrong number of arguments for '" + verb + "'");
+  else
+    return protocol_error("unknown command '" + verb + "'");
+
+  if (keyed(cmd.verb)) {
+    cmd.key = frame.elems[1].text;
+    if (cmd.key.size() > kMaxKeyBytes)
+      return protocol_error("key exceeds " + std::to_string(kMaxKeyBytes) +
+                            " bytes");
+    if (cmd.key.empty()) return protocol_error("empty key");
+  } else if (argc == 2) {
+    cmd.key = frame.elems[1].text;  // PING/INFO optional echo argument
+  }
+  if (cmd.verb == Verb::Set) cmd.value = frame.elems[2].text;
+  return cmd;
+}
+
+api::Error io_error(std::string_view context, int err) {
+  return api::Error{api::Errc::IoFailure,
+                    std::string(context) + ": " +
+                        (err != 0 ? std::strerror(err) : "connection closed")};
+}
+
+std::string encode_error_reply(const api::Error& e) {
+  return encode_error("ERR " + std::string(api::to_string(e.code)) + ": " +
+                      e.message);
+}
+
+api::Error decode_error_reply(std::string_view reply_text) {
+  std::string_view rest = reply_text;
+  if (rest.rfind("ERR ", 0) == 0) rest.remove_prefix(4);
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    const api::Errc code = api::errc_from_token(rest.substr(0, colon));
+    std::string_view msg = rest.substr(colon + 1);
+    if (!msg.empty() && msg.front() == ' ') msg.remove_prefix(1);
+    return api::Error{code, std::string(msg)};
+  }
+  return api::Error{api::Errc::Internal, std::string(reply_text)};
+}
+
+}  // namespace cxlpmem::service

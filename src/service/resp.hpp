@@ -1,0 +1,120 @@
+// service/resp.hpp — the wire protocol of cxlpmemd: a RESP2 subset.
+//
+// Enough of the Redis serialization protocol that redis-cli interops with
+// the daemon: commands arrive as flat arrays of bulk strings (plus the
+// space-separated inline form, for netcat-grade tooling), replies are
+// simple strings, errors, integers and bulk strings.  Deliberately NOT
+// implemented: nested arrays, RESP3 types, protocol negotiation.
+//
+// The parser is incremental — it owns a byte buffer fed from the socket in
+// whatever fragments recv() produced, and yields a value only once a full
+// frame is buffered (Status::NeedMore otherwise), so short reads are the
+// normal case, not an error.  Violations (bad type byte sequences, length
+// overflow, oversized frames) are Status::Malformed with a reason; the
+// connection-level contract is that a malformed stream cannot be resynced
+// and must be closed.  Size ceilings are enforced *while parsing*, so a
+// hostile "$999999999999" header is rejected before any allocation.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/result.hpp"
+
+namespace cxlpmem::service {
+
+/// Frame/argument ceilings (enforced by the parser and command layer).
+inline constexpr std::size_t kMaxKeyBytes = 4096;
+inline constexpr std::size_t kMaxBulkBytes = 4u << 20;
+inline constexpr std::size_t kMaxArrayElems = 1024;
+inline constexpr std::size_t kMaxInlineBytes = 64 * 1024;
+
+/// One parsed RESP value.  Arrays are flat (elements are never arrays).
+struct RespValue {
+  enum class Type { Simple, Error, Integer, Bulk, Null, Array };
+  Type type = Type::Null;
+  std::string text;       ///< Simple/Error/Bulk payload
+  std::int64_t integer = 0;
+  std::vector<RespValue> elems;  ///< Array elements
+};
+
+class RespParser {
+ public:
+  enum class Status { Value, NeedMore, Malformed };
+
+  /// Appends raw socket bytes to the parse buffer.
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete value.  After Malformed the parser is
+  /// poisoned (every later call repeats Malformed) — close the connection.
+  Status next(RespValue& out);
+
+  [[nodiscard]] const std::string& malformed_reason() const noexcept {
+    return reason_;
+  }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+
+ private:
+  Status parse_value(std::size_t& p, RespValue& out, bool top_level);
+  Status parse_line(std::size_t& p, std::string_view& line);
+  Status parse_inline(std::size_t& p, RespValue& out);
+  Status fail(const std::string& why);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+  std::string reason_;
+};
+
+// --- reply / command encoding ------------------------------------------------
+
+[[nodiscard]] std::string encode_simple(std::string_view s);
+[[nodiscard]] std::string encode_error(std::string_view s);
+[[nodiscard]] std::string encode_integer(std::int64_t v);
+[[nodiscard]] std::string encode_bulk(std::string_view s);
+[[nodiscard]] std::string encode_null_bulk();
+/// A command as the client sends it: a flat array of bulk strings.
+[[nodiscard]] std::string encode_command(
+    std::initializer_list<std::string_view> args);
+[[nodiscard]] std::string encode_command(
+    const std::vector<std::string>& args);
+
+// --- command layer -----------------------------------------------------------
+
+enum class Verb { Get, Set, Del, Exists, Ping, Info };
+
+struct Command {
+  Verb verb = Verb::Ping;
+  std::string key;
+  std::string value;  ///< SET payload
+};
+
+[[nodiscard]] constexpr bool mutates(Verb v) noexcept {
+  return v == Verb::Set || v == Verb::Del;
+}
+[[nodiscard]] constexpr bool keyed(Verb v) noexcept {
+  return v != Verb::Ping && v != Verb::Info;
+}
+
+/// Interprets a parsed frame as a command: case-insensitive verb, arity
+/// check, key-size ceiling.  Failures are Errc::Protocol — the server
+/// reports them on the wire and keeps the connection (the frame itself was
+/// well-formed).
+[[nodiscard]] api::Result<Command> parse_command(const RespValue& frame);
+
+/// Error{IoFailure} carrying `context: strerror(err)` — the one shape every
+/// socket-level failure in the service maps through.
+[[nodiscard]] api::Error io_error(std::string_view context, int err);
+
+/// Encodes an api::Error as a RESP error reply, prefixed with the errc
+/// token (`-ERR <token>: message`); decode_error_reply() is the inverse, so
+/// a failure round-trips the taxonomy across the wire.
+[[nodiscard]] std::string encode_error_reply(const api::Error& e);
+[[nodiscard]] api::Error decode_error_reply(std::string_view reply_text);
+
+}  // namespace cxlpmem::service

@@ -1,0 +1,534 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "api/translate.hpp"
+#include "numakit/affinity.hpp"
+#include "service/durable_map.hpp"
+#include "service/resp.hpp"
+
+namespace cxlpmem::service {
+
+namespace {
+
+/// fnv1a64 — shard routing hash.  Deliberately distinct from the map's
+/// bucket hash modulus, so shard and bucket skew don't correlate.
+std::uint64_t shard_hash(std::string_view key) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : key)
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h;
+}
+
+/// Writes all of `bytes` to a nonblocking socket, polling through short
+/// stalls.  Bounded: a client that stops reading for ~5s is declared dead
+/// rather than wedging a shard worker forever.
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  int stalls = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      stalls = 0;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (++stalls > 50) return false;
+      struct pollfd p = {fd, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET / shutdown underneath us
+  }
+  return true;
+}
+
+/// One client socket.  The parser and seq counter are event-thread-only;
+/// the sequencer state below `mu` is shared with shard workers, which
+/// deliver replies out of request order (a pipelined burst fans out across
+/// shards) — `done` holds completed replies until their turn on the wire.
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() { ::close(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  const int fd;
+  RespParser parser;
+  std::uint64_t next_seq = 0;
+
+  std::mutex mu;
+  std::uint64_t next_to_send = 0;
+  std::map<std::uint64_t, std::string> done;
+  bool dead = false;
+};
+
+/// Sequenced reply delivery: stash, then flush the contiguous prefix.
+void complete(Connection& c, std::uint64_t seq, std::string reply) {
+  const std::lock_guard<std::mutex> lock(c.mu);
+  c.done.emplace(seq, std::move(reply));
+  std::string out;
+  auto it = c.done.begin();
+  while (it != c.done.end() && it->first == c.next_to_send) {
+    out += it->second;
+    it = c.done.erase(it);
+    ++c.next_to_send;
+  }
+  if (out.empty() || c.dead) return;
+  if (!send_all(c.fd, out)) c.dead = true;
+}
+
+struct Request {
+  std::shared_ptr<Connection> conn;
+  std::uint64_t seq = 0;
+  Command cmd;
+};
+
+struct Shard {
+  explicit Shard(api::Pool p) : pool(std::move(p)), map(pool.pmem()) {}
+
+  api::Pool pool;
+  DurableMap map;
+  int core = -1;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Request> q;
+  std::thread worker;
+
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> keys{0};
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions opts;
+  std::string ns;
+  int numa_node = -1;
+  std::uint16_t port = 0;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::filesystem::path> paths;
+  std::thread event_thread;
+  std::map<int, std::shared_ptr<Connection>> conns;  ///< event thread only
+
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+  std::atomic<std::uint64_t> accepted{0};
+  ServerInfo final_info;  ///< snapshot taken by stop() before teardown
+
+  ~Impl() { stop(); }
+
+  [[nodiscard]] Shard& shard_of(std::string_view key) noexcept {
+    return *shards[shard_hash(key) % shards.size()];
+  }
+
+  [[nodiscard]] ServerInfo make_info() const {
+    ServerInfo out;
+    out.ns = ns;
+    out.numa_node = numa_node;
+    out.connections_accepted = accepted.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      ShardInfo s;
+      s.index = static_cast<int>(i);
+      s.core = shards[i]->core;
+      s.ops = shards[i]->ops.load(std::memory_order_relaxed);
+      s.batches = shards[i]->batches.load(std::memory_order_relaxed);
+      s.keys = shards[i]->keys.load(std::memory_order_relaxed);
+      out.shards.push_back(s);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string info_text() const {
+    const ServerInfo i = make_info();
+    std::uint64_t keys = 0, ops = 0, batches = 0;
+    std::string per_shard;
+    for (const ShardInfo& s : i.shards) {
+      keys += s.keys;
+      ops += s.ops;
+      batches += s.batches;
+      per_shard += "shard" + std::to_string(s.index) +
+                   ":core=" + std::to_string(s.core) +
+                   ",keys=" + std::to_string(s.keys) +
+                   ",ops=" + std::to_string(s.ops) +
+                   ",batches=" + std::to_string(s.batches) + "\r\n";
+    }
+    return "# cxlpmemd\r\nnamespace:" + i.ns +
+           "\r\nnuma_node:" + std::to_string(i.numa_node) +
+           "\r\nshards:" + std::to_string(i.shards.size()) +
+           "\r\nmax_batch:" + std::to_string(opts.max_batch) +
+           "\r\ntcp_port:" + std::to_string(port) +
+           "\r\n# Keyspace\r\nkeys:" + std::to_string(keys) +
+           "\r\n# Stats\r\nops:" + std::to_string(ops) +
+           "\r\nbatches:" + std::to_string(batches) +
+           "\r\nconnections_accepted:" + std::to_string(i.connections_accepted) +
+           "\r\n# Shards\r\n" + per_shard;
+  }
+
+  void route(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
+             Command cmd) {
+    switch (cmd.verb) {
+      case Verb::Ping:
+        complete(*conn, seq,
+                 cmd.key.empty() ? encode_simple("PONG")
+                                 : encode_bulk(cmd.key));
+        return;
+      case Verb::Info:
+        complete(*conn, seq, encode_bulk(info_text()));
+        return;
+      default: {
+        Shard& s = shard_of(cmd.key);
+        {
+          const std::lock_guard<std::mutex> lock(s.mu);
+          s.q.push_back(Request{conn, seq, std::move(cmd)});
+        }
+        s.cv.notify_one();
+        return;
+      }
+    }
+  }
+
+  void accept_clients() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN / listen socket closing
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      struct epoll_event ev = {};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      conns.emplace(fd, std::make_shared<Connection>(fd));
+      accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void close_conn(int fd) {
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    conns.erase(fd);  // fd closes once queued requests drop their refs
+  }
+
+  /// Reads everything available, then parses and routes complete frames.
+  /// Returns false when the connection must close (EOF, error, malformed).
+  bool handle_readable(const std::shared_ptr<Connection>& conn) {
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) return false;  // orderly EOF
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    RespValue frame;
+    for (;;) {
+      switch (conn->parser.next(frame)) {
+        case RespParser::Status::NeedMore:
+          return true;
+        case RespParser::Status::Malformed:
+          // Report once, then drop the connection: a malformed RESP stream
+          // has no resync point.
+          complete(*conn, conn->next_seq++,
+                   encode_error_reply(api::Error{
+                       api::Errc::Protocol, conn->parser.malformed_reason()}));
+          return false;
+        case RespParser::Status::Value: {
+          const std::uint64_t seq = conn->next_seq++;
+          api::Result<Command> cmd = parse_command(frame);
+          if (!cmd.ok())
+            complete(*conn, seq, encode_error_reply(cmd.error()));
+          else
+            route(conn, seq, std::move(cmd).value());
+          break;
+        }
+      }
+    }
+  }
+
+  void event_loop() {
+    std::array<struct epoll_event, 64> events;
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int n =
+          ::epoll_wait(epoll_fd, events.data(), events.size(), 500);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd) {
+          std::uint64_t tickle = 0;
+          while (::read(wake_fd, &tickle, sizeof(tickle)) > 0) {
+          }
+          continue;  // stopping re-checked at the loop head
+        }
+        if (fd == listen_fd) {
+          accept_clients();
+          continue;
+        }
+        const auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 ||
+            !handle_readable(it->second))
+          close_conn(fd);
+      }
+    }
+  }
+
+  /// Executes one command against the shard's map.  `in_tx` means the
+  /// caller opened the batch transaction; otherwise mutations run their
+  /// own.
+  std::string exec(Shard& s, const Command& cmd, bool in_tx) {
+    switch (cmd.verb) {
+      case Verb::Get: {
+        const std::optional<std::string> v = s.map.get(cmd.key);
+        return v.has_value() ? encode_bulk(*v) : encode_null_bulk();
+      }
+      case Verb::Set:
+        if (in_tx)
+          s.map.put_in_tx(cmd.key, cmd.value);
+        else
+          s.map.put(cmd.key, cmd.value);
+        return encode_simple("OK");
+      case Verb::Del: {
+        const bool erased =
+            in_tx ? s.map.erase_in_tx(cmd.key) : s.map.erase(cmd.key);
+        return encode_integer(erased ? 1 : 0);
+      }
+      case Verb::Exists:
+        return encode_integer(s.map.exists(cmd.key) ? 1 : 0);
+      default:
+        return encode_error_reply(
+            api::Error{api::Errc::Internal, "unroutable verb"});
+    }
+  }
+
+  void process_batch(Shard& s, std::vector<Request>& batch) {
+    std::vector<std::string> replies(batch.size());
+    const bool any_mutation =
+        std::any_of(batch.begin(), batch.end(),
+                    [](const Request& r) { return mutates(r.cmd.verb); });
+    if (any_mutation) {
+      // The whole batch — reads included, so a SET earlier in the burst is
+      // visible to a later GET — under ONE transaction: one lane, one
+      // commit fence amortized across the burst.
+      const api::Result<void> committed = s.pool.run_tx([&] {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+          replies[i] = exec(s, batch[i].cmd, /*in_tx=*/true);
+      });
+      if (committed.ok()) {
+        s.batches.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // The batch aborted wholesale (nothing committed).  Retry each
+        // request in its own transaction so one poisoned operation (say,
+        // OutOfSpace on an oversized SET) fails alone, with a precise
+        // error, instead of failing its batchmates.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          const api::Result<void> one = api::wrap(
+              [&] { replies[i] = exec(s, batch[i].cmd, /*in_tx=*/false); });
+          if (one.ok())
+            s.batches.fetch_add(1, std::memory_order_relaxed);
+          else
+            replies[i] = encode_error_reply(one.error());
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        replies[i] = exec(s, batch[i].cmd, /*in_tx=*/false);
+    }
+    // Stats before acks: a client that reads INFO right after its last
+    // reply must see this batch counted.
+    s.ops.fetch_add(batch.size(), std::memory_order_relaxed);
+    s.keys.store(s.map.size(), std::memory_order_relaxed);
+    // Acknowledge only now — the transaction carrying every mutation above
+    // has committed, so an acked write survives kill -9 from here on.
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      complete(*batch[i].conn, batch[i].seq, std::move(replies[i]));
+  }
+
+  void worker_loop(Shard& s) {
+    // One pinned undo lane for the worker's lifetime: batch commits skip
+    // the lane checkout mutex entirely.
+    const pmemkit::ObjectPool::LaneSession lane(s.pool.pmem());
+    std::vector<Request> batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        s.cv.wait(lock, [&] {
+          return !s.q.empty() || stopping.load(std::memory_order_acquire);
+        });
+        if (s.q.empty()) break;  // stopping and fully drained
+        const std::size_t take =
+            std::min(s.q.size(), static_cast<std::size_t>(opts.max_batch));
+        batch.assign(std::make_move_iterator(s.q.begin()),
+                     std::make_move_iterator(s.q.begin() +
+                                             static_cast<std::ptrdiff_t>(take)));
+        s.q.erase(s.q.begin(),
+                  s.q.begin() + static_cast<std::ptrdiff_t>(take));
+      }
+      process_batch(s, batch);
+      batch.clear();
+    }
+  }
+
+  void stop() {
+    if (stopped.exchange(true)) return;
+    stopping.store(true, std::memory_order_release);
+    // 1. Stop the intake: once the event thread exits, no request can be
+    //    enqueued and no byte is read off any socket.
+    if (wake_fd >= 0) {
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const ssize_t w = ::write(wake_fd, &one, sizeof(one));
+    }
+    if (event_thread.joinable()) event_thread.join();
+    // 2. Drain: workers finish every queued request — each in-flight
+    //    transaction runs to commit (or a clean per-op error) and its
+    //    reply is flushed — then exit.
+    for (const auto& s : shards) s->cv.notify_all();
+    for (const auto& s : shards)
+      if (s->worker.joinable()) s->worker.join();
+    final_info = make_info();
+    // 3. Close client sockets, then the listen/epoll plumbing.
+    conns.clear();
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+    listen_fd = epoll_fd = wake_fd = -1;
+    // 4. Close the pools — the clean-shutdown mark lands on media, so a
+    //    reopen reports zero busy lanes and no recovery work.
+    shards.clear();
+  }
+};
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Server::~Server() { stop(); }
+void Server::stop() { impl_->stop(); }
+std::uint16_t Server::port() const noexcept { return impl_->port; }
+int Server::shard_count() const noexcept {
+  return static_cast<int>(impl_->paths.size());
+}
+std::vector<std::filesystem::path> Server::pool_paths() const {
+  return impl_->paths;
+}
+ServerInfo Server::info() const {
+  return impl_->stopped.load() ? impl_->final_info : impl_->make_info();
+}
+
+api::Result<std::unique_ptr<Server>> Server::start(api::Runtime& rt,
+                                                   ServerOptions opts) {
+  if (opts.shards < 1 || opts.shards > 64)
+    return api::Error{api::Errc::InvalidConfig, "shards must be in [1, 64]"};
+  if (opts.max_batch < 1)
+    return api::Error{api::Errc::InvalidConfig, "max_batch must be >= 1"};
+  const api::Result<api::MemorySpace> space = rt.space(opts.ns);
+  if (!space.ok()) return space.error();
+
+  auto impl = std::make_unique<Impl>();
+  impl->opts = opts;
+  impl->ns = opts.ns;
+  impl->numa_node = space.value().numa_node;
+  impl->stopped.store(true);  // armed only once the threads exist
+
+  // Shard pools: one file per shard, a disjoint keyspace each.
+  for (int i = 0; i < opts.shards; ++i) {
+    api::PoolSpec spec;
+    spec.file = opts.pool_stem + "-" + std::to_string(i) + ".pool";
+    spec.size = opts.pool_size_bytes;
+    api::Result<api::Pool> pool =
+        rt.open_or_create_pool(opts.ns, "cxlpmemd-kv", spec);
+    if (!pool.ok()) return pool.error();
+    const api::Result<void> bound = api::wrap([&] {
+      impl->shards.push_back(
+          std::make_unique<Shard>(std::move(pool).value()));
+    });
+    if (!bound.ok()) return bound.error();  // e.g. TypeMismatch on reopen
+    impl->paths.push_back(impl->shards.back()->pool.pmem().path());
+  }
+
+  // Worker placement labels: cores of the namespace's NUMA node (or the
+  // nearest node with CPUs — a CXL expander is CPU-less).
+  const numakit::NumaTopology& topo = rt.topology();
+  const std::vector<simkit::CoreId> cpus = numakit::nearest_cpus(
+      topo, topo.node_of_memory(space.value().memory));
+  for (int i = 0; i < opts.shards; ++i)
+    impl->shards[static_cast<std::size_t>(i)]->core =
+        cpus[static_cast<std::size_t>(i) % cpus.size()];
+
+  // Loopback listen socket (ephemeral port when opts.port == 0).
+  impl->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK |
+                                          SOCK_CLOEXEC, 0);
+  if (impl->listen_fd < 0) return io_error("socket", errno);
+  int one = 1;
+  ::setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts.port);
+  if (::bind(impl->listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return io_error("bind", errno);
+  if (::listen(impl->listen_fd, 128) != 0) return io_error("listen", errno);
+  socklen_t alen = sizeof(addr);
+  if (::getsockname(impl->listen_fd,
+                    reinterpret_cast<struct sockaddr*>(&addr), &alen) != 0)
+    return io_error("getsockname", errno);
+  impl->port = ntohs(addr.sin_port);
+
+  impl->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  impl->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (impl->epoll_fd < 0 || impl->wake_fd < 0)
+    return io_error("epoll/eventfd", errno);
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl->listen_fd;
+  ::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->listen_fd, &ev);
+  ev.data.fd = impl->wake_fd;
+  ::epoll_ctl(impl->epoll_fd, EPOLL_CTL_ADD, impl->wake_fd, &ev);
+
+  impl->stopped.store(false);
+  for (const auto& s : impl->shards) {
+    Shard* shard = s.get();
+    Impl* self = impl.get();
+    s->worker = std::thread([self, shard] { self->worker_loop(*shard); });
+  }
+  {
+    Impl* self = impl.get();
+    impl->event_thread = std::thread([self] { self->event_loop(); });
+  }
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+}  // namespace cxlpmem::service

@@ -1,0 +1,97 @@
+// service/server.hpp — cxlpmemd's engine: a sharded, durable KV service
+// over TCP (RESP subset), embeddable in-process for tests and benches.
+//
+// Architecture (one Server):
+//
+//   epoll event thread          N shard workers (one per shard)
+//   ------------------          ----------------------------------
+//   accept connections          own ONE pool file (kvshard-<i>.pool)
+//   read + parse RESP           own a disjoint keyspace (hash routing)
+//   route keyed commands  --->  drain queue in request order
+//   answer PING/INFO            fold each batch into ONE transaction
+//                               (LaneSession: one pinned lane, one
+//                                commit fence per burst of SETs)
+//                               reply only after the commit  ----+
+//                                                                |
+//          per-connection sequencer (responses in request order) +--> socket
+//
+// Shards never share mutable pool state — key-hash routing gives each
+// worker a disjoint keyspace and its own pool, so the data path takes no
+// cross-shard lock; the only inter-thread handoff is the request queue.
+// Workers are labelled with cores of the pool namespace's NUMA node
+// (numakit::nearest_cpus), the same placement rule the checkpoint engine
+// uses.
+//
+// Durability contract: a SET/DEL is acknowledged on the wire only after
+// the transaction that carries it committed — kill -9 after the ack, and
+// the write is in the recovered image.  Graceful stop() stops accepting,
+// drains every queued request to a committed (or cleanly failed) reply,
+// closes connections, then closes the pools — a reopened shard reports a
+// clean shutdown and zero busy lanes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cxlpmem.hpp"
+
+namespace cxlpmem::service {
+
+struct ServerOptions {
+  std::string ns = "pmem2";      ///< namespace hosting the shard pools
+  std::uint16_t port = 0;        ///< 0 = ephemeral (read back via port())
+  int shards = 4;                ///< worker count = pool count
+  std::uint64_t pool_size_bytes = 64ull << 20;  ///< per shard
+  int max_batch = 64;            ///< requests folded into one commit
+  std::string pool_stem = "kvshard";  ///< files <stem>-<i>.pool
+};
+
+struct ShardInfo {
+  int index = 0;
+  int core = -1;                 ///< numakit-assigned CoreId label
+  std::uint64_t ops = 0;         ///< requests served
+  std::uint64_t batches = 0;     ///< transactions committed for them
+  std::uint64_t keys = 0;        ///< live keys after the last batch
+};
+
+struct ServerInfo {
+  std::string ns;
+  int numa_node = -1;
+  std::uint64_t connections_accepted = 0;
+  std::vector<ShardInfo> shards;
+};
+
+class Server {
+ public:
+  /// Builds the shard pools on `rt` (namespace opts.ns), binds the listen
+  /// socket on loopback, and starts the event thread + shard workers.
+  /// The Runtime must outlive the Server.
+  [[nodiscard]] static api::Result<std::unique_ptr<Server>> start(
+      api::Runtime& rt, ServerOptions opts);
+
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Graceful shutdown (idempotent): stop accepting, drain in-flight
+  /// requests to commit, flush replies, close connections, close pools.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  [[nodiscard]] int shard_count() const noexcept;
+  /// Shard pool files, for post-shutdown inspection (pmemkit::inspect).
+  [[nodiscard]] std::vector<std::filesystem::path> pool_paths() const;
+  [[nodiscard]] ServerInfo info() const;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cxlpmem::service

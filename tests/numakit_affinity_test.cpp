@@ -4,6 +4,7 @@
 #include <set>
 
 #include "numakit/affinity.hpp"
+#include "numakit/numa_topology.hpp"
 #include "simkit/profiles.hpp"
 
 namespace nk = cxlpmem::numakit;
@@ -103,5 +104,40 @@ INSTANTIATE_TEST_SUITE_P(
                       AffinityCase{7, nk::AffinityPolicy::Spread, 1},
                       AffinityCase{16, nk::AffinityPolicy::Spread, 0},
                       AffinityCase{20, nk::AffinityPolicy::Spread, 1}));
+
+// nearest_cpus — the shared worker-placement rule (checkpoint engine,
+// cxlpmemd shard workers): a node's own CPUs when it has any, else the
+// CPUs of the nearest CPU-ful node (the attach socket for a CXL expander).
+TEST(NearestCpus, CpufulNodeUsesItsOwnCpus) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  for (int n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).cpuless()) continue;
+    EXPECT_EQ(nk::nearest_cpus(topo, n), topo.node(n).cpus) << "node " << n;
+  }
+}
+
+TEST(NearestCpus, CpulessCxlNodeLandsOnNearestSocket) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  const int cxl_node = topo.node_of_memory(s.cxl);
+  ASSERT_GE(cxl_node, 0);
+  ASSERT_TRUE(topo.node(cxl_node).cpuless());
+  const auto cpus = nk::nearest_cpus(topo, cxl_node);
+  ASSERT_FALSE(cpus.empty());
+  // All from one node, and that node is the closest CPU-ful one.
+  const int chosen = topo.node_of_core(cpus.front());
+  EXPECT_EQ(cpus, topo.node(chosen).cpus);
+  for (int n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).cpuless()) continue;
+    EXPECT_LE(topo.distance(chosen, cxl_node), topo.distance(n, cxl_node));
+  }
+}
+
+TEST(NearestCpus, UnknownHomeNodeStillYieldsCpus) {
+  const auto s = profiles::make_setup_one();
+  const auto topo = nk::NumaTopology::from_machine(s.machine, {s.cxl});
+  EXPECT_FALSE(nk::nearest_cpus(topo, -1).empty());
+}
 
 }  // namespace

@@ -3,6 +3,8 @@
 // concurrent transactions on separate lanes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <thread>
 
@@ -416,6 +418,83 @@ TEST_F(TxTest, CommittedStateSurvivesReopen) {
   pool_.reset();
   pool_ = pk::ObjectPool::open(path_, "tx");
   EXPECT_EQ(pool_->direct(pool_->root<Root>())->counter, 77u);
+}
+
+// ---------------------------------------------------------------------------
+// LaneSession: a thread pins one undo lane for a stretch of transactions
+// (cxlpmemd's shard workers hold one for their lifetime), so per-tx lane
+// checkout skips the shared mutex.
+// ---------------------------------------------------------------------------
+
+TEST_F(TxTest, LaneSessionPinsTheLaneAcrossTransactions) {
+  const pk::ObjectPool::LaneSession session(*pool_);
+  std::uint32_t first = UINT32_MAX, second = UINT32_MAX;
+  pool_->run_tx([&] { first = pool_->current_tx()->lane(); });
+  pool_->run_tx([&] { second = pool_->current_tx()->lane(); });
+  EXPECT_EQ(first, session.lane());
+  EXPECT_EQ(second, session.lane());
+}
+
+TEST_F(TxTest, DuplicateLaneSessionOnSamePoolThrows) {
+  const pk::ObjectPool::LaneSession session(*pool_);
+  EXPECT_THROW(pk::ObjectPool::LaneSession dup(*pool_), pk::TxError);
+}
+
+TEST_F(TxTest, LaneSessionReleasesItsLaneOnDestruction) {
+  // More sequential sessions than the pool has lanes: only possible if
+  // every destroyed session returns its lane to the free pool (a leak
+  // would exhaust the 64 lanes and deadlock — caught by the test timeout).
+  for (std::size_t i = 0; i < pk::kLaneCount + 8; ++i) {
+    const pk::ObjectPool::LaneSession session(*pool_);
+    pool_->run_tx([&] {
+      pool_->tx_add_range(&root_->counter, 8);
+      root_->counter += 1;
+    });
+  }
+  EXPECT_EQ(root_->counter, pk::kLaneCount + 8);
+}
+
+TEST_F(TxTest, ConcurrentLaneSessionsGetDistinctLanes) {
+  constexpr int kThreads = 8;
+  std::vector<std::uint32_t> lane(kThreads, UINT32_MAX);
+  std::vector<std::thread> threads;
+  std::atomic<int> armed{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const pk::ObjectPool::LaneSession session(*pool_);
+      lane[t] = session.lane();
+      armed.fetch_add(1);
+      // Hold the session until every thread has one: distinctness is only
+      // meaningful while the sessions coexist.
+      while (armed.load() < kThreads) std::this_thread::yield();
+      pool_->run_tx([&] {
+        pool_->tx_add_range(&root_->values[t], 8);
+        root_->values[t] = session.lane() + 1;
+      });
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::sort(lane.begin(), lane.end());
+  EXPECT_EQ(std::adjacent_find(lane.begin(), lane.end()), lane.end())
+      << "two concurrent sessions shared a lane";
+}
+
+// A transaction already on a session lane must NOT release it mid-session:
+// the release at session destruction is the only one.
+TEST_F(TxTest, SessionLaneSurvivesAnAbortedTransaction) {
+  const pk::ObjectPool::LaneSession session(*pool_);
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, 8);
+    root_->counter = 99;
+    throw std::runtime_error("abort");
+  }),
+               std::runtime_error);
+  EXPECT_EQ(root_->counter, 0u);
+  // The lane is still pinned and still works.
+  std::uint32_t l = UINT32_MAX;
+  pool_->run_tx([&] { l = pool_->current_tx()->lane(); });
+  EXPECT_EQ(l, session.lane());
 }
 
 }  // namespace

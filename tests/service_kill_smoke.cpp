@@ -1,0 +1,170 @@
+// service_kill_smoke — the durability contract, enforced on the real
+// daemon binary: every SET cxlpmemd acknowledged before SIGKILL must be
+// present after restart.
+//
+//   service_kill_smoke <path-to-cxlpmemd> <scratch-dir>
+//
+// 1. fork/exec cxlpmemd on an ephemeral port, parse the READY line;
+// 2. four writer threads stream unique-key SETs through the client
+//    library, each recording the keys whose OK arrived;
+// 3. SIGKILL the daemon mid-load (writers then see transport errors —
+//    that is the point);
+// 4. restart cxlpmemd on the same pool directory (recovery path) and GET
+//    every acknowledged key back;
+// 5. SIGTERM the second daemon and require a clean exit (graceful path).
+//
+// Not a gtest on purpose: it orchestrates processes and owns its exit
+// code, the way the CI job runs it.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/client.hpp"
+
+namespace fs = std::filesystem;
+using namespace cxlpmem;
+
+namespace {
+
+struct Daemon {
+  pid_t pid = -1;
+  int out = -1;  ///< read end of the child's stdout
+  std::uint16_t port = 0;
+};
+
+int fail(const char* what) {
+  std::fprintf(stderr, "FAIL: %s\n", what);
+  return 1;
+}
+
+/// fork/execs cxlpmemd --dir `dir` --port 0 and blocks until its READY
+/// line (or EOF) arrives.
+bool spawn_daemon(const std::string& binary, const fs::path& dir,
+                  Daemon& d) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return false;
+  d.pid = ::fork();
+  if (d.pid < 0) return false;
+  if (d.pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    const std::string dir_s = dir.string();
+    ::execl(binary.c_str(), binary.c_str(), "--dir", dir_s.c_str(),
+            "--port", "0", "--shards", "4", "--pool-mb", "16",
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  d.out = pipefd[0];
+  std::string line;
+  char ch = 0;
+  while (::read(d.out, &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  unsigned port = 0;
+  if (std::sscanf(line.c_str(), "READY port=%u", &port) != 1) {
+    std::fprintf(stderr, "no READY line, got: '%s'\n", line.c_str());
+    return false;
+  }
+  d.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+void reap(Daemon& d) {
+  if (d.out >= 0) ::close(d.out);
+  if (d.pid > 0) {
+    int status = 0;
+    ::waitpid(d.pid, &status, 0);
+  }
+  d = Daemon{};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <cxlpmemd> <scratch-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string binary = argv[1];
+  const fs::path dir = argv[2];
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  Daemon d;
+  if (!spawn_daemon(binary, dir, d)) return fail("could not start cxlpmemd");
+  std::printf("daemon up on port %u\n", static_cast<unsigned>(d.port));
+
+  // Writers stream unique-key SETs; each key is written exactly once, so
+  // "acked" fully determines the value a restart must serve.
+  constexpr int kWriters = 4;
+  std::vector<std::vector<std::string>> acked(kWriters);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w)
+    writers.emplace_back([&, w] {
+      auto conn = service::Client::connect(d.port);
+      if (!conn.ok()) return;
+      service::Client c = std::move(conn).value();
+      for (int i = 0;; ++i) {
+        const std::string key =
+            "w" + std::to_string(w) + "/k" + std::to_string(i);
+        if (!c.set(key, "value-of-" + key).ok()) return;  // daemon killed
+        acked[static_cast<std::size_t>(w)].push_back(key);
+      }
+    });
+
+  // Let the load build, then cut the power.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ::kill(d.pid, SIGKILL);
+  for (std::thread& t : writers) t.join();
+  reap(d);
+
+  std::size_t total_acked = 0;
+  for (const auto& v : acked) total_acked += v.size();
+  std::printf("killed mid-load with %zu acknowledged SETs\n", total_acked);
+  if (total_acked == 0)
+    return fail("no SET was acknowledged before the kill — no load built");
+
+  // Restart on the same pools: open-time recovery, then every acked key.
+  if (!spawn_daemon(binary, dir, d))
+    return fail("could not restart cxlpmemd on the surviving pools");
+  auto conn = service::Client::connect(d.port);
+  if (!conn.ok()) return fail("could not connect after restart");
+  service::Client c = std::move(conn).value();
+  std::size_t lost = 0;
+  for (const auto& keys : acked)
+    for (const std::string& key : keys) {
+      const auto got = c.get(key);
+      if (!got.ok() || !got.value().has_value() ||
+          *got.value() != "value-of-" + key) {
+        if (++lost <= 5)
+          std::fprintf(stderr, "lost acknowledged key %s\n", key.c_str());
+      }
+    }
+  if (lost != 0) {
+    std::fprintf(stderr, "FAIL: %zu of %zu acknowledged SETs lost\n", lost,
+                 total_acked);
+    return 1;
+  }
+  std::printf("all %zu acknowledged SETs survived the kill\n", total_acked);
+
+  // Graceful path: SIGTERM must drain and exit 0.
+  ::kill(d.pid, SIGTERM);
+  int status = 0;
+  ::waitpid(d.pid, &status, 0);
+  ::close(d.out);
+  d.pid = -1;
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+    return fail("daemon did not exit cleanly on SIGTERM");
+  std::printf("graceful SIGTERM shutdown OK\n");
+  fs::remove_all(dir);
+  return 0;
+}

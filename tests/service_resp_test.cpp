@@ -1,0 +1,243 @@
+// service_resp_test — the wire protocol, without a socket in sight: the
+// incremental parser against short reads / pipelining / malformed frames,
+// the command layer's arity and ceiling checks, and the error-taxonomy
+// round-trip (api::Error -> RESP error reply -> api::Error).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "service/resp.hpp"
+
+namespace {
+
+using namespace cxlpmem;
+using service::Command;
+using service::RespParser;
+using service::RespValue;
+using service::Verb;
+
+RespParser::Status feed_all(RespParser& p, std::string_view bytes,
+                            RespValue& out) {
+  p.feed(bytes);
+  return p.next(out);
+}
+
+// --- parser ---------------------------------------------------------------
+
+TEST(RespParserTest, ParsesACommandArray) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\nvv\r\n", v),
+            RespParser::Status::Value);
+  ASSERT_EQ(v.type, RespValue::Type::Array);
+  ASSERT_EQ(v.elems.size(), 3u);
+  EXPECT_EQ(v.elems[0].text, "SET");
+  EXPECT_EQ(v.elems[1].text, "k");
+  EXPECT_EQ(v.elems[2].text, "vv");
+  EXPECT_EQ(p.buffered(), 0u);
+}
+
+TEST(RespParserTest, ShortReadsAreTheNormalCase) {
+  // One byte at a time: every prefix must be NeedMore, never Malformed,
+  // and the frame must pop out complete on the final byte.
+  const std::string frame = "*2\r\n$4\r\nPING\r\n$5\r\nhello\r\n";
+  RespParser p;
+  RespValue v;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    ASSERT_EQ(feed_all(p, frame.substr(i, 1), v), RespParser::Status::NeedMore)
+        << "at byte " << i;
+  }
+  ASSERT_EQ(feed_all(p, frame.substr(frame.size() - 1), v),
+            RespParser::Status::Value);
+  EXPECT_EQ(v.elems[1].text, "hello");
+}
+
+TEST(RespParserTest, PipelinedFramesYieldInOrder) {
+  RespParser p;
+  p.feed("+OK\r\n:42\r\n$3\r\nabc\r\n$-1\r\n");
+  RespValue v;
+  ASSERT_EQ(p.next(v), RespParser::Status::Value);
+  EXPECT_EQ(v.type, RespValue::Type::Simple);
+  EXPECT_EQ(v.text, "OK");
+  ASSERT_EQ(p.next(v), RespParser::Status::Value);
+  EXPECT_EQ(v.type, RespValue::Type::Integer);
+  EXPECT_EQ(v.integer, 42);
+  ASSERT_EQ(p.next(v), RespParser::Status::Value);
+  EXPECT_EQ(v.type, RespValue::Type::Bulk);
+  EXPECT_EQ(v.text, "abc");
+  ASSERT_EQ(p.next(v), RespParser::Status::Value);
+  EXPECT_EQ(v.type, RespValue::Type::Null);
+  EXPECT_EQ(p.next(v), RespParser::Status::NeedMore);
+}
+
+TEST(RespParserTest, InlineCommandsParseAsArrays) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "SET  greeting   hello\r\n", v),
+            RespParser::Status::Value);
+  ASSERT_EQ(v.type, RespValue::Type::Array);
+  ASSERT_EQ(v.elems.size(), 3u);
+  EXPECT_EQ(v.elems[0].text, "SET");
+  EXPECT_EQ(v.elems[2].text, "hello");
+}
+
+TEST(RespParserTest, ToleratesBareNewline) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "PING\n", v), RespParser::Status::Value);
+  EXPECT_EQ(v.elems[0].text, "PING");
+}
+
+TEST(RespParserTest, MalformedPoisonsTheStream) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "$nope\r\n", v), RespParser::Status::Malformed);
+  EXPECT_FALSE(p.malformed_reason().empty());
+  // Even a pristine follow-up frame stays Malformed: no resync point.
+  ASSERT_EQ(feed_all(p, "+OK\r\n", v), RespParser::Status::Malformed);
+}
+
+TEST(RespParserTest, HostileBulkHeaderRejectedBeforeAllocation) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "$999999999999\r\n", v),
+            RespParser::Status::Malformed);
+}
+
+TEST(RespParserTest, BulkMustTerminateWithCrlf) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "$3\r\nabcXX", v), RespParser::Status::Malformed);
+}
+
+TEST(RespParserTest, NestedArraysRejected) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "*1\r\n*1\r\n$1\r\nx\r\n", v),
+            RespParser::Status::Malformed);
+}
+
+TEST(RespParserTest, OversizedArrayRejected) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, "*99999\r\n", v), RespParser::Status::Malformed);
+}
+
+TEST(RespParserTest, EncodeDecodeRoundTrip) {
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(
+      feed_all(p, service::encode_command({"SET", "key", "value"}), v),
+      RespParser::Status::Value);
+  ASSERT_EQ(v.elems.size(), 3u);
+  EXPECT_EQ(v.elems[2].text, "value");
+  ASSERT_EQ(feed_all(p, service::encode_bulk("payload"), v),
+            RespParser::Status::Value);
+  EXPECT_EQ(v.text, "payload");
+}
+
+// --- command layer --------------------------------------------------------
+
+RespValue command_frame(std::vector<std::string> args) {
+  RespValue frame;
+  frame.type = RespValue::Type::Array;
+  for (std::string& a : args) {
+    RespValue e;
+    e.type = RespValue::Type::Bulk;
+    e.text = std::move(a);
+    frame.elems.push_back(std::move(e));
+  }
+  return frame;
+}
+
+TEST(RespCommandTest, VerbsAreCaseInsensitive) {
+  const auto cmd = service::parse_command(command_frame({"get", "k"}));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().verb, Verb::Get);
+  EXPECT_EQ(cmd.value().key, "k");
+}
+
+TEST(RespCommandTest, SetCarriesValue) {
+  const auto cmd = service::parse_command(command_frame({"SET", "k", "v"}));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().verb, Verb::Set);
+  EXPECT_EQ(cmd.value().value, "v");
+  EXPECT_TRUE(service::mutates(cmd.value().verb));
+}
+
+TEST(RespCommandTest, ArityViolationsAreProtocolErrors) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"GET"}, {"GET", "k", "extra"}, {"SET", "k"}, {"DEL"}}) {
+    const auto cmd = service::parse_command(command_frame(args));
+    ASSERT_FALSE(cmd.ok());
+    EXPECT_EQ(cmd.error().code, api::Errc::Protocol);
+  }
+}
+
+TEST(RespCommandTest, UnknownCommandIsProtocolError) {
+  const auto cmd = service::parse_command(command_frame({"FLUSHALL"}));
+  ASSERT_FALSE(cmd.ok());
+  EXPECT_EQ(cmd.error().code, api::Errc::Protocol);
+}
+
+TEST(RespCommandTest, OversizedAndEmptyKeysRejected) {
+  const auto big = service::parse_command(
+      command_frame({"GET", std::string(service::kMaxKeyBytes + 1, 'k')}));
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.error().code, api::Errc::Protocol);
+  const auto empty = service::parse_command(command_frame({"GET", ""}));
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, api::Errc::Protocol);
+}
+
+TEST(RespCommandTest, PingAndInfoTakeOptionalArgument) {
+  EXPECT_TRUE(service::parse_command(command_frame({"PING"})).ok());
+  const auto echo = service::parse_command(command_frame({"PING", "hi"}));
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo.value().key, "hi");
+  EXPECT_TRUE(service::parse_command(command_frame({"INFO"})).ok());
+  EXPECT_FALSE(service::keyed(Verb::Ping));
+}
+
+// --- error taxonomy over the wire -----------------------------------------
+
+TEST(RespErrorTest, TaxonomyRoundTripsThroughAReply) {
+  const api::Error in{api::Errc::OutOfSpace, "pool full on shard 2"};
+  const std::string reply = service::encode_error_reply(in);
+  ASSERT_EQ(reply.substr(0, 1), "-");
+  // Parse it as the client would: through the RESP parser, then decode.
+  RespParser p;
+  RespValue v;
+  ASSERT_EQ(feed_all(p, reply, v), RespParser::Status::Value);
+  ASSERT_EQ(v.type, RespValue::Type::Error);
+  const api::Error out = service::decode_error_reply(v.text);
+  EXPECT_EQ(out.code, api::Errc::OutOfSpace);
+  EXPECT_EQ(out.message, "pool full on shard 2");
+}
+
+TEST(RespErrorTest, UnknownTokenDecodesAsInternal) {
+  const api::Error out =
+      service::decode_error_reply("WRONGTYPE something redis-flavoured");
+  EXPECT_EQ(out.code, api::Errc::Internal);
+}
+
+TEST(RespErrorTest, IoErrorMapsIntoIoFailure) {
+  const api::Error e = service::io_error("recv", ECONNRESET);
+  EXPECT_EQ(e.code, api::Errc::IoFailure);
+  EXPECT_NE(e.message.find("recv"), std::string::npos);
+  // errno 0 is the short-read-to-EOF case.
+  EXPECT_NE(service::io_error("recv", 0).message.find("connection closed"),
+            std::string::npos);
+}
+
+TEST(RespErrorTest, ErrcTokensRoundTripByName) {
+  for (const api::Errc c :
+       {api::Errc::PoolNotFound, api::Errc::Protocol, api::Errc::IoFailure,
+        api::Errc::TxFailure, api::Errc::Internal}) {
+    EXPECT_EQ(api::errc_from_token(api::to_string(c)), c);
+  }
+  EXPECT_EQ(api::errc_from_token("no-such-token"), api::Errc::Internal);
+}
+
+}  // namespace
