@@ -11,7 +11,9 @@
 // discipline (the crash simulator depends on it).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -20,6 +22,7 @@
 #include "api/ptr.hpp"
 #include "api/result.hpp"
 #include "api/translate.hpp"
+#include "pmemkit/evolve.hpp"
 #include "pmemkit/pool.hpp"
 
 namespace cxlpmem::api {
@@ -51,8 +54,31 @@ class Pool {
 
   /// Occupancy plus contention counters (lane waits, allocator run-lock
   /// skips/waits) — the signal a multi-threaded producer watches to decide
-  /// whether the pool, not the workload, is the bottleneck.
+  /// whether the pool, not the workload, is the bottleneck — and, since
+  /// the evolution work, fragmentation (heap.live_bytes / reserved_bytes /
+  /// fragmentation), layout_version and the resize count.
   [[nodiscard]] pmemkit::PoolStats stats() const { return impl_->stats(); }
+
+  // --- online evolution ------------------------------------------------------
+  /// Grows or shrinks the pool in place (pmemkit::ObjectPool::resize
+  /// semantics: grow is usable immediately; shrink refuses with
+  /// Errc::BadArgument while live objects occupy the doomed tail; the
+  /// calling thread must hold no transaction or LaneSession on the pool).
+  [[nodiscard]] Result<void> resize(std::uint64_t new_size) {
+    return wrap([&] { impl_->resize(new_size); });
+  }
+
+  /// Defragments the heap by relocating the objects owned by `refs` (each
+  /// element points at the owning reference slot, which is rewritten inside
+  /// the same transaction that moves its object — pmemobj_defrag's
+  /// contract; ptr<T> slots are exactly ObjIds, so &p.oid()-style slots
+  /// from containers plug in directly).
+  [[nodiscard]] Result<pmemkit::CompactReport> compact(
+      std::span<pmemkit::ObjId* const> refs,
+      pmemkit::CompactOptions options = {}) {
+    return wrap(
+        [&] { return pmemkit::compact_pool(*impl_, refs, options); });
+  }
 
   // --- typed programming model ------------------------------------------------
   /// Typed root object, allocated zeroed (and typed as T) on first use.

@@ -25,6 +25,7 @@ bool volatile_allowed(const PoolSpec& spec, const MemorySpace& s) {
 pmemkit::PoolOptions options_of(const PoolSpec& spec) {
   pmemkit::PoolOptions options;
   options.track_shadow = spec.track_shadow;
+  options.migrate = spec.migrate;
   return options;
 }
 
@@ -118,6 +119,12 @@ Result<void> Runtime::remove_pool(std::string_view ns,
   const MemorySpace* s = find_space(ns);
   if (s == nullptr) return unknown_namespace(ns);
   return wrap([&] { rt_->dax(s->name).remove_pool(std::string(file)); });
+}
+
+Result<void> Runtime::resize_pool(Pool& pool, std::uint64_t new_size) {
+  const MemorySpace* s = find_space(pool.space().name);
+  if (s == nullptr) return unknown_namespace(pool.space().name);
+  return wrap([&] { rt_->dax(s->name).resize_pool(pool.pmem(), new_size); });
 }
 
 Result<std::string> Runtime::namespace_for(simkit::MemoryId memory) const {

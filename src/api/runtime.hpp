@@ -52,6 +52,11 @@ struct PoolSpec {
   bool allow_volatile = false;
   /// Maintain the crash-consistency shadow image (slower; for tests).
   bool track_shadow = false;
+  /// Open-time layout upgrade: a version-1 pool image (or one carrying an
+  /// interrupted migration marker) is migrated in place to the current
+  /// layout before the open completes.  Without it such images come back
+  /// as Errc::VersionMismatch / Errc::PoolCorrupt.
+  bool migrate = false;
 };
 
 /// Options for checkpoint_store: the pool spec plus the incremental
@@ -103,6 +108,13 @@ class Runtime {
                                          std::string_view file) const;
   [[nodiscard]] Result<void> remove_pool(std::string_view ns,
                                          std::string_view file);
+  /// Capacity-checked live resize: routes through the pool's namespace so a
+  /// grow that would exceed the namespace's remaining bytes comes back as
+  /// Errc::CapacityExceeded *before* anything durable happens, and the
+  /// namespace's used-byte accounting tracks the actual size delta.
+  /// Pool::resize() stays available for callers that only hold the pool —
+  /// it talks straight to the file and skips this accounting.
+  [[nodiscard]] Result<void> resize_pool(Pool& pool, std::uint64_t new_size);
 
   // --- checkpoint/restart ----------------------------------------------------
   /// Double-buffered crash-atomic checkpoint store on namespace `ns`, sized

@@ -26,7 +26,10 @@ namespace cxlpmem::api {
     case K::ChecksumMismatch:
     case K::SizeMismatch:
     case K::CorruptImage:
+    case K::MigrationPending:
       return Errc::PoolCorrupt;
+    case K::ShrinkBlocked:
+      return Errc::BadArgument;
     case K::LayoutMismatch:
     case K::LayoutTooLong:
       return Errc::LayoutMismatch;

@@ -93,6 +93,24 @@ std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::open_pool(
   return pmemkit::ObjectPool::open(resource, layout, options);
 }
 
+void DaxNamespace::resize_pool(pmemkit::ObjectPool& pool,
+                               std::uint64_t new_size) {
+  const std::uint64_t before = pool.size();
+  if (new_size > before && new_size - before > available_bytes())
+    throw pmemkit::PoolError(pmemkit::ErrKind::CapacityExceeded,
+                             "namespace '" + name_ +
+                                 "' out of capacity: resize needs " +
+                                 std::to_string(new_size - before) +
+                                 " more bytes, available " +
+                                 std::to_string(available_bytes()));
+  pool.resize(new_size);
+  const std::uint64_t after = pool.size();
+  if (after >= before)
+    used_ += after - before;
+  else
+    used_ -= std::min<std::uint64_t>(used_, before - after);
+}
+
 void DaxNamespace::remove_pool(const std::string& file) {
   const std::filesystem::path p = file_path(file);
   if (!std::filesystem::exists(p))

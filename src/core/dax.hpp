@@ -71,6 +71,13 @@ class DaxNamespace {
       const std::string& file, std::string_view layout,
       pmemkit::PoolOptions options = pmemkit::PoolOptions());
 
+  /// Resizes an open pool that lives in this namespace, enforcing device
+  /// capacity on grow and reclaiming it on shrink.  Forwards to
+  /// pmemkit::ObjectPool::resize (same quiesce/crash-safety contract); the
+  /// accounting uses the pool's actual size afterwards, since a shrink
+  /// rounds up to a heap-span boundary.
+  void resize_pool(pmemkit::ObjectPool& pool, std::uint64_t new_size);
+
   /// Deletes a pool file, reclaiming capacity.
   void remove_pool(const std::string& file);
 

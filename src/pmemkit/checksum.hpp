@@ -29,7 +29,10 @@ class Fletcher64 {
       }
     }
     for (; i + 4 <= len; i += 4) absorb(p + i);
-    while (i < len) pending_[pending_len_++] = p[i++];
+    // pending_len_ is provably 0 here whenever i < len, so the tail can
+    // never overflow pending_ — but spell the bound out so constant-size
+    // inlined calls don't trip -Waggressive-loop-optimizations.
+    while (i < len && pending_len_ < 4) pending_[pending_len_++] = p[i++];
   }
   [[nodiscard]] std::uint64_t final() const noexcept {
     std::uint64_t lo = lo_, hi = hi_;

@@ -27,6 +27,8 @@ enum class ErrKind {
   PoolExists,        ///< create() target already exists
   PoolNotFound,      ///< open() target missing
   CorruptImage,      ///< heap/lane/undo-log structures fail validation
+  MigrationPending,  ///< image carries an in-progress migration marker
+  ShrinkBlocked,     ///< live objects occupy the span a shrink would drop
   BadOid,            ///< null/foreign/out-of-range object id
   BadName,           ///< malformed pool file name
   TypeMismatch,      ///< object's type number differs from the caller's
@@ -57,6 +59,8 @@ enum class ErrKind {
     case ErrKind::PoolExists: return "pool-exists";
     case ErrKind::PoolNotFound: return "pool-not-found";
     case ErrKind::CorruptImage: return "corrupt-image";
+    case ErrKind::MigrationPending: return "migration-pending";
+    case ErrKind::ShrinkBlocked: return "shrink-blocked";
     case ErrKind::BadOid: return "bad-oid";
     case ErrKind::BadName: return "bad-name";
     case ErrKind::TypeMismatch: return "type-mismatch";

@@ -1,0 +1,107 @@
+// pmemkit/evolve.hpp — online pool evolution: open-time layout migration,
+// live resize support, and the background compactor.
+//
+// All three share one crash discipline, borrowed from the checkpoint
+// engine's invalidate-then-seal protocol:
+//
+//   1. a durable EvolutionMarker (header page, kEvolveMarkerOff) names the
+//      operation BEFORE any image mutation — an image carrying a valid
+//      marker is, by definition, mid-evolution and must not be trusted
+//      beyond what the marker's recovery path re-establishes;
+//   2. every bulk write is copy-and-verify: write, persist, read back,
+//      compare fletcher64 fingerprints (a torn or dropped line surfaces as
+//      CorruptImage here, not as silent data loss later);
+//   3. exactly one redo-log commit *seals* the operation — the version
+//      word, span-table count and header checksum flip together or not at
+//      all.  Recovery replays a published-but-unapplied seal from the lane
+//      logs before validating anything that the seal rewrites;
+//   4. the marker is cleared only after the seal is durable.
+//
+// Crash anywhere: the image is either entirely the old state (marker
+// present, seal unpublished -> roll back / retry) or entirely the new one
+// (seal published -> roll forward, clear marker).  Never a hybrid.
+//
+// The compactor needs no marker at all: each relocation is an ordinary
+// undo-logged transaction (alloc new / copy-verify / rewrite the caller's
+// reference slot / free old), so a crash mid-compaction recovers through
+// the standard lane recovery path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "pmemkit/layout.hpp"
+#include "pmemkit/oid.hpp"
+#include "pmemkit/pool.hpp"
+
+namespace cxlpmem::pmemkit {
+
+/// Header checksum covers the immutable identity fields only: `flags`
+/// (clean-shutdown toggle), `root_off`/`root_size` (published atomically via
+/// redo after creation) and `checksum` itself are excluded.  Shared between
+/// pool open/create and the evolution seals (which must stage the successor
+/// checksum in the same commit that rewrites version/pool_size).
+[[nodiscard]] std::uint64_t header_checksum(const PoolHeader& h);
+
+/// Checksum over a SpanTable / EvolutionMarker with its checksum field
+/// zeroed — the self-validation rule every header-page side structure uses.
+[[nodiscard]] std::uint64_t span_table_checksum(const SpanTable& t);
+[[nodiscard]] std::uint64_t marker_checksum(const EvolutionMarker& m);
+
+/// Handles an EvolutionMarker found at open, BEFORE header validation (the
+/// seal it brackets may be published but unapplied, and a Resize marker
+/// legitimately leaves the file a different length than the header claims).
+/// Replays all lane redo logs, then rolls the operation forward or back:
+///   Resize       -> file truncated/re-extended to header.pool_size, marker
+///                   cleared;
+///   MigrateV1V2  -> version already current: marker cleared (clear was the
+///                   only step lost).  Version still 1: the marker stays for
+///                   migrate_v1_pool when `migrate` is set, else
+///                   PoolError(MigrationPending).
+/// Returns true when it did anything (the open reports recovered()).
+bool recover_evolution(ObjectPool& pool, bool migrate);
+
+/// Upgrades a version-1 image to the current layout in place (open path,
+/// PoolOptions::migrate).  Validates the v1 header, plants the marker,
+/// replays and verifies every lane to Idle, writes the span table
+/// copy-and-verify, then seals {version word, span-table count, header
+/// checksum} in one redo commit and clears the marker.  Idempotent: rerun
+/// after a crash at any point and it converges on the same v2 image.
+/// Throws PoolError on a header that is not a healthy v1 pool.
+void migrate_v1_pool(ObjectPool& pool, std::string_view layout);
+
+struct CompactOptions {
+  /// Stop after moving this many bytes (default: no cap).
+  std::uint64_t max_moved_bytes = ~0ull;
+  /// Skip source chunks whose fill ratio is at/above this (moving objects
+  /// out of nearly-full chunks churns bytes without freeing chunks).
+  double max_source_fill = 0.9;
+};
+
+struct CompactReport {
+  std::uint64_t examined = 0;       ///< reference slots considered
+  std::uint64_t moved_objects = 0;
+  std::uint64_t moved_bytes = 0;    ///< usable bytes relocated
+  std::uint64_t skipped = 0;        ///< same-chunk landings, dense sources, full heap
+  std::uint64_t reclaimed_chunks = 0;  ///< emptied run chunks returned to Free
+  double fragmentation_before = 0.0;
+  double fragmentation_after = 0.0;
+};
+
+/// Defragments the heap by relocating the objects named by `refs` —
+/// pmemobj_defrag's contract: each element points at the *owning reference
+/// slot* (an ObjId embedded in the pool or any caller memory) whose object
+/// may be moved; the slot is rewritten to the new oid inside the same
+/// transaction that copies the object, so persistent typed pointers
+/// (ptr<T> is exactly an ObjId) stay valid throughout.  Slots that live
+/// inside other movable objects are tracked and rebased as their containers
+/// move.  Sparsest source chunks are drained first, so freed chunks return
+/// to the span map monotonically.  Each relocation is one ordinary
+/// transaction — crash-safe via standard recovery, and safe to run
+/// concurrently with mutators as long as the caller guarantees nobody else
+/// touches the referenced objects or slots during the call.
+CompactReport compact_pool(ObjectPool& pool, std::span<ObjId* const> refs,
+                           CompactOptions options = {});
+
+}  // namespace cxlpmem::pmemkit

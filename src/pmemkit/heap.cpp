@@ -28,40 +28,205 @@ std::uint64_t alloc_word(std::uint32_t type_num,
 
 }  // namespace
 
-Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
-           std::uint64_t heap_size)
-    : region_(&region), heap_off_(heap_off), heap_size_(heap_size) {
-  if (heap_off + heap_size > region.size())
-    throw PoolError(ErrKind::CorruptImage, "heap region exceeds pool");
-  // Solve for the chunk count given the table consumes heap space too.
-  std::uint64_t n = heap_size / kChunkSize;
+Heap::Span Heap::solve_span(std::uint64_t off, std::uint64_t size) const {
+  if (off + size > region_->size())
+    throw PoolError(ErrKind::CorruptImage, "heap span exceeds pool");
+  // Solve for the chunk count given the table consumes span space too.
+  std::uint64_t n = size / kChunkSize;
   while (n > 0) {
     const std::uint64_t table =
         (n * sizeof(ChunkDesc) + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
-    if (table + n * kChunkSize <= heap_size) break;
+    if (table + n * kChunkSize <= size) break;
     --n;
   }
-  if (n == 0) throw PoolError(ErrKind::PoolTooSmall, "heap too small for a single chunk");
-  chunk_count_ = static_cast<std::uint32_t>(n);
+  if (n == 0)
+    throw PoolError(ErrKind::PoolTooSmall,
+                    "heap span too small for a single chunk");
   const std::uint64_t table =
       (n * sizeof(ChunkDesc) + kAllocAlign - 1) / kAllocAlign * kAllocAlign;
-  chunks_off_ = heap_off_ + table;
-  partial_runs_.assign(kSizeClasses.size(), {});
-  chunk_free_.assign(chunk_count_, false);
-  chunk_mu_ = std::make_unique<std::mutex[]>(chunk_count_);
+  Span s;
+  s.off = off;
+  s.size = size;
+  s.chunks_off = off + table;
+  s.first_chunk = chunk_count_.load(std::memory_order_relaxed);
+  s.chunk_count = static_cast<std::uint32_t>(n);
+  return s;
 }
 
-ChunkDesc* Heap::chunk_table() noexcept {
-  return reinterpret_cast<ChunkDesc*>(region_->base() + heap_off_);
+void Heap::publish_span(const Span& s, bool chunks_free) {
+  const std::uint32_t idx = span_count_.load(std::memory_order_relaxed);
+  if (idx >= kMaxHeapSpans)
+    throw PoolError(ErrKind::CorruptImage, "too many heap spans");
+  spans_[idx] = s;
+  chunk_mu_[idx] = std::make_unique<std::mutex[]>(s.chunk_count);
+  {
+    const std::lock_guard<std::mutex> lock(span_mu_);
+    chunk_free_.resize(std::size_t{s.first_chunk} + s.chunk_count,
+                       chunks_free);
+  }
+  chunk_count_.store(s.first_chunk + s.chunk_count,
+                     std::memory_order_relaxed);
+  span_count_.store(idx + 1, std::memory_order_release);
 }
-const ChunkDesc* Heap::chunk_table() const noexcept {
-  return reinterpret_cast<const ChunkDesc*>(region_->base() + heap_off_);
+
+Heap::Heap(PersistentRegion& region, std::uint64_t heap_off,
+           std::uint64_t heap_size)
+    : region_(&region), heap_off_(heap_off), heap_size_(heap_size) {
+  partial_runs_.assign(kSizeClasses.size(), {});
+  publish_span(solve_span(heap_off, heap_size), /*chunks_free=*/false);
+}
+
+void Heap::adopt_span(std::uint64_t off, std::uint64_t size) {
+  publish_span(solve_span(off, size), /*chunks_free=*/false);
+}
+
+std::uint32_t Heap::extend_span(std::uint64_t off, std::uint64_t size) {
+  const Span s = solve_span(off, size);
+  ChunkDesc* table = reinterpret_cast<ChunkDesc*>(region_->base() + s.off);
+  for (std::uint32_t c = 0; c < s.chunk_count; ++c)
+    table[c] = ChunkDesc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
+  region_->persist(table, s.chunk_count * sizeof(ChunkDesc));
+  publish_span(s, /*chunks_free=*/true);
+  return s.chunk_count;
+}
+
+std::uint32_t Heap::span_count() const noexcept {
+  return span_count_.load(std::memory_order_acquire);
+}
+
+HeapSpan Heap::span_extent(std::uint32_t idx) const noexcept {
+  return HeapSpan{spans_[idx].off, spans_[idx].size};
+}
+
+std::uint64_t Heap::span_live_bytes(std::uint32_t idx) const {
+  const Span& s = spans_[idx];
+  std::uint64_t live = 0;
+  for (std::uint32_t c = s.first_chunk; c < s.first_chunk + s.chunk_count;) {
+    const std::lock_guard<std::mutex> lock(chunk_mutex(c));
+    const ChunkDesc& d = *chunk_desc(c);
+    switch (static_cast<ChunkState>(d.state)) {
+      case ChunkState::Run: {
+        const RunHeader* rh = run_header(c);
+        std::uint32_t used = 0;
+        for (const std::uint64_t w : rh->bitmap)
+          used += static_cast<std::uint32_t>(std::popcount(w));
+        live += std::uint64_t{used} * kSizeClasses[d.class_idx];
+        ++c;
+        break;
+      }
+      case ChunkState::HugeHead:
+        live += std::uint64_t{d.span} * kChunkSize;
+        c += std::max<std::uint32_t>(d.span, 1);
+        break;
+      default:
+        ++c;
+        break;
+    }
+  }
+  return live;
+}
+
+bool Heap::span_retractable(std::uint32_t idx) const {
+  const Span& s = spans_[idx];
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  for (std::uint32_t c = 0; c < s.chunk_count; ++c) {
+    const ChunkDesc& d =
+        reinterpret_cast<const ChunkDesc*>(region_->base() + s.off)[c];
+    if (static_cast<ChunkState>(d.state) != ChunkState::Free ||
+        !chunk_free_[s.first_chunk + c])
+      return false;
+  }
+  return true;
+}
+
+void Heap::retract_span() {
+  const std::uint32_t n = span_count_.load(std::memory_order_relaxed);
+  if (n <= 1)
+    throw PoolError(ErrKind::TxMisuse, "base heap span cannot be retracted");
+  const Span& s = spans_[n - 1];
+  // Persistent occupancy and transient claims must both be clear; the
+  // caller has quiesced transactions, so nothing can slip in between the
+  // check and the unpublish below (both run under span_mu_).
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  for (std::uint32_t c = 0; c < s.chunk_count; ++c) {
+    const ChunkDesc& d =
+        reinterpret_cast<const ChunkDesc*>(region_->base() + s.off)[c];
+    if (static_cast<ChunkState>(d.state) != ChunkState::Free ||
+        !chunk_free_[s.first_chunk + c])
+      throw PoolError(ErrKind::ShrinkBlocked,
+                      "live objects occupy the span a shrink would drop");
+  }
+  chunk_free_.resize(s.first_chunk);
+  chunk_count_.store(s.first_chunk, std::memory_order_relaxed);
+  span_count_.store(n - 1, std::memory_order_release);
+}
+
+std::uint32_t Heap::span_index_of_chunk(std::uint32_t chunk) const noexcept {
+  const std::uint32_t n = span_count_.load(std::memory_order_acquire);
+  std::uint32_t i = n - 1;
+  while (i > 0 && spans_[i].first_chunk > chunk) --i;
+  return i;
+}
+
+std::uint32_t Heap::reclaim_empty_runs() {
+  const std::uint32_t total = chunk_count_.load(std::memory_order_acquire);
+  std::uint32_t reclaimed = 0;
+  for (std::uint32_t c = 0; c < total; ++c) {
+    const std::lock_guard<std::mutex> lock(chunk_mutex(c));
+    const ChunkDesc d = *chunk_desc(c);
+    if (static_cast<ChunkState>(d.state) != ChunkState::Run) continue;
+    const RunHeader* rh = run_header(c);
+    bool empty = true;
+    for (std::uint32_t w = 0; w * 64 < rh->block_count && empty; ++w)
+      empty = rh->bitmap[w] == 0;
+    if (!empty) continue;
+
+    // One aligned word flip, crash-safe without a log: an empty Run and a
+    // Free chunk describe the same zero live objects, so either side of
+    // the write is a valid image.  The stale RunHeader is inert once the
+    // descriptor stops naming the chunk a Run.
+    const ChunkDesc free_desc{static_cast<std::uint8_t>(ChunkState::Free), 0,
+                              0, 0};
+    const std::uint64_t word = desc_word(free_desc);
+    region_->memcpy_persist(region_->base() + desc_off(c), &word,
+                            sizeof(word));
+
+    // Retire the transient hints (lock order: chunk -> class -> span).
+    {
+      const std::lock_guard<std::mutex> cl(class_mu_[d.class_idx]);
+      auto& partials = partial_runs_[d.class_idx];
+      partials.erase(std::remove(partials.begin(), partials.end(), c),
+                     partials.end());
+    }
+    {
+      const std::lock_guard<std::mutex> sl(span_mu_);
+      chunk_free_[c] = true;
+    }
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+ChunkDesc* Heap::chunk_desc(std::uint32_t chunk) noexcept {
+  return reinterpret_cast<ChunkDesc*>(region_->base() + desc_off(chunk));
+}
+const ChunkDesc* Heap::chunk_desc(std::uint32_t chunk) const noexcept {
+  return reinterpret_cast<const ChunkDesc*>(region_->base() +
+                                            desc_off(chunk));
+}
+std::uint64_t Heap::desc_off(std::uint32_t chunk) const noexcept {
+  const Span& s = spans_[span_index_of_chunk(chunk)];
+  return s.off + std::uint64_t{chunk - s.first_chunk} * sizeof(ChunkDesc);
+}
+std::uint64_t Heap::chunk_off(std::uint32_t chunk) const noexcept {
+  const Span& s = spans_[span_index_of_chunk(chunk)];
+  return s.chunks_off + std::uint64_t{chunk - s.first_chunk} * kChunkSize;
 }
 std::byte* Heap::chunk_data(std::uint32_t chunk) noexcept {
-  return region_->base() + chunks_off_ + std::uint64_t{chunk} * kChunkSize;
+  return region_->base() + chunk_off(chunk);
 }
 const std::byte* Heap::chunk_data(std::uint32_t chunk) const noexcept {
-  return region_->base() + chunks_off_ + std::uint64_t{chunk} * kChunkSize;
+  return region_->base() + chunk_off(chunk);
 }
 RunHeader* Heap::run_header(std::uint32_t chunk) noexcept {
   return reinterpret_cast<RunHeader*>(chunk_data(chunk));
@@ -69,68 +234,95 @@ RunHeader* Heap::run_header(std::uint32_t chunk) noexcept {
 const RunHeader* Heap::run_header(std::uint32_t chunk) const noexcept {
   return reinterpret_cast<const RunHeader*>(chunk_data(chunk));
 }
+std::mutex& Heap::chunk_mutex(std::uint32_t chunk) const noexcept {
+  const std::uint32_t i = span_index_of_chunk(chunk);
+  return chunk_mu_[i][chunk - spans_[i].first_chunk];
+}
 
 std::uint32_t Heap::chunk_of(std::uint64_t off) const noexcept {
-  if (off < chunks_off_) return kNoChunk;
-  const std::uint64_t c = (off - chunks_off_) / kChunkSize;
-  return c < chunk_count_ ? static_cast<std::uint32_t>(c) : kNoChunk;
+  const std::uint32_t n = span_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Span& s = spans_[i];
+    if (off < s.chunks_off ||
+        off >= s.chunks_off + std::uint64_t{s.chunk_count} * kChunkSize)
+      continue;
+    return s.first_chunk +
+           static_cast<std::uint32_t>((off - s.chunks_off) / kChunkSize);
+  }
+  return kNoChunk;
 }
 
 void Heap::format() {
-  ChunkDesc* table = chunk_table();
-  for (std::uint32_t c = 0; c < chunk_count_; ++c)
+  // Create path: only the base span exists.
+  const Span& s = spans_[0];
+  ChunkDesc* table = reinterpret_cast<ChunkDesc*>(region_->base() + s.off);
+  for (std::uint32_t c = 0; c < s.chunk_count; ++c)
     table[c] = ChunkDesc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
-  region_->persist(table, chunk_count_ * sizeof(ChunkDesc));
+  region_->persist(table, s.chunk_count * sizeof(ChunkDesc));
   partial_runs_.assign(kSizeClasses.size(), {});
-  chunk_free_.assign(chunk_count_, true);
+  const std::lock_guard<std::mutex> lock(span_mu_);
+  chunk_free_.assign(chunk_count_.load(std::memory_order_relaxed), true);
 }
 
 void Heap::rebuild() {
   partial_runs_.assign(kSizeClasses.size(), {});
-  chunk_free_.assign(chunk_count_, false);
-  const ChunkDesc* table = chunk_table();
-  std::uint32_t c = 0;
-  while (c < chunk_count_) {
-    const ChunkDesc& d = table[c];
-    switch (static_cast<ChunkState>(d.state)) {
-      case ChunkState::Free:
-        chunk_free_[c] = true;
-        ++c;
-        break;
-      case ChunkState::Run: {
-        if (d.class_idx >= kSizeClasses.size())
-          throw PoolError(ErrKind::CorruptImage, "corrupt run descriptor");
-        const RunHeader* rh = run_header(c);
-        if (rh->class_idx != d.class_idx)
-          throw PoolError(ErrKind::CorruptImage, "run header / descriptor class mismatch");
-        std::uint32_t used = 0;
-        for (const std::uint64_t w : rh->bitmap)
-          used += static_cast<std::uint32_t>(std::popcount(w));
-        if (used > rh->block_count) throw PoolError(ErrKind::CorruptImage, "corrupt run bitmap");
-        if (used < rh->block_count) partial_runs_[d.class_idx].push_back(c);
-        ++c;
-        break;
+  {
+    const std::lock_guard<std::mutex> lock(span_mu_);
+    chunk_free_.assign(chunk_count_.load(std::memory_order_relaxed), false);
+  }
+  const std::uint32_t spans = span_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < spans; ++i) {
+    const Span& s = spans_[i];
+    const std::uint32_t end = s.first_chunk + s.chunk_count;
+    std::uint32_t c = s.first_chunk;
+    while (c < end) {
+      const ChunkDesc& d = *chunk_desc(c);
+      switch (static_cast<ChunkState>(d.state)) {
+        case ChunkState::Free:
+          chunk_free_[c] = true;
+          ++c;
+          break;
+        case ChunkState::Run: {
+          if (d.class_idx >= kSizeClasses.size())
+            throw PoolError(ErrKind::CorruptImage, "corrupt run descriptor");
+          const RunHeader* rh = run_header(c);
+          if (rh->class_idx != d.class_idx)
+            throw PoolError(ErrKind::CorruptImage, "run header / descriptor class mismatch");
+          std::uint32_t used = 0;
+          for (const std::uint64_t w : rh->bitmap)
+            used += static_cast<std::uint32_t>(std::popcount(w));
+          if (used > rh->block_count) throw PoolError(ErrKind::CorruptImage, "corrupt run bitmap");
+          if (used < rh->block_count) partial_runs_[d.class_idx].push_back(c);
+          ++c;
+          break;
+        }
+        case ChunkState::HugeHead: {
+          if (d.span == 0 || c + d.span > end)
+            throw PoolError(ErrKind::CorruptImage, "corrupt huge span");
+          c += d.span;  // covered chunks keep stale descriptors; skip them
+          break;
+        }
+        default:
+          throw PoolError(ErrKind::CorruptImage, "unknown chunk state");
       }
-      case ChunkState::HugeHead: {
-        if (d.span == 0 || c + d.span > chunk_count_)
-          throw PoolError(ErrKind::CorruptImage, "corrupt huge span");
-        c += d.span;  // covered chunks keep stale descriptors; skip them
-        break;
-      }
-      default:
-        throw PoolError(ErrKind::CorruptImage, "unknown chunk state");
     }
   }
 }
 
 std::uint32_t Heap::find_free_span(std::uint32_t span) const {
-  std::uint32_t run_start = 0, run_len = 0;
-  for (std::uint32_t c = 0; c < chunk_count_; ++c) {
-    if (chunk_free_[c]) {
-      if (run_len == 0) run_start = c;
-      if (++run_len == span) return run_start;
-    } else {
-      run_len = 0;
+  // Huge spans are address-contiguous, and addresses only stay contiguous
+  // within one heap span — the search never crosses a span boundary.
+  const std::uint32_t spans = span_count_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < spans; ++i) {
+    const std::uint32_t end = spans_[i].first_chunk + spans_[i].chunk_count;
+    std::uint32_t run_start = 0, run_len = 0;
+    for (std::uint32_t c = spans_[i].first_chunk; c < end; ++c) {
+      if (chunk_free_[c]) {
+        if (run_len == 0) run_start = c;
+        if (++run_len == span) return run_start;
+      } else {
+        run_len = 0;
+      }
     }
   }
   return kNoChunk;
@@ -138,7 +330,8 @@ std::uint32_t Heap::find_free_span(std::uint32_t span) const {
 
 void Heap::unclaim_span(std::uint32_t chunk, std::uint32_t span) {
   const std::lock_guard<std::mutex> lock(span_mu_);
-  for (std::uint32_t i = 0; i < span && chunk + i < chunk_count_; ++i)
+  const std::uint32_t total = chunk_count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < span && chunk + i < total; ++i)
     chunk_free_[chunk + i] = true;
 }
 
@@ -163,7 +356,7 @@ void Heap::acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a) {
       auto& partials = partial_runs_[class_idx];
       for (std::size_t i = partials.size(); i-- > 0;) {
         const std::uint32_t c = partials[i];
-        std::unique_lock<std::mutex> lk(chunk_mu_[c], std::try_to_lock);
+        std::unique_lock<std::mutex> lk(chunk_mutex(c), std::try_to_lock);
         if (!lk.owns_lock()) {
           run_lock_skips_.fetch_add(1, std::memory_order_relaxed);
           busy_candidate = c;
@@ -193,7 +386,7 @@ void Heap::acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a) {
     }
     if (c != kNoChunk) {
       // May briefly wait for a previous owner (e.g. a huge free) to finish.
-      std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+      std::unique_lock<std::mutex> lk(chunk_mutex(c));
       try {
         RunHeader rh{};
         rh.class_idx = static_cast<std::uint32_t>(class_idx);
@@ -201,8 +394,7 @@ void Heap::acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a) {
         region_->memcpy_persist(run_header(c), &rh, sizeof(rh));
         ChunkDesc d{static_cast<std::uint8_t>(ChunkState::Run),
                     static_cast<std::uint8_t>(class_idx), 0, 0};
-        redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
-                   desc_word(d));
+        redo.stage(desc_off(c), desc_word(d));
       } catch (...) {
         lk.unlock();
         unclaim_span(c, 1);
@@ -221,8 +413,8 @@ void Heap::acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a) {
     // one (no other lock held, so this cannot deadlock) and re-validate —
     // its holder may have taken the last block.
     run_lock_waits_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lk(chunk_mu_[busy_candidate]);
-    const ChunkDesc& d = chunk_table()[busy_candidate];
+    std::unique_lock<std::mutex> lk(chunk_mutex(busy_candidate));
+    const ChunkDesc& d = *chunk_desc(busy_candidate);
     if (static_cast<ChunkState>(d.state) == ChunkState::Run &&
         d.class_idx == static_cast<std::uint8_t>(class_idx) &&
         run_has_free_block(busy_candidate)) {
@@ -257,15 +449,13 @@ PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
             static_cast<std::uint32_t>(std::countr_one(rh->bitmap[w]));
         if (bit < 64 && w * 64 + bit < rh->block_count) {
           idx = w * 64 + bit;
-          redo.stage(
-              chunks_off_ + std::uint64_t{c} * kChunkSize +
-                  offsetof(RunHeader, bitmap) + w * 8,
-              rh->bitmap[w] | (1ull << bit));
+          redo.stage(chunk_off(c) + offsetof(RunHeader, bitmap) + w * 8,
+                     rh->bitmap[w] | (1ull << bit));
           break;
         }
       }
-      block_off = chunks_off_ + std::uint64_t{c} * kChunkSize +
-                  kRunHeaderSize + std::uint64_t{idx} * block;
+      block_off =
+          chunk_off(c) + kRunHeaderSize + std::uint64_t{idx} * block;
       out.total_size = block;
     } catch (...) {
       cancel_alloc(out);
@@ -285,20 +475,19 @@ PreparedAlloc Heap::stage_alloc(RedoSession& redo, std::uint64_t usable,
       throw AllocError(ErrKind::OutOfSpace, "out of contiguous heap space");
     // A chunk freed moments ago may still be held by its freeing lane for
     // the last transient update; waiting here holds no other lock.
-    std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+    std::unique_lock<std::mutex> lk(chunk_mutex(c));
     out.chunk = c;
     out.claimed_span = span;
     out.owner = std::move(lk);
     try {
       ChunkDesc d{static_cast<std::uint8_t>(ChunkState::HugeHead), 0, 0,
                   span};
-      redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
-                 desc_word(d));
+      redo.stage(desc_off(c), desc_word(d));
     } catch (...) {
       cancel_alloc(out);
       throw;
     }
-    block_off = chunks_off_ + std::uint64_t{c} * kChunkSize;
+    block_off = chunk_off(c);
     out.total_size = std::uint64_t{span} * kChunkSize;
   }
 
@@ -320,7 +509,7 @@ void Heap::hint_partial(std::uint8_t class_idx, std::uint32_t chunk) {
 
 void Heap::finish_alloc(PreparedAlloc& a) {
   const std::uint32_t c = a.chunk;
-  const ChunkDesc& d = chunk_table()[c];
+  const ChunkDesc& d = *chunk_desc(c);
   if (static_cast<ChunkState>(d.state) == ChunkState::Run)
     hint_partial(d.class_idx, c);
   // Huge spans (and fresh-run chunks) were claimed in chunk_free_ at stage
@@ -339,19 +528,20 @@ PreparedFree Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
                               bool tolerate_dead) {
   PreparedFree out;
   const std::uint64_t block_off = data_off - sizeof(AllocHeader);
-  const std::uint32_t c = chunk_of(block_off);
-  if (c == kNoChunk || data_off < chunks_off_ + sizeof(AllocHeader)) {
+  const std::uint32_t c =
+      data_off < sizeof(AllocHeader) ? kNoChunk : chunk_of(block_off);
+  if (c == kNoChunk) {
     if (tolerate_dead) return out;
     throw AllocError(ErrKind::InvalidFree, "free of non-live object");
   }
-  std::unique_lock<std::mutex> lk(chunk_mu_[c]);
+  std::unique_lock<std::mutex> lk(chunk_mutex(c));
   // Liveness must be judged under the chunk lock: a concurrent operation on
   // the same chunk may be mid-commit.
   if (!is_live(data_off)) {
     if (tolerate_dead) return out;
     throw AllocError(ErrKind::InvalidFree, "free of non-live object");
   }
-  const ChunkDesc& d = chunk_table()[c];
+  const ChunkDesc& d = *chunk_desc(c);
   const auto* hdr =
       reinterpret_cast<const AllocHeader*>(region_->base() + block_off);
 
@@ -361,17 +551,13 @@ PreparedFree Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
   if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
     const RunHeader* rh = run_header(c);
     const std::uint32_t block = kSizeClasses[d.class_idx];
-    const std::uint64_t rel =
-        block_off - (chunks_off_ + std::uint64_t{c} * kChunkSize) -
-        kRunHeaderSize;
+    const std::uint64_t rel = block_off - chunk_off(c) - kRunHeaderSize;
     const auto idx = static_cast<std::uint32_t>(rel / block);
-    redo.stage(chunks_off_ + std::uint64_t{c} * kChunkSize +
-                   offsetof(RunHeader, bitmap) + (idx / 64) * 8,
+    redo.stage(chunk_off(c) + offsetof(RunHeader, bitmap) + (idx / 64) * 8,
                rh->bitmap[idx / 64] & ~(1ull << (idx % 64)));
   } else {
     ChunkDesc free_desc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
-    redo.stage(heap_off_ + std::uint64_t{c} * sizeof(ChunkDesc),
-               desc_word(free_desc));
+    redo.stage(desc_off(c), desc_word(free_desc));
   }
   free_ops_.fetch_add(1, std::memory_order_relaxed);
   out.data_off = data_off;
@@ -383,7 +569,7 @@ PreparedFree Heap::stage_free(RedoSession& redo, std::uint64_t data_off,
 
 void Heap::finish_free(PreparedFree& f) {
   const std::uint32_t c = f.chunk;
-  const ChunkDesc& d = chunk_table()[c];
+  const ChunkDesc& d = *chunk_desc(c);
   if (static_cast<ChunkState>(d.state) == ChunkState::Run) {
     hint_partial(d.class_idx, c);
   } else {
@@ -401,20 +587,20 @@ void Heap::finish_free(PreparedFree& f) {
 }
 
 bool Heap::is_live_synced(std::uint64_t data_off) const {
-  if (data_off < chunks_off_ + sizeof(AllocHeader)) return false;
+  if (data_off < sizeof(AllocHeader)) return false;
   const std::uint32_t c = chunk_of(data_off - sizeof(AllocHeader));
   if (c == kNoChunk) return false;
-  const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
+  const std::lock_guard<std::mutex> lock(chunk_mutex(c));
   return is_live(data_off);
 }
 
 bool Heap::is_live(std::uint64_t data_off) const {
-  if (data_off < chunks_off_ + sizeof(AllocHeader)) return false;
+  if (data_off < sizeof(AllocHeader)) return false;
   const std::uint64_t block_off = data_off - sizeof(AllocHeader);
   const std::uint32_t c = chunk_of(block_off);
   if (c == kNoChunk) return false;
-  const ChunkDesc& d = chunk_table()[c];
-  const std::uint64_t chunk_start = chunks_off_ + std::uint64_t{c} * kChunkSize;
+  const ChunkDesc& d = *chunk_desc(c);
+  const std::uint64_t chunk_start = chunk_off(c);
   switch (static_cast<ChunkState>(d.state)) {
     case ChunkState::Run: {
       if (d.class_idx >= kSizeClasses.size()) return false;
@@ -447,12 +633,12 @@ const AllocHeader& Heap::header_of(std::uint64_t data_off) const {
 }
 
 std::uint32_t Heap::type_of_synced(std::uint64_t data_off) const {
-  if (data_off < chunks_off_ + sizeof(AllocHeader))
+  if (data_off < sizeof(AllocHeader))
     throw AllocError(ErrKind::BadOid, "offset outside the heap");
   const std::uint32_t c = chunk_of(data_off - sizeof(AllocHeader));
   if (c == kNoChunk)
     throw AllocError(ErrKind::BadOid, "offset outside the heap");
-  const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
+  const std::lock_guard<std::mutex> lock(chunk_mutex(c));
   return header_of(data_off).type_num;
 }
 
@@ -462,12 +648,11 @@ std::uint64_t Heap::first_object(std::uint32_t type_num) const {
 
 std::uint64_t Heap::next_object(std::uint64_t data_off,
                                 std::uint32_t type_num) const {
-  const ChunkDesc* table = chunk_table();
+  const std::uint32_t total = chunk_count_.load(std::memory_order_acquire);
   std::uint32_t c = 0;
-  while (c < chunk_count_) {
-    const ChunkDesc& d = table[c];
-    const std::uint64_t chunk_start =
-        chunks_off_ + std::uint64_t{c} * kChunkSize;
+  while (c < total) {
+    const ChunkDesc& d = *chunk_desc(c);
+    const std::uint64_t chunk_start = chunk_off(c);
     switch (static_cast<ChunkState>(d.state)) {
       case ChunkState::Run: {
         const RunHeader* rh = run_header(c);
@@ -509,17 +694,18 @@ std::uint64_t Heap::next_object(std::uint64_t data_off,
 
 HeapStats Heap::stats() const {
   HeapStats s;
-  s.chunk_count = chunk_count_;
-  s.total_bytes = std::uint64_t{chunk_count_} * kChunkSize;
-  const ChunkDesc* table = chunk_table();
+  const std::uint32_t total = chunk_count_.load(std::memory_order_acquire);
+  s.chunk_count = total;
+  s.span_count = span_count_.load(std::memory_order_acquire);
+  s.total_bytes = std::uint64_t{total} * kChunkSize;
   std::uint32_t c = 0;
   // Per-chunk locking: chunk metadata (descriptor, run bitmap) is only
   // mutated under that chunk's lock, so the walk reads each head chunk
   // consistently — stats() is safe to call from a monitoring thread while
   // lanes allocate.  The aggregate is still a moving snapshot, of course.
-  while (c < chunk_count_) {
-    const std::lock_guard<std::mutex> lock(chunk_mu_[c]);
-    const ChunkDesc& d = table[c];
+  while (c < total) {
+    const std::lock_guard<std::mutex> lock(chunk_mutex(c));
+    const ChunkDesc& d = *chunk_desc(c);
     switch (static_cast<ChunkState>(d.state)) {
       case ChunkState::Free:
         ++s.free_chunks;
@@ -527,24 +713,38 @@ HeapStats Heap::stats() const {
         break;
       case ChunkState::Run: {
         const RunHeader* rh = run_header(c);
-        std::uint32_t used = 0;
-        for (const std::uint64_t w : rh->bitmap)
-          used += static_cast<std::uint32_t>(std::popcount(w));
-        s.object_count += used;
-        s.allocated_bytes += std::uint64_t{used} * kSizeClasses[d.class_idx];
+        const std::uint32_t block = kSizeClasses[d.class_idx];
+        for (std::uint32_t i = 0; i < rh->block_count; ++i) {
+          if ((rh->bitmap[i / 64] & (1ull << (i % 64))) == 0) continue;
+          ++s.object_count;
+          s.allocated_bytes += block;
+          const auto* hdr = reinterpret_cast<const AllocHeader*>(
+              chunk_data(c) + kRunHeaderSize + std::uint64_t{i} * block);
+          s.live_bytes += hdr->size + sizeof(AllocHeader);
+        }
         ++c;
         break;
       }
-      case ChunkState::HugeHead:
+      case ChunkState::HugeHead: {
         ++s.object_count;
         s.allocated_bytes += std::uint64_t{d.span} * kChunkSize;
+        const auto* hdr =
+            reinterpret_cast<const AllocHeader*>(chunk_data(c));
+        s.live_bytes += hdr->size + sizeof(AllocHeader);
         c += std::max<std::uint32_t>(d.span, 1);
         break;
+      }
       default:
         ++c;
         break;
     }
   }
+  s.reserved_bytes = (s.chunk_count - s.free_chunks) * kChunkSize;
+  s.fragmentation =
+      s.reserved_bytes == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(s.live_bytes) /
+                      static_cast<double>(s.reserved_bytes);
   s.alloc_ops = alloc_ops_.load(std::memory_order_relaxed);
   s.free_ops = free_ops_.load(std::memory_order_relaxed);
   s.run_lock_skips = run_lock_skips_.load(std::memory_order_relaxed);
@@ -552,8 +752,37 @@ HeapStats Heap::stats() const {
   return s;
 }
 
+std::uint32_t Heap::chunk_index_of(std::uint64_t data_off) const noexcept {
+  if (data_off < sizeof(AllocHeader)) return kNoChunk;
+  return chunk_of(data_off - sizeof(AllocHeader));
+}
+
+std::uint64_t Heap::chunk_fill_of(std::uint64_t data_off) const {
+  const std::uint32_t c = chunk_index_of(data_off);
+  if (c == kNoChunk) return 0;
+  const std::lock_guard<std::mutex> lock(chunk_mutex(c));
+  const ChunkDesc& d = *chunk_desc(c);
+  switch (static_cast<ChunkState>(d.state)) {
+    case ChunkState::Run: {
+      const RunHeader* rh = run_header(c);
+      std::uint32_t used = 0;
+      for (const std::uint64_t w : rh->bitmap)
+        used += static_cast<std::uint32_t>(std::popcount(w));
+      return std::uint64_t{used} * kSizeClasses[d.class_idx];
+    }
+    case ChunkState::HugeHead:
+      return std::uint64_t{d.span} * kChunkSize;
+    default:
+      return 0;
+  }
+}
+
 std::uint64_t Heap::max_alloc_bytes() const noexcept {
-  return std::uint64_t{chunk_count_} * kChunkSize - sizeof(AllocHeader);
+  const std::uint32_t n = span_count_.load(std::memory_order_acquire);
+  std::uint32_t widest = 0;
+  for (std::uint32_t i = 0; i < n; ++i)
+    widest = std::max(widest, spans_[i].chunk_count);
+  return std::uint64_t{widest} * kChunkSize - sizeof(AllocHeader);
 }
 
 }  // namespace cxlpmem::pmemkit

@@ -1,11 +1,16 @@
 // pmemkit/heap.hpp — the persistent allocator.
 //
 // Design (a simplified pmemobj heap):
-//   * the heap region starts with a ChunkDesc table, followed by 256 KiB
-//     chunks;
+//   * the heap is one or more *spans*; each span is a self-contained region
+//     starting with a ChunkDesc table, followed by 256 KiB chunks;
+//   * a pool is created with a single base span; live grow appends spans at
+//     the end of the file (the span table in the header page names them),
+//     shrink retracts trailing spans whose chunks are all Free;
 //   * small allocations (<= 128 KiB+header) live in Runs: a chunk carved
 //     into equal blocks of one size class, with an in-chunk bitmap;
-//   * larger allocations take a contiguous span of chunks (Huge);
+//   * larger allocations take a contiguous span of chunks (Huge) — never
+//     crossing a span boundary, since chunk addresses only stay contiguous
+//     within one span;
 //   * every persistent-metadata mutation (bitmap bits, chunk states, the
 //     caller's destination ObjId) is staged on a caller-supplied RedoSession
 //     and becomes durable atomically at session commit;
@@ -29,6 +34,10 @@
 //   * lock order is chunk -> (class | span); class- and span-holders only
 //     ever try-lock chunks, so the order cannot cycle.
 // Recovery and rebuild still run single-threaded on the open path.
+// Span-table mutation (extend/retract) happens only on the open path or
+// under a fully quiesced pool (every lane held), published through an
+// acquire/release counter so concurrent readers (stats, iteration) see a
+// consistent prefix.
 #pragma once
 
 #include <array>
@@ -72,6 +81,11 @@ struct HeapStats {
   std::uint64_t object_count = 0;
   std::uint64_t chunk_count = 0;
   std::uint64_t free_chunks = 0;
+  std::uint64_t span_count = 0;       ///< heap spans (1 = never grown)
+  // Fragmentation: how much chunk space is reserved vs actually asked for.
+  std::uint64_t live_bytes = 0;      ///< sum of live object bytes incl. header
+  std::uint64_t reserved_bytes = 0;  ///< non-Free chunks * kChunkSize
+  double fragmentation = 0.0;        ///< 1 - live/reserved (0 when empty)
   // Contention counters (transient, since open).
   std::uint64_t alloc_ops = 0;       ///< stage_alloc calls
   std::uint64_t free_ops = 0;        ///< stage_free calls that staged
@@ -81,16 +95,58 @@ struct HeapStats {
 
 class Heap {
  public:
-  /// Binds to the heap region [heap_off, heap_off+heap_size) of `region`.
+  /// Binds to the base heap span [heap_off, heap_off+heap_size) of
+  /// `region`.  Further spans are added with adopt_span()/extend_span().
   Heap(PersistentRegion& region, std::uint64_t heap_off,
        std::uint64_t heap_size);
 
-  /// Formats a fresh heap (create path): all chunks Free.
+  /// Formats a fresh heap (create path): all base-span chunks Free.
   void format();
 
-  /// Rebuilds transient state from persistent chunk metadata (open path).
-  /// Validates invariants; throws PoolError on corruption.
+  /// Rebuilds transient state from persistent chunk metadata (open path),
+  /// across every registered span.  Validates invariants; throws PoolError
+  /// on corruption.
   void rebuild();
+
+  /// Registers an already-formatted span (open path, from the pool's span
+  /// table) — call before rebuild().  Throws PoolError on a span that does
+  /// not fit the region or cannot hold a single chunk.
+  void adopt_span(std::uint64_t off, std::uint64_t size);
+
+  /// Formats [off, off+size) as a fresh all-Free span (persisted) and
+  /// publishes it live: allocations can land in it as soon as this
+  /// returns.  Returns the number of chunks added.  Grow path — the
+  /// caller (pool resize) has already extended the file and persists the
+  /// span-table entry as part of its sealing commit.
+  std::uint32_t extend_span(std::uint64_t off, std::uint64_t size);
+
+  /// Number of registered spans / a span's extent (index < span_count()).
+  [[nodiscard]] std::uint32_t span_count() const noexcept;
+  [[nodiscard]] HeapSpan span_extent(std::uint32_t idx) const noexcept;
+
+  /// Bytes of live allocations inside span `idx` (0 = retractable).
+  [[nodiscard]] std::uint64_t span_live_bytes(std::uint32_t idx) const;
+
+  /// True when span `idx` could be retracted right now: every chunk is
+  /// persistently Free and transiently unclaimed.  The shrink path's
+  /// pre-flight check, sharing retract_span()'s exact criteria (note an
+  /// empty Run chunk still reserved for its size class blocks retraction).
+  [[nodiscard]] bool span_retractable(std::uint32_t idx) const;
+
+  /// Unpublishes the trailing span so the pool can truncate the file.
+  /// Throws PoolError(ShrinkBlocked) when any of its chunks is occupied
+  /// (persistently or by an in-flight claim) and PoolError(TxMisuse) when
+  /// only the base span is left.
+  void retract_span();
+
+  /// Returns fully-emptied Run chunks (bitmap all zero) to the Free state,
+  /// durably, and drops their partial-run hints.  An emptied run otherwise
+  /// stays reserved for its size class forever — this is what lets
+  /// compaction actually lower reserved_bytes, and lets a shrink retract a
+  /// span whose runs have been drained.  Safe against concurrent
+  /// allocations (each chunk is judged and flipped under its own lock).
+  /// Returns the number of chunks reclaimed.
+  std::uint32_t reclaim_empty_runs();
 
   /// Stages an allocation of `usable` bytes with the given type number.
   /// Writes the AllocHeader immediately (inert until the staged bitmap /
@@ -154,15 +210,51 @@ class Heap {
   /// Largest single allocation this heap can ever satisfy.
   [[nodiscard]] std::uint64_t max_alloc_bytes() const noexcept;
 
+  /// Global index of the chunk holding the allocation at `data_off`, or
+  /// UINT32_MAX when outside the heap.  Compaction uses it to group objects
+  /// by source chunk and to detect a relocation that landed back in the
+  /// chunk it was escaping.
+  [[nodiscard]] std::uint32_t chunk_index_of(std::uint64_t data_off) const
+      noexcept;
+
+  /// Live bytes (blocks/spans in use, incl. headers' share) inside the
+  /// chunk holding `data_off` — the compactor's sparseness key.  0 when the
+  /// offset is outside the heap.
+  [[nodiscard]] std::uint64_t chunk_fill_of(std::uint64_t data_off) const;
+
  private:
-  [[nodiscard]] ChunkDesc* chunk_table() noexcept;
-  [[nodiscard]] const ChunkDesc* chunk_table() const noexcept;
+  /// One span's geometry: descriptor table at `off`, chunks after it.
+  struct Span {
+    std::uint64_t off = 0;         ///< region start (= desc table)
+    std::uint64_t size = 0;        ///< region bytes
+    std::uint64_t chunks_off = 0;  ///< pool offset of this span's chunk 0
+    std::uint32_t first_chunk = 0;  ///< global index of its first chunk
+    std::uint32_t chunk_count = 0;
+  };
+
+  /// Solves a span's chunk count/geometry; throws when it cannot hold one
+  /// chunk or exceeds the mapped region.
+  [[nodiscard]] Span solve_span(std::uint64_t off, std::uint64_t size) const;
+
+  /// Appends a solved span to the transient tables (publishes last).
+  void publish_span(const Span& s, bool chunks_free);
+
+  [[nodiscard]] std::uint32_t span_index_of_chunk(
+      std::uint32_t chunk) const noexcept;
+  [[nodiscard]] ChunkDesc* chunk_desc(std::uint32_t chunk) noexcept;
+  [[nodiscard]] const ChunkDesc* chunk_desc(std::uint32_t chunk) const
+      noexcept;
+  /// Pool offset of a chunk's descriptor (redo staging target).
+  [[nodiscard]] std::uint64_t desc_off(std::uint32_t chunk) const noexcept;
+  /// Pool offset / direct pointer of a chunk's data.
+  [[nodiscard]] std::uint64_t chunk_off(std::uint32_t chunk) const noexcept;
   [[nodiscard]] std::byte* chunk_data(std::uint32_t chunk) noexcept;
   [[nodiscard]] const std::byte* chunk_data(std::uint32_t chunk) const
       noexcept;
   [[nodiscard]] RunHeader* run_header(std::uint32_t chunk) noexcept;
   [[nodiscard]] const RunHeader* run_header(std::uint32_t chunk) const
       noexcept;
+  [[nodiscard]] std::mutex& chunk_mutex(std::uint32_t chunk) const noexcept;
 
   /// Locates the chunk holding pool offset `off`; kInvalid when outside.
   [[nodiscard]] std::uint32_t chunk_of(std::uint64_t off) const noexcept;
@@ -179,8 +271,8 @@ class Heap {
   /// `a.claimed_span` are set.
   void acquire_run(RedoSession& redo, int class_idx, PreparedAlloc& a);
 
-  /// Finds `span` contiguous transiently-free chunks; kNoChunk sentinel
-  /// (~0u) when exhausted.  Caller must hold span_mu_.
+  /// Finds `span` contiguous transiently-free chunks within one heap span;
+  /// kNoChunk sentinel (~0u) when exhausted.  Caller must hold span_mu_.
   [[nodiscard]] std::uint32_t find_free_span(std::uint32_t span) const;
 
   /// Returns [chunk, chunk+span) to the transient free map.
@@ -189,15 +281,22 @@ class Heap {
   PersistentRegion* region_;
   std::uint64_t heap_off_;
   std::uint64_t heap_size_;
-  std::uint32_t chunk_count_ = 0;
-  std::uint64_t chunks_off_ = 0;  ///< pool offset of chunk 0
+
+  // Span table (transient mirror).  Entries never change once published;
+  // span_count_ is the acquire/release publication point so readers that
+  // never take a lock (iteration, chunk lookup) see fully-written entries.
+  std::array<Span, kMaxHeapSpans> spans_{};
+  std::atomic<std::uint32_t> span_count_{0};
+  std::atomic<std::uint32_t> chunk_count_{0};
+  /// Per-span mutex blocks (never freed on retract: a stats walker racing
+  /// a shrink may still be parked on one).
+  std::array<std::unique_ptr<std::mutex[]>, kMaxHeapSpans> chunk_mu_;
 
   // Transient state, sharded (see header comment for the lock order).
   std::vector<std::vector<std::uint32_t>> partial_runs_;  ///< per class
   std::array<std::mutex, kSizeClasses.size()> class_mu_;
   std::vector<bool> chunk_free_;  ///< transient mirror of Free state
   mutable std::mutex span_mu_;    ///< guards chunk_free_
-  std::unique_ptr<std::mutex[]> chunk_mu_;  ///< per-chunk owner locks
 
   std::atomic<std::uint64_t> alloc_ops_{0};
   std::atomic<std::uint64_t> free_ops_{0};

@@ -23,6 +23,10 @@ inline constexpr std::uint64_t kPoolMagic = 0x43584c504d454d31ull;  // CXLPMEM1
 /// checksum are the publish point; the per-entry persistent tail bump of
 /// version 1 is gone, and LaneHeader gained `undo_gen`).
 inline constexpr std::uint32_t kPoolVersion = 2;
+/// Version 1: the TwoPersistReference undo protocol (persistent tail bump
+/// per entry) and no span table.  Rejected by plain open(); accepted by the
+/// open-time migrator (evolve.hpp), which rewrites the image in place.
+inline constexpr std::uint32_t kPoolVersionV1 = 1;
 inline constexpr std::size_t kLayoutNameMax = 64;
 
 inline constexpr std::size_t kHeaderSize = 4096;
@@ -48,12 +52,73 @@ struct PoolHeader {
   std::uint64_t lane_count;
   std::uint64_t lane_size;
   std::uint64_t heap_off;
-  std::uint64_t heap_size;
+  std::uint64_t heap_size;  ///< base heap span bytes (invariant under resize)
   std::uint64_t root_off;   ///< 0 = root not yet allocated
   std::uint64_t root_size;
   std::uint64_t checksum;   ///< fletcher64 with this field = 0
 };
 static_assert(sizeof(PoolHeader) <= kHeaderSize);
+
+// --- pool evolution (span table + in-progress marker) ----------------------
+//
+// Both structures live in otherwise-unused space of the 4 KiB header page,
+// at fixed offsets *outside* sizeof(PoolHeader), and carry their own
+// checksums — they are written independently of the header (the marker
+// deliberately so: it must be persistable while the header stays valid).
+// A pool whose span-table count is 0 has the implicit single heap span
+// [heap_off, heap_off + heap_size); that is every pool written before the
+// table existed, so old v2 images keep opening unchanged.
+
+/// Header-page offset of the SpanTable.
+inline constexpr std::size_t kSpanTableOff = 1024;
+/// Header-page offset of the EvolutionMarker.
+inline constexpr std::size_t kEvolveMarkerOff = 2048;
+/// Most heap spans a pool can ever hold (base span + grown spans).
+inline constexpr std::size_t kMaxHeapSpans = 8;
+
+/// One heap span: a self-contained region `[off, off+size)` holding its own
+/// ChunkDesc table followed by chunks.  Spans never move or change size
+/// once published; grow appends one, shrink retracts the trailing one(s).
+struct HeapSpan {
+  std::uint64_t off;
+  std::uint64_t size;
+};
+
+struct SpanTable {
+  std::uint64_t count;     ///< 0 = implicit single span (pre-table image)
+  std::uint64_t checksum;  ///< fletcher64 over count+spans, this field = 0
+  std::array<HeapSpan, kMaxHeapSpans> spans;
+};
+static_assert(sizeof(SpanTable) == 16 + kMaxHeapSpans * 16);
+static_assert(kSpanTableOff >= sizeof(PoolHeader) &&
+                  kSpanTableOff + sizeof(SpanTable) <= kEvolveMarkerOff,
+              "span table must fit between the header and the marker");
+
+/// In-flight evolution operations (EvolutionMarker::op).
+enum class EvolveOp : std::uint32_t {
+  None = 0,
+  MigrateV1V2 = 1,
+  Resize = 2,
+};
+
+inline constexpr std::uint64_t kEvolveMagic = 0x45564f4c56453031ull;  // EVOLVE01
+
+/// Durable migration/resize-in-progress marker: persisted *before* the
+/// image is touched (invalidate), cleared only after the sealing redo
+/// commit (seal).  Open finding a valid marker knows exactly which
+/// operation died and either rolls it back (Resize) or demands the
+/// migrator re-run (MigrateV1V2).
+struct EvolutionMarker {
+  std::uint64_t magic;        ///< kEvolveMagic when a marker is set
+  std::uint32_t op;           ///< EvolveOp
+  std::uint32_t from_version;
+  std::uint32_t to_version;
+  std::uint32_t reserved;
+  std::uint64_t target_size;  ///< Resize: requested pool_size
+  std::uint64_t checksum;     ///< fletcher64 with this field = 0
+};
+static_assert(sizeof(EvolutionMarker) == 40);
+static_assert(kEvolveMarkerOff + sizeof(EvolutionMarker) <= kHeaderSize);
 
 // --- lanes -----------------------------------------------------------------
 

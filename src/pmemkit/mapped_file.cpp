@@ -93,4 +93,39 @@ void MappedFile::sync() {
   if (data_ != nullptr) ::msync(data_, size_, MS_SYNC);
 }
 
+void MappedFile::resize(std::size_t new_size) {
+  if (data_ == nullptr || fd_ < 0)
+    throw PoolError(ErrKind::Io, "resize of an unmapped pool file");
+  if (new_size == 0)
+    throw PoolError(ErrKind::PoolTooSmall, "pool size must be positive");
+  if (new_size == size_) return;
+
+  // Grow the file before the mapping, shrink it after: the mapping never
+  // extends past the file, so a SIGBUS window never opens.
+  if (new_size > size_ &&
+      ::ftruncate(fd_, static_cast<off_t>(new_size)) != 0)
+    throw_errno("grow pool file " + path_.string());
+
+  void* p = ::mremap(data_, size_, new_size, MREMAP_MAYMOVE);
+  if (p == MAP_FAILED) {
+    const int saved = errno;
+    // Roll the file length back so a failed grow leaves no phantom tail.
+    if (new_size > size_) ::ftruncate(fd_, static_cast<off_t>(size_));
+    errno = saved;
+    throw_errno("remap pool file " + path_.string());
+  }
+  data_ = static_cast<std::byte*>(p);
+
+  if (new_size < size_ &&
+      ::ftruncate(fd_, static_cast<off_t>(new_size)) != 0) {
+    const int saved = errno;
+    // The mapping already shrank; restore it so the object stays coherent.
+    void* back = ::mremap(data_, new_size, size_, MREMAP_MAYMOVE);
+    if (back != MAP_FAILED) data_ = static_cast<std::byte*>(back);
+    errno = saved;
+    throw_errno("shrink pool file " + path_.string());
+  }
+  size_ = new_size;
+}
+
 }  // namespace cxlpmem::pmemkit

@@ -41,6 +41,13 @@ class MappedFile {
   /// close; crash simulation bypasses this on purpose.
   void sync();
 
+  /// Resizes the backing file (ftruncate) and remaps it (mremap, which may
+  /// move the mapping — callers must re-derive every raw pointer from
+  /// data()).  Both failure modes surface as PoolError(ErrKind::Io) with
+  /// the failing path and errno in the message; on failure the mapping is
+  /// left at its original size and stays valid.
+  void resize(std::size_t new_size);
+
  private:
   std::byte* data_ = nullptr;
   std::size_t size_ = 0;

@@ -76,6 +76,14 @@ class PersistentRegion {
 
   [[nodiscard]] ShadowTracker* shadow() noexcept { return shadow_.get(); }
 
+  /// Resizes the backing file/mapping (MappedFile::resize semantics: throws
+  /// PoolError(Io) and stays intact on failure; the base may move) and
+  /// keeps the shadow image in step.
+  void resize(std::size_t new_size) {
+    file_.resize(new_size);
+    if (shadow_) shadow_->remap(file_.data(), file_.size());
+  }
+
  private:
   static inline thread_local std::uint64_t t_drain_count = 0;
 

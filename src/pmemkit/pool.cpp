@@ -9,15 +9,14 @@
 
 #include "pmemkit/checksum.hpp"
 #include "pmemkit/crash_hook.hpp"
+#include "pmemkit/evolve.hpp"
 #include "pmemkit/redo.hpp"
 
 namespace cxlpmem::pmemkit {
 
-namespace {
-
-/// Header checksum covers the immutable identity fields only: `flags`
-/// (clean-shutdown toggle), `root_off`/`root_size` (published atomically via
-/// redo after creation) and `checksum` itself are excluded.
+// Shared with the evolution seals (evolve.cpp), which must stage the
+// successor checksum in the same redo commit that rewrites version or
+// pool_size.  Contract documented at the declaration (evolve.hpp).
 std::uint64_t header_checksum(const PoolHeader& h) {
   PoolHeader probe = h;
   probe.flags = 0;
@@ -26,6 +25,8 @@ std::uint64_t header_checksum(const PoolHeader& h) {
   probe.checksum = 0;
   return fletcher64(&probe, sizeof(probe));
 }
+
+namespace {
 
 std::uint64_t random_pool_id() {
   static std::mt19937_64 rng{std::random_device{}()};
@@ -112,6 +113,10 @@ thread_local LookupCache t_lookup_cache;
 
 std::uint64_t pool_registry_generation() noexcept {
   return g_pools_gen.load(std::memory_order_acquire);
+}
+
+void detail::bump_pool_generation() noexcept {
+  g_pools_gen.fetch_add(1, std::memory_order_release);
 }
 
 ObjectPool* pool_by_id(std::uint64_t pool_id) noexcept {
@@ -256,10 +261,40 @@ std::unique_ptr<ObjectPool> ObjectPool::open(PmemResource& resource,
   auto pool = std::unique_ptr<ObjectPool>(
       new ObjectPool(resource.map_open(), options));
 
-  const PoolHeader& h = pool->header();
-  if (h.magic != kPoolMagic)
+  // Guard every header read behind the mapped length: a truncated file must
+  // produce a typed error, not a fault on the first field access.
+  if (pool->size() < sizeof(PoolHeader))
+    throw PoolError(ErrKind::CorruptImage,
+                    "pool file too short for its header: " +
+                        resource.describe());
+  if (pool->header().magic != kPoolMagic)
     throw PoolError(ErrKind::NotAPool,
                     "not a pmemkit pool: " + resource.describe());
+
+  // An interrupted migration/resize must be handled before the checks
+  // below: its sealing commit may be published-but-unapplied, and a Resize
+  // marker legitimately leaves the file a different length than the header.
+  // A simulated power cut inside this window (the migration crash sweep)
+  // unwinds through the pool's destructor — mark the handle crashed first
+  // so the teardown does not stamp a clean shutdown onto the "dead" image.
+  bool evolved = false;
+  try {
+    evolved = recover_evolution(*pool, options.migrate);
+
+    if (pool->header().version == kPoolVersionV1) {
+      if (!options.migrate)
+        throw PoolError(ErrKind::VersionMismatch,
+                        "pool is layout version 1; open with "
+                        "PoolOptions::migrate to upgrade it");
+      migrate_v1_pool(*pool, layout);
+      evolved = true;  // survives run_recovery() overwriting recovered_
+    }
+  } catch (const CrashInjected&) {
+    pool->mark_crashed();
+    throw;
+  }
+
+  const PoolHeader& h = pool->header();
   if (h.version != kPoolVersion)
     throw PoolError(ErrKind::VersionMismatch, "pool version mismatch");
   if (h.checksum != header_checksum(h))
@@ -274,8 +309,25 @@ std::unique_ptr<ObjectPool> ObjectPool::open(PmemResource& resource,
                         std::string(layout) + "'");
 
   pool->heap_ = std::make_unique<Heap>(pool->region_, h.heap_off, h.heap_size);
+
+  // Span table: count == 0 is the implicit single span every pre-table
+  // image carries; a non-zero table must self-validate and agree with the
+  // header about the base span.
+  const auto& table = *reinterpret_cast<const SpanTable*>(
+      pool->region_.base() + kSpanTableOff);
+  if (table.count != 0) {
+    if (table.count > kMaxHeapSpans ||
+        table.checksum != span_table_checksum(table))
+      throw PoolError(ErrKind::CorruptImage, "span table checksum mismatch");
+    if (table.spans[0].off != h.heap_off || table.spans[0].size != h.heap_size)
+      throw PoolError(ErrKind::CorruptImage,
+                      "span table disagrees with the header's base span");
+    for (std::uint64_t i = 1; i < table.count; ++i)
+      pool->heap_->adopt_span(table.spans[i].off, table.spans[i].size);
+  }
   pool->heap_->rebuild();
   pool->run_recovery();
+  pool->recovered_ = pool->recovered_ || evolved;
   register_pool(pool.get());
   return pool;
 }
@@ -530,12 +582,37 @@ ObjectPool::LaneSession::~LaneSession() {
   pool_.release_lane_raw(lane_);
 }
 
+ObjectPool::Quiesce::Quiesce(ObjectPool& pool) : pool_(pool) {
+  // The calling thread holding a lane would deadlock the drain below.
+  if (pool.current_tx() != nullptr || session_lane_of(&pool) != nullptr)
+    throw TxError(ErrKind::TxMisuse,
+                  "pool evolution requires the calling thread to hold no "
+                  "transaction or LaneSession on the pool");
+  std::unique_lock<std::mutex> lock(pool.lane_mu_);
+  if (pool.free_lanes_.size() != kLaneCount)
+    pool.lane_waits_.fetch_add(1, std::memory_order_relaxed);
+  pool.lane_cv_.wait(lock,
+                     [&] { return pool.free_lanes_.size() == kLaneCount; });
+  pool.free_lanes_.clear();  // hold every lane: nothing can start
+}
+
+ObjectPool::Quiesce::~Quiesce() {
+  {
+    const std::lock_guard<std::mutex> lock(pool_.lane_mu_);
+    for (std::uint32_t l = 0; l < kLaneCount; ++l)
+      pool_.free_lanes_.push_back(l);
+  }
+  pool_.lane_cv_.notify_all();
+}
+
 PoolStats ObjectPool::stats() const {
   PoolStats s;
   s.heap = heap_->stats();
   s.pool_size = size();
   s.lane_count = header().lane_count;
   s.lane_waits = lane_waits_.load(std::memory_order_relaxed);
+  s.layout_version = header().version;
+  s.resizes = resizes_.load(std::memory_order_relaxed);
   s.recovered = recovered_;
   return s;
 }

@@ -40,6 +40,9 @@ struct PoolStats {
   /// since open) — the pool-level contention signal next to the heap's
   /// run_lock_skips/run_lock_waits.
   std::uint64_t lane_waits = 0;
+  std::uint32_t layout_version = 0;  ///< on-media format version
+  /// Completed resize() operations on this handle (transient, since open).
+  std::uint64_t resizes = 0;
   bool recovered = false;  ///< last open performed recovery actions
 };
 
@@ -53,6 +56,12 @@ struct PoolOptions {
   /// bench/micro_tx can A/B the fence halving on identical pools; recovery
   /// is protocol-agnostic.
   TxPublish tx_publish = TxPublish::SingleFence;
+  /// Opt-in open-time migration: a version-1 image (or one carrying an
+  /// interrupted migration marker) is upgraded in place to the current
+  /// layout before the open proceeds (see evolve.hpp for the crash
+  /// discipline).  Without it, open() rejects such images with
+  /// VersionMismatch / MigrationPending respectively.
+  bool migrate = false;
 };
 
 class ObjectPool {
@@ -205,6 +214,23 @@ class ObjectPool {
   [[nodiscard]] PoolStats stats() const;
   [[nodiscard]] PersistentRegion& region() noexcept { return region_; }
   [[nodiscard]] ShadowTracker* shadow() noexcept { return region_.shadow(); }
+  [[nodiscard]] Heap& heap() noexcept { return *heap_; }
+  [[nodiscard]] const Heap& heap() const noexcept { return *heap_; }
+
+  // --- online evolution ------------------------------------------------------
+  /// Grows or shrinks the pool in place (ftruncate + mremap + heap span
+  /// extension/retraction).  `new_size` is rounded up to a whole heap chunk.
+  /// Grow: the new span is allocatable the moment the call returns.  Shrink:
+  /// refuses with PoolError(ShrinkBlocked) while live objects occupy the
+  /// doomed tail; the last-added span is retracted whole (partial-span
+  /// shrinks round up to the span boundary).  The call quiesces the pool by
+  /// draining all transaction lanes — calling it from inside a transaction
+  /// or while holding a LaneSession throws TxError(TxMisuse).  The mapping
+  /// base may move: raw pointers into the pool are invalidated (ObjId /
+  /// ptr<T> handles stay valid), and concurrent readers are the caller's
+  /// responsibility to stop.  Crash-safe: a durable marker brackets the
+  /// operation and open() completes or rolls it back.
+  void resize(std::uint64_t new_size);
 
   /// Marks the pool as crash-simulated: the destructor will neither mark a
   /// clean shutdown nor sync.  Used by the crash harness after CrashInjected.
@@ -239,6 +265,7 @@ class ObjectPool {
   friend bool recover_lane(ObjectPool& pool, std::uint32_t lane);
   friend struct PoolReport;
   friend PoolReport inspect(const ObjectPool& pool);
+  friend void migrate_v1_pool(ObjectPool& pool, std::string_view layout);
 
   ObjectPool(MappedFile file, Options options);
 
@@ -284,12 +311,27 @@ class ObjectPool {
     bool owned_;
   };
 
+  /// All-lane quiesce for evolution ops: checks out every lane (raw path)
+  /// so no transaction or atomic op can be in flight, then hands them back.
+  /// Throws TxError(TxMisuse) when the calling thread itself holds a lane.
+  class Quiesce {
+   public:
+    explicit Quiesce(ObjectPool& pool);
+    ~Quiesce();
+    Quiesce(const Quiesce&) = delete;
+    Quiesce& operator=(const Quiesce&) = delete;
+
+   private:
+    ObjectPool& pool_;
+  };
+
   PersistentRegion region_;
   std::filesystem::path path_;
   std::unique_ptr<Heap> heap_;
   TxPublish tx_publish_ = TxPublish::SingleFence;
   bool recovered_ = false;
   bool crashed_ = false;
+  std::atomic<std::uint64_t> resizes_{0};
 
   /// Serializes first-use root allocation (a once-per-pool event); steady-
   /// state allocation takes only the heap's sharded locks.
@@ -342,5 +384,12 @@ class ObjectPool {
 
 /// True when the calling thread has any open transaction (thread-local).
 [[nodiscard]] bool thread_in_tx() noexcept;
+
+namespace detail {
+/// Bumps the registry generation without an open/close: resize may mremap a
+/// pool's base, which stales every thread-local lookup-cache entry exactly
+/// like a close-and-reopen would.
+void bump_pool_generation() noexcept;
+}  // namespace detail
 
 }  // namespace cxlpmem::pmemkit

@@ -47,6 +47,20 @@ void ShadowTracker::record_fence() {
   pending_.clear();
 }
 
+void ShadowTracker::remap(const std::byte* live, std::size_t size) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t old = shadow_.size();
+  live_ = live;
+  shadow_.resize(size);
+  if (size > old) {
+    std::memcpy(shadow_.data() + old, live_ + old, size - old);
+  } else if (size < old) {
+    const std::size_t lines = (size + kLine - 1) / kLine;
+    std::erase_if(dirty_, [&](std::size_t l) { return l >= lines; });
+    std::erase_if(pending_, [&](std::size_t l) { return l >= lines; });
+  }
+}
+
 std::vector<std::byte> ShadowTracker::crash_image(CrashPolicy policy,
                                                   std::uint64_t seed) const {
   const std::lock_guard<std::mutex> lock(mu_);

@@ -64,6 +64,14 @@ class ShadowTracker {
   /// be dirty.
   void record_fence();
 
+  /// Follows a live-region resize (pool grow/shrink): re-points at the
+  /// possibly-moved mapping and resizes the shadow to match.  Grown bytes
+  /// enter the shadow as the live image holds them (file extension zeroes
+  /// are durable the moment ftruncate returns — there is no cache between
+  /// the kernel's zero page and the file); dropped bytes take their line
+  /// bookkeeping with them.
+  void remap(const std::byte* live, std::size_t size);
+
   /// The media image after a power cut at this instant.
   [[nodiscard]] std::vector<std::byte> crash_image(
       CrashPolicy policy, std::uint64_t seed = 0) const;

@@ -20,8 +20,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/ptr.hpp"
+#include "pmemkit/evolve.hpp"
 #include "pmemkit/pool.hpp"
 
 namespace cxlpmem::service {
@@ -108,6 +110,33 @@ class BasicDurableMap {
   }
 
   [[nodiscard]] std::uint64_t size() const { return root_->count; }
+
+  /// Every owning reference slot in the map — bucket heads (inside the
+  /// root) and entry `next` links — as the raw ObjId slots compact_pool
+  /// rewrites.  The root object itself is deliberately absent: its direct
+  /// pointer (root_) is cached for the map's lifetime, so it must never
+  /// relocate.  Snapshot semantics: valid until the next mutation.
+  [[nodiscard]] std::vector<pmemkit::ObjId*> collect_refs() {
+    static_assert(sizeof(api::p<api::ptr<Entry>>) == sizeof(pmemkit::ObjId),
+                  "ptr slots must be exactly ObjIds for defrag rewriting");
+    std::vector<pmemkit::ObjId*> refs;
+    refs.reserve(Buckets + root_->count);
+    for (std::uint32_t b = 0; b < Buckets; ++b) {
+      auto* link = &root_->buckets[b];
+      while (!link->get().is_null()) {
+        refs.push_back(reinterpret_cast<pmemkit::ObjId*>(link));
+        link = &link->get().get()->next;
+      }
+    }
+    return refs;
+  }
+
+  /// One defragmentation pass over the whole map (pmemkit::compact_pool
+  /// with every slot the map owns).  Each entry moves inside its own
+  /// crash-atomic transaction; the map stays consistent at every point.
+  pmemkit::CompactReport compact(pmemkit::CompactOptions options = {}) {
+    return pmemkit::compact_pool(*pool_, collect_refs(), options);
+  }
 
  private:
   static char* payload(Entry* e) noexcept {

@@ -37,6 +37,18 @@ std::uint64_t shard_hash(std::string_view key) noexcept {
   return h;
 }
 
+/// Fragmentation ratio as "0.042" — fixed three decimals, locale-proof
+/// (std::to_string(double) honours the C locale's decimal point; the wire
+/// format must not).
+std::string format_frag(double f) {
+  if (f < 0) f = 0;
+  if (f > 1) f = 1;
+  const auto milli = static_cast<std::uint32_t>(f * 1000.0 + 0.5);
+  std::string frac = std::to_string(milli % 1000);
+  frac.insert(0, 3 - frac.size(), '0');
+  return std::to_string(milli / 1000) + "." + frac;
+}
+
 /// Writes all of `bytes` to a nonblocking socket, polling through short
 /// stalls.  Bounded: a client that stops reading for ~5s is declared dead
 /// rather than wedging a shard worker forever.
@@ -119,6 +131,8 @@ struct Shard {
   std::atomic<std::uint64_t> ops{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> keys{0};
+  std::atomic<std::uint64_t> compactions{0};
+  std::atomic<std::uint64_t> compacted_bytes{0};
 };
 
 }  // namespace
@@ -160,6 +174,13 @@ struct Server::Impl {
       s.ops = shards[i]->ops.load(std::memory_order_relaxed);
       s.batches = shards[i]->batches.load(std::memory_order_relaxed);
       s.keys = shards[i]->keys.load(std::memory_order_relaxed);
+      s.compactions = shards[i]->compactions.load(std::memory_order_relaxed);
+      s.compacted_bytes =
+          shards[i]->compacted_bytes.load(std::memory_order_relaxed);
+      const pmemkit::PoolStats ps = shards[i]->pool.stats();
+      s.layout_version = ps.layout_version;
+      s.fragmentation = ps.heap.fragmentation;
+      s.resizes = ps.resizes;
       out.shards.push_back(s);
     }
     return out;
@@ -167,27 +188,41 @@ struct Server::Impl {
 
   [[nodiscard]] std::string info_text() const {
     const ServerInfo i = make_info();
-    std::uint64_t keys = 0, ops = 0, batches = 0;
+    std::uint64_t keys = 0, ops = 0, batches = 0, resizes = 0;
+    std::uint64_t compactions = 0, compacted = 0;
+    std::uint32_t layout_version = 0;
+    double worst_frag = 0.0;
     std::string per_shard;
     for (const ShardInfo& s : i.shards) {
       keys += s.keys;
       ops += s.ops;
       batches += s.batches;
+      resizes += s.resizes;
+      compactions += s.compactions;
+      compacted += s.compacted_bytes;
+      layout_version = std::max(layout_version, s.layout_version);
+      worst_frag = std::max(worst_frag, s.fragmentation);
       per_shard += "shard" + std::to_string(s.index) +
                    ":core=" + std::to_string(s.core) +
                    ",keys=" + std::to_string(s.keys) +
                    ",ops=" + std::to_string(s.ops) +
-                   ",batches=" + std::to_string(s.batches) + "\r\n";
+                   ",batches=" + std::to_string(s.batches) +
+                   ",frag=" + format_frag(s.fragmentation) + "\r\n";
     }
     return "# cxlpmemd\r\nnamespace:" + i.ns +
            "\r\nnuma_node:" + std::to_string(i.numa_node) +
            "\r\nshards:" + std::to_string(i.shards.size()) +
            "\r\nmax_batch:" + std::to_string(opts.max_batch) +
            "\r\ntcp_port:" + std::to_string(port) +
+           "\r\nlayout_version:" + std::to_string(layout_version) +
            "\r\n# Keyspace\r\nkeys:" + std::to_string(keys) +
            "\r\n# Stats\r\nops:" + std::to_string(ops) +
            "\r\nbatches:" + std::to_string(batches) +
            "\r\nconnections_accepted:" + std::to_string(i.connections_accepted) +
+           "\r\nfragmentation:" + format_frag(worst_frag) +
+           "\r\nresizes:" + std::to_string(resizes) +
+           "\r\ncompactions:" + std::to_string(compactions) +
+           "\r\ncompacted_bytes:" + std::to_string(compacted) +
            "\r\n# Shards\r\n" + per_shard;
   }
 
@@ -379,6 +414,29 @@ struct Server::Impl {
       complete(*batch[i].conn, batch[i].seq, std::move(replies[i]));
   }
 
+  /// Opportunistic defragmentation between batches: when the shard heap's
+  /// fragmentation crosses the configured threshold, run one compaction
+  /// pass over the map.  Entirely on the worker thread (the shard's pool is
+  /// single-writer), between batches (no request waits on it), and each
+  /// relocation is its own crash-atomic transaction — kill -9 mid-pass
+  /// loses only not-yet-moved garbage, never data.
+  void maybe_compact(Shard& s) {
+    if (opts.compact_above <= 0) return;
+    const pmemkit::PoolStats st = s.pool.stats();
+    if (st.heap.fragmentation < opts.compact_above ||
+        st.heap.live_bytes < opts.compact_min_live_bytes)
+      return;
+    // Advisory work: a failed pass (say OutOfSpace scratch allocation)
+    // leaves the map intact, so swallow the error and retry after a later
+    // batch when the heap may have drained.
+    const api::Result<pmemkit::CompactReport> pass =
+        api::wrap([&] { return s.map.compact(); });
+    if (!pass.ok()) return;
+    s.compactions.fetch_add(1, std::memory_order_relaxed);
+    s.compacted_bytes.fetch_add(pass.value().moved_bytes,
+                                std::memory_order_relaxed);
+  }
+
   void worker_loop(Shard& s) {
     // One pinned undo lane for the worker's lifetime: batch commits skip
     // the lane checkout mutex entirely.
@@ -401,6 +459,7 @@ struct Server::Impl {
       }
       process_batch(s, batch);
       batch.clear();
+      maybe_compact(s);
     }
   }
 

@@ -49,6 +49,15 @@ struct ServerOptions {
   std::uint64_t pool_size_bytes = 64ull << 20;  ///< per shard
   int max_batch = 64;            ///< requests folded into one commit
   std::string pool_stem = "kvshard";  ///< files <stem>-<i>.pool
+  /// Background defragmentation: after draining a batch, a shard worker
+  /// whose heap fragmentation exceeds this runs one compaction pass over
+  /// its map (crash-atomic per relocated entry, between batches so no
+  /// request waits on it).  <= 0 disables; the default only fires on
+  /// badly churned heaps.
+  double compact_above = 0.75;
+  /// Compaction is pointless on a near-empty heap; skip passes while the
+  /// shard holds fewer live bytes than this.
+  std::uint64_t compact_min_live_bytes = 1ull << 20;
 };
 
 struct ShardInfo {
@@ -57,6 +66,11 @@ struct ShardInfo {
   std::uint64_t ops = 0;         ///< requests served
   std::uint64_t batches = 0;     ///< transactions committed for them
   std::uint64_t keys = 0;        ///< live keys after the last batch
+  std::uint32_t layout_version = 0;  ///< pool on-media format version
+  double fragmentation = 0.0;    ///< heap fragmentation (1 - live/reserved)
+  std::uint64_t resizes = 0;     ///< pool resize() count (since open)
+  std::uint64_t compactions = 0; ///< background compaction passes run
+  std::uint64_t compacted_bytes = 0;  ///< bytes relocated by those passes
 };
 
 struct ServerInfo {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "api/cxlpmem.hpp"
+#include "evolve_fixture.hpp"
 #include "pmemkit/resource.hpp"
 
 namespace api = cxlpmem::api;
@@ -281,6 +282,124 @@ TEST_F(ApiPoolTest, StatsExposeOccupancyAndContentionCounters) {
 
   pool.value()->free_atomic(a);
   EXPECT_EQ(pool.value().stats().heap.free_ops, after.heap.free_ops + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Online pool evolution through the facade: resize, compact, v1 migration.
+// ---------------------------------------------------------------------------
+
+/// Fills the pool's heap with `bytes`-sized objects until it reports
+/// OutOfSpace, recording the oids.  Returns how many landed.
+int fill_pool_heap(pmemkit::ObjectPool& p,
+                   std::vector<pmemkit::ObjId>* out = nullptr,
+                   std::uint64_t bytes = 200 * 1024) {
+  int n = 0;
+  try {
+    for (;;) {
+      p.run_tx([&] {
+        const pmemkit::ObjId oid = p.tx_alloc(bytes, 11);
+        if (out != nullptr) out->push_back(oid);
+      });
+      ++n;
+    }
+  } catch (const pmemkit::AllocError&) {
+  }
+  return n;
+}
+
+TEST_F(ApiPoolTest, ResizeThroughFacadeGrowsAndRefusesLiveTailShrink) {
+  auto pool = rt_->create_pool("pmem2", "kv");
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+
+  const std::uint64_t base = pmemkit::ObjectPool::min_pool_size();
+  EXPECT_EQ(pool.value().stats().layout_version, pmemkit::kPoolVersion);
+  EXPECT_EQ(pool.value().stats().resizes, 0u);
+
+  const int in_base = fill_pool_heap(pool->pmem());
+  ASSERT_GT(in_base, 0);
+
+  // Grow is usable immediately: the very next allocation lands in the tail.
+  const std::uint64_t grown = base + 8 * pmemkit::kChunkSize;
+  ASSERT_TRUE(pool.value().resize(grown).ok());
+  EXPECT_EQ(pool.value().stats().pool_size, grown);
+  EXPECT_EQ(pool.value().stats().resizes, 1u);
+  EXPECT_GT(fill_pool_heap(pool->pmem()), 0);
+
+  // Live objects in the doomed tail: shrink comes back as a typed Result
+  // error (ShrinkBlocked -> BadArgument), never UB, and changes nothing.
+  auto blocked = pool.value().resize(base);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, api::Errc::BadArgument);
+  EXPECT_EQ(pool.value().stats().pool_size, grown);
+}
+
+TEST_F(ApiPoolTest, CompactThroughFacadeReducesFragmentation) {
+  auto pool = rt_->create_pool("pmem2", "kv");
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  auto& p = pool->pmem();
+
+  // Fragment the heap: fill it with run-class objects (several per chunk,
+  // so sparse survivors strand whole chunks), then free three of four.
+  std::vector<pmemkit::ObjId> slots;
+  ASSERT_GT(fill_pool_heap(p, &slots, 8000), 0);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (i % 4 == 3) continue;
+    ASSERT_TRUE(pool.value().run_tx([&] { p.tx_free(slots[i]); }).ok());
+    slots[i] = pmemkit::ObjId{};
+  }
+
+  const double before = pool.value().stats().heap.fragmentation;
+  std::vector<pmemkit::ObjId*> refs;
+  for (auto& s : slots)
+    if (!s.is_null()) refs.push_back(&s);
+
+  auto report = pool.value().compact(refs);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_GT(report.value().moved_objects, 0u);
+  EXPECT_LT(report.value().fragmentation_after, before);
+  EXPECT_LT(pool.value().stats().heap.fragmentation, before);
+  // The survivors are still reachable through their rewritten slots.
+  for (const auto* s : refs) EXPECT_NE(p.direct(*s), nullptr);
+}
+
+TEST_F(ApiPoolTest, RuntimeResizeEnforcesNamespaceCapacity) {
+  auto pool = rt_->create_pool("pmem2", "kv");
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  const std::uint64_t base = pmemkit::ObjectPool::min_pool_size();
+
+  // pmem2 has 16 GiB; a grow past that is refused before anything durable
+  // happens, and the pool is untouched.
+  auto refused = rt_->resize_pool(pool.value(), 32ull << 30);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, api::Errc::CapacityExceeded);
+  EXPECT_EQ(pool.value().stats().pool_size, base);
+  EXPECT_EQ(pool.value().stats().resizes, 0u);
+
+  // A modest grow through the runtime works and is visible in the stats.
+  const std::uint64_t grown = base + 8 * pmemkit::kChunkSize;
+  ASSERT_TRUE(rt_->resize_pool(pool.value(), grown).ok());
+  EXPECT_EQ(pool.value().stats().pool_size, grown);
+  EXPECT_EQ(pool.value().stats().resizes, 1u);
+}
+
+TEST_F(ApiPoolTest, V1PoolMigratesThroughTheFacade) {
+  namespace fx = evolve_fixture;
+  // Namespace files live under <base>/mnt/<ns>; plant a genuine v1 image
+  // there so the facade's open path sees it.
+  const fs::path file = dir_ / "mnt" / "pmem2" / "evolve-fixture.pool";
+  fs::create_directories(file.parent_path());
+  fx::make_v1_image(file);
+
+  // Without the opt-in the old image is a typed error, not a migration.
+  auto refused = rt_->open_pool("pmem2", "evolve-fixture");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error().code, api::Errc::PoolCorrupt);
+
+  auto pool = rt_->open_pool("pmem2", "evolve-fixture", {.migrate = true});
+  ASSERT_TRUE(pool.ok()) << pool.error().to_string();
+  EXPECT_TRUE(pool->recovered());
+  EXPECT_EQ(pool.value().stats().layout_version, pmemkit::kPoolVersion);
+  EXPECT_EQ(fx::verify(pool->pmem()), fx::kRecCount - fx::kRecCount / 3);
 }
 
 }  // namespace

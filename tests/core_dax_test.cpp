@@ -67,6 +67,34 @@ TEST_F(DaxTest, OversizedPoolRefused) {
   EXPECT_THROW((void)ns.create_pool("big", "l", 17ull << 30), pk::PoolError);
 }
 
+TEST_F(DaxTest, ResizeTracksCapacityAccounting) {
+  core::DaxNamespace ns("pmem2", dir_ / "pmem2", setup_.machine, setup_.cxl,
+                        false);
+  auto pool = ns.create_pool("a", "l", kPool);
+  ASSERT_EQ(ns.used_bytes(), kPool);
+
+  // A grow past the namespace's remaining bytes is refused up front, with
+  // the pool and the accounting untouched.
+  try {
+    ns.resize_pool(*pool, ns.capacity_bytes() + pk::kChunkSize);
+    FAIL() << "grow exceeded namespace capacity";
+  } catch (const pk::PoolError& e) {
+    EXPECT_EQ(e.kind(), pk::ErrKind::CapacityExceeded);
+  }
+  EXPECT_EQ(ns.used_bytes(), kPool);
+  EXPECT_EQ(pool->size(), kPool);
+
+  // Grow then shrink: used_bytes follows the *actual* size delta.
+  const std::uint64_t grown = kPool + 8 * pk::kChunkSize;
+  ns.resize_pool(*pool, grown);
+  EXPECT_EQ(pool->size(), grown);
+  EXPECT_EQ(ns.used_bytes(), grown);
+
+  ns.resize_pool(*pool, kPool);
+  EXPECT_EQ(pool->size(), kPool);
+  EXPECT_EQ(ns.used_bytes(), kPool);
+}
+
 TEST_F(DaxTest, RescanPicksUpExistingPools) {
   {
     core::DaxNamespace ns("pmem2", dir_ / "pmem2", setup_.machine,

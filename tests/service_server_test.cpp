@@ -84,6 +84,45 @@ TEST_F(ServiceServerTest, CommandSurface) {
   EXPECT_NE(info.find("# cxlpmemd"), std::string::npos);
   EXPECT_NE(info.find("namespace:pmem2"), std::string::npos);
   EXPECT_NE(info.find("shards:4"), std::string::npos);
+  // Pool-evolution telemetry: the layout generation being served plus the
+  // fragmentation / resize / compaction counters.
+  EXPECT_NE(info.find("layout_version:2"), std::string::npos);
+  EXPECT_NE(info.find("fragmentation:"), std::string::npos);
+  EXPECT_NE(info.find("resizes:"), std::string::npos);
+  EXPECT_NE(info.find("compactions:"), std::string::npos);
+}
+
+TEST_F(ServiceServerTest, BackgroundCompactionTriggersOnChurnedShard) {
+  // One shard so every key lands in the same pool; an eager threshold and
+  // no live-bytes floor so the post-batch sweep fires as soon as the churn
+  // below fragments the heap.
+  service::ServerOptions opts;
+  opts.shards = 1;
+  opts.compact_above = 0.05;
+  opts.compact_min_live_bytes = 0;
+  start(opts);
+  Client c = connect();
+
+  // Fill with values big enough to occupy run blocks, then delete most —
+  // the classic churn that strands nearly-empty chunks.
+  const std::string value(4000, 'x');
+  for (int i = 0; i < 400; ++i)
+    ASSERT_TRUE(c.set("churn" + std::to_string(i), value).ok());
+  for (int i = 0; i < 400; ++i)
+    if (i % 5 != 0) ASSERT_TRUE(c.del("churn" + std::to_string(i)).ok());
+  // One more batch so the worker runs its between-batches sweep after the
+  // deletions have landed.
+  ASSERT_TRUE(c.set("after", "v").ok());
+
+  const service::ServerInfo info = server_->info();
+  ASSERT_EQ(info.shards.size(), 1u);
+  EXPECT_GT(info.shards[0].compactions, 0u)
+      << "fragmentation=" << info.shards[0].fragmentation;
+
+  // The survivors are intact after compaction moved them around.
+  for (int i = 0; i < 400; i += 5)
+    EXPECT_EQ(c.get("churn" + std::to_string(i)).value().value(), value);
+  EXPECT_NE(c.info().value().find("compactions:"), std::string::npos);
 }
 
 TEST_F(ServiceServerTest, ValuesArePartitionedAcrossShardPools) {

@@ -28,18 +28,30 @@ using namespace cxlpmem;
 
 namespace {
 
-int usage(const char* argv0) {
+/// Daemon version: tracks the pool layout generation it serves (layout v2
+/// images, v1 migration, live resize, background compaction).
+constexpr const char* kVersion = "cxlpmemd 0.7.0 (pool layout v2)";
+
+void print_usage(std::FILE* to, const char* argv0) {
   std::fprintf(
-      stderr,
+      to,
       "usage: %s --dir <pool-dir> [--port N] [--shards N] [--ns NAME]\n"
-      "          [--pool-mb N] [--max-batch N]\n"
-      "  --dir       directory holding the shard pool files (required)\n"
-      "  --port      TCP port on 127.0.0.1 (default 6399; 0 = ephemeral)\n"
-      "  --shards    worker/pool count (default 4)\n"
-      "  --ns        namespace: pmem0 | pmem1 | pmem2 (default pmem2)\n"
-      "  --pool-mb   per-shard pool size in MiB (default 64)\n"
-      "  --max-batch requests folded into one commit (default 64)\n",
+      "          [--pool-mb N] [--max-batch N] [--compact-above PCT]\n"
+      "  --dir           directory holding the shard pool files (required)\n"
+      "  --port          TCP port on 127.0.0.1 (default 6399; 0 = ephemeral)\n"
+      "  --shards        worker/pool count (default 4)\n"
+      "  --ns            namespace: pmem0 | pmem1 | pmem2 (default pmem2)\n"
+      "  --pool-mb       per-shard pool size in MiB (default 64)\n"
+      "  --max-batch     requests folded into one commit (default 64)\n"
+      "  --compact-above background-compact a shard when its heap\n"
+      "                  fragmentation exceeds PCT%% (default 75; 0 = off)\n"
+      "  --version       print the version string and exit\n"
+      "  --help          print this help and exit\n",
       argv0);
+}
+
+int usage(const char* argv0) {
+  print_usage(stderr, argv0);
   return 2;
 }
 
@@ -52,7 +64,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
-    if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    }
+    if (arg == "--version" || arg == "-V") {
+      std::printf("%s\n", kVersion);
+      return 0;
+    }
     if (val == nullptr) return usage(argv[0]);
     if (arg == "--dir") dir = val;
     else if (arg == "--port") opts.port = static_cast<std::uint16_t>(std::atoi(val));
@@ -61,6 +80,8 @@ int main(int argc, char** argv) {
     else if (arg == "--pool-mb")
       opts.pool_size_bytes = static_cast<std::uint64_t>(std::atoll(val)) << 20;
     else if (arg == "--max-batch") opts.max_batch = std::atoi(val);
+    else if (arg == "--compact-above")
+      opts.compact_above = std::atoi(val) / 100.0;
     else return usage(argv[0]);
     ++i;
   }
