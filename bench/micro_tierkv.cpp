@@ -1,0 +1,355 @@
+// micro_tierkv — the tiered DRAM↔CXL KV cache under the LLM-serving
+// workload shape: sequences of compressible KV blocks, zipfian-skewed
+// sequence popularity, blocks within a sequence read in order.
+//
+// Drives the tierkv engine directly (no sockets — micro_kv_service owns
+// the wire path) over a grid of DRAM fraction {5, 25, 100}% of the raw
+// working set x codec {lz, identity} x prefetcher {on, off}, plus a full
+// sequential scan at 25% DRAM.  The promotion lane runs in deterministic
+// mode: a bounded drain (2 promotions per GET) models a lane with finite
+// bandwidth without making the numbers depend on scheduler timing.
+// Per point: hit rate, GET p50/p99, cold-tier compression ratio, the
+// promotion/prefetch counters.  Emits BENCH_tierkv.json.
+//
+//   micro_tierkv [--smoke] [--sequences N] [--blocks N] [--value-bytes N]
+//                [--requests N] [--json PATH]
+//
+// --smoke (used from ctest) shrinks the working set and fails the process
+// when, at the 25% DRAM zipfian point,
+//   - the prefetcher does not lift the hit rate by >= 10% relative
+//     (no-collapse floor on starved single/dual-core runners),
+//   - the lz cold tier stores less than 1.5x raw capacity, or
+//   - any GET misbehaves (wrong bytes, a lost key, an exception).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cxlpmem.hpp"
+#include "bench_json.hpp"
+#include "service/durable_map.hpp"
+#include "tierkv/cache.hpp"
+
+namespace fs = std::filesystem;
+using namespace cxlpmem;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Config {
+  bool smoke = false;
+  int sequences = 64;
+  int blocks = 64;
+  int value_bytes = 4096;
+  int requests = 1000;  ///< zipfian sequence reads per point
+  fs::path json = "BENCH_tierkv.json";
+};
+
+struct PointResult {
+  std::string workload;
+  int dram_pct = 0;
+  std::string codec;
+  bool prefetch = false;
+  double hit_rate = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double compression_ratio = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  const std::size_t k = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(k),
+                   v.end());
+  return v[k];
+}
+
+/// Zipfian sampler over sequence ids, fixed seed: every grid point replays
+/// the identical request stream, so prefetch on/off is a true A/B.
+class Zipf {
+ public:
+  Zipf(int n, double s, std::uint32_t seed) : gen_(seed) {
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+  int next() {
+    const double u = uni_(gen_);
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+  std::mt19937 gen_;
+  std::uniform_real_distribution<double> uni_{0.0, 1.0};
+};
+
+std::string block_key(int seq, int blk) {
+  return "seq" + std::to_string(seq) + "/b" + std::to_string(blk);
+}
+
+/// A KV block the way LLM serving stores one: long repeated token runs
+/// with a per-block header so every value is distinct and verifiable.
+std::string block_value(int seq, int blk, int bytes) {
+  std::string v = "[" + block_key(seq, blk) + "]";
+  while (v.size() < static_cast<std::size_t>(bytes)) {
+    v += "token-run token-run token-run ";
+    v += std::to_string((seq * 131 + blk * 17 + static_cast<int>(v.size())) %
+                        97);
+  }
+  v.resize(static_cast<std::size_t>(bytes));
+  return v;
+}
+
+PointResult run_point(api::Runtime& rt, const Config& cfg,
+                      const std::string& workload, int dram_pct,
+                      const std::string& codec, bool prefetch, int index) {
+  PointResult out;
+  out.workload = workload;
+  out.dram_pct = dram_pct;
+  out.codec = codec;
+  out.prefetch = prefetch;
+
+  const std::uint64_t raw_working_set =
+      static_cast<std::uint64_t>(cfg.sequences) *
+      static_cast<std::uint64_t>(cfg.blocks) *
+      static_cast<std::uint64_t>(cfg.value_bytes);
+  // 100% gets headroom for keys + per-entry overhead so "everything fits"
+  // actually means everything fits.
+  const std::uint64_t budget =
+      dram_pct >= 100 ? raw_working_set * 13 / 10
+                      : std::max<std::uint64_t>(
+                            raw_working_set * static_cast<std::uint64_t>(
+                                                  dram_pct) / 100,
+                            64 * 1024);
+
+  api::PoolSpec spec;
+  spec.file = "tierkv-bench-" + std::to_string(index) + ".pool";
+  spec.size = std::max<std::uint64_t>(raw_working_set * 2, 32ull << 20);
+  auto pool = rt.open_or_create_pool("pmem2", "tierkv-bench", spec);
+  if (!pool.ok()) {
+    std::fprintf(stderr, "pool: %s\n", pool.error().to_string().c_str());
+    out.errors = 1;
+    return out;
+  }
+  service::DurableMap map(pool.value().pmem());
+  tierkv::TierOptions topts;
+  topts.codec = codec;
+  topts.dram_bytes = budget;
+  topts.prefetch = prefetch;
+  topts.background_lane = false;  // deterministic: drained inline below
+  tierkv::TieredCache tier(map, topts);
+
+  for (int s = 0; s < cfg.sequences; ++s)
+    for (int b = 0; b < cfg.blocks; ++b)
+      tier.put(block_key(s, b), block_value(s, b, cfg.value_bytes));
+
+  // Accesses below are measured as deltas against the post-load snapshot,
+  // so the write-allocate traffic of the load does not pollute hit rates.
+  const tierkv::TierStats s0 = tier.stats();
+  std::vector<double> lat_us;
+  std::uint64_t errors = 0;
+  const auto read_run = [&](int seq) {
+    for (int b = 0; b < cfg.blocks; ++b) {
+      const std::string key = block_key(seq, b);
+      const auto t0 = Clock::now();
+      std::optional<std::string> got;
+      try {
+        got = tier.get(key);
+      } catch (const pmemkit::Error& e) {
+        ++errors;
+        continue;
+      }
+      lat_us.push_back(std::chrono::duration<double, std::micro>(
+                           Clock::now() - t0)
+                           .count());
+      if (!got.has_value() || *got != block_value(seq, b, cfg.value_bytes))
+        ++errors;
+      // The finite-bandwidth lane: two promotions per demand access keeps
+      // a well-predicted run ahead of the reader without instant magic.
+      tier.drain_promotions(2);
+    }
+  };
+  if (workload == "zipfian") {
+    Zipf zipf(cfg.sequences, 1.0, /*seed=*/42);
+    for (int r = 0; r < cfg.requests; ++r) read_run(zipf.next());
+  } else {  // scan: every sequence in order, twice
+    for (int pass = 0; pass < 2; ++pass)
+      for (int s = 0; s < cfg.sequences; ++s) read_run(s);
+  }
+
+  const tierkv::TierStats s1 = tier.stats();
+  const std::uint64_t accesses =
+      (s1.hits + s1.misses) - (s0.hits + s0.misses);
+  out.hit_rate = accesses == 0 ? 0
+                               : static_cast<double>(s1.hits - s0.hits) /
+                                     static_cast<double>(accesses);
+  out.p50_us = percentile(lat_us, 0.50);
+  out.p99_us = percentile(lat_us, 0.99);
+  out.compression_ratio = s1.compression_ratio();
+  out.promotions = s1.promotions - s0.promotions;
+  out.prefetch_issued = s1.prefetch_issued - s0.prefetch_issued;
+  out.prefetch_hits = s1.prefetch_hits - s0.prefetch_hits;
+  out.errors = errors;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke" || arg == "--quick") {
+      cfg.smoke = true;
+      cfg.sequences = 24;
+      cfg.blocks = 32;
+      cfg.requests = 200;
+    } else if (arg == "--sequences" && i + 1 < argc) {
+      cfg.sequences = std::atoi(argv[++i]);
+    } else if (arg == "--blocks" && i + 1 < argc) {
+      cfg.blocks = std::atoi(argv[++i]);
+    } else if (arg == "--value-bytes" && i + 1 < argc) {
+      cfg.value_bytes = std::atoi(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      cfg.requests = std::atoi(argv[++i]);
+    } else if (arg == "--json" && i + 1 < argc) {
+      cfg.json = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--sequences N] [--blocks N] "
+                   "[--value-bytes N] [--requests N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const fs::path dir = fs::temp_directory_path() / "cxlpmem-micro-tierkv";
+  fs::remove_all(dir);
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(dir).build();
+  if (!rt.ok()) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
+
+  std::vector<PointResult> points;
+  int index = 0;
+  std::uint64_t total_errors = 0;
+  const auto run = [&](const std::string& workload, int pct,
+                       const std::string& codec, bool prefetch) {
+    const PointResult r =
+        run_point(rt.value(), cfg, workload, pct, codec, prefetch, index++);
+    std::printf("%-7s dram=%3d%% codec=%-8s prefetch=%-3s  hit %.3f  "
+                "p50 %6.1f us  p99 %6.1f us  ratio %.2fx  "
+                "(promo %llu, pf %llu/%llu, err %llu)\n",
+                r.workload.c_str(), r.dram_pct, r.codec.c_str(),
+                r.prefetch ? "on" : "off", r.hit_rate, r.p50_us, r.p99_us,
+                r.compression_ratio,
+                static_cast<unsigned long long>(r.promotions),
+                static_cast<unsigned long long>(r.prefetch_hits),
+                static_cast<unsigned long long>(r.prefetch_issued),
+                static_cast<unsigned long long>(r.errors));
+    total_errors += r.errors;
+    points.push_back(r);
+    return r;
+  };
+
+  // The headline grid: DRAM fraction x codec x prefetcher, zipfian.
+  PointResult key_on, key_off;  // 25% DRAM, lz — the smoke's A/B pair
+  for (const int pct : {5, 25, 100})
+    for (const char* codec : {"lz", "identity"})
+      for (const bool prefetch : {true, false}) {
+        const PointResult r = run("zipfian", pct, codec, prefetch);
+        if (pct == 25 && std::strcmp(codec, "lz") == 0)
+          (prefetch ? key_on : key_off) = r;
+      }
+  // The prefetcher's home turf: a cold sequential sweep of everything.
+  for (const bool prefetch : {true, false})
+    run("scan", 25, "lz", prefetch);
+
+  const double gain =
+      key_off.hit_rate > 0 ? key_on.hit_rate / key_off.hit_rate : 0;
+  std::printf("prefetch hit-rate gain at 25%% DRAM (zipfian): %.2fx "
+              "(%.3f -> %.3f); lz cold-tier ratio %.2fx\n",
+              gain, key_off.hit_rate, key_on.hit_rate,
+              key_on.compression_ratio);
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"micro_tierkv\",\n";
+  json += "  \"hw_threads\": " + std::to_string(hw) + ",\n";
+  json += "  \"sequences\": " + std::to_string(cfg.sequences) + ",\n";
+  json += "  \"blocks_per_sequence\": " + std::to_string(cfg.blocks) + ",\n";
+  json += "  \"value_bytes\": " + std::to_string(cfg.value_bytes) + ",\n";
+  json += "  \"zipfian_requests\": " + std::to_string(cfg.requests) + ",\n";
+  json += "  \"prefetch_gain_25pct\": " + std::to_string(gain) + ",\n";
+  json += "  \"lz_compression_ratio\": " +
+          std::to_string(key_on.compression_ratio) + ",\n";
+  json += "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    json += "    {\"workload\": \"" + r.workload + "\"" +
+            ", \"dram_pct\": " + std::to_string(r.dram_pct) +
+            ", \"codec\": \"" + r.codec + "\"" +
+            ", \"prefetch\": " + (r.prefetch ? "true" : "false") +
+            ", \"hit_rate\": " + std::to_string(r.hit_rate) +
+            ", \"p50_us\": " + std::to_string(r.p50_us) +
+            ", \"p99_us\": " + std::to_string(r.p99_us) +
+            ", \"compression_ratio\": " +
+            std::to_string(r.compression_ratio) +
+            ", \"promotions\": " + std::to_string(r.promotions) +
+            ", \"prefetch_issued\": " + std::to_string(r.prefetch_issued) +
+            ", \"prefetch_hits\": " + std::to_string(r.prefetch_hits) +
+            ", \"errors\": " + std::to_string(r.errors) + "}" +
+            (i + 1 < points.size() ? "," : "") + "\n";
+  }
+  json += "  ]\n}\n";
+  if (!bench::write_bench_json(cfg.json, json)) return 1;
+  fs::remove_all(dir);
+
+  if (cfg.smoke) {
+    if (total_errors != 0) {
+      std::fprintf(stderr, "FAIL: %llu GET errors across the grid\n",
+                   static_cast<unsigned long long>(total_errors));
+      return 1;
+    }
+    // The promotion drain is deterministic, but keep the starved-runner
+    // convention of the other micro smokes: honest floor on real cores, a
+    // no-collapse floor elsewhere.
+    const double floor = hw >= 4 ? 1.10 : 1.02;
+    if (gain < floor) {
+      std::fprintf(stderr,
+                   "FAIL: prefetch hit-rate gain %.2fx < %.2fx floor "
+                   "(hw=%u, %.3f -> %.3f)\n",
+                   gain, floor, hw, key_off.hit_rate, key_on.hit_rate);
+      return 1;
+    }
+    if (key_on.compression_ratio < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: lz cold-tier compression %.2fx < 1.5x on "
+                   "compressible values\n",
+                   key_on.compression_ratio);
+      return 1;
+    }
+    std::printf("smoke OK: no errors, prefetch gain %.2fx (floor %.2fx, "
+                "hw=%u), lz ratio %.2fx\n",
+                gain, floor, hw, key_on.compression_ratio);
+  }
+  return 0;
+}

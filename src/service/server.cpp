@@ -23,6 +23,7 @@
 #include "numakit/affinity.hpp"
 #include "service/durable_map.hpp"
 #include "service/resp.hpp"
+#include "tierkv/cache.hpp"
 
 namespace cxlpmem::service {
 
@@ -37,16 +38,20 @@ std::uint64_t shard_hash(std::string_view key) noexcept {
   return h;
 }
 
-/// Fragmentation ratio as "0.042" — fixed three decimals, locale-proof
-/// (std::to_string(double) honours the C locale's decimal point; the wire
-/// format must not).
-std::string format_frag(double f) {
-  if (f < 0) f = 0;
-  if (f > 1) f = 1;
-  const auto milli = static_cast<std::uint32_t>(f * 1000.0 + 0.5);
+/// Fixed three decimals, locale-proof (std::to_string(double) honours the
+/// C locale's decimal point; the wire format must not).  Unbounded above:
+/// compression ratios exceed 1.
+std::string format_fixed3(double v) {
+  if (v < 0) v = 0;
+  const auto milli = static_cast<std::uint64_t>(v * 1000.0 + 0.5);
   std::string frac = std::to_string(milli % 1000);
   frac.insert(0, 3 - frac.size(), '0');
   return std::to_string(milli / 1000) + "." + frac;
+}
+
+/// Fragmentation ratio as "0.042" — a proper ratio, clamped to [0, 1].
+std::string format_frag(double f) {
+  return format_fixed3(f < 0 ? 0 : (f > 1 ? 1 : f));
 }
 
 /// Writes all of `bytes` to a nonblocking socket, polling through short
@@ -121,6 +126,10 @@ struct Shard {
 
   api::Pool pool;
   DurableMap map;
+  /// Declared after `map` so it is destroyed first — the tier's promotion
+  /// lane reads the map until TieredCache's destructor stops it.  Null when
+  /// the tier is disabled: the untiered fast path stays untouched.
+  std::unique_ptr<tierkv::TieredCache> tier;
   int core = -1;
 
   std::mutex mu;
@@ -182,7 +191,24 @@ struct Server::Impl {
       s.fragmentation = ps.heap.fragmentation;
       s.resizes = ps.resizes;
       out.shards.push_back(s);
+      if (shards[i]->tier) {
+        const tierkv::TierStats t = shards[i]->tier->stats();
+        out.tier_stats.hits += t.hits;
+        out.tier_stats.misses += t.misses;
+        out.tier_stats.promotions += t.promotions;
+        out.tier_stats.demotions += t.demotions;
+        out.tier_stats.prefetch_hits += t.prefetch_hits;
+        out.tier_stats.prefetch_issued += t.prefetch_issued;
+        out.tier_stats.bytes_moved += t.bytes_moved;
+        out.tier_stats.raw_bytes += t.raw_bytes;
+        out.tier_stats.compressed_bytes += t.compressed_bytes;
+        out.tier_stats.dram_bytes_used += t.dram_bytes_used;
+        out.tier_stats.dram_bytes_budget += t.dram_bytes_budget;
+        out.tier_stats.dram_entries += t.dram_entries;
+      }
     }
+    out.tier = opts.tier;
+    if (opts.tier) out.tier_codec = opts.tier_codec;
     return out;
   }
 
@@ -223,7 +249,31 @@ struct Server::Impl {
            "\r\nresizes:" + std::to_string(resizes) +
            "\r\ncompactions:" + std::to_string(compactions) +
            "\r\ncompacted_bytes:" + std::to_string(compacted) +
-           "\r\n# Shards\r\n" + per_shard;
+           "\r\n# Tier\r\n" + tier_text(i) + "# Shards\r\n" + per_shard;
+  }
+
+  /// The "# Tier" INFO section: one line when the tier is off, the full
+  /// telemetry block (summed across shards) when it is on — the same
+  /// numbers bench/micro_tierkv plots.
+  [[nodiscard]] std::string tier_text(const ServerInfo& i) const {
+    if (!i.tier) return "tier:off\r\n";
+    const tierkv::TierStats& t = i.tier_stats;
+    return "tier:on\r\ntier_codec:" + i.tier_codec +
+           "\r\ntier_dram_budget:" + std::to_string(t.dram_bytes_budget) +
+           "\r\ntier_dram_used:" + std::to_string(t.dram_bytes_used) +
+           "\r\ntier_dram_entries:" + std::to_string(t.dram_entries) +
+           "\r\ntier_hits:" + std::to_string(t.hits) +
+           "\r\ntier_misses:" + std::to_string(t.misses) +
+           "\r\ntier_hit_rate:" + format_fixed3(t.hit_rate()) +
+           "\r\ntier_promotions:" + std::to_string(t.promotions) +
+           "\r\ntier_demotions:" + std::to_string(t.demotions) +
+           "\r\ntier_prefetch_issued:" + std::to_string(t.prefetch_issued) +
+           "\r\ntier_prefetch_hits:" + std::to_string(t.prefetch_hits) +
+           "\r\ntier_bytes_moved:" + std::to_string(t.bytes_moved) +
+           "\r\ntier_raw_bytes:" + std::to_string(t.raw_bytes) +
+           "\r\ntier_compressed_bytes:" + std::to_string(t.compressed_bytes) +
+           "\r\ntier_compression_ratio:" +
+           format_fixed3(t.compression_ratio()) + "\r\n";
   }
 
   void route(const std::shared_ptr<Connection>& conn, std::uint64_t seq,
@@ -343,10 +393,45 @@ struct Server::Impl {
     }
   }
 
+  /// Tiered execution.  Inside a batch (`in_tx`) the worker already holds
+  /// the tier's batch lock and the open transaction, so the staged
+  /// *_in_tx / *_in_batch calls apply; a standalone op (read-only batch or
+  /// per-op retry after an abort) uses the tier's own-transaction API,
+  /// which takes the tier lock itself.
+  std::string exec_tiered(Shard& s, const Command& cmd, bool in_tx) {
+    tierkv::TieredCache& t = *s.tier;
+    switch (cmd.verb) {
+      case Verb::Get: {
+        const std::optional<std::string> v =
+            in_tx ? t.get_in_batch(cmd.key) : t.get(cmd.key);
+        return v.has_value() ? encode_bulk(*v) : encode_null_bulk();
+      }
+      case Verb::Set:
+        if (in_tx)
+          t.put_in_tx(cmd.key, cmd.value);
+        else
+          t.put(cmd.key, cmd.value);
+        return encode_simple("OK");
+      case Verb::Del: {
+        const bool erased = in_tx ? t.erase_in_tx(cmd.key) : t.erase(cmd.key);
+        return encode_integer(erased ? 1 : 0);
+      }
+      case Verb::Exists: {
+        const bool found =
+            in_tx ? t.exists_in_batch(cmd.key) : t.exists(cmd.key);
+        return encode_integer(found ? 1 : 0);
+      }
+      default:
+        return encode_error_reply(
+            api::Error{api::Errc::Internal, "unroutable verb"});
+    }
+  }
+
   /// Executes one command against the shard's map.  `in_tx` means the
   /// caller opened the batch transaction; otherwise mutations run their
   /// own.
   std::string exec(Shard& s, const Command& cmd, bool in_tx) {
+    if (s.tier) return exec_tiered(s, cmd, in_tx);
     switch (cmd.verb) {
       case Verb::Get: {
         const std::optional<std::string> v = s.map.get(cmd.key);
@@ -379,11 +464,25 @@ struct Server::Impl {
     if (any_mutation) {
       // The whole batch — reads included, so a SET earlier in the burst is
       // visible to a later GET — under ONE transaction: one lane, one
-      // commit fence amortized across the burst.
-      const api::Result<void> committed = s.pool.run_tx([&] {
-        for (std::size_t i = 0; i < batch.size(); ++i)
-          replies[i] = exec(s, batch[i].cmd, /*in_tx=*/true);
-      });
+      // commit fence amortized across the burst.  With the tier on, the
+      // tier's lock spans the transaction AND the staged-DRAM apply, so
+      // the promotion lane never observes a half-applied batch and an
+      // abort leaves the DRAM tier exactly as it was.
+      api::Result<void> committed;
+      {
+        std::unique_lock<std::mutex> tier_lock;
+        if (s.tier) tier_lock = s.tier->batch_lock();
+        committed = s.pool.run_tx([&] {
+          for (std::size_t i = 0; i < batch.size(); ++i)
+            replies[i] = exec(s, batch[i].cmd, /*in_tx=*/true);
+        });
+        if (s.tier) {
+          if (committed.ok())
+            s.tier->commit_staged();
+          else
+            s.tier->discard_staged();
+        }
+      }
       if (committed.ok()) {
         s.batches.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -428,9 +527,14 @@ struct Server::Impl {
       return;
     // Advisory work: a failed pass (say OutOfSpace scratch allocation)
     // leaves the map intact, so swallow the error and retry after a later
-    // batch when the heap may have drained.
-    const api::Result<pmemkit::CompactReport> pass =
-        api::wrap([&] { return s.map.compact(); });
+    // batch when the heap may have drained.  Compaction relocates entries
+    // the tier's promotion lane may concurrently read — hold the tier lock
+    // for the pass.
+    const api::Result<pmemkit::CompactReport> pass = api::wrap([&] {
+      std::unique_lock<std::mutex> tier_lock;
+      if (s.tier) tier_lock = s.tier->batch_lock();
+      return s.map.compact();
+    });
     if (!pass.ok()) return;
     s.compactions.fetch_add(1, std::memory_order_relaxed);
     s.compacted_bytes.fetch_add(pass.value().moved_bytes,
@@ -512,8 +616,26 @@ api::Result<std::unique_ptr<Server>> Server::start(api::Runtime& rt,
     return api::Error{api::Errc::InvalidConfig, "shards must be in [1, 64]"};
   if (opts.max_batch < 1)
     return api::Error{api::Errc::InvalidConfig, "max_batch must be >= 1"};
+  if (opts.tier && tierkv::find_codec(opts.tier_codec) == nullptr)
+    return api::Error{api::Errc::InvalidConfig,
+                      "unknown tier codec '" + opts.tier_codec + "'"};
   const api::Result<api::MemorySpace> space = rt.space(opts.ns);
   if (!space.ok()) return space.error();
+
+  // One DRAM budget decision for the whole server, split evenly across
+  // shards (hash routing spreads the keyspace evenly too).  0 = ask the
+  // placement advisor, sized against the full shard-pool working set.
+  std::uint64_t tier_shard_budget = 0;
+  if (opts.tier) {
+    const std::uint64_t total =
+        opts.tier_dram_bytes != 0
+            ? opts.tier_dram_bytes
+            : tierkv::derive_dram_budget(
+                  rt, opts.pool_size_bytes *
+                          static_cast<std::uint64_t>(opts.shards));
+    tier_shard_budget = std::max<std::uint64_t>(
+        total / static_cast<std::uint64_t>(opts.shards), 64 * 1024);
+  }
 
   auto impl = std::make_unique<Impl>();
   impl->opts = opts;
@@ -530,8 +652,16 @@ api::Result<std::unique_ptr<Server>> Server::start(api::Runtime& rt,
         rt.open_or_create_pool(opts.ns, "cxlpmemd-kv", spec);
     if (!pool.ok()) return pool.error();
     const api::Result<void> bound = api::wrap([&] {
-      impl->shards.push_back(
-          std::make_unique<Shard>(std::move(pool).value()));
+      auto shard = std::make_unique<Shard>(std::move(pool).value());
+      if (opts.tier) {
+        tierkv::TierOptions to;
+        to.codec = opts.tier_codec;
+        to.dram_bytes = tier_shard_budget;
+        to.prefetch = opts.tier_prefetch;
+        shard->tier =
+            std::make_unique<tierkv::TieredCache>(shard->map, std::move(to));
+      }
+      impl->shards.push_back(std::move(shard));
     });
     if (!bound.ok()) return bound.error();  // e.g. TypeMismatch on reopen
     impl->paths.push_back(impl->shards.back()->pool.pmem().path());

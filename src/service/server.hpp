@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "api/cxlpmem.hpp"
+#include "tierkv/stats.hpp"
 
 namespace cxlpmem::service {
 
@@ -58,6 +59,17 @@ struct ServerOptions {
   /// Compaction is pointless on a near-empty heap; skip passes while the
   /// shard holds fewer live bytes than this.
   std::uint64_t compact_min_live_bytes = 1ull << 20;
+  /// Tiered DRAM front-end (tierkv): hot values served from a per-shard
+  /// DRAM cache while every entry's authoritative copy stays a compressed,
+  /// fingerprinted block in the shard pool.  Strictly write-through here —
+  /// a SET's cold block lands inside the batch transaction before the ack,
+  /// so the durability contract is identical to the untiered map.
+  bool tier = false;
+  /// Total DRAM budget across all shards; 0 = derive from the machine via
+  /// the placement advisor (tierkv::derive_dram_budget).
+  std::uint64_t tier_dram_bytes = 0;
+  std::string tier_codec = "lz";  ///< cold-block codec: "lz" | "identity"
+  bool tier_prefetch = true;      ///< access-history prefetcher on the GETs
 };
 
 struct ShardInfo {
@@ -78,6 +90,10 @@ struct ServerInfo {
   int numa_node = -1;
   std::uint64_t connections_accepted = 0;
   std::vector<ShardInfo> shards;
+  bool tier = false;             ///< tiered DRAM front-end enabled
+  std::string tier_codec;        ///< empty when the tier is off
+  /// Tier telemetry summed across shards (dram_bytes_budget included).
+  tierkv::TierStats tier_stats;
 };
 
 class Server {

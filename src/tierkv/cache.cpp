@@ -1,0 +1,593 @@
+#include "tierkv/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "api/runtime.hpp"
+#include "api/translate.hpp"
+#include "pmemkit/errors.hpp"
+
+namespace cxlpmem::tierkv {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s)
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h;
+}
+
+/// Per-entry DRAM overhead beyond key+value bytes: hash-map node, clock
+/// slot, string headers.  An estimate, but a *charged* estimate — the budget
+/// is honest about small entries instead of pretending they are free.
+constexpr std::uint64_t kEntryOverhead = 64;
+
+void add_signed(std::atomic<std::uint64_t>& c, std::int64_t d) noexcept {
+  c.fetch_add(static_cast<std::uint64_t>(d), std::memory_order_relaxed);
+}
+
+}  // namespace
+
+TieredCache::TieredCache(service::DurableMap& cold, TierOptions opts)
+    : cold_(&cold),
+      opts_(std::move(opts)),
+      sketch_(std::max<std::uint64_t>(opts_.dram_bytes / 128, 64)),
+      prefetcher_(opts_.prefetch_opts) {
+  codec_ = find_codec(opts_.codec);
+  if (codec_ == nullptr)
+    throw std::invalid_argument("tierkv: unknown codec '" + opts_.codec +
+                                "' (registered: identity, lz)");
+  if (opts_.dram_bytes == 0)
+    throw std::invalid_argument("tierkv: dram_bytes must be non-zero");
+  if (opts_.background_lane)
+    lane_ = std::thread([this] { lane_loop(); });
+}
+
+TieredCache::~TieredCache() { stop(); }
+
+std::string_view TieredCache::codec_name() const noexcept {
+  return codec_->name();
+}
+
+std::uint64_t TieredCache::entry_bytes(std::string_view key,
+                                       std::string_view value)
+    const noexcept {
+  return key.size() + value.size() + kEntryOverhead;
+}
+
+// ---------------------------------------------------------------------------
+// DRAM tier plumbing (mu_ held throughout)
+
+void TieredCache::observe_access(std::string_view key) {
+  sketch_.record(fnv1a(key));
+  if (opts_.prefetch) enqueue_predictions(prefetcher_.observe(key));
+}
+
+void TieredCache::hot_insert(std::string_view key, std::string_view value,
+                             bool prefetched, bool dirty) {
+  auto [it, fresh] = hot_.try_emplace(std::string(key));
+  Hot& h = it->second;
+  h.value.assign(value);
+  h.prefetched = prefetched;
+  h.dirty = dirty;
+  h.slot = clock_.acquire();
+  if (h.slot >= slot_keys_.size()) slot_keys_.resize(h.slot + 1, nullptr);
+  slot_keys_[h.slot] = &it->first;
+  dram_used_ += entry_bytes(key, value);
+  counters_.dram_bytes_used.store(dram_used_, std::memory_order_relaxed);
+  counters_.dram_entries.store(hot_.size(), std::memory_order_relaxed);
+  (void)fresh;
+}
+
+void TieredCache::hot_erase(HotMap::iterator it, bool count_demotion) {
+  Hot& h = it->second;
+  // A prefetched entry leaving DRAM untouched is a wasted prediction — the
+  // feedback that throttles over-eager prefixes.
+  if (h.prefetched) prefetcher_.credit(it->first, /*useful=*/false);
+  dram_used_ -= entry_bytes(it->first, h.value);
+  if (count_demotion) {
+    counters_.demotions.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_moved.fetch_add(h.value.size(),
+                                    std::memory_order_relaxed);
+  }
+  slot_keys_[h.slot] = nullptr;
+  clock_.release(h.slot);
+  hot_.erase(it);
+  counters_.dram_bytes_used.store(dram_used_, std::memory_order_relaxed);
+  counters_.dram_entries.store(hot_.size(), std::memory_order_relaxed);
+}
+
+void TieredCache::demote(HotMap::iterator victim) {
+  Hot& h = victim->second;
+  if (h.dirty) {
+    // Write-back demotion: the DRAM copy is the only copy.  Compress, then
+    // prove the block can reproduce the raw bytes *before* the raw copy is
+    // dropped — a codec bug must surface here, not at some future GET.
+    std::string block = encode_block(codec_, h.value);
+    std::string check;
+    if (decode_block(block, check).has_value() || check != h.value)
+      block = encode_block(nullptr, h.value);  // stored-raw always verifies
+    std::int64_t d_raw = 0;
+    std::int64_t d_comp = 0;
+    if (const auto prior = cold_->get(victim->first)) {
+      d_comp -= static_cast<std::int64_t>(prior->size());
+      const auto rl = block_raw_len(*prior);
+      d_raw -= static_cast<std::int64_t>(rl ? *rl : prior->size());
+    }
+    d_raw += static_cast<std::int64_t>(h.value.size());
+    d_comp += static_cast<std::int64_t>(block.size());
+    cold_->put(victim->first, block);
+    add_signed(counters_.raw_bytes, d_raw);
+    add_signed(counters_.compressed_bytes, d_comp);
+  }
+  hot_erase(victim, /*count_demotion=*/true);
+}
+
+bool TieredCache::ensure_room(std::uint64_t need) {
+  if (need > opts_.dram_bytes) return false;
+  while (dram_used_ + need > opts_.dram_bytes) {
+    const std::uint32_t v = clock_.next_victim();
+    if (v == ClockRing::kNoSlot) return false;
+    demote(hot_.find(*slot_keys_[v]));
+  }
+  return true;
+}
+
+void TieredCache::hot_admit(std::string_view key, std::string_view value,
+                            bool prefetched, bool dirty) {
+  const std::uint64_t need = entry_bytes(key, value);
+  if (need > opts_.dram_bytes) return;
+  // TinyLFU gate: when admission would evict, the candidate must out-earn
+  // the CLOCK victim.  Prefetched promotions skip the gate — a predicted
+  // key has no frequency history yet, that is the point of predicting it —
+  // and dirty write-back data skips it because it has nowhere else to live.
+  if (!prefetched && !dirty && dram_used_ + need > opts_.dram_bytes) {
+    const std::uint32_t v = clock_.next_victim();
+    if (v == ClockRing::kNoSlot) return;
+    if (!sketch_.admit(fnv1a(key), fnv1a(*slot_keys_[v]))) return;
+    demote(hot_.find(*slot_keys_[v]));
+  }
+  if (!ensure_room(need)) return;
+  hot_insert(key, value, prefetched, dirty);
+}
+
+// ---------------------------------------------------------------------------
+// Cold tier plumbing (mu_ held; cold blocks via the codec seam)
+
+void TieredCache::cold_put(std::string_view key, std::string_view value,
+                           bool in_tx, std::int64_t* d_raw,
+                           std::int64_t* d_comp) {
+  const std::string block = encode_block(codec_, value);
+  *d_raw = static_cast<std::int64_t>(value.size());
+  *d_comp = static_cast<std::int64_t>(block.size());
+  if (const auto prior = cold_->get(key)) {
+    *d_comp -= static_cast<std::int64_t>(prior->size());
+    const auto rl = block_raw_len(*prior);
+    *d_raw -= static_cast<std::int64_t>(rl ? *rl : prior->size());
+  }
+  if (in_tx)
+    cold_->put_in_tx(key, block);
+  else
+    cold_->put(key, block);
+}
+
+bool TieredCache::cold_erase(std::string_view key, bool in_tx,
+                             std::int64_t* d_raw, std::int64_t* d_comp) {
+  const auto prior = cold_->get(key);
+  if (!prior) return false;
+  *d_comp = -static_cast<std::int64_t>(prior->size());
+  const auto rl = block_raw_len(*prior);
+  *d_raw = -static_cast<std::int64_t>(rl ? *rl : prior->size());
+  return in_tx ? cold_->erase_in_tx(key) : cold_->erase(key);
+}
+
+std::optional<std::string> TieredCache::cold_get(std::string_view key) {
+  const auto block = cold_->get(key);
+  if (!block) return std::nullopt;
+  std::string raw;
+  if (const auto err = decode_block(*block, raw))
+    throw pmemkit::PoolError(
+        pmemkit::ErrKind::CorruptImage,
+        "tierkv: cold block for key '" + std::string(key) +
+            "' failed verification: " + to_string(*err));
+  return raw;
+}
+
+// ---------------------------------------------------------------------------
+// Own-transaction operations
+
+void TieredCache::put(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string k(key);
+  sketch_.record(fnv1a(k));
+  if (opts_.write_back) {
+    if (const auto it = hot_.find(k); it != hot_.end()) {
+      dram_used_ -= entry_bytes(k, it->second.value);
+      it->second.value.assign(value);
+      it->second.dirty = true;
+      it->second.prefetched = false;
+      dram_used_ += entry_bytes(k, it->second.value);
+      clock_.touch(it->second.slot);
+      counters_.dram_bytes_used.store(dram_used_, std::memory_order_relaxed);
+      ensure_room(0);  // the grown value may have blown the budget
+      return;
+    }
+    hot_admit(k, value, /*prefetched=*/false, /*dirty=*/true);
+    if (hot_.count(k) != 0) return;  // lives dirty in DRAM until demoted
+  }
+  std::int64_t d_raw = 0;
+  std::int64_t d_comp = 0;
+  cold_put(k, value, /*in_tx=*/false, &d_raw, &d_comp);
+  add_signed(counters_.raw_bytes, d_raw);
+  add_signed(counters_.compressed_bytes, d_comp);
+  if (const auto it = hot_.find(k); it != hot_.end()) {
+    dram_used_ -= entry_bytes(k, it->second.value);
+    it->second.value.assign(value);
+    it->second.dirty = false;
+    it->second.prefetched = false;
+    dram_used_ += entry_bytes(k, it->second.value);
+    clock_.touch(it->second.slot);
+    counters_.dram_bytes_used.store(dram_used_, std::memory_order_relaxed);
+    ensure_room(0);
+  } else {
+    // Write-allocate through the same admission filter demand misses use.
+    hot_admit(k, value, /*prefetched=*/false, /*dirty=*/false);
+  }
+}
+
+std::optional<std::string> TieredCache::get(std::string_view key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string k(key);
+  observe_access(k);
+  if (const auto it = hot_.find(k); it != hot_.end()) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    clock_.touch(it->second.slot);
+    if (it->second.prefetched) {
+      counters_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      prefetcher_.credit(k, /*useful=*/true);
+      it->second.prefetched = false;
+    }
+    return it->second.value;
+  }
+  auto raw = cold_get(k);
+  if (!raw) return std::nullopt;  // absent is neither hit nor miss
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  hot_admit(k, *raw, /*prefetched=*/false, /*dirty=*/false);
+  if (hot_.count(k) != 0) {
+    counters_.promotions.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_moved.fetch_add(raw->size(), std::memory_order_relaxed);
+  }
+  return raw;
+}
+
+bool TieredCache::erase(std::string_view key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string k(key);
+  bool hot_existed = false;
+  if (const auto it = hot_.find(k); it != hot_.end()) {
+    hot_existed = true;
+    hot_erase(it, /*count_demotion=*/false);
+  }
+  std::int64_t d_raw = 0;
+  std::int64_t d_comp = 0;
+  const bool cold_erased = cold_erase(k, /*in_tx=*/false, &d_raw, &d_comp);
+  if (cold_erased) {
+    add_signed(counters_.raw_bytes, d_raw);
+    add_signed(counters_.compressed_bytes, d_comp);
+  }
+  return cold_erased || hot_existed;  // write-back: entry may be hot-only
+}
+
+bool TieredCache::exists(std::string_view key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string k(key);
+  return hot_.count(k) != 0 || cold_->exists(k);
+}
+
+// ---------------------------------------------------------------------------
+// Batch composition (caller holds batch_lock() and the transaction)
+
+std::unique_lock<std::mutex> TieredCache::batch_lock() {
+  if (opts_.write_back)
+    throw pmemkit::TxError(
+        pmemkit::ErrKind::TxMisuse,
+        "tierkv: batch composition requires write-through mode");
+  return std::unique_lock<std::mutex>(mu_);
+}
+
+void TieredCache::put_in_tx(std::string_view key, std::string_view value) {
+  const std::string k(key);
+  sketch_.record(fnv1a(k));
+  StagedOp op;
+  op.key = k;
+  op.value.emplace(value);
+  cold_put(k, value, /*in_tx=*/true, &op.d_raw, &op.d_comp);
+  staged_.push_back(std::move(op));
+}
+
+bool TieredCache::erase_in_tx(std::string_view key) {
+  const std::string k(key);
+  StagedOp op;
+  op.key = k;
+  if (!cold_erase(k, /*in_tx=*/true, &op.d_raw, &op.d_comp)) return false;
+  staged_.push_back(std::move(op));
+  return true;
+}
+
+std::optional<std::string> TieredCache::get_in_batch(std::string_view key) {
+  const std::string k(key);
+  // Read-your-writes inside the open batch: the newest staged op for this
+  // key wins, and the DRAM tier (which still reflects the pre-batch state)
+  // must not be consulted past it.
+  for (auto it = staged_.rbegin(); it != staged_.rend(); ++it) {
+    if (it->key != k) continue;
+    if (!it->value) return std::nullopt;
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    return it->value;
+  }
+  observe_access(k);
+  if (const auto it = hot_.find(k); it != hot_.end()) {
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
+    clock_.touch(it->second.slot);
+    if (it->second.prefetched) {
+      counters_.prefetch_hits.fetch_add(1, std::memory_order_relaxed);
+      prefetcher_.credit(k, /*useful=*/true);
+      it->second.prefetched = false;
+    }
+    return it->second.value;
+  }
+  // Unstaged keys are untouched by the open transaction, so this decodes
+  // committed data — safe to promote even if the batch later aborts.
+  auto raw = cold_get(k);
+  if (!raw) return std::nullopt;
+  counters_.misses.fetch_add(1, std::memory_order_relaxed);
+  hot_admit(k, *raw, /*prefetched=*/false, /*dirty=*/false);
+  if (hot_.count(k) != 0) {
+    counters_.promotions.fetch_add(1, std::memory_order_relaxed);
+    counters_.bytes_moved.fetch_add(raw->size(), std::memory_order_relaxed);
+  }
+  return raw;
+}
+
+bool TieredCache::exists_in_batch(std::string_view key) {
+  const std::string k(key);
+  for (auto it = staged_.rbegin(); it != staged_.rend(); ++it)
+    if (it->key == k) return it->value.has_value();
+  return hot_.count(k) != 0 || cold_->exists(k);
+}
+
+void TieredCache::commit_staged() {
+  for (StagedOp& op : staged_) {
+    add_signed(counters_.raw_bytes, op.d_raw);
+    add_signed(counters_.compressed_bytes, op.d_comp);
+    const auto it = hot_.find(op.key);
+    if (!op.value) {
+      if (it != hot_.end()) hot_erase(it, /*count_demotion=*/false);
+      continue;
+    }
+    if (it != hot_.end()) {
+      dram_used_ -= entry_bytes(op.key, it->second.value);
+      it->second.value = std::move(*op.value);
+      it->second.prefetched = false;
+      dram_used_ += entry_bytes(op.key, it->second.value);
+      clock_.touch(it->second.slot);
+      counters_.dram_bytes_used.store(dram_used_, std::memory_order_relaxed);
+    } else {
+      hot_admit(op.key, *op.value, /*prefetched=*/false, /*dirty=*/false);
+    }
+  }
+  staged_.clear();
+  ensure_room(0);  // grown overwrites may have blown the budget
+}
+
+void TieredCache::discard_staged() { staged_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Promotion lane
+
+void TieredCache::enqueue_predictions(std::vector<std::string> keys) {
+  bool queued = false;
+  for (std::string& k : keys) {
+    if (hot_.count(k) != 0) continue;  // already resident
+    promo_q_.push_back(std::move(k));
+    counters_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
+    queued = true;
+  }
+  // A stalled lane sheds the *oldest* guesses: recent predictions are the
+  // ones demand is about to reach.
+  while (promo_q_.size() > opts_.max_promotion_queue) promo_q_.pop_front();
+  if (queued && lane_.joinable()) promo_cv_.notify_one();
+}
+
+std::size_t TieredCache::promote_one_locked(const std::string& key) {
+  if (hot_.count(key) != 0) return 0;
+  std::optional<std::string> raw;
+  try {
+    raw = cold_get(key);
+  } catch (const pmemkit::Error&) {
+    return 0;  // leave the corrupt block for a demand GET to report
+  }
+  if (!raw) {
+    prefetcher_.credit(key, /*useful=*/false);  // predicted past the run
+    return 0;
+  }
+  hot_admit(key, *raw, /*prefetched=*/true, /*dirty=*/false);
+  if (hot_.count(key) == 0) {
+    prefetcher_.credit(key, /*useful=*/false);
+    return 0;
+  }
+  counters_.promotions.fetch_add(1, std::memory_order_relaxed);
+  counters_.bytes_moved.fetch_add(raw->size(), std::memory_order_relaxed);
+  return 1;
+}
+
+std::size_t TieredCache::drain_promotions(std::size_t max) {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::size_t promoted = 0;
+  for (std::size_t processed = 0; processed < max && !promo_q_.empty();
+       ++processed) {
+    const std::string key = std::move(promo_q_.front());
+    promo_q_.pop_front();
+    promoted += promote_one_locked(key);
+  }
+  if (promo_q_.empty()) quiesce_cv_.notify_all();
+  return promoted;
+}
+
+void TieredCache::quiesce() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!lane_.joinable()) {
+    while (!promo_q_.empty()) {
+      const std::string key = std::move(promo_q_.front());
+      promo_q_.pop_front();
+      promote_one_locked(key);
+    }
+    return;
+  }
+  quiesce_cv_.wait(lk,
+                   [&] { return promo_q_.empty() && lane_busy_ == 0; });
+}
+
+void TieredCache::lane_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    promo_cv_.wait(lk, [&] { return stopping_ || !promo_q_.empty(); });
+    if (stopping_) break;
+    const std::string key = std::move(promo_q_.front());
+    promo_q_.pop_front();
+    lane_busy_ = 1;
+    promote_one_locked(key);
+    lane_busy_ = 0;
+    if (promo_q_.empty()) quiesce_cv_.notify_all();
+  }
+}
+
+void TieredCache::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  promo_cv_.notify_all();
+  quiesce_cv_.notify_all();
+  if (lane_.joinable()) lane_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+TierStats TieredCache::stats() const {
+  return counters_.snapshot(opts_.dram_bytes);
+}
+
+std::uint64_t TieredCache::cold_keys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cold_->size();
+}
+
+// ---------------------------------------------------------------------------
+// Topology-derived DRAM budget
+
+std::uint64_t derive_dram_budget(api::Runtime& rt,
+                                 std::uint64_t working_set_bytes,
+                                 double hot_fraction) {
+  constexpr std::uint64_t kFloor = 1ull << 20;
+  if (hot_fraction <= 0.0 || hot_fraction > 1.0) hot_fraction = 0.25;
+  std::uint64_t want = std::max<std::uint64_t>(
+      kFloor, static_cast<std::uint64_t>(
+                  static_cast<double>(working_set_bytes) * hot_fraction));
+  // place() is all-or-nothing per request, so scarcity shows up as an
+  // unsatisfied hot slice: halve the ask until the advisor can host it
+  // alongside the durable cold slice.
+  while (true) {
+    std::vector<api::PlacementRequest> reqs;
+    reqs.push_back({.label = "tierkv-hot",
+                    .bytes = want,
+                    .needs_persistence = false,
+                    .mlp = 4.0,
+                    .read_fraction = 0.9,
+                    .hotness = 10.0});
+    reqs.push_back({.label = "tierkv-cold",
+                    .bytes = working_set_bytes,
+                    .needs_persistence = true,
+                    .mlp = 8.0,
+                    .read_fraction = 0.8,
+                    .hotness = 1.0});
+    const auto plan = rt.place(std::move(reqs));
+    if (!plan.ok()) return want;  // no advisor view — keep the ask
+    const api::PlacementDecision* hot = plan->find("tierkv-hot");
+    if (hot != nullptr && hot->satisfied) return want;
+    if (want <= kFloor) return kFloor;
+    want /= 2;
+  }
+}
+
+}  // namespace cxlpmem::tierkv
+
+// ---------------------------------------------------------------------------
+// api::TieredCache — the Result-based facade
+
+namespace cxlpmem::api {
+
+struct TieredCache::State {
+  Pool pool;
+  service::DurableMap map;
+  tierkv::TieredCache tier;
+
+  State(Pool p, tierkv::TierOptions opts)
+      : pool(std::move(p)), map(pool.pmem()), tier(map, std::move(opts)) {}
+};
+
+TieredCache::TieredCache(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+TieredCache::TieredCache(TieredCache&&) noexcept = default;
+TieredCache& TieredCache::operator=(TieredCache&&) noexcept = default;
+TieredCache::~TieredCache() = default;
+
+Result<TieredCache> TieredCache::open(Runtime& rt, std::string_view ns,
+                                      std::string_view layout,
+                                      TierSpec spec) {
+  if (tierkv::find_codec(spec.codec) == nullptr)
+    return Error{Errc::InvalidConfig,
+                 "unknown tier codec '" + spec.codec +
+                     "' (registered: identity, lz)"};
+  auto pool = rt.open_or_create_pool(ns, layout, spec.pool);
+  if (!pool.ok()) return pool.error();
+  tierkv::TierOptions opts;
+  opts.codec = spec.codec;
+  opts.dram_bytes = spec.dram_bytes != 0
+                        ? spec.dram_bytes
+                        : tierkv::derive_dram_budget(
+                              rt, spec.working_set_bytes);
+  opts.prefetch = spec.prefetch;
+  opts.background_lane = spec.background_lane;
+  return wrap([&] {
+    return TieredCache(std::make_unique<State>(std::move(pool).value(),
+                                               std::move(opts)));
+  });
+}
+
+Result<void> TieredCache::put(std::string_view key, std::string_view value) {
+  return wrap([&] { state_->tier.put(key, value); });
+}
+
+Result<std::optional<std::string>> TieredCache::get(std::string_view key) {
+  return wrap([&] { return state_->tier.get(key); });
+}
+
+Result<bool> TieredCache::erase(std::string_view key) {
+  return wrap([&] { return state_->tier.erase(key); });
+}
+
+Result<bool> TieredCache::exists(std::string_view key) {
+  return wrap([&] { return state_->tier.exists(key); });
+}
+
+tierkv::TierStats TieredCache::stats() const { return state_->tier.stats(); }
+
+tierkv::TieredCache& TieredCache::engine() noexcept { return state_->tier; }
+
+Pool& TieredCache::pool() noexcept { return state_->pool; }
+
+}  // namespace cxlpmem::api

@@ -1,0 +1,110 @@
+#include "tierkv/policy.hpp"
+
+namespace cxlpmem::tierkv {
+
+namespace {
+
+/// Four independent counter indices from one 64-bit hash (the count-min
+/// rows), spread by golden-ratio remixing.
+std::uint64_t spread(std::uint64_t h, int i) noexcept {
+  h += static_cast<std::uint64_t>(i + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+FrequencySketch::FrequencySketch(std::uint64_t expected_entries) {
+  std::uint64_t counters = 64;
+  while (counters < expected_entries * 8 && counters < (1ull << 26))
+    counters <<= 1;
+  table_.assign(counters / 2, 0);  // two 4-bit counters per byte
+  mask_ = counters - 1;
+  sample_period_ = counters * 2;   // ~Caffeine's 10x entries, rounded
+}
+
+std::uint32_t FrequencySketch::counter_at(std::uint64_t slot) const noexcept {
+  const std::uint8_t byte = table_[slot >> 1];
+  return (slot & 1) ? (byte >> 4) : (byte & 0x0F);
+}
+
+void FrequencySketch::bump_at(std::uint64_t slot) noexcept {
+  std::uint8_t& byte = table_[slot >> 1];
+  if (slot & 1) {
+    if ((byte >> 4) < 15) byte = static_cast<std::uint8_t>(byte + 0x10);
+  } else {
+    if ((byte & 0x0F) < 15) byte = static_cast<std::uint8_t>(byte + 0x01);
+  }
+}
+
+void FrequencySketch::age() noexcept {
+  // Halve both nibbles of every byte in one pass: clear each nibble's low
+  // bit first so the shift cannot bleed across the boundary.
+  for (std::uint8_t& b : table_)
+    b = static_cast<std::uint8_t>((b >> 1) & 0x77);
+  ++ages_;
+}
+
+void FrequencySketch::record(std::uint64_t key_hash) noexcept {
+  for (int i = 0; i < 4; ++i) bump_at(spread(key_hash, i) & mask_);
+  if (++samples_ >= sample_period_) {
+    samples_ = 0;
+    age();
+  }
+}
+
+std::uint32_t FrequencySketch::estimate(std::uint64_t key_hash) const noexcept {
+  std::uint32_t best = 15;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t c = counter_at(spread(key_hash, i) & mask_);
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+std::uint32_t ClockRing::acquire() {
+  std::uint32_t id;
+  if (!free_.empty()) {
+    id = free_.back();
+    free_.pop_back();
+  } else {
+    id = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  }
+  slots_[id] = Slot{.live = true, .referenced = true};
+  ++live_;
+  return id;
+}
+
+void ClockRing::touch(std::uint32_t slot) noexcept {
+  if (slot < slots_.size() && slots_[slot].live)
+    slots_[slot].referenced = true;
+}
+
+void ClockRing::release(std::uint32_t slot) noexcept {
+  if (slot >= slots_.size() || !slots_[slot].live) return;
+  slots_[slot].live = false;
+  free_.push_back(slot);
+  --live_;
+}
+
+std::uint32_t ClockRing::next_victim() noexcept {
+  if (live_ == 0) return kNoSlot;
+  // Two sweeps bound the scan: the first clears reference bits, so the
+  // second must find an unreferenced live slot.
+  for (std::size_t scanned = 0; scanned < 2 * slots_.size(); ++scanned) {
+    Slot& s = slots_[hand_];
+    hand_ = (hand_ + 1) % slots_.size();
+    if (!s.live) continue;
+    if (s.referenced) {
+      s.referenced = false;  // second chance
+      continue;
+    }
+    return static_cast<std::uint32_t>(&s - slots_.data());
+  }
+  return kNoSlot;  // unreachable with live_ > 0; belt-and-braces
+}
+
+}  // namespace cxlpmem::tierkv

@@ -1,0 +1,140 @@
+#include "tierkv/prefetch.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cxlpmem::tierkv {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s)
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+  return h;
+}
+
+constexpr std::size_t kMaxIndexDigits = 12;  // 1e12 blocks is not a run
+constexpr std::size_t kScoreTable = 64;
+
+}  // namespace
+
+KeyShape split_key(std::string_view key) {
+  std::size_t digits = 0;
+  while (digits < key.size() &&
+         (std::isdigit(static_cast<unsigned char>(
+             key[key.size() - 1 - digits])) != 0))
+    ++digits;
+  KeyShape shape;
+  if (digits == 0 || digits > kMaxIndexDigits || digits == key.size()) {
+    shape.prefix.assign(key);
+    return shape;
+  }
+  shape.prefix.assign(key.substr(0, key.size() - digits));
+  std::uint64_t idx = 0;
+  for (const char c : key.substr(key.size() - digits))
+    idx = idx * 10 + static_cast<std::uint64_t>(c - '0');
+  shape.index = idx;
+  shape.numeric = true;
+  return shape;
+}
+
+Prefetcher::Prefetcher(PrefetchOptions opts) : opts_(opts) {
+  if (opts_.ring == 0) opts_.ring = 1;
+  if (opts_.run_threshold < 2) opts_.run_threshold = 2;
+  ring_.resize(opts_.ring);
+  predicted_.assign(std::max<std::size_t>(opts_.ring * 2, 16), 0);
+  scores_.resize(kScoreTable);
+}
+
+bool Prefetcher::recently_predicted(std::uint64_t key_hash) const noexcept {
+  return std::find(predicted_.begin(), predicted_.end(), key_hash) !=
+         predicted_.end();
+}
+
+Prefetcher::PrefixScore& Prefetcher::score_of(std::uint64_t prefix_hash) {
+  PrefixScore& s = scores_[prefix_hash % kScoreTable];
+  if (s.hash != prefix_hash) {
+    // Direct-mapped: a new prefix evicts the old one's history.
+    s = PrefixScore{.hash = prefix_hash, .useful = 0, .wasted = 0};
+  }
+  return s;
+}
+
+std::vector<std::string> Prefetcher::observe(std::string_view key) {
+  const KeyShape shape = split_key(key);
+  const std::uint64_t prefix_hash = fnv1a(shape.prefix);
+  const std::uint64_t key_hash = fnv1a(key);
+
+  // Run detection BEFORE inserting the current access: the ring must hold
+  // the predecessors (index-1, index-2, ...) for this access to extend a
+  // run.  threshold = N means this access plus N-1 ring predecessors.
+  std::size_t run = 0;
+  if (shape.numeric) {
+    for (std::size_t back = 1; back < opts_.run_threshold; ++back) {
+      if (shape.index < back) break;
+      const std::uint64_t want = shape.index - back;
+      bool found = false;
+      for (std::size_t i = 0; i < ring_fill_; ++i) {
+        const Recent& r = ring_[i];
+        if (r.numeric && r.prefix_hash == prefix_hash && r.index == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      ++run;
+    }
+  }
+
+  ring_[ring_pos_] = Recent{.prefix_hash = prefix_hash,
+                            .index = shape.index,
+                            .key_hash = key_hash,
+                            .numeric = shape.numeric};
+  ring_pos_ = (ring_pos_ + 1) % ring_.size();
+  ring_fill_ = std::min(ring_fill_ + 1, ring_.size());
+
+  std::vector<std::string> out;
+  if (!shape.numeric || run + 1 < opts_.run_threshold) return out;
+  ++runs_detected_;
+
+  // Throttle prefixes whose predictions keep going unused; a run is always
+  // allowed at least 1-ahead so a prefix can earn trust back.
+  std::size_t depth = opts_.depth;
+  {
+    const PrefixScore& s = score_of(prefix_hash);
+    const std::uint32_t total = s.useful + s.wasted;
+    if (total >= 16 &&
+        static_cast<double>(s.useful) <
+            opts_.min_accuracy * static_cast<double>(total))
+      depth = 1;
+  }
+
+  out.reserve(depth);
+  for (std::size_t ahead = 1; ahead <= depth; ++ahead) {
+    const std::uint64_t idx = shape.index + ahead;
+    std::string next = shape.prefix + std::to_string(idx);
+    const std::uint64_t next_hash = fnv1a(next);
+    if (recently_predicted(next_hash)) continue;
+    predicted_[predicted_pos_] = next_hash;
+    predicted_pos_ = (predicted_pos_ + 1) % predicted_.size();
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+void Prefetcher::credit(std::string_view key, bool useful) {
+  const KeyShape shape = split_key(key);
+  PrefixScore& s = score_of(fnv1a(shape.prefix));
+  if (useful)
+    ++s.useful;
+  else
+    ++s.wasted;
+  // Keep the window sliding so old behaviour ages out.
+  if (s.useful + s.wasted >= 256) {
+    s.useful /= 2;
+    s.wasted /= 2;
+  }
+}
+
+}  // namespace cxlpmem::tierkv

@@ -1,0 +1,90 @@
+// tierkv/prefetch.hpp — access-history prefetcher for the tiered cache.
+//
+// The workload this subsystem exists for (LLM-serving KV caches) has a
+// telltale shape: *which* sequence is read next is zipfian-skewed, but
+// *within* a sequence the blocks are read in order — "seq42/b0, seq42/b1,
+// seq42/b2, ...".  The prefetcher exploits exactly that:
+//
+//   * a ring of the most recent accesses, each split into (prefix, index)
+//     when the key ends in digits ("seq42/b7" → "seq42/b" + 7);
+//   * sequential-run detection: when the ring holds `run_threshold`
+//     consecutive indices of one prefix ending at the current access, the
+//     next `depth` keys of that run are predicted;
+//   * per-key recency/frequency: a prediction already seen recently is
+//     suppressed (re-predicting a resident key wastes a promotion-lane
+//     slot), and each prefix tracks how often its runs actually continued,
+//     throttling prefixes whose predictions keep missing.
+//
+// The prefetcher is pure bookkeeping: observe() returns predicted keys and
+// the cache decides what to do with them (enqueue on the promotion lane).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cxlpmem::tierkv {
+
+struct PrefetchOptions {
+  std::size_t ring = 64;       ///< recent accesses remembered
+  std::size_t run_threshold = 3;  ///< consecutive indices to call it a run
+  std::size_t depth = 8;       ///< keys predicted ahead of a detected run
+  /// A prefix whose predictions were useful fewer than this fraction of the
+  /// time gets throttled to 1-ahead until it earns trust back.
+  double min_accuracy = 0.25;
+};
+
+/// Splits "seq42/b7" into prefix "seq42/b" and index 7.  Keys without a
+/// trailing decimal index (or with an absurdly long one) don't participate
+/// in run detection — they still land in the ring for recency suppression.
+struct KeyShape {
+  std::string prefix;
+  std::uint64_t index = 0;
+  bool numeric = false;
+};
+[[nodiscard]] KeyShape split_key(std::string_view key);
+
+class Prefetcher {
+ public:
+  explicit Prefetcher(PrefetchOptions opts = {});
+
+  /// Records a demand access and returns the keys (if any) this access
+  /// makes worth promoting ahead of demand.
+  [[nodiscard]] std::vector<std::string> observe(std::string_view key);
+
+  /// Feedback from the cache: a predicted key was (or wasn't) touched by a
+  /// demand access while DRAM-resident.  Drives per-prefix throttling.
+  void credit(std::string_view key, bool useful);
+
+  [[nodiscard]] std::uint64_t runs_detected() const noexcept {
+    return runs_detected_;
+  }
+
+ private:
+  struct Recent {
+    std::uint64_t prefix_hash = 0;
+    std::uint64_t index = 0;
+    std::uint64_t key_hash = 0;
+    bool numeric = false;
+  };
+  struct PrefixScore {
+    std::uint64_t hash = 0;
+    std::uint32_t useful = 0;
+    std::uint32_t wasted = 0;
+  };
+
+  [[nodiscard]] bool recently_predicted(std::uint64_t key_hash) const noexcept;
+  [[nodiscard]] PrefixScore& score_of(std::uint64_t prefix_hash);
+
+  PrefetchOptions opts_;
+  std::vector<Recent> ring_;
+  std::size_t ring_pos_ = 0;
+  std::size_t ring_fill_ = 0;
+  std::vector<std::uint64_t> predicted_;  ///< ring of recent predictions
+  std::size_t predicted_pos_ = 0;
+  std::vector<PrefixScore> scores_;  ///< small direct-mapped table
+  std::uint64_t runs_detected_ = 0;
+};
+
+}  // namespace cxlpmem::tierkv

@@ -119,6 +119,62 @@ TEST_F(TieringTest, PersistentAndImpossiblePersistentDiffer) {
   EXPECT_FALSE(too_big[0].satisfied);
 }
 
+TEST_F(TieringTest, EmptyRequestListIsAFullySatisfiedPlan) {
+  // The degenerate input the tierkv budget-derivation loop can produce:
+  // nothing to place is vacuously satisfied, and the plan-level queries
+  // hold up on an empty decision vector.
+  const core::PlacementPlan plan = advisor_.plan({});
+  EXPECT_TRUE(plan.decisions.empty());
+  EXPECT_TRUE(plan.fully_satisfied());
+  EXPECT_EQ(plan.unsatisfied_count(), 0u);
+  EXPECT_EQ(plan.find("anything"), nullptr);
+}
+
+TEST_F(TieringTest, ExhaustedTierRefusesFurtherPersistentRequests) {
+  // First request drains the durable (CXL) tier to zero capacity; the
+  // second needs durability and must come back unsatisfied rather than be
+  // silently parked on a volatile tier.
+  const auto& tiers = advisor_.tiers();
+  const std::uint64_t durable_bytes = tiers[2].capacity_bytes;
+  const core::PlacementPlan plan =
+      advisor_.plan({{.label = "fill",
+                      .bytes = durable_bytes,
+                      .needs_persistence = true,
+                      .mlp = 8.0,
+                      .read_fraction = 0.5,
+                      .hotness = 5.0},
+                     {.label = "overflow",
+                      .bytes = 1ull << 20,
+                      .needs_persistence = true,
+                      .mlp = 8.0,
+                      .read_fraction = 0.5,
+                      .hotness = 1.0}});
+  EXPECT_FALSE(plan.fully_satisfied());
+  EXPECT_EQ(plan.unsatisfied_count(), 1u);
+  ASSERT_NE(plan.find("fill"), nullptr);
+  EXPECT_TRUE(plan.find("fill")->satisfied);
+  ASSERT_NE(plan.find("overflow"), nullptr);
+  EXPECT_FALSE(plan.find("overflow")->satisfied);
+  EXPECT_EQ(plan.find("overflow")->memory, cxlpmem::simkit::kInvalidId);
+}
+
+TEST_F(TieringTest, RequestExceedingEveryTierFailsThePlan) {
+  // Bigger than the machine: no tier can host it, fully_satisfied must go
+  // false, and find() on a label that was never requested stays null.
+  const core::PlacementPlan plan = advisor_.plan({{.label = "galactic",
+                                                   .bytes = 1ull << 50,
+                                                   .needs_persistence = false,
+                                                   .mlp = 4.0,
+                                                   .read_fraction = 0.9,
+                                                   .hotness = 10.0}});
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  EXPECT_FALSE(plan.fully_satisfied());
+  EXPECT_EQ(plan.unsatisfied_count(), 1u);
+  EXPECT_FALSE(plan.decisions[0].satisfied);
+  EXPECT_EQ(plan.decisions[0].memory, cxlpmem::simkit::kInvalidId);
+  EXPECT_EQ(plan.find("never-requested"), nullptr);
+}
+
 TEST_F(TieringTest, PlacementIsDeterministic) {
   std::vector<core::PlacementRequest> reqs;
   for (int i = 0; i < 8; ++i)

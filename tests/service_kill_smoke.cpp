@@ -2,7 +2,7 @@
 // daemon binary: every SET cxlpmemd acknowledged before SIGKILL must be
 // present after restart.
 //
-//   service_kill_smoke <path-to-cxlpmemd> <scratch-dir>
+//   service_kill_smoke <path-to-cxlpmemd> <scratch-dir> [--tier]
 //
 // 1. fork/exec cxlpmemd on an ephemeral port, parse the READY line;
 // 2. four writer threads stream unique-key SETs through the client
@@ -12,6 +12,12 @@
 // 4. restart cxlpmemd on the same pool directory (recovery path) and GET
 //    every acknowledged key back;
 // 5. SIGTERM the second daemon and require a clean exit (graceful path).
+//
+// With --tier both daemons run the tiered DRAM front-end (--tier-codec lz,
+// a deliberately tiny DRAM budget): the contract is identical — write-
+// through puts the compressed block in the batch transaction before the
+// ack — and the restarted daemon starts with an EMPTY DRAM tier, so every
+// verification GET decodes its value from a cold block.
 //
 // Not a gtest on purpose: it orchestrates processes and owns its exit
 // code, the way the CI job runs it.
@@ -47,7 +53,7 @@ int fail(const char* what) {
 
 /// fork/execs cxlpmemd --dir `dir` --port 0 and blocks until its READY
 /// line (or EOF) arrives.
-bool spawn_daemon(const std::string& binary, const fs::path& dir,
+bool spawn_daemon(const std::string& binary, const fs::path& dir, bool tier,
                   Daemon& d) {
   int pipefd[2];
   if (::pipe(pipefd) != 0) return false;
@@ -58,9 +64,15 @@ bool spawn_daemon(const std::string& binary, const fs::path& dir,
     ::close(pipefd[0]);
     ::close(pipefd[1]);
     const std::string dir_s = dir.string();
-    ::execl(binary.c_str(), binary.c_str(), "--dir", dir_s.c_str(),
-            "--port", "0", "--shards", "4", "--pool-mb", "16",
-            static_cast<char*>(nullptr));
+    if (tier)
+      ::execl(binary.c_str(), binary.c_str(), "--dir", dir_s.c_str(),
+              "--port", "0", "--shards", "4", "--pool-mb", "16",
+              "--tier-codec", "lz", "--tier-dram-bytes", "262144",
+              static_cast<char*>(nullptr));
+    else
+      ::execl(binary.c_str(), binary.c_str(), "--dir", dir_s.c_str(),
+              "--port", "0", "--shards", "4", "--pool-mb", "16",
+              static_cast<char*>(nullptr));
     std::perror("execl");
     ::_exit(127);
   }
@@ -90,8 +102,10 @@ void reap(Daemon& d) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <cxlpmemd> <scratch-dir>\n", argv[0]);
+  const bool tier = argc == 4 && std::strcmp(argv[3], "--tier") == 0;
+  if (argc != 3 && !tier) {
+    std::fprintf(stderr, "usage: %s <cxlpmemd> <scratch-dir> [--tier]\n",
+                 argv[0]);
     return 2;
   }
   const std::string binary = argv[1];
@@ -100,8 +114,10 @@ int main(int argc, char** argv) {
   fs::create_directories(dir);
 
   Daemon d;
-  if (!spawn_daemon(binary, dir, d)) return fail("could not start cxlpmemd");
-  std::printf("daemon up on port %u\n", static_cast<unsigned>(d.port));
+  if (!spawn_daemon(binary, dir, tier, d))
+    return fail("could not start cxlpmemd");
+  std::printf("daemon up on port %u%s\n", static_cast<unsigned>(d.port),
+              tier ? " (tiered)" : "");
 
   // Writers stream unique-key SETs; each key is written exactly once, so
   // "acked" fully determines the value a restart must serve.
@@ -134,7 +150,7 @@ int main(int argc, char** argv) {
     return fail("no SET was acknowledged before the kill — no load built");
 
   // Restart on the same pools: open-time recovery, then every acked key.
-  if (!spawn_daemon(binary, dir, d))
+  if (!spawn_daemon(binary, dir, tier, d))
     return fail("could not restart cxlpmemd on the surviving pools");
   auto conn = service::Client::connect(d.port);
   if (!conn.ok()) return fail("could not connect after restart");

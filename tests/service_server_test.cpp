@@ -287,6 +287,98 @@ TEST_F(ServiceServerTest, GracefulShutdownDrainsLanesAndPools) {
   }
 }
 
+// The tiered DRAM front-end, through the full wire path: the command
+// surface must be indistinguishable from the untiered server, while INFO
+// (both the struct and the text form a real client parses) reports the
+// tier telemetry.
+TEST_F(ServiceServerTest, TieredServerServesAndReportsTelemetry) {
+  service::ServerOptions opts;
+  opts.tier = true;
+  opts.tier_codec = "lz";
+  opts.tier_dram_bytes = 256 * 1024;  // small enough to force evictions
+  start(opts);
+  Client c = connect();
+
+  // Compressible values (the LLM KV-block shape), enough of them to spill
+  // the DRAM tier; re-read a few so hits and misses both accrue.
+  std::string value;
+  while (value.size() < 4096) value += "token-run token-run ";
+  for (int i = 0; i < 128; ++i)
+    ASSERT_TRUE(c.set("blk" + std::to_string(i), value).ok());
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < 128; i += 7)
+      EXPECT_EQ(c.get("blk" + std::to_string(i)).value().value(), value);
+  EXPECT_TRUE(c.exists("blk0").value());
+  EXPECT_TRUE(c.del("blk0").value());
+  EXPECT_FALSE(c.get("blk0").value().has_value());
+
+  // The struct form: aggregated tier stats with the codec paying for
+  // itself on these values.
+  const service::ServerInfo info = server_->info();
+  EXPECT_TRUE(info.tier);
+  EXPECT_EQ(info.tier_codec, "lz");
+  EXPECT_GT(info.tier_stats.hits + info.tier_stats.misses, 0u);
+  EXPECT_GT(info.tier_stats.raw_bytes, 0u);
+  EXPECT_LT(info.tier_stats.compressed_bytes, info.tier_stats.raw_bytes);
+  EXPECT_GT(info.tier_stats.dram_bytes_budget, 0u);
+
+  // The wire form: every field of the "# Tier" section must round-trip
+  // through the client, with the on/off flag and codec spelled out.
+  const std::string text = c.info().value();
+  EXPECT_NE(text.find("# Tier"), std::string::npos);
+  EXPECT_NE(text.find("tier:on"), std::string::npos);
+  EXPECT_NE(text.find("tier_codec:lz"), std::string::npos);
+  for (const char* field :
+       {"tier_dram_budget:", "tier_dram_used:", "tier_dram_entries:",
+        "tier_hits:", "tier_misses:", "tier_hit_rate:", "tier_promotions:",
+        "tier_demotions:", "tier_prefetch_issued:", "tier_prefetch_hits:",
+        "tier_bytes_moved:", "tier_raw_bytes:", "tier_compressed_bytes:",
+        "tier_compression_ratio:"})
+    EXPECT_NE(text.find(field), std::string::npos) << field;
+}
+
+TEST_F(ServiceServerTest, UntieredServerReportsTierOff) {
+  start();
+  Client c = connect();
+  const std::string text = c.info().value();
+  EXPECT_NE(text.find("tier:off"), std::string::npos);
+  EXPECT_EQ(text.find("tier_codec:"), std::string::npos);
+  EXPECT_FALSE(server_->info().tier);
+}
+
+TEST_F(ServiceServerTest, TieredServerRejectsUnknownCodec) {
+  service::ServerOptions opts;
+  opts.tier = true;
+  opts.tier_codec = "zstd";
+  opts.pool_size_bytes = 16ull << 20;
+  const auto server = service::Server::start(*rt_, opts);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.error().code, api::Errc::InvalidConfig);
+}
+
+// Pipelined read-your-writes through the tier's staged batch path: the
+// same burst shape the untiered test covers, but now the GETs are served
+// by TieredCache::get_in_batch against staged, not-yet-committed SETs.
+TEST_F(ServiceServerTest, TieredPipelinedBurstReadsItsWrites) {
+  service::ServerOptions opts;
+  opts.tier = true;
+  opts.tier_dram_bytes = 1 << 20;
+  start(opts);
+  Client c = connect();
+  c.queue_set("k", "v1");
+  c.queue_get("k");
+  c.queue_set("k", "v2");
+  c.queue_get("k");
+  c.queue({"DEL", "k"});
+  c.queue_get("k");
+  const auto replies = c.flush();
+  ASSERT_TRUE(replies.ok()) << replies.error().to_string();
+  ASSERT_EQ(replies.value().size(), 6u);
+  EXPECT_EQ(replies.value()[1].text, "v1");
+  EXPECT_EQ(replies.value()[3].text, "v2");
+  EXPECT_EQ(replies.value()[5].type, RespValue::Type::Null);
+}
+
 // The registry-churn pattern from the pool tests, lifted to the service:
 // clients hammer the full wire path while the server tears down under
 // them.  Run under TSan in CI; the assertion here is "no crash, no hang,

@@ -1,0 +1,109 @@
+// tierkv_prefetch_test — key shape parsing, sequential-run detection over
+// the access ring, prediction dedup, and accuracy-driven throttling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tierkv/prefetch.hpp"
+
+namespace {
+
+using cxlpmem::tierkv::KeyShape;
+using cxlpmem::tierkv::Prefetcher;
+using cxlpmem::tierkv::PrefetchOptions;
+using cxlpmem::tierkv::split_key;
+
+TEST(SplitKey, ParsesTrailingDecimalIndex) {
+  const KeyShape s = split_key("seq42/b7");
+  EXPECT_TRUE(s.numeric);
+  EXPECT_EQ(s.prefix, "seq42/b");
+  EXPECT_EQ(s.index, 7u);
+
+  const KeyShape multi = split_key("chunk123");
+  EXPECT_TRUE(multi.numeric);
+  EXPECT_EQ(multi.prefix, "chunk");
+  EXPECT_EQ(multi.index, 123u);
+}
+
+TEST(SplitKey, NonNumericShapesDoNotParticipate) {
+  EXPECT_FALSE(split_key("plain-key").numeric);
+  EXPECT_FALSE(split_key("").numeric);
+  // All digits: no prefix to form a run over.
+  EXPECT_FALSE(split_key("123456").numeric);
+  // Absurdly long index (> 12 digits) is treated as opaque.
+  EXPECT_FALSE(split_key("k1234567890123").numeric);
+}
+
+TEST(Prefetcher, SequentialRunTriggersPredictions) {
+  Prefetcher p(PrefetchOptions{.ring = 32, .run_threshold = 3, .depth = 4});
+  EXPECT_TRUE(p.observe("seq1/b0").empty());  // run too short
+  EXPECT_TRUE(p.observe("seq1/b1").empty());  // still short (2 < 3)
+  const std::vector<std::string> pred = p.observe("seq1/b2");
+  ASSERT_EQ(pred.size(), 4u);
+  EXPECT_EQ(pred[0], "seq1/b3");
+  EXPECT_EQ(pred[3], "seq1/b6");
+  EXPECT_EQ(p.runs_detected(), 1u);
+}
+
+TEST(Prefetcher, InterleavedSequencesAreTrackedIndependently) {
+  Prefetcher p(PrefetchOptions{.ring = 32, .run_threshold = 3, .depth = 2});
+  EXPECT_TRUE(p.observe("a/0").empty());
+  EXPECT_TRUE(p.observe("b/0").empty());
+  EXPECT_TRUE(p.observe("a/1").empty());
+  EXPECT_TRUE(p.observe("b/1").empty());
+  const auto pa = p.observe("a/2");
+  ASSERT_FALSE(pa.empty());
+  EXPECT_EQ(pa[0], "a/3");
+  const auto pb = p.observe("b/2");
+  ASSERT_FALSE(pb.empty());
+  EXPECT_EQ(pb[0], "b/3");
+}
+
+TEST(Prefetcher, NonConsecutiveAccessesNeverPredict) {
+  Prefetcher p(PrefetchOptions{.ring = 32, .run_threshold = 3, .depth = 4});
+  EXPECT_TRUE(p.observe("s/0").empty());
+  EXPECT_TRUE(p.observe("s/5").empty());
+  EXPECT_TRUE(p.observe("s/9").empty());
+  EXPECT_TRUE(p.observe("s/12").empty());
+  EXPECT_EQ(p.runs_detected(), 0u);
+}
+
+TEST(Prefetcher, RecentPredictionsAreNotRepeated) {
+  Prefetcher p(PrefetchOptions{.ring = 32, .run_threshold = 2, .depth = 4});
+  (void)p.observe("s/0");
+  const auto first = p.observe("s/1");   // predicts s/2..s/5
+  ASSERT_EQ(first.size(), 4u);
+  const auto second = p.observe("s/2");  // would predict s/3..s/6
+  // s/3..s/5 were just predicted; only the new frontier key appears.
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], "s/6");
+}
+
+TEST(Prefetcher, InaccuratePrefixGetsThrottledToOneAhead) {
+  Prefetcher p(PrefetchOptions{.ring = 64, .run_threshold = 2, .depth = 8});
+  // Report 32 wasted predictions for the prefix: accuracy 0/32 < 25%.
+  for (int i = 0; i < 32; ++i) p.credit("cold/1", /*useful=*/false);
+  (void)p.observe("cold/100");
+  const auto pred = p.observe("cold/101");
+  EXPECT_EQ(pred.size(), 1u) << "throttled prefix must predict 1-ahead";
+
+  // A prefix with good accuracy keeps full depth.
+  for (int i = 0; i < 32; ++i) p.credit("hot/1", /*useful=*/true);
+  (void)p.observe("hot/100");
+  EXPECT_EQ(p.observe("hot/101").size(), 8u);
+}
+
+TEST(Prefetcher, ThrottledPrefixEarnsTrustBack) {
+  Prefetcher p(PrefetchOptions{.ring = 64, .run_threshold = 2, .depth = 8});
+  for (int i = 0; i < 32; ++i) p.credit("s/1", /*useful=*/false);
+  (void)p.observe("s/0");
+  ASSERT_EQ(p.observe("s/1").size(), 1u);
+  // Usefulness reports outweigh the bad history (sliding window).
+  for (int i = 0; i < 200; ++i) p.credit("s/1", /*useful=*/true);
+  (void)p.observe("s/50");
+  EXPECT_EQ(p.observe("s/51").size(), 8u);
+}
+
+}  // namespace

@@ -29,14 +29,15 @@ using namespace cxlpmem;
 namespace {
 
 /// Daemon version: tracks the pool layout generation it serves (layout v2
-/// images, v1 migration, live resize, background compaction).
-constexpr const char* kVersion = "cxlpmemd 0.7.0 (pool layout v2)";
+/// images, v1 migration, live resize, background compaction, DRAM tier).
+constexpr const char* kVersion = "cxlpmemd 0.8.0 (pool layout v2)";
 
 void print_usage(std::FILE* to, const char* argv0) {
   std::fprintf(
       to,
       "usage: %s --dir <pool-dir> [--port N] [--shards N] [--ns NAME]\n"
       "          [--pool-mb N] [--max-batch N] [--compact-above PCT]\n"
+      "          [--tier-dram-bytes N] [--tier-codec NAME]\n"
       "  --dir           directory holding the shard pool files (required)\n"
       "  --port          TCP port on 127.0.0.1 (default 6399; 0 = ephemeral)\n"
       "  --shards        worker/pool count (default 4)\n"
@@ -45,6 +46,16 @@ void print_usage(std::FILE* to, const char* argv0) {
       "  --max-batch     requests folded into one commit (default 64)\n"
       "  --compact-above background-compact a shard when its heap\n"
       "                  fragmentation exceeds PCT%% (default 75; 0 = off)\n"
+      "  --tier-dram-bytes  enable the tiered DRAM front-end with this\n"
+      "                  total DRAM budget in bytes (0 = size it from the\n"
+      "                  machine via the placement advisor).  Hot values\n"
+      "                  are served from DRAM; every entry stays a\n"
+      "                  compressed, fingerprinted block in its shard\n"
+      "                  pool, written inside the batch transaction before\n"
+      "                  the ack — durability is unchanged.  INFO grows a\n"
+      "                  '# Tier' telemetry section.\n"
+      "  --tier-codec    cold-block codec, lz | identity (default lz);\n"
+      "                  giving this flag alone also enables the tier\n"
       "  --version       print the version string and exit\n"
       "  --help          print this help and exit\n",
       argv0);
@@ -82,7 +93,13 @@ int main(int argc, char** argv) {
     else if (arg == "--max-batch") opts.max_batch = std::atoi(val);
     else if (arg == "--compact-above")
       opts.compact_above = std::atoi(val) / 100.0;
-    else return usage(argv[0]);
+    else if (arg == "--tier-dram-bytes") {
+      opts.tier = true;
+      opts.tier_dram_bytes = static_cast<std::uint64_t>(std::atoll(val));
+    } else if (arg == "--tier-codec") {
+      opts.tier = true;
+      opts.tier_codec = val;
+    } else return usage(argv[0]);
     ++i;
   }
   if (dir.empty()) return usage(argv[0]);
