@@ -57,8 +57,9 @@ std::vector<pk::ObjId> churn(pk::ObjectPool& pool, std::uint64_t n,
     pool.run_tx([&] {
       slots[i] = pool.tx_alloc(kObjBytes, kObjType);
       auto* bytes = static_cast<unsigned char*>(pool.direct(slots[i]));
+      // No explicit persist: tx_alloc registers the block as a fresh range
+      // and commit flushes it — persisting here would flush the lines twice.
       std::memset(bytes, static_cast<int>(i & 0xff), 64);
-      pool.persist(bytes, 64);
     });
   }
   std::vector<pk::ObjId> survivors;

@@ -107,9 +107,9 @@ class Pool {
 
   /// make<T> with an explicit usable size >= sizeof(T), for types that keep
   /// a variable payload inline after the struct (string entries, buffers).
-  /// The whole usable range is registered as fresh: writes into it (p<>
-  /// fields, payload memcpy) are flushed by the transaction's commit and
-  /// cost no undo-log entries — the AllocAction is the rollback.
+  /// tx_alloc registers the whole usable range as fresh: writes into it
+  /// (p<> fields, payload memcpy) are flushed by the transaction's commit
+  /// and cost no undo-log entries — the AllocAction is the rollback.
   template <typename T, typename... Args>
   ptr<T> make_sized(std::uint64_t usable_bytes, Args&&... args) {
     static_assert(std::is_trivially_destructible_v<T>,
@@ -120,8 +120,7 @@ class Pool {
                                 "make_sized: size below sizeof(T)");
     const pmemkit::ObjId oid =
         impl_->tx_alloc(usable_bytes, type_number<T>(), /*zero=*/true);
-    T* obj = new (impl_->direct(oid)) T(std::forward<Args>(args)...);
-    impl_->current_tx()->add_fresh_range(obj, usable_bytes);
+    new (impl_->direct(oid)) T(std::forward<Args>(args)...);
     return ptr<T>(oid);
   }
 

@@ -40,7 +40,8 @@ enum class Errc {
   TxFailure,           ///< transaction log overflow or misuse
   IoFailure,           ///< filesystem / socket / mmap level failure
   Protocol,            ///< malformed/oversized wire frame (service layer)
-  Internal,            ///< anything unclassified
+  PersistencyViolation,  ///< PmemSan rule fired (pmemcheck with throw sink)
+  Internal,            ///< anything unclassified — must stay last
 };
 
 [[nodiscard]] inline const char* to_string(Errc c) noexcept {
@@ -62,6 +63,7 @@ enum class Errc {
     case Errc::TxFailure: return "tx-failure";
     case Errc::IoFailure: return "io-failure";
     case Errc::Protocol: return "protocol";
+    case Errc::PersistencyViolation: return "persistency-violation";
     case Errc::Internal: return "internal";
   }
   return "?";

@@ -26,6 +26,7 @@ pmemkit::PoolOptions options_of(const PoolSpec& spec) {
   pmemkit::PoolOptions options;
   options.track_shadow = spec.track_shadow;
   options.migrate = spec.migrate;
+  options.pmemcheck = spec.pmemcheck;
   return options;
 }
 

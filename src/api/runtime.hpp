@@ -57,6 +57,12 @@ struct PoolSpec {
   /// layout before the open completes.  Without it such images come back
   /// as Errc::VersionMismatch / Errc::PoolCorrupt.
   bool migrate = false;
+  /// Attach PmemSan, the runtime persistency sanitizer: flush/fence
+  /// discipline violations surface through the configured ViolationSink
+  /// (throwing by default, so they come back as
+  /// Errc::PersistencyViolation).  CXLPMEM_PMEMCHECK=1 enables it
+  /// process-wide without touching specs.
+  bool pmemcheck = false;
 };
 
 /// Options for checkpoint_store: the pool spec plus the incremental

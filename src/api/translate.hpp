@@ -54,6 +54,8 @@ namespace cxlpmem::api {
     case K::LogOverflow:
     case K::TxMisuse:
       return Errc::TxFailure;
+    case K::PersistencyViolation:
+      return Errc::PersistencyViolation;
     case K::Io:
       return Errc::IoFailure;
     case K::Unspecified:

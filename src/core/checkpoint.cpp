@@ -169,8 +169,11 @@ void CheckpointStore::copy_chunks(std::byte* dst,
     sums[i] = sum;
     if (trusted && old_sums[i] == sum) return;
     dirty[i] = 1;
-    std::memcpy(dst + off, payload.data() + off, n);
-    pool_->persist(dst + off, n);
+    // memcpy_persist (not raw memcpy + persist): the store annotation tells
+    // the persistency sanitizer these lines were deliberately rewritten even
+    // when a line's bytes happen to match the previous epoch — a dirty chunk
+    // is rewritten whole, but only some of its lines actually change.
+    pool_->memcpy_persist(dst + off, payload.data() + off, n);
     chunks_written.fetch_add(1, std::memory_order_relaxed);
     bytes_written.fetch_add(n, std::memory_order_relaxed);
   };
@@ -311,6 +314,7 @@ std::uint64_t CheckpointStore::load_into(std::span<std::byte> dst) const {
             " bytes) smaller than checkpoint payload (" + std::to_string(n) +
             " bytes)");
   if (n > 0)
+    // pmemlint: allow(restore path — reads pool bytes into the caller's buffer)
     std::memcpy(dst.data(), pool_->direct(r->slot[r->active]), n);
   return n;
 }

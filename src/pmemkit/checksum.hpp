@@ -93,12 +93,12 @@ class Fletcher64 {
   std::size_t i = 0;
   for (; i + 32 <= len; i += 32) {
     std::uint64_t w[4];
-    std::memcpy(w, p + i, 32);
+    std::memcpy(w, p + i, 32);  // pmemlint: allow(read into a stack word buffer)
     for (int k = 0; k < 4; ++k) acc[k] = rotl(acc[k] + w[k] * kP2, 31) * kP1;
   }
   if (i < len) {
     std::uint64_t w[4] = {0, 0, 0, 0};
-    std::memcpy(w, p + i, len - i);
+    std::memcpy(w, p + i, len - i);  // pmemlint: allow(read into a stack word buffer)
     for (int k = 0; k < 4; ++k) acc[k] = rotl(acc[k] + w[k] * kP2, 31) * kP1;
   }
   std::uint64_t h = rotl(acc[0], 1) + rotl(acc[1], 7) + rotl(acc[2], 12) +

@@ -42,6 +42,8 @@ enum class ErrKind {
   // --- transactions ---
   LogOverflow,       ///< undo/redo log full
   TxMisuse,          ///< tx_* call outside a transaction, bad range, ...
+  // --- correctness tooling ---
+  PersistencyViolation,  ///< PmemSan rule fired with a throwing sink
   // --- platform ---
   Io,                ///< filesystem / mmap level failure
 };
@@ -71,6 +73,7 @@ enum class ErrKind {
     case ErrKind::BadAlloc: return "bad-alloc";
     case ErrKind::LogOverflow: return "log-overflow";
     case ErrKind::TxMisuse: return "tx-misuse";
+    case ErrKind::PersistencyViolation: return "persistency-violation";
     case ErrKind::Io: return "io";
   }
   return "?";

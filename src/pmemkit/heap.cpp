@@ -85,6 +85,7 @@ std::uint32_t Heap::extend_span(std::uint64_t off, std::uint64_t size) {
   ChunkDesc* table = reinterpret_cast<ChunkDesc*>(region_->base() + s.off);
   for (std::uint32_t c = 0; c < s.chunk_count; ++c)
     table[c] = ChunkDesc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
+  region_->note_store_infra(table, s.chunk_count * sizeof(ChunkDesc));
   region_->persist(table, s.chunk_count * sizeof(ChunkDesc));
   publish_span(s, /*chunks_free=*/true);
   return s.chunk_count;
@@ -258,6 +259,7 @@ void Heap::format() {
   ChunkDesc* table = reinterpret_cast<ChunkDesc*>(region_->base() + s.off);
   for (std::uint32_t c = 0; c < s.chunk_count; ++c)
     table[c] = ChunkDesc{static_cast<std::uint8_t>(ChunkState::Free), 0, 0, 0};
+  region_->note_store_infra(table, s.chunk_count * sizeof(ChunkDesc));
   region_->persist(table, s.chunk_count * sizeof(ChunkDesc));
   partial_runs_.assign(kSizeClasses.size(), {});
   const std::lock_guard<std::mutex> lock(span_mu_);

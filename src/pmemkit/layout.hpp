@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 namespace cxlpmem::pmemkit {
 
@@ -83,6 +84,7 @@ struct HeapSpan {
   std::uint64_t off;
   std::uint64_t size;
 };
+static_assert(sizeof(HeapSpan) == 16);
 
 struct SpanTable {
   std::uint64_t count;     ///< 0 = implicit single span (pre-table image)
@@ -161,6 +163,7 @@ struct RedoCell {
   std::uint64_t off;
   std::uint64_t val;
 };
+static_assert(sizeof(RedoCell) == 16);
 
 struct RedoLog {
   std::uint64_t count;     ///< number of valid cells
@@ -194,6 +197,7 @@ struct LaneHeader {
 // fence begin/retire paths depend on all three sharing the lane's first
 // cache line (lanes are 64-byte aligned) — pin the layout here so a
 // reordering shows up as a compile error, not a recovery bug.
+static_assert(sizeof(LaneHeader) == 32 + sizeof(RedoLog));
 static_assert(offsetof(LaneHeader, state) == 0);
 static_assert(offsetof(LaneHeader, undo_tail) == 8);
 static_assert(offsetof(LaneHeader, undo_gen) == 16);
@@ -259,5 +263,21 @@ inline constexpr std::array<std::uint32_t, 15> kSizeClasses = {
   return static_cast<std::uint32_t>((kChunkSize - kRunHeaderSize) /
                                     block_size);
 }
+
+// Every on-media struct must be memcpy-safe: the pool image is read back
+// byte-for-byte by a different process (and, after migration, a different
+// build).  pmemlint additionally checks that each of them has a sizeof
+// static_assert above and uses only fixed-width fields.
+static_assert(std::is_trivially_copyable_v<PoolHeader>);
+static_assert(std::is_trivially_copyable_v<HeapSpan>);
+static_assert(std::is_trivially_copyable_v<SpanTable>);
+static_assert(std::is_trivially_copyable_v<EvolutionMarker>);
+static_assert(std::is_trivially_copyable_v<UndoEntryHeader>);
+static_assert(std::is_trivially_copyable_v<RedoCell>);
+static_assert(std::is_trivially_copyable_v<RedoLog>);
+static_assert(std::is_trivially_copyable_v<LaneHeader>);
+static_assert(std::is_trivially_copyable_v<ChunkDesc>);
+static_assert(std::is_trivially_copyable_v<RunHeader>);
+static_assert(std::is_trivially_copyable_v<AllocHeader>);
 
 }  // namespace cxlpmem::pmemkit

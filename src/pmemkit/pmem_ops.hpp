@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "pmemkit/mapped_file.hpp"
+#include "pmemkit/pmemsan.hpp"
 #include "pmemkit/shadow.hpp"
 
 namespace cxlpmem::pmemkit {
@@ -23,11 +24,18 @@ namespace cxlpmem::pmemkit {
 class PersistentRegion {
  public:
   /// Takes ownership of the mapping.  `track_shadow` enables the crash
-  /// checker (slower; meant for tests and the crash harness).
-  explicit PersistentRegion(MappedFile file, bool track_shadow = false)
+  /// checker (slower; meant for tests and the crash harness); `pmemcheck`
+  /// attaches the PmemSan persistency sanitizer, which diagnoses
+  /// flush/fence discipline violations as they happen (see pmemsan.hpp for
+  /// the rule catalog).  The two are independent.
+  explicit PersistentRegion(MappedFile file, bool track_shadow = false,
+                            bool pmemcheck = false)
       : file_(std::move(file)) {
     if (track_shadow)
       shadow_ = std::make_unique<ShadowTracker>(file_.data(), file_.size());
+    if (pmemcheck)
+      san_ = std::make_unique<PmemSan>(file_.data(), file_.size(),
+                                       file_.path().filename().string());
   }
 
   [[nodiscard]] std::byte* base() noexcept { return file_.data(); }
@@ -42,10 +50,12 @@ class PersistentRegion {
 
   void flush(const void* p, std::size_t n) {
     if (shadow_) shadow_->record_flush(offset_of(p), n);
+    if (san_) san_->on_flush(offset_of(p), n);
   }
   void drain() {
     ++t_drain_count;
     if (shadow_) shadow_->record_fence();
+    if (san_) san_->on_fence();
   }
 
   /// Fences (drain calls) issued by the calling thread, across all regions,
@@ -57,24 +67,36 @@ class PersistentRegion {
     return t_drain_count;
   }
   void persist(const void* p, std::size_t n) {
+    if (san_) san_->on_persist(offset_of(p), n);
     flush(p, n);
     drain();
   }
   /// Marks a range as modified-without-flush (transaction user ranges).
   void note_store(const void* p, std::size_t n) {
     if (shadow_) shadow_->record_store(offset_of(p), n);
+    if (san_) san_->on_store(offset_of(p), n, PmemSan::StoreOrigin::User);
+  }
+  /// The infrastructure twin of note_store: pmemkit's own metadata writes
+  /// (lane headers, log entries, heap bookkeeping) announce themselves so
+  /// the sanitizer can tell a deliberate store from a stray flush.  Exempt
+  /// from the R1 coverage check; no-op when pmemcheck is off.
+  void note_store_infra(const void* p, std::size_t n) {
+    if (san_) san_->on_store(offset_of(p), n, PmemSan::StoreOrigin::Infra);
   }
 
   void memcpy_persist(void* dst, const void* src, std::size_t n) {
-    std::memcpy(dst, src, n);
+    std::memcpy(dst, src, n);  // pmemlint: allow(the canonical pmem store seam)
+    note_store_infra(dst, n);
     persist(dst, n);
   }
   void memset_persist(void* dst, int value, std::size_t n) {
-    std::memset(dst, value, n);
+    std::memset(dst, value, n);  // pmemlint: allow(the canonical pmem store seam)
+    note_store_infra(dst, n);
     persist(dst, n);
   }
 
   [[nodiscard]] ShadowTracker* shadow() noexcept { return shadow_.get(); }
+  [[nodiscard]] PmemSan* pmemsan() noexcept { return san_.get(); }
 
   /// Resizes the backing file/mapping (MappedFile::resize semantics: throws
   /// PoolError(Io) and stays intact on failure; the base may move) and
@@ -82,6 +104,7 @@ class PersistentRegion {
   void resize(std::size_t new_size) {
     file_.resize(new_size);
     if (shadow_) shadow_->remap(file_.data(), file_.size());
+    if (san_) san_->remap(file_.data(), file_.size());
   }
 
  private:
@@ -89,6 +112,7 @@ class PersistentRegion {
 
   MappedFile file_;
   std::unique_ptr<ShadowTracker> shadow_;
+  std::unique_ptr<PmemSan> san_;
 };
 
 }  // namespace cxlpmem::pmemkit

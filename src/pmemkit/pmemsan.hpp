@@ -1,0 +1,245 @@
+// pmemkit/pmemsan.hpp — PmemSan: the runtime persistency sanitizer.
+//
+// Grown out of ShadowTracker's flush/fence model: every pool cache line
+// runs the state machine
+//
+//     Clean ──store──▶ Stored ──flush──▶ Pending ──fence──▶ Durable
+//
+// and transitions that violate the x86+ADR persistence discipline are
+// reported — with offset, size, rule id and capture-time provenance (pool
+// name + a small backtrace) — through a pluggable ViolationSink.  Enabled
+// per pool via PoolOptions::pmemcheck or process-wide via
+// CXLPMEM_PMEMCHECK=1.
+//
+// Rules:
+//   R1 UnloggedStore    — store inside a transaction to pool bytes neither
+//                         undo-logged (add_range) nor registered fresh
+//                         (add_fresh_range) nor tx/lane metadata: the
+//                         classic missing-snapshot bug
+//   R2 UnflushedCommit  — a commit record published while lines the
+//                         transaction covers are not yet durable (the
+//                         flush or the fence before the marker was shaved)
+//   R3 RedundantFlush   — flush of an already-durable line no store has
+//                         re-dirtied (wasted write-back bandwidth)
+//   R4 FlushNeverStored — flush of a line no store ever touched (the flush
+//                         publishes nothing; usually an over-wide persist)
+//   R5 DirtyAtClose     — stored-but-not-durable lines still outstanding
+//                         when the pool closes (or verify() is called)
+//   R6 PersistTooSmall  — a persist starting where the preceding store
+//                         started but covering fewer bytes (a torn
+//                         publish waiting to happen)
+//
+// Library-level visibility: pmemkit's own metadata stores announce
+// themselves (PersistentRegion::note_store_infra), transactional user
+// ranges arrive via note_store, and *unannounced* stores (raw writes
+// through direct() pointers) are inferred at flush time by comparing the
+// live line against the sanitizer's durable image — a line that differs
+// was stored to; a line that matches was not, so flushing it publishes
+// nothing (R3/R4).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pmemkit/layout.hpp"
+
+namespace cxlpmem::pmemkit {
+
+enum class SanRule : std::uint32_t {
+  UnloggedStore = 1,
+  UnflushedCommit = 2,
+  RedundantFlush = 3,
+  FlushNeverStored = 4,
+  DirtyAtClose = 5,
+  PersistTooSmall = 6,
+};
+inline constexpr std::size_t kSanRuleCount = 7;  // 1-based, index by value
+
+[[nodiscard]] inline const char* to_string(SanRule r) noexcept {
+  switch (r) {
+    case SanRule::UnloggedStore: return "unlogged-store";
+    case SanRule::UnflushedCommit: return "unflushed-commit";
+    case SanRule::RedundantFlush: return "redundant-flush";
+    case SanRule::FlushNeverStored: return "flush-never-stored";
+    case SanRule::DirtyAtClose: return "dirty-at-close";
+    case SanRule::PersistTooSmall: return "persist-too-small";
+  }
+  return "?";
+}
+
+struct SanViolation {
+  SanRule rule;
+  std::uint64_t off = 0;   ///< pool offset of the offending range/line
+  std::uint64_t len = 0;   ///< bytes implicated
+  std::string pool;        ///< pool name (file name) at capture time
+  std::string message;     ///< rule-specific diagnosis
+  std::string backtrace;   ///< small call stack captured at detection
+
+  /// One-line report: "pmemsan[pool] R3 redundant-flush off=... len=...: msg".
+  [[nodiscard]] std::string format() const;
+};
+
+/// Where violations go.  Sinks may be shared across pools and threads; the
+/// sanitizer serializes detection, not reporting — implementations that
+/// keep state must lock.
+class ViolationSink {
+ public:
+  virtual ~ViolationSink() = default;
+  virtual void report(const SanViolation& v) = 0;
+};
+
+/// Throws PoolError(ErrKind::PersistencyViolation).  The default: a
+/// violation fails the operation (and the test) on the spot.
+class ThrowSink final : public ViolationSink {
+ public:
+  void report(const SanViolation& v) override;
+};
+
+/// Writes the formatted report (including the backtrace) to stderr and
+/// keeps going — the production triage mode.
+class LogSink final : public ViolationSink {
+ public:
+  void report(const SanViolation& v) override;
+};
+
+/// Counts per rule and keeps the first few violations for inspection —
+/// what the seeded-violation suite and micro_tx's zero-violation
+/// assertions use.
+class CountSink final : public ViolationSink {
+ public:
+  void report(const SanViolation& v) override;
+
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] std::uint64_t count(SanRule r) const;
+  /// The retained violations (first kKeep), in detection order.
+  [[nodiscard]] std::vector<SanViolation> violations() const;
+
+ private:
+  static constexpr std::size_t kKeep = 64;
+  mutable std::mutex mu_;
+  std::array<std::uint64_t, kSanRuleCount> counts_{};
+  std::uint64_t total_ = 0;
+  std::vector<SanViolation> kept_;
+};
+
+class PmemSan {
+ public:
+  /// Who performed a store.  Infra = pmemkit's own metadata machinery
+  /// (lane headers, logs, heap bookkeeping) — exempt from R1.  User =
+  /// transactional user data (note_store), subject to R1 coverage checks.
+  enum class StoreOrigin { Infra, User };
+
+  /// Tracks a live region of `size` bytes; `live` must outlive the
+  /// sanitizer.  The durable image starts as a copy of the live one (a
+  /// fresh pool's zeroes are durable; an opened pool's file content is).
+  /// The initial sink honors CXLPMEM_PMEMCHECK_SINK=throw|log|count
+  /// (default throw).
+  PmemSan(const std::byte* live, std::size_t size, std::string pool_name);
+  ~PmemSan();
+  PmemSan(const PmemSan&) = delete;
+  PmemSan& operator=(const PmemSan&) = delete;
+
+  /// Pool bytes below this offset are metadata (header page + lane
+  /// region): infrastructure the transaction protocol itself mutates, so
+  /// user-origin stores there are never R1 candidates.
+  void set_meta_bound(std::uint64_t bound) noexcept { meta_bound_ = bound; }
+  void set_pool_name(std::string name);
+  /// Replaces the sink.  shared_ptr so a test can keep its CountSink
+  /// readable after the pool (and the sanitizer) is gone.
+  void set_sink(std::shared_ptr<ViolationSink> sink);
+
+  // --- event feed (PersistentRegion forwards these) ------------------------
+  void on_store(std::uint64_t off, std::uint64_t len, StoreOrigin origin);
+  void on_flush(std::uint64_t off, std::uint64_t len);
+  void on_fence();
+  /// persist() entry point, before its flush: checks R6 against the
+  /// calling thread's preceding store.
+  void on_persist(std::uint64_t off, std::uint64_t len);
+  /// Follows a region resize (grow/shrink); mirrors ShadowTracker::remap.
+  void remap(const std::byte* live, std::size_t size);
+  /// Accepts the live bytes of [off, off+len) as the durable baseline
+  /// without requiring a flush.  For staged-then-abandoned scratch — an
+  /// uncommitted redo session's cells — that is *designed* never to become
+  /// durable; without this, the leftover raw stores would read as R5 dirt
+  /// at close.  Byte-precise: neighbouring bytes on shared cache lines keep
+  /// their tracking.
+  void discard(std::uint64_t off, std::uint64_t len);
+
+  // --- transaction hooks ---------------------------------------------------
+  void tx_begin(std::uint32_t lane);
+  /// add_range / add_fresh_range coverage for the lane's open transaction.
+  void tx_cover(std::uint32_t lane, std::uint64_t off, std::uint64_t len);
+  /// Called immediately before the commit record is made durable: every
+  /// line the transaction covers must already be durable (R2).
+  void tx_commit_publish(std::uint32_t lane);
+  void tx_end(std::uint32_t lane);
+  /// The abort-path twin of tx_end: the rollback has just undone the
+  /// transaction, so covered lines that never reached durability (fresh
+  /// allocations, mid-tx stores) describe dead bytes — accept them as-is
+  /// instead of letting them read as lost updates at close.
+  void tx_abort(std::uint32_t lane);
+
+  // --- checks --------------------------------------------------------------
+  /// Asserts everything stored so far is durable: any line still Stored or
+  /// Pending — or whose live bytes differ from the durable image without
+  /// any store on record (a raw store nobody flushed) — is R5.  Reports at
+  /// most `max_reports` violations; returns how many lines were dirty.
+  std::size_t verify(std::size_t max_reports = 16);
+  /// The destructor-time variant of verify(); same checks, close-specific
+  /// messages.
+  std::size_t close_check(std::size_t max_reports = 16);
+
+  // --- counters (maintained regardless of sink) ----------------------------
+  [[nodiscard]] std::uint64_t total_violations() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t violations(SanRule r) const noexcept {
+    return rule_counts_[static_cast<std::size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Line : std::uint8_t { Stored, Pending, Durable };
+
+  struct TxCtx {
+    bool active = false;
+    /// Covered ranges, merged: start -> end (mirrors Transaction's set).
+    std::map<std::uint64_t, std::uint64_t> coverage;
+  };
+
+  /// True when the live line `l` matches the durable image byte-for-byte.
+  [[nodiscard]] bool line_matches_durable(std::uint64_t l) const;
+  [[nodiscard]] bool covered(const TxCtx& ctx, std::uint64_t off,
+                             std::uint64_t end) const;
+  SanViolation make_violation(SanRule rule, std::uint64_t off,
+                              std::uint64_t len, std::string message) const;
+  void deliver(std::vector<SanViolation> found);
+  std::size_t scan_not_durable(std::size_t max_reports, const char* when);
+
+  mutable std::mutex mu_;
+  const std::byte* live_;
+  std::vector<std::byte> durable_;  ///< what the media durably holds
+  std::string pool_name_;
+  std::uint64_t meta_bound_ = 0;
+  std::shared_ptr<ViolationSink> sink_;
+
+  /// Line index -> state; absent = Clean (never stored, matches durable_).
+  std::unordered_map<std::uint64_t, Line> lines_;
+  /// Lines flushed since the last fence (subset of lines_ in Pending).
+  std::unordered_set<std::uint64_t> pending_;
+  std::array<TxCtx, kLaneCount> tx_;  ///< per-lane open-transaction context
+
+  std::atomic<std::uint64_t> total_{0};
+  std::array<std::atomic<std::uint64_t>, kSanRuleCount> rule_counts_{};
+};
+
+}  // namespace cxlpmem::pmemkit

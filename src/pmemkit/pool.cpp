@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <shared_mutex>
@@ -33,6 +35,14 @@ std::uint64_t random_pool_id() {
   std::uint64_t id = 0;
   while (id == 0) id = rng();
   return id;
+}
+
+/// CXLPMEM_PMEMCHECK=1 turns the sanitizer on for every pool in the
+/// process, regardless of PoolOptions — how the CI pmemcheck job runs the
+/// whole suite under PmemSan without touching each test.
+[[nodiscard]] bool env_pmemcheck() noexcept {
+  const char* v = std::getenv("CXLPMEM_PMEMCHECK");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
 /// Per-thread open transactions, keyed by pool (a thread may use several
@@ -181,9 +191,12 @@ ObjectPool* tx_pool_containing(const void* p) noexcept {
 bool thread_in_tx() noexcept { return !t_current_tx.empty(); }
 
 ObjectPool::ObjectPool(MappedFile file, Options options)
-    : region_(std::move(file), options.track_shadow),
+    : region_(std::move(file), options.track_shadow,
+              options.pmemcheck || env_pmemcheck()),
       path_(region_.file().path()),
       tx_publish_(options.tx_publish) {
+  if (PmemSan* san = region_.pmemsan())
+    san->set_meta_bound(kHeaderSize + kLaneCount * kLaneSize);
   free_lanes_.reserve(kLaneCount);
   for (std::uint32_t l = 0; l < kLaneCount; ++l) free_lanes_.push_back(l);
 }
@@ -235,6 +248,7 @@ std::unique_ptr<ObjectPool> ObjectPool::create(PmemResource& resource,
   h.version = kPoolVersion;
   h.flags = 0;  // open (dirty) until clean shutdown
   h.layout.fill('\0');
+  // pmemlint: allow(header formatting precedes the first persist below)
   std::memcpy(h.layout.data(), layout.data(), layout.size());
   h.pool_id = random_pool_id();
   h.pool_size = size;
@@ -246,6 +260,7 @@ std::unique_ptr<ObjectPool> ObjectPool::create(PmemResource& resource,
   h.root_off = 0;
   h.root_size = 0;
   h.checksum = header_checksum(h);
+  pool->region_.note_store_infra(&h, sizeof(h));
   pool->persist(&h, sizeof(h));
 
   // Lanes are zero (Idle) in a fresh file; only the heap needs formatting.
@@ -335,8 +350,20 @@ std::unique_ptr<ObjectPool> ObjectPool::open(PmemResource& resource,
 ObjectPool::~ObjectPool() {
   unregister_pool(this);
   if (crashed_) return;  // crash simulation: leave the image as-is
+  // Closing with stored-but-not-durable lines outstanding is R5; the
+  // destructor is noexcept, so a throwing sink cannot unwind from here —
+  // a violation this late is a hard stop.
+  if (PmemSan* san = region_.pmemsan()) {
+    try {
+      san->close_check();
+    } catch (const PoolError& e) {
+      std::fprintf(stderr, "pmemsan: violation at pool close: %s\n", e.what());
+      std::abort();
+    }
+  }
   PoolHeader& h = header();
   h.flags |= kFlagCleanShutdown;
+  region_.note_store_infra(&h.flags, sizeof(h.flags));
   persist(&h.flags, sizeof(h.flags));
   region_.file().sync();
 }
@@ -349,6 +376,7 @@ void ObjectPool::run_recovery() {
   recovered_ = any;
   // Mark open (dirty) for the lifetime of this handle.
   h.flags &= ~kFlagCleanShutdown;
+  region_.note_store_infra(&h.flags, sizeof(h.flags));
   persist(&h.flags, sizeof(h.flags));
 }
 

@@ -62,6 +62,11 @@ struct PoolOptions {
   /// discipline).  Without it, open() rejects such images with
   /// VersionMismatch / MigrationPending respectively.
   bool migrate = false;
+  /// Attach PmemSan, the runtime persistency sanitizer (pmemsan.hpp): every
+  /// store/flush/fence is checked against the x86+ADR discipline and
+  /// violations are delivered to the configured ViolationSink.  Also
+  /// enabled process-wide by CXLPMEM_PMEMCHECK=1.
+  bool pmemcheck = false;
 };
 
 class ObjectPool {
@@ -132,6 +137,14 @@ class ObjectPool {
   void memcpy_persist(void* dst, const void* src, std::size_t n) {
     region_.memcpy_persist(dst, src, n);
   }
+  void memset_persist(void* dst, int value, std::size_t n) {
+    region_.memset_persist(dst, value, n);
+  }
+  /// Declares a raw store (writes through a direct() pointer) to the
+  /// sanitizer and crash tooling without flushing it.  Use before a
+  /// separate flush/persist when the bytes were written in place; the
+  /// *_persist helpers annotate implicitly.
+  void note_store(const void* p, std::size_t n) { region_.note_store(p, n); }
 
   // --- atomic (non-transactional, failure-atomic) API ----------------------
   /// Allocates `size` bytes.  When `dest` points inside the pool, the oid is
@@ -214,6 +227,8 @@ class ObjectPool {
   [[nodiscard]] PoolStats stats() const;
   [[nodiscard]] PersistentRegion& region() noexcept { return region_; }
   [[nodiscard]] ShadowTracker* shadow() noexcept { return region_.shadow(); }
+  /// The attached persistency sanitizer, or nullptr when pmemcheck is off.
+  [[nodiscard]] PmemSan* pmemsan() noexcept { return region_.pmemsan(); }
   [[nodiscard]] Heap& heap() noexcept { return *heap_; }
   [[nodiscard]] const Heap& heap() const noexcept { return *heap_; }
 

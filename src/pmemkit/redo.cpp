@@ -17,13 +17,23 @@ std::uint64_t cells_checksum(const RedoLog& log, std::uint64_t count) {
 void apply_cells(PersistentRegion& region, const RedoLog& log) {
   for (std::uint64_t i = 0; i < log.count; ++i) {
     const RedoCell& c = log.cells[i];
+    // pmemlint: allow(the redo apply primitive; flushed on the next line)
     std::memcpy(region.base() + c.off, &c.val, sizeof(c.val));
+    region.note_store_infra(region.base() + c.off, sizeof(c.val));
     region.flush(region.base() + c.off, sizeof(c.val));
   }
   region.drain();
 }
 
 }  // namespace
+
+void RedoSession::abandon() noexcept {
+  if (count_ == 0) return;
+  if (PmemSan* san = region_->pmemsan())
+    san->discard(region_->offset_of(log_->cells.data()),
+                 count_ * sizeof(RedoCell));
+  count_ = 0;
+}
 
 void RedoSession::stage(std::uint64_t off, std::uint64_t val) {
   if (count_ >= kRedoCapacity) throw TxError(ErrKind::LogOverflow, "redo log full");
@@ -36,14 +46,21 @@ void RedoSession::commit() {
   if (count_ == 0) return;
   RedoLog& log = *log_;
 
-  // (1) log content.
+  // (1) log content.  Only the header words and the staged cells were
+  // written: persisting the whole RedoLog would write back up to 15 cache
+  // lines of stale cells from earlier sessions on this lane (PmemSan flags
+  // every one as a redundant flush).
   log.count = count_;
   log.checksum = cells_checksum(log, count_);
-  region_->persist(&log, sizeof(RedoLog));
+  const std::size_t published =
+      4 * sizeof(std::uint64_t) + count_ * sizeof(RedoCell);
+  region_->note_store_infra(&log, published);
+  region_->persist(&log, published);
   crash_point("redo:content");
 
   // (2) publish.
   log.valid = 1;
+  region_->note_store_infra(&log.valid, sizeof(log.valid));
   region_->persist(&log.valid, sizeof(log.valid));
   crash_point("redo:published");
 
@@ -53,6 +70,7 @@ void RedoSession::commit() {
 
   // (4) retire.
   log.valid = 0;
+  region_->note_store_infra(&log.valid, sizeof(log.valid));
   region_->persist(&log.valid, sizeof(log.valid));
   crash_point("redo:retired");
   count_ = 0;
@@ -64,11 +82,13 @@ bool redo_recover(PersistentRegion& region, RedoLog& log) {
       log.checksum != cells_checksum(log, log.count)) {
     // Torn publish: the op never happened.
     log.valid = 0;
+    region.note_store_infra(&log.valid, sizeof(log.valid));
     region.persist(&log.valid, sizeof(log.valid));
     return false;
   }
   apply_cells(region, log);
   log.valid = 0;
+  region.note_store_infra(&log.valid, sizeof(log.valid));
   region.persist(&log.valid, sizeof(log.valid));
   return true;
 }

@@ -23,6 +23,12 @@ class RedoSession {
   /// Binds to a RedoLog that lives inside `region` (a lane's log).
   RedoSession(PersistentRegion& region, RedoLog& log)
       : region_(&region), log_(&log) {}
+  /// A session abandoned with writes staged (a cancelled alloc, an error
+  /// between stage and commit) leaves its cells as scratch the log never
+  /// published — tell the sanitizer so they don't read as dirty at close.
+  ~RedoSession() { abandon(); }
+  RedoSession(const RedoSession&) = delete;
+  RedoSession& operator=(const RedoSession&) = delete;
 
   /// Stages `*(u64*)(base+off) = val`.  Throws TxError when full.
   void stage(std::uint64_t off, std::uint64_t val);
@@ -39,9 +45,11 @@ class RedoSession {
   void commit();
 
   /// Drops staged writes without touching the log.
-  void reset() noexcept { count_ = 0; }
+  void reset() noexcept { abandon(); }
 
  private:
+  void abandon() noexcept;
+
   PersistentRegion* region_;
   RedoLog* log_;
   std::uint64_t count_ = 0;

@@ -96,19 +96,25 @@ void retire_lane(PersistentRegion& region, LaneHeader& lh, std::byte* undo,
     // wipe rides the second fence so a later single-fence reopen of the
     // same pool still finds dead logs unscannable).
     lh.state = static_cast<std::uint32_t>(LaneState::Idle);
+    region.note_store_infra(&lh.state, sizeof(lh.state));
     region.persist(&lh.state, sizeof(lh.state));
     lh.undo_tail = 0;
+    region.note_store_infra(&lh.undo_tail, sizeof(lh.undo_tail));
     region.flush(&lh.undo_tail, sizeof(lh.undo_tail));
-    std::memset(undo, 0, sizeof(std::uint64_t));
+    std::memset(undo, 0, sizeof(std::uint64_t));  // pmemlint: allow(log-head wipe, flushed next line)
+    region.note_store_infra(undo, sizeof(std::uint64_t));
     region.flush(undo, sizeof(std::uint64_t));
     region.drain();
     return;
   }
   lh.state = static_cast<std::uint32_t>(LaneState::Idle);
   lh.undo_tail = 0;
+  region.note_store_infra(&lh.state, offsetof(LaneHeader, undo_tail) +
+                                         sizeof(lh.undo_tail));
   region.flush(&lh.state, offsetof(LaneHeader, undo_tail) +
                               sizeof(lh.undo_tail));
-  std::memset(undo, 0, sizeof(std::uint64_t));  // kind+flags of entry 0
+  std::memset(undo, 0, sizeof(std::uint64_t));  // pmemlint: allow(kind+flags of entry 0, flushed next line)
+  region.note_store_infra(undo, sizeof(std::uint64_t));
   region.flush(undo, sizeof(std::uint64_t));
   crash_point("tx:retire-pair");
   region.drain();
@@ -184,16 +190,22 @@ void Transaction::begin() {
   // re-begun (bumping its generation) by a thread that has not noticed the
   // cut yet — the hook stops it here, before any mutation.
   crash_point("tx:acquire");
+  if (PmemSan* san = pool_->region().pmemsan()) san->tx_begin(lane_);
   LaneHeader& lh = pool_->lane_header(lane_);
   if (pool_->tx_publish() == TxPublish::TwoPersistReference) {
     // Version-1 benchmark baseline: tail (with the generation riding the
     // same fence), then state, as two ordered fenced persists.
     lh.undo_tail = 0;
     lh.undo_gen += 1;
+    pool_->region().note_store_infra(
+        &lh.undo_tail, offsetof(LaneHeader, undo_gen) +
+                           sizeof(lh.undo_gen) -
+                           offsetof(LaneHeader, undo_tail));
     pool_->persist(&lh.undo_tail,
                    offsetof(LaneHeader, undo_gen) + sizeof(lh.undo_gen) -
                        offsetof(LaneHeader, undo_tail));
     lh.state = static_cast<std::uint32_t>(LaneState::Active);
+    pool_->region().note_store_infra(&lh.state, sizeof(lh.state));
     pool_->persist(&lh.state, sizeof(lh.state));
   } else {
     // One fenced line write for {tail, gen, state}.  Persistence atomicity
@@ -210,6 +222,8 @@ void Transaction::begin() {
     lh.undo_tail = 0;
     lh.undo_gen += 1;
     lh.state = static_cast<std::uint32_t>(LaneState::Active);
+    pool_->region().note_store_infra(
+        &lh.state, offsetof(LaneHeader, undo_gen) + sizeof(lh.undo_gen));
     pool_->flush(&lh.state,
                  offsetof(LaneHeader, undo_gen) + sizeof(lh.undo_gen));
     pool_->drain();
@@ -227,13 +241,18 @@ void Transaction::stage_entry(UndoKind kind, std::uint64_t off,
   std::byte* dst = undo + tail_;
   UndoEntryHeader hdr{static_cast<std::uint32_t>(kind), 0, gen_,
                       off,  len, 0, 0};
+  // pmemlint: allow(undo-entry staging; the caller persists the batch)
   std::memcpy(dst, &hdr, sizeof(hdr));
   if (payload_len > 0)
-    std::memcpy(dst + sizeof(hdr), payload, payload_len);
+    std::memcpy(dst + sizeof(hdr), payload, payload_len);  // pmemlint: allow(ditto)
   hdr.checksum =
       fletcher64(dst, sizeof(hdr) + payload_len);  // checksum field is 0
+  // pmemlint: allow(ditto)
   std::memcpy(dst + offsetof(UndoEntryHeader, checksum), &hdr.checksum,
               sizeof(hdr.checksum));
+  // The round16 pad rides the entry's persist; announce the full span so
+  // the sanitizer sees the pad bytes as deliberately written.
+  pool_->region().note_store_infra(dst, sizeof(hdr) + round16(payload_len));
   tail_ += sizeof(hdr) + round16(payload_len);
 }
 
@@ -293,6 +312,7 @@ void Transaction::add_range(void* ptr, std::size_t len) {
 
   if (pool_->tx_publish() == TxPublish::TwoPersistReference) {
     add_range_reference(off, len, ptr);
+    if (PmemSan* san = region.pmemsan()) san->tx_cover(lane_, off, len);
     region.note_store(ptr, len);
     return;
   }
@@ -323,6 +343,7 @@ void Transaction::add_range(void* ptr, std::size_t len) {
     if (cur < end) add_gap(cur, end);
   }
   if (gap_count == 0) {
+    if (PmemSan* san = region.pmemsan()) san->tx_cover(lane_, off, len);
     region.note_store(ptr, len);
     return;
   }
@@ -348,6 +369,7 @@ void Transaction::add_range(void* ptr, std::size_t len) {
   crash_point("tx:entry");
 
   cover(off, end);
+  if (PmemSan* san = region.pmemsan()) san->tx_cover(lane_, off, len);
   region.note_store(ptr, len);
 }
 
@@ -363,6 +385,7 @@ void Transaction::add_fresh_range(void* ptr, std::size_t len) {
     ref_snapshots_.push_back(Range{off, len});
   else
     cover(off, off + len);
+  if (PmemSan* san = region.pmemsan()) san->tx_cover(lane_, off, len);
   region.note_store(ptr, len);
 }
 
@@ -387,6 +410,12 @@ ObjId Transaction::alloc(std::uint64_t size, std::uint32_t type_num,
   }
   session.commit();
   pool_->heap_->finish_alloc(pa);
+  // pmemobj semantics: memory allocated by this transaction needs no
+  // explicit add_range — register the whole usable block as a fresh range
+  // so commit flushes whatever the caller stores into it.  The AllocAction
+  // above is the rollback, so this costs no undo bytes.
+  add_fresh_range(pool_->region().base() + pa.data_off,
+                  pa.total_size - sizeof(AllocHeader));
   return ObjId{pool_->pool_id(), pa.data_off};
 }
 
@@ -413,15 +442,20 @@ void Transaction::commit() {
   region.drain();
   crash_point("tx:flush-user");
 
-  // (2) point of no return.
+  // (2) point of no return.  Publishing the commit record while any
+  // covered line is still not durable is exactly R2 — check before the
+  // marker store.
+  if (PmemSan* san = region.pmemsan()) san->tx_commit_publish(lane_);
   LaneHeader& lh = pool_->lane_header(lane_);
   lh.state = static_cast<std::uint32_t>(LaneState::Committed);
+  region.note_store_infra(&lh.state, sizeof(lh.state));
   region.persist(&lh.state, sizeof(lh.state));
   crash_point("tx:committed");
 
   // (3) deferred frees + retire.
   finish_committed_lane(region, *pool_->heap_, lh, pool_->lane_undo(lane_),
                         pool_->tx_publish());
+  if (PmemSan* san = region.pmemsan()) san->tx_end(lane_);
   committed_ = true;
   finished_ = true;
 }
@@ -429,6 +463,7 @@ void Transaction::commit() {
 void Transaction::abort() {
   rollback_lane(pool_->region(), *pool_->heap_, pool_->lane_header(lane_),
                 pool_->lane_undo(lane_), pool_->tx_publish());
+  if (PmemSan* san = pool_->region().pmemsan()) san->tx_abort(lane_);
   finished_ = true;
 }
 
@@ -450,11 +485,13 @@ bool recover_lane(ObjectPool& pool, std::uint32_t lane) {
       bool fixed = false;
       if (lh.undo_tail != 0) {
         lh.undo_tail = 0;
+        region.note_store_infra(&lh.undo_tail, sizeof(lh.undo_tail));
         region.flush(&lh.undo_tail, sizeof(lh.undo_tail));
         fixed = true;
       }
       if (head != 0) {
-        std::memset(undo, 0, sizeof(std::uint64_t));
+        std::memset(undo, 0, sizeof(std::uint64_t));  // pmemlint: allow(log-head wipe, flushed next line)
+        region.note_store_infra(undo, sizeof(std::uint64_t));
         region.flush(undo, sizeof(std::uint64_t));
         fixed = true;
       }

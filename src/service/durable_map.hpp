@@ -70,9 +70,9 @@ class BasicDurableMap {
     const pmemkit::ObjId oid =
         pool_->tx_alloc(bytes, api::type_number<Entry>(), /*zero=*/true);
     Entry* e = new (pool_->direct(oid)) Entry();
-    // Fresh range: commit flushes the whole allocation, payload writes and
-    // field stores below cost no undo entries.
-    pool_->current_tx()->add_fresh_range(e, bytes);
+    // tx_alloc registered the allocation as a fresh range: commit flushes
+    // it whole, and the payload writes and field stores below cost no undo
+    // entries.
     e->next = root_->buckets[b];
     e->key_len = static_cast<std::uint32_t>(key.size());
     e->value_len = static_cast<std::uint32_t>(value.size());

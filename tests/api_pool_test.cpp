@@ -150,8 +150,10 @@ void run_kv_workload(api::Runtime& rt, const std::string& ns) {
       pool->run_tx([&] {
           const std::string v = "value-" + std::to_string(i);
           const pmemkit::ObjId oid = p.tx_alloc(v.size() + 1, 7);
+          // No explicit persist: tx_alloc registers the block as a fresh
+          // range, and commit flushes it — persisting here would write the
+          // lines back twice.
           std::memcpy(p.direct(oid), v.c_str(), v.size() + 1);
-          p.persist(p.direct(oid), v.size() + 1);
           p.tx_add_range(root.get(), sizeof(KvRoot));
           root->items[root->count] = oid;
           root->count += 1;

@@ -393,6 +393,9 @@ TEST_F(ApiTypedTest, PAssignmentOutsideTransactionIsPlainStore) {
   root->a = 7;
   root->a += 3;
   EXPECT_EQ(root->a, 10u);
+  // Plain stores leave durability to the caller (pmemobj semantics) — the
+  // pool must not close with the line dirty.
+  pool->persist(&root->a, sizeof(root->a));
 
   // And on a stack copy (outside any pool) it is also just a store.
   OtherRoot local;

@@ -172,8 +172,9 @@ TEST_P(CrashPolicyTest, ComposedTransactionAtomicity) {
     p.run_tx([&] {
       // Replace the object with a bigger one, transactionally.
       const pk::ObjId fresh = p.tx_alloc(256, 5);
+      // No explicit persist: tx_alloc registers the block as a fresh range
+      // and commit flushes it before the record publishes.
       std::memset(p.direct(fresh), 0x02, 256);
-      p.persist(p.direct(fresh), 256);
       p.tx_free(r->obj);
       p.tx_add_range(r, sizeof(Root));
       r->obj = fresh;
@@ -315,7 +316,9 @@ TEST(CrashSimMT, MixedWorkloadAcrossLanesRecoversConsistently) {
               auto* d = static_cast<std::uint64_t*>(pool->direct(fresh));
               d[0] = static_cast<std::uint64_t>(t);
               d[1] = i;
-              pool->persist(d, 16);
+              // No explicit persist: the fresh range is flushed by commit
+              // before the record publishes, so the payload is durable
+              // whenever the commit is.
               pool->tx_add_range(&r->slot[t], sizeof(r->slot[t]));
               pool->tx_add_range(&r->val[t], sizeof(r->val[t]));
               if (!r->slot[t].is_null()) pool->tx_free(r->slot[t]);

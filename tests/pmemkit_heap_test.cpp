@@ -78,6 +78,8 @@ TEST_F(HeapTest, HugeAllocationsSpanChunks) {
   auto* p = static_cast<std::uint8_t*>(pool_->direct(oid));
   p[0] = 1;
   p[size - 1] = 2;  // touches the last spanned chunk
+  pool_->persist(&p[0], 1);  // raw stores must be persisted by the caller
+  pool_->persist(&p[size - 1], 1);
   pool_->free_atomic(oid);
   // The space is reusable afterwards.
   const pk::ObjId again = pool_->alloc_atomic(size, 2);
@@ -163,8 +165,10 @@ TEST_P(HeapProperty, RandomAllocFreeNoOverlapAndSurvivesReopen) {
       }
       const auto fill = static_cast<std::uint8_t>(rng() & 0xff);
       const std::uint64_t usable = pool->usable_size(oid);
-      std::memset(pool->direct(oid), fill, usable);
-      pool->persist(pool->direct(oid), usable);
+      // memset_persist, not raw memset + persist: the store annotation is
+      // what lets the sanitizer tell a deliberate rewrite from a stray
+      // flush when the fill bytes happen to match the old contents.
+      pool->memset_persist(pool->direct(oid), fill, usable);
       // No overlap with any live object.
       const std::uint64_t begin = oid.off;
       const std::uint64_t end = begin + pool->usable_size(oid);

@@ -1,0 +1,326 @@
+// Seeded-violation tests for PmemSan, the runtime persistency sanitizer:
+// one deliberately buggy micro-program per rule, asserting the right rule
+// id fires at the right offset — and that clean code fires nothing at all,
+// which is what pins the library's own flush discipline (the pmemcheck CI
+// job runs the whole suite this way).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "pmemkit/pmemkit.hpp"
+#include "pmemkit/pmemsan.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Root {
+  std::uint64_t counter;
+  std::uint64_t values[8];
+};
+
+class PmemSanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("pmemsan-" + std::to_string(::getpid()) + "-" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove(path_);
+    pk::PoolOptions options;
+    options.pmemcheck = true;
+    pool_ = pk::ObjectPool::create(path_, "san", 32ull << 20, options);
+    ASSERT_NE(pool_->pmemsan(), nullptr);
+    // CountSink: violations are tallied, not thrown, so each test can
+    // assert exact rule counts.  shared_ptr — the sink outlives the pool,
+    // so close-time (R5) findings stay readable after reset().
+    sink_ = std::make_shared<pk::CountSink>();
+    pool_->pmemsan()->set_sink(sink_);
+    root_ = pool_->direct(pool_->root<Root>());
+  }
+  void TearDown() override {
+    pool_.reset();
+    fs::remove(path_);
+  }
+
+  [[nodiscard]] std::uint64_t off_of(const void* p) {
+    return pool_->region().offset_of(p);
+  }
+
+  fs::path path_;
+  std::unique_ptr<pk::ObjectPool> pool_;
+  std::shared_ptr<pk::CountSink> sink_;
+  Root* root_ = nullptr;
+};
+
+// --- R1: unlogged store inside a transaction -------------------------------
+
+TEST_F(PmemSanTest, R1_UnloggedStoreInsideTx) {
+  pool_->run_tx([&] {
+    // The classic missing-snapshot bug: mutate pool bytes without
+    // tx_add_range.  note_store is the store-visibility seam the field
+    // wrappers use; calling it directly models an instrumented raw store.
+    root_->counter = 41;
+    pool_->region().note_store(&root_->counter, sizeof(root_->counter));
+  });
+  EXPECT_EQ(sink_->count(pk::SanRule::UnloggedStore), 1u);
+  EXPECT_EQ(sink_->total(), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].off, off_of(&root_->counter));
+  EXPECT_EQ(kept[0].len, sizeof(root_->counter));
+  EXPECT_NE(kept[0].format().find("R1 unlogged-store"), std::string::npos);
+
+  pool_->persist(&root_->counter, sizeof(root_->counter));  // leave durable
+}
+
+TEST_F(PmemSanTest, R1_CoveredStoreIsClean) {
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+    root_->counter = 42;
+  });
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+TEST_F(PmemSanTest, R1_StoreOutsideTxIsNotRule1) {
+  // The same uncovered store with no transaction open: not an R1 (nothing
+  // to undo-log against); it becomes R5 dirt if never flushed, so flush it.
+  root_->counter = 43;
+  pool_->region().note_store(&root_->counter, sizeof(root_->counter));
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+// --- R2: commit record published over non-durable covered lines ------------
+
+TEST_F(PmemSanTest, R2_UnflushedCommitDetected) {
+  // Driven through the event feed: a hand-rolled transaction protocol that
+  // covers a range, stores to it, and publishes its commit record without
+  // ever flushing the covered line — the shaved-flush bug PmemSan exists
+  // to catch (the real Transaction::commit flushes before publishing).
+  pk::PmemSan* san = pool_->pmemsan();
+  const std::uint64_t off = off_of(&root_->values[0]);
+  san->tx_begin(7);
+  san->tx_cover(7, off, 64);
+  root_->values[0] = 0xfeedface;  // the store the commit record would lose
+  san->on_store(off, 64, pk::PmemSan::StoreOrigin::User);
+  san->tx_commit_publish(7);
+  san->tx_end(7);
+
+  EXPECT_EQ(sink_->count(pk::SanRule::UnflushedCommit), 1u);
+  EXPECT_EQ(sink_->total(), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].rule, pk::SanRule::UnflushedCommit);
+  // Reported per cache line.
+  EXPECT_EQ(kept[0].off, off / 64 * 64);
+
+  pool_->persist(&root_->values[0], 64);  // leave durable
+}
+
+TEST_F(PmemSanTest, R2_FlushedAndFencedCommitIsClean) {
+  pk::PmemSan* san = pool_->pmemsan();
+  const std::uint64_t off = off_of(&root_->values[0]);
+  san->tx_begin(7);
+  san->tx_cover(7, off, 64);
+  san->on_store(off, 64, pk::PmemSan::StoreOrigin::User);
+  pool_->persist(&root_->values[0], 64);  // flush + fence before publishing
+  san->tx_commit_publish(7);
+  san->tx_end(7);
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+// --- R3: redundant flush ----------------------------------------------------
+
+TEST_F(PmemSanTest, R3_RedundantFlushOfCleanLine) {
+  root_->counter = 7;
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  EXPECT_EQ(sink_->total(), 0u);
+
+  // Flush again with no store in between: pure write-back waste.
+  pool_->flush(&root_->counter, sizeof(root_->counter));
+  pool_->drain();
+  EXPECT_EQ(sink_->count(pk::SanRule::RedundantFlush), 1u);
+  EXPECT_EQ(sink_->total(), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].off, off_of(&root_->counter) / 64 * 64);
+}
+
+TEST_F(PmemSanTest, R3_RedirtiedFlushIsClean) {
+  root_->counter = 8;
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  root_->counter = 9;  // raw re-store: the content heuristic spots it
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+// --- R4: flush of a line no store ever touched ------------------------------
+
+TEST_F(PmemSanTest, R4_FlushNeverStored) {
+  // The tail of the pool: allocated to no one, never written by anyone.
+  const std::uint64_t off = pool_->size() - 64;
+  pool_->flush(pool_->region().base() + off, 64);
+  pool_->drain();
+  EXPECT_EQ(sink_->count(pk::SanRule::FlushNeverStored), 1u);
+  EXPECT_EQ(sink_->total(), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].off, off);
+  EXPECT_NE(kept[0].format().find("flush-never-stored"), std::string::npos);
+}
+
+// --- R5: dirty at close / verify --------------------------------------------
+
+TEST_F(PmemSanTest, R5_AnnotatedStoreNeverFlushed) {
+  root_->counter = 5;
+  pool_->region().note_store(&root_->counter, sizeof(root_->counter));
+  EXPECT_EQ(pool_->pmemsan()->verify(), 1u);
+  EXPECT_EQ(sink_->count(pk::SanRule::DirtyAtClose), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].off, off_of(&root_->counter) / 64 * 64);
+  EXPECT_NE(kept[0].message.find("stored but never flushed"),
+            std::string::npos);
+
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  EXPECT_EQ(pool_->pmemsan()->verify(), 0u);  // durable now: scan is clean
+}
+
+TEST_F(PmemSanTest, R5_RawStoreNeverFlushed) {
+  // A store through a direct() pointer with no annotation at all: only the
+  // live-vs-durable content comparison can see it.
+  root_->values[3] = 0xDEAD;
+  EXPECT_GE(pool_->pmemsan()->verify(), 1u);
+  EXPECT_GE(sink_->count(pk::SanRule::DirtyAtClose), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_GE(kept.size(), 1u);
+  EXPECT_NE(kept[0].message.find("raw-stored"), std::string::npos);
+  pool_->persist(&root_->values[3], sizeof(root_->values[3]));
+}
+
+TEST_F(PmemSanTest, R5_FiresAtPoolClose) {
+  root_->counter = 11;
+  pool_->region().note_store(&root_->counter, sizeof(root_->counter));
+  pool_.reset();  // close_check reports through the surviving CountSink
+  EXPECT_EQ(sink_->count(pk::SanRule::DirtyAtClose), 1u);
+}
+
+// --- R6: persist narrower than the store it publishes -----------------------
+
+TEST_F(PmemSanTest, R6_PersistTooSmall) {
+  const pk::ObjId oid = pool_->alloc_atomic(256, 9, nullptr, true);
+  auto* p = static_cast<std::byte*>(pool_->direct(oid));
+  std::memset(p, 0xAB, 128);
+  pool_->region().note_store(p, 128);
+  pool_->persist(p, 64);  // publishes half the store: a torn publish
+  EXPECT_EQ(sink_->count(pk::SanRule::PersistTooSmall), 1u);
+  EXPECT_EQ(sink_->total(), 1u);
+  const auto kept = sink_->violations();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].off, off_of(p));
+  EXPECT_EQ(kept[0].len, 64u);
+
+  // Re-announce and persist the full range to leave the pool clean.
+  pool_->region().note_store(p, 128);
+  pool_->persist(p, 128);
+  EXPECT_EQ(pool_->pmemsan()->verify(), 0u);
+}
+
+TEST_F(PmemSanTest, R6_FullWidthPersistIsClean) {
+  const pk::ObjId oid = pool_->alloc_atomic(256, 9, nullptr, true);
+  auto* p = static_cast<std::byte*>(pool_->direct(oid));
+  std::memset(p, 0xCD, 128);
+  pool_->region().note_store(p, 128);
+  pool_->persist(p, 128);
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+// --- sinks & error taxonomy -------------------------------------------------
+
+TEST_F(PmemSanTest, ThrowSinkRaisesTypedPoolError) {
+  pool_->pmemsan()->set_sink(std::make_shared<pk::ThrowSink>());
+  root_->counter = 12;
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  try {
+    pool_->flush(&root_->counter, sizeof(root_->counter));  // redundant
+    FAIL() << "redundant flush did not throw";
+  } catch (const pk::PoolError& e) {
+    EXPECT_EQ(e.kind(), pk::ErrKind::PersistencyViolation);
+    EXPECT_NE(std::string(e.what()).find("redundant-flush"),
+              std::string::npos);
+  }
+  pool_->pmemsan()->set_sink(sink_);  // back to counting for close_check
+}
+
+TEST_F(PmemSanTest, ViolationCarriesPoolProvenance) {
+  root_->counter = 13;
+  pool_->persist(&root_->counter, sizeof(root_->counter));
+  pool_->flush(&root_->counter, sizeof(root_->counter));
+  pool_->drain();
+  const auto kept = sink_->violations();
+  ASSERT_GE(kept.size(), 1u);
+  EXPECT_EQ(kept[0].pool, path_.filename().string());
+  EXPECT_NE(kept[0].format().find("pmemsan[" + path_.filename().string()),
+            std::string::npos);
+}
+
+// --- clean workloads fire nothing -------------------------------------------
+// This is the regression pin for every library-side finding the sanitizer
+// surfaced (the redo commit's over-wide persist above all): a full mixed
+// workload — transactions, aborts, atomic alloc/free, deferred frees —
+// followed by a clean close must count zero violations.
+
+TEST_F(PmemSanTest, CleanMixedWorkloadFiresNothing) {
+  for (int round = 0; round < 4; ++round) {
+    pool_->run_tx([&] {
+      pool_->tx_add_range(root_->values, sizeof(root_->values));
+      for (int i = 0; i < 8; ++i) root_->values[i] = round * 100 + i;
+      pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+      root_->counter = round;
+    });
+  }
+  // Abort path: rollback restores snapshots with its own flush discipline.
+  EXPECT_THROW(pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+    root_->counter = 9999;
+    throw std::runtime_error("abort");
+  }),
+               std::runtime_error);
+
+  // Transactional alloc/free and the atomic (redo-logged) API.
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->values[0], 8);
+    const pk::ObjId tmp = pool_->tx_alloc(512, 21);
+    root_->values[0] = tmp.off;
+    pool_->tx_free(tmp);
+  });
+  const pk::ObjId big = pool_->alloc_atomic(4096, 22, nullptr, true);
+  pool_->free_atomic(big);
+
+  EXPECT_EQ(pool_->pmemsan()->verify(), 0u);
+  pool_.reset();  // close_check: nothing may be dirty at a clean shutdown
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+TEST_F(PmemSanTest, CleanReopenRoundTripFiresNothing) {
+  root_ = nullptr;
+  pool_.reset();
+  EXPECT_EQ(sink_->total(), 0u);
+
+  pk::PoolOptions options;
+  options.pmemcheck = true;
+  pool_ = pk::ObjectPool::open(path_, "san", options);
+  pool_->pmemsan()->set_sink(sink_);
+  root_ = pool_->direct(pool_->root<Root>());
+  pool_->run_tx([&] {
+    pool_->tx_add_range(&root_->counter, sizeof(root_->counter));
+    root_->counter = 77;
+  });
+  pool_.reset();
+  EXPECT_EQ(sink_->total(), 0u);
+}
+
+}  // namespace
