@@ -1,0 +1,209 @@
+// bench/micro_faultkit.cpp — what fault tolerance costs when nothing is
+// failing, and what recovery costs when something is.
+//
+// Two numbers an operator wants before arming chaos in production:
+//
+//   1. The instrumentation tax: every media operation (and every shard
+//      batch) crosses a fault_point().  Disarmed it is one relaxed atomic
+//      load; armed-but-idle it takes the injector mutex.  Both measured
+//      in ns/crossing — the disarmed figure is the permanent cost the
+//      library pays for being injectable at all.
+//
+//   2. The blast radius of a media failure: on an embedded cxlpmemd
+//      engine, inject one serve-loop corruption per cycle and measure
+//      quarantine -> reopen-with-recovery -> rejoin as the client sees it
+//      (time from the typed Unavailable to the next acknowledged SET).
+//
+// Emitted into BENCH_faultkit.json.
+//
+//   micro_faultkit [--smoke] [--cycles N] [--json PATH]
+//
+// --smoke (used from ctest) shrinks the run and fails the process on
+// structural violations: any cycle that does not recover within its 5 s
+// deadline, or any committed key lost across the quarantine cycles.  No
+// timing floors — recovery latency is reported, not gated.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cxlpmem.hpp"
+#include "bench_json.hpp"
+#include "pmemkit/faultkit.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace pk = cxlpmem::pmemkit;
+namespace api = cxlpmem::api;
+namespace service = cxlpmem::service;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Config {
+  bool smoke = false;
+  int cycles = 10;
+  fs::path json = "BENCH_faultkit.json";
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// ns per fault_point crossing over `iters` crossings of the Serve site.
+double crossing_ns(std::uint64_t iters) {
+  const double t0 = now_s();
+  for (std::uint64_t i = 0; i < iters; ++i)
+    pk::fault_point(pk::FaultSite::Serve, "bench");
+  return (now_s() - t0) * 1e9 / static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* val = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--smoke") {
+      cfg.smoke = true;
+    } else if (arg == "--cycles" && val != nullptr) {
+      cfg.cycles = std::atoi(val);
+      ++i;
+    } else if (arg == "--json" && val != nullptr) {
+      cfg.json = val;
+      ++i;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--cycles N] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.smoke) cfg.cycles = std::min(cfg.cycles, 5);
+
+  // --- 1. instrumentation tax ---------------------------------------------
+  pk::clear_faults();
+  const double disarmed_ns = crossing_ns(5'000'000);
+  // Armed but idle: a fixed entry that never fires keeps the plan active,
+  // so every crossing takes the injector's slow path.
+  pk::arm_faults(pk::FaultPlan::parse("serve:eio@1000000000"));
+  const double armed_idle_ns = crossing_ns(1'000'000);
+  pk::clear_faults();
+  std::printf("fault_point crossing: disarmed %.1f ns, armed-idle %.1f ns\n",
+              disarmed_ns, armed_idle_ns);
+
+  // --- 2. quarantine -> rejoin latency --------------------------------------
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("micro-faultkit-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  auto rt = api::RuntimeBuilder::setup_one().base_dir(dir).build();
+  if (!rt.ok()) {
+    std::fprintf(stderr, "runtime: %s\n", rt.error().to_string().c_str());
+    return 1;
+  }
+  service::ServerOptions opts;
+  opts.shards = 1;  // one keyspace, so every cycle hits the poisoned shard
+  opts.pool_size_bytes = 16ull << 20;
+  auto server = service::Server::start(rt.value(), opts);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.error().to_string().c_str());
+    return 1;
+  }
+  auto conn = service::Client::connect(server.value()->port());
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect: %s\n", conn.error().to_string().c_str());
+    return 1;
+  }
+  service::Client client = std::move(conn).value();
+
+  std::vector<double> recovery_ms;
+  bool structural_fail = false;
+  for (int cycle = 0; cycle < cfg.cycles; ++cycle) {
+    const std::string key = "cycle" + std::to_string(cycle);
+    pk::arm_faults(pk::FaultPlan::parse("serve:corrupt@1"));
+    const auto poisoned = client.set(key, "pre-quarantine");
+    if (poisoned.ok() ||
+        poisoned.error().code != api::Errc::Unavailable) {
+      std::fprintf(stderr, "cycle %d: expected Unavailable, got %s\n", cycle,
+                   poisoned.ok() ? "OK"
+                                 : poisoned.error().to_string().c_str());
+      structural_fail = true;
+      break;
+    }
+    // The clock runs from the first typed refusal to the first ack.
+    const double t0 = now_s();
+    bool recovered = false;
+    while (now_s() - t0 < 5.0) {
+      if (client.set(key, "post-rejoin").ok()) {
+        recovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    pk::clear_faults();
+    if (!recovered) {
+      std::fprintf(stderr, "cycle %d: no rejoin within 5 s\n", cycle);
+      structural_fail = true;
+      break;
+    }
+    recovery_ms.push_back((now_s() - t0) * 1e3);
+  }
+
+  // Every key written across the cycles must still read back — recovery
+  // that loses committed state is not recovery.
+  std::size_t lost = 0;
+  for (std::size_t i = 0; i < recovery_ms.size(); ++i) {
+    const auto got = client.get("cycle" + std::to_string(i));
+    if (!got.ok() || !got.value().has_value() ||
+        *got.value() != "post-rejoin")
+      ++lost;
+  }
+
+  double mean_ms = 0, max_ms = 0;
+  for (const double ms : recovery_ms) {
+    mean_ms += ms;
+    max_ms = std::max(max_ms, ms);
+  }
+  if (!recovery_ms.empty()) mean_ms /= static_cast<double>(recovery_ms.size());
+  std::printf(
+      "quarantine->rejoin over %zu cycles: mean %.1f ms, max %.1f ms, "
+      "%zu keys lost\n",
+      recovery_ms.size(), mean_ms, max_ms, lost);
+
+  std::string json =
+      "{\n  \"fault_point_disarmed_ns\": " + std::to_string(disarmed_ns) +
+      ",\n  \"fault_point_armed_idle_ns\": " + std::to_string(armed_idle_ns) +
+      ",\n  \"recovery\": {\"cycles\": " +
+      std::to_string(recovery_ms.size()) +
+      ", \"mean_ms\": " + std::to_string(mean_ms) +
+      ", \"max_ms\": " + std::to_string(max_ms) +
+      ", \"lost_keys\": " + std::to_string(lost) + "}\n}\n";
+  const bool json_ok = cxlpmem::bench::write_bench_json(cfg.json, json);
+
+  server.value()->stop();
+  server.value().reset();
+  fs::remove_all(dir);
+  if (!json_ok) return 1;
+
+  if (structural_fail || lost != 0 ||
+      recovery_ms.size() != static_cast<std::size_t>(cfg.cycles)) {
+    std::fprintf(stderr, "FAIL: %zu/%d cycles recovered, %zu keys lost\n",
+                 recovery_ms.size(), cfg.cycles, lost);
+    return 1;
+  }
+  if (cfg.smoke)
+    std::printf("smoke OK: %d quarantine cycles, all rejoined, no loss\n",
+                cfg.cycles);
+  return 0;
+}

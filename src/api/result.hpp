@@ -41,6 +41,9 @@ enum class Errc {
   IoFailure,           ///< filesystem / socket / mmap level failure
   Protocol,            ///< malformed/oversized wire frame (service layer)
   PersistencyViolation,  ///< PmemSan rule fired (pmemcheck with throw sink)
+  Timeout,             ///< deadline expired (connect/recv) — retryable
+  Unavailable,         ///< shard quarantined, recovering — retryable
+  Busy,                ///< shard queue full, load shed — retryable
   Internal,            ///< anything unclassified — must stay last
 };
 
@@ -64,6 +67,9 @@ enum class Errc {
     case Errc::IoFailure: return "io-failure";
     case Errc::Protocol: return "protocol";
     case Errc::PersistencyViolation: return "persistency-violation";
+    case Errc::Timeout: return "timeout";
+    case Errc::Unavailable: return "unavailable";
+    case Errc::Busy: return "busy";
     case Errc::Internal: return "internal";
   }
   return "?";

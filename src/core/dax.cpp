@@ -7,6 +7,8 @@
 #include <cstring>
 #include <utility>
 
+#include "pmemkit/faultkit.hpp"
+
 namespace cxlpmem::core {
 
 namespace {
@@ -16,6 +18,10 @@ std::function<void(const std::filesystem::path&)> g_sync_observer;
 /// fsync `p` (a file, or a directory when `directory`) so the bytes — or
 /// the directory entry — are on media before we claim durability.
 void sync_path(const std::filesystem::path& p, bool directory) {
+  // Injected before the open: a failed sync must look exactly like a
+  // failing device (no partial durability claim), and the import path
+  // already rolls back on any throw from here.
+  pmemkit::fault_point(pmemkit::FaultSite::Sync, "fsync " + p.string());
   const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
   const int fd = ::open(p.c_str(), flags);
   if (fd < 0)
@@ -25,7 +31,7 @@ void sync_path(const std::filesystem::path& p, bool directory) {
   if (::fsync(fd) != 0) {
     const int err = errno;
     ::close(fd);
-    throw pmemkit::PoolError(pmemkit::ErrKind::Io,
+    throw pmemkit::PoolError(pmemkit::errno_kind(err),
                              "fsync " + p.string() + ": " +
                                  std::strerror(err));
   }
@@ -81,7 +87,12 @@ std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::create_pool(
                                  std::to_string(size) + ", available " +
                                  std::to_string(available_bytes()));
   pmemkit::FileResource resource(file_path(file));
-  auto pool = pmemkit::ObjectPool::create(resource, layout, size, options);
+  pmemkit::FaultyResource faulty(resource);
+  pmemkit::PmemResource& backend =
+      pmemkit::faults_armed()
+          ? static_cast<pmemkit::PmemResource&>(faulty)
+          : static_cast<pmemkit::PmemResource&>(resource);
+  auto pool = pmemkit::ObjectPool::create(backend, layout, size, options);
   used_ += size;
   return pool;
 }
@@ -90,7 +101,12 @@ std::unique_ptr<pmemkit::ObjectPool> DaxNamespace::open_pool(
     const std::string& file, std::string_view layout,
     pmemkit::PoolOptions options) {
   pmemkit::FileResource resource(file_path(file));
-  return pmemkit::ObjectPool::open(resource, layout, options);
+  pmemkit::FaultyResource faulty(resource);
+  pmemkit::PmemResource& backend =
+      pmemkit::faults_armed()
+          ? static_cast<pmemkit::PmemResource&>(faulty)
+          : static_cast<pmemkit::PmemResource&>(resource);
+  return pmemkit::ObjectPool::open(backend, layout, options);
 }
 
 void DaxNamespace::resize_pool(pmemkit::ObjectPool& pool,

@@ -7,6 +7,7 @@
 // facade's Result<T, Error>) can translate without string matching.
 #pragma once
 
+#include <cerrno>
 #include <stdexcept>
 #include <string>
 
@@ -77,6 +78,14 @@ enum class ErrKind {
     case ErrKind::Io: return "io";
   }
   return "?";
+}
+
+/// ENOSPC/EDQUOT are capacity conditions, not I/O failures: every errno-
+/// reporting media path maps them to OutOfSpace so callers can react (free
+/// space, pick another namespace, shed load) without string-matching the
+/// message.  Everything else stays Io.
+[[nodiscard]] inline ErrKind errno_kind(int err) noexcept {
+  return (err == ENOSPC || err == EDQUOT) ? ErrKind::OutOfSpace : ErrKind::Io;
 }
 
 /// Common base: message + kind.  Catch subsystem classes below, or this to

@@ -1,0 +1,413 @@
+#include "pmemkit/faultkit.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace cxlpmem::pmemkit {
+
+namespace {
+
+/// splitmix64 — the deterministic draw behind the random component.  One
+/// output per (seed, site, crossing) triple: the injection decision at a
+/// crossing never depends on what other threads did in between.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct Injector {
+  std::mutex mu;
+  bool armed = false;           // mirrored in g_armed for the fast path
+  bool tracing = false;
+  FaultPlan plan;
+  std::vector<bool> consumed;   // parallel to plan.fixed, one-shot entries
+  std::uint64_t crossings[kFaultSiteCount] = {};
+  FaultStats stats;
+  std::vector<FaultSite> trace;
+};
+
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_tracing{false};
+
+Injector& injector() {
+  static Injector inj;
+  return inj;
+}
+
+[[noreturn]] void throw_injected(FaultKind kind, FaultSite site,
+                                 std::string_view what) {
+  const std::string where =
+      std::string(what) + ": injected " + to_string(kind) + " at site '" +
+      to_string(site) + "' (faultkit)";
+  switch (kind) {
+    case FaultKind::Enospc:
+      throw PoolError(ErrKind::OutOfSpace,
+                      where + ": " + std::strerror(ENOSPC));
+    case FaultKind::Corrupt:
+      throw PoolError(ErrKind::CorruptImage, where);
+    case FaultKind::Eio:
+    default:
+      throw PoolError(ErrKind::Io, where + ": " + std::strerror(EIO));
+  }
+}
+
+/// Kinds the random component may draw at a site.  Durable damage
+/// (BitFlip) and partial-effect kinds (ShortWrite) are never drawn
+/// randomly — they are opt-in via explicit entries.
+FaultKind random_kind(FaultSite site, std::uint64_t draw) noexcept {
+  switch (site) {
+    case FaultSite::MapCreate:
+    case FaultSite::Resize:
+    case FaultSite::Sync:
+      return (draw & 1) != 0 ? FaultKind::Eio : FaultKind::Enospc;
+    case FaultSite::MapOpen:
+      return FaultKind::Eio;
+    case FaultSite::Serve:
+      switch (draw % 3) {
+        case 0: return FaultKind::Corrupt;
+        case 1: return FaultKind::Stall;
+        default: return FaultKind::Eio;
+      }
+  }
+  return FaultKind::Eio;
+}
+
+// --- DSL ---------------------------------------------------------------------
+
+const char* kSiteNames[kFaultSiteCount] = {"create", "open", "resize", "sync",
+                                           "serve"};
+const char* kKindNames[kFaultKindCount] = {"eio",  "enospc", "short",
+                                           "flip", "corrupt", "stall"};
+
+[[noreturn]] void bad_dsl(std::string_view entry, const char* why) {
+  throw std::invalid_argument("faultkit DSL: " + std::string(why) + " in '" +
+                              std::string(entry) + "'");
+}
+
+std::optional<FaultSite> site_of(std::string_view name) noexcept {
+  for (int i = 0; i < kFaultSiteCount; ++i)
+    if (name == kSiteNames[i]) return static_cast<FaultSite>(i);
+  return std::nullopt;
+}
+
+std::optional<FaultKind> kind_of(std::string_view name) noexcept {
+  for (int i = 0; i < kFaultKindCount; ++i)
+    if (name == kKindNames[i]) return static_cast<FaultKind>(i);
+  return std::nullopt;
+}
+
+/// Which kinds each site supports (explicit entries are validated so a
+/// typo'd plan fails at parse, not by silently never firing).
+bool site_supports(FaultSite site, FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::Eio:
+      return true;
+    case FaultKind::Enospc:
+      return site == FaultSite::MapCreate || site == FaultSite::Resize ||
+             site == FaultSite::Sync;
+    case FaultKind::ShortWrite:
+      return site == FaultSite::MapCreate;
+    case FaultKind::BitFlip:
+      return site == FaultSite::MapOpen;
+    case FaultKind::Corrupt:
+    case FaultKind::Stall:
+      return site == FaultSite::Serve;
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(std::string_view s, std::string_view entry,
+                        const char* what) {
+  if (s.empty()) bad_dsl(entry, what);
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') bad_dsl(entry, what);
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+void parse_random_entry(std::string_view entry, FaultPlan& plan) {
+  // random:seed=<s>,rate=<ppm>[,sites=a|b][,stall=<ms>]
+  std::string_view rest = entry.substr(std::strlen("random:"));
+  plan.random_sites = 0;
+  bool saw_sites = false;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view kv = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) bad_dsl(entry, "expected key=value");
+    const std::string_view key = kv.substr(0, eq);
+    const std::string_view val = kv.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(val, entry, "bad seed");
+    } else if (key == "rate") {
+      const std::uint64_t r = parse_u64(val, entry, "bad rate");
+      if (r > 1000000) bad_dsl(entry, "rate above 1000000 ppm");
+      plan.rate_ppm = static_cast<std::uint32_t>(r);
+    } else if (key == "stall") {
+      plan.stall_ms =
+          static_cast<std::uint32_t>(parse_u64(val, entry, "bad stall"));
+    } else if (key == "sites") {
+      saw_sites = true;
+      std::string_view sites = val;
+      while (!sites.empty()) {
+        const std::size_t bar = sites.find('|');
+        const std::string_view name = sites.substr(0, bar);
+        sites = bar == std::string_view::npos ? std::string_view()
+                                              : sites.substr(bar + 1);
+        const std::optional<FaultSite> s = site_of(name);
+        if (!s) bad_dsl(entry, "unknown site");
+        plan.random_sites |= 1u << static_cast<int>(*s);
+      }
+    } else {
+      bad_dsl(entry, "unknown key");
+    }
+  }
+  if (!saw_sites) plan.random_sites = (1u << kFaultSiteCount) - 1;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite s) noexcept {
+  const int i = static_cast<int>(s);
+  return i >= 0 && i < kFaultSiteCount ? kSiteNames[i] : "?";
+}
+
+const char* to_string(FaultKind k) noexcept {
+  const int i = static_cast<int>(k);
+  return i >= 0 && i < kFaultKindCount ? kKindNames[i] : "?";
+}
+
+FaultPlan FaultPlan::parse(std::string_view dsl) {
+  FaultPlan plan;
+  plan.rate_ppm = 0;
+  std::string_view rest = dsl;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view entry = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    // Trim spaces so hand-written env values are forgiving.
+    while (!entry.empty() && entry.front() == ' ') entry.remove_prefix(1);
+    while (!entry.empty() && entry.back() == ' ') entry.remove_suffix(1);
+    if (entry.empty()) continue;
+    if (entry.rfind("random:", 0) == 0) {
+      parse_random_entry(entry, plan);
+      continue;
+    }
+    // <site>:<kind>@<n>[+<arg>]
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) bad_dsl(entry, "expected site:kind");
+    const std::optional<FaultSite> site = site_of(entry.substr(0, colon));
+    if (!site) bad_dsl(entry, "unknown site");
+    std::string_view kind_at = entry.substr(colon + 1);
+    const std::size_t at_pos = kind_at.find('@');
+    if (at_pos == std::string_view::npos) bad_dsl(entry, "expected kind@n");
+    const std::optional<FaultKind> kind = kind_of(kind_at.substr(0, at_pos));
+    if (!kind) bad_dsl(entry, "unknown kind");
+    if (!site_supports(*site, *kind))
+      bad_dsl(entry, "kind not injectable at this site");
+    std::string_view n_arg = kind_at.substr(at_pos + 1);
+    Fault f;
+    f.site = *site;
+    f.kind = *kind;
+    const std::size_t plus = n_arg.find('+');
+    f.at = parse_u64(n_arg.substr(0, plus), entry, "bad crossing index");
+    if (f.at == 0) bad_dsl(entry, "crossing index is 1-based");
+    if (plus != std::string_view::npos)
+      f.arg = parse_u64(n_arg.substr(plus + 1), entry, "bad argument");
+    plan.fixed.push_back(f);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_dsl() const {
+  std::string out;
+  for (const Fault& f : fixed) {
+    if (!out.empty()) out += ';';
+    out += std::string(to_string(f.site)) + ":" + to_string(f.kind) + "@" +
+           std::to_string(f.at);
+    if (f.arg != 0) out += "+" + std::to_string(f.arg);
+  }
+  if (rate_ppm != 0) {
+    if (!out.empty()) out += ';';
+    out += "random:seed=" + std::to_string(seed) +
+           ",rate=" + std::to_string(rate_ppm);
+    if (random_sites != (1u << kFaultSiteCount) - 1) {
+      out += ",sites=";
+      bool first = true;
+      for (int i = 0; i < kFaultSiteCount; ++i)
+        if ((random_sites & (1u << i)) != 0) {
+          if (!first) out += '|';
+          out += kSiteNames[i];
+          first = false;
+        }
+    }
+    out += ",stall=" + std::to_string(stall_ms);
+  }
+  return out;
+}
+
+void arm_faults(FaultPlan plan) {
+  Injector& inj = injector();
+  const std::lock_guard<std::mutex> lock(inj.mu);
+  inj.plan = std::move(plan);
+  inj.consumed.assign(inj.plan.fixed.size(), false);
+  std::fill(std::begin(inj.crossings), std::end(inj.crossings), 0);
+  inj.stats = FaultStats{};
+  inj.armed = true;
+  g_armed.store(true, std::memory_order_release);
+}
+
+bool arm_faults_from_env() {
+  const char* dsl = std::getenv("CXLPMEM_FAULTS");
+  if (dsl == nullptr || *dsl == '\0') return false;
+  FaultPlan plan = FaultPlan::parse(dsl);
+  if (const char* seed = std::getenv("CXLPMEM_FAULT_SEED");
+      seed != nullptr && *seed != '\0')
+    plan.seed = std::strtoull(seed, nullptr, 10);
+  arm_faults(std::move(plan));
+  return true;
+}
+
+void clear_faults() {
+  Injector& inj = injector();
+  const std::lock_guard<std::mutex> lock(inj.mu);
+  inj.armed = false;
+  inj.plan = FaultPlan{};
+  inj.consumed.clear();
+  g_armed.store(false, std::memory_order_release);
+}
+
+bool faults_armed() noexcept {
+  return g_armed.load(std::memory_order_relaxed);
+}
+
+FaultStats fault_stats() {
+  Injector& inj = injector();
+  const std::lock_guard<std::mutex> lock(inj.mu);
+  return inj.stats;
+}
+
+void begin_fault_trace() {
+  Injector& inj = injector();
+  const std::lock_guard<std::mutex> lock(inj.mu);
+  inj.tracing = true;
+  inj.trace.clear();
+  g_tracing.store(true, std::memory_order_release);
+}
+
+std::vector<FaultSite> end_fault_trace() {
+  Injector& inj = injector();
+  const std::lock_guard<std::mutex> lock(inj.mu);
+  inj.tracing = false;
+  g_tracing.store(false, std::memory_order_release);
+  return std::move(inj.trace);
+}
+
+std::optional<Fault> fault_point(FaultSite site, std::string_view what) {
+  const bool armed = g_armed.load(std::memory_order_relaxed);
+  const bool tracing = g_tracing.load(std::memory_order_relaxed);
+  if (!armed && !tracing) return std::nullopt;
+
+  Injector& inj = injector();
+  std::optional<Fault> fired;
+  {
+    const std::lock_guard<std::mutex> lock(inj.mu);
+    if (inj.tracing) inj.trace.push_back(site);
+    if (!inj.armed) return std::nullopt;
+    const int si = static_cast<int>(site);
+    const std::uint64_t crossing = ++inj.crossings[si];
+    ++inj.stats.crossings[si];
+    // Explicit one-shot entries first — they pin exact crossings and win
+    // over the random draw, so a sweep is exact even under a chaos rate.
+    for (std::size_t i = 0; i < inj.plan.fixed.size(); ++i) {
+      const Fault& f = inj.plan.fixed[i];
+      if (!inj.consumed[i] && f.site == site && f.at == crossing) {
+        inj.consumed[i] = true;
+        fired = f;
+        break;
+      }
+    }
+    if (!fired && inj.plan.rate_ppm != 0 &&
+        (inj.plan.random_sites & (1u << si)) != 0) {
+      const std::uint64_t draw = splitmix64(
+          inj.plan.seed ^ (static_cast<std::uint64_t>(si) << 56) ^ crossing);
+      if (draw % 1000000 < inj.plan.rate_ppm) {
+        Fault f;
+        f.site = site;
+        f.kind = random_kind(site, draw >> 32);
+        f.at = crossing;
+        f.arg = f.kind == FaultKind::Stall ? inj.plan.stall_ms : 0;
+        fired = f;
+      }
+    }
+    if (fired) ++inj.stats.injected[static_cast<int>(fired->kind)];
+  }
+  if (!fired) return std::nullopt;
+  switch (fired->kind) {
+    case FaultKind::Eio:
+    case FaultKind::Enospc:
+    case FaultKind::Corrupt:
+      throw_injected(fired->kind, site, what);
+    case FaultKind::Stall:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(fired->arg != 0 ? fired->arg : 20));
+      return std::nullopt;
+    case FaultKind::ShortWrite:
+    case FaultKind::BitFlip:
+      return fired;  // the call site applies the partial effect
+  }
+  return std::nullopt;
+}
+
+MappedFile FaultyResource::map_create(std::uint64_t size) {
+  const std::optional<Fault> f =
+      fault_point(FaultSite::MapCreate, inner_->describe());
+  if (f && f->kind == FaultKind::ShortWrite) {
+    // The device accepted the create, materialized a fraction of the
+    // requested store, then errored — clean up exactly like
+    // MappedFile::create does on a real mid-create failure, so the typed
+    // error leaves no half-image to wedge a retry on PoolExists.
+    {
+      const MappedFile partial =
+          inner_->map_create(std::max<std::uint64_t>(size / 2, 4096));
+    }
+    inner_->remove();
+    throw PoolError(ErrKind::Io, inner_->describe() +
+                                     ": injected short write at site "
+                                     "'create' (faultkit): " +
+                                     std::strerror(EIO));
+  }
+  return inner_->map_create(size);
+}
+
+MappedFile FaultyResource::map_open() {
+  const std::optional<Fault> f =
+      fault_point(FaultSite::MapOpen, inner_->describe());
+  MappedFile mf = inner_->map_open();
+  if (f && f->kind == FaultKind::BitFlip && mf.size() > 0) {
+    // Torn media: XOR one byte of the image the caller is about to
+    // validate.  MAP_SHARED makes the flip durable — by design; checksum
+    // paths must catch it, and recovery is restoring the byte.
+    const std::uint64_t off = std::min<std::uint64_t>(
+        f->arg, static_cast<std::uint64_t>(mf.size()) - 1);
+    mf.data()[off] ^= std::byte{0x40};
+  }
+  return mf;
+}
+
+}  // namespace cxlpmem::pmemkit

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "pmemkit/errors.hpp"
+#include "pmemkit/faultkit.hpp"
 
 namespace cxlpmem::pmemkit {
 
@@ -32,7 +33,7 @@ MappedFile MappedFile::create(const std::filesystem::path& path,
   if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
     ::close(fd);
     ::unlink(path.c_str());
-    throw_errno("size pool file " + path.string());
+    throw_errno("size pool file " + path.string(), errno_kind(errno));
   }
   void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   if (p == MAP_FAILED) {
@@ -100,11 +101,15 @@ void MappedFile::resize(std::size_t new_size) {
     throw PoolError(ErrKind::PoolTooSmall, "pool size must be positive");
   if (new_size == size_) return;
 
+  // Injected before any side effect: a failed resize must leave file and
+  // mapping exactly as they were, so retry-after-clear is clean.
+  fault_point(FaultSite::Resize, "resize pool file " + path_.string());
+
   // Grow the file before the mapping, shrink it after: the mapping never
   // extends past the file, so a SIGBUS window never opens.
   if (new_size > size_ &&
       ::ftruncate(fd_, static_cast<off_t>(new_size)) != 0)
-    throw_errno("grow pool file " + path_.string());
+    throw_errno("grow pool file " + path_.string(), errno_kind(errno));
 
   void* p = ::mremap(data_, size_, new_size, MREMAP_MAYMOVE);
   if (p == MAP_FAILED) {

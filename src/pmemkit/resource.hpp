@@ -37,6 +37,11 @@ class PmemResource {
 
   /// Human-readable identity for error messages ("/mnt/pmem2/kv.pool").
   [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Removes the backing store, if any.  Used by failure paths that must
+  /// not leave a half-created store behind (a partial image would wedge
+  /// every retry on PoolExists).  Default: nothing to remove.
+  virtual void remove() {}
 };
 
 /// The default backend: one file on a filesystem path.
@@ -57,6 +62,10 @@ class FileResource final : public PmemResource {
   }
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
     return path_;
+  }
+  void remove() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
   }
 
  private:

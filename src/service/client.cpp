@@ -1,18 +1,38 @@
 #include "service/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <utility>
 
+#include "service/net_fault.hpp"
+
 namespace cxlpmem::service {
 
+namespace {
+
+/// SO_RCVTIMEO/SO_SNDTIMEO from a millisecond count (0 = block forever).
+api::Result<void> set_socket_deadline(int fd, std::uint32_t ms) {
+  struct timeval tv = {};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<long>(ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0)
+    return io_error("setsockopt timeout", errno);
+  return api::Result<void>();
+}
+
+}  // namespace
+
 api::Result<Client> Client::connect(std::uint16_t port,
-                                    const std::string& host) {
+                                    const std::string& host,
+                                    const ClientOptions& opts) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return io_error("socket", errno);
   int one = 1;
@@ -24,17 +44,59 @@ api::Result<Client> Client::connect(std::uint16_t port,
     ::close(fd);
     return api::Error{api::Errc::InvalidConfig, "bad host: " + host};
   }
-  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int err = errno;
+  // Connect under a deadline: nonblocking connect, then poll for
+  // writability.  A blocking connect to a host that drops SYNs waits
+  // for the kernel's timeout — minutes; this caps it at
+  // opts.connect_timeout_ms and reports a typed Timeout.
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  if (opts.connect_timeout_ms != 0) ::fcntl(fd, F_SETFL, fl | O_NONBLOCK);
+  if (net_connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      return io_error("connect", err);
+    }
+    struct pollfd pfd = {};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(opts.connect_timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      ::close(fd);
+      return io_error("connect", ETIMEDOUT);
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (rc < 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+        soerr != 0) {
+      const int err = rc < 0 ? errno : soerr;
+      ::close(fd);
+      return io_error("connect", err);
+    }
+  }
+  if (opts.connect_timeout_ms != 0) ::fcntl(fd, F_SETFL, fl);
+  if (const api::Result<void> r = set_socket_deadline(fd, opts.io_timeout_ms);
+      !r.ok()) {
     ::close(fd);
-    return io_error("connect", err);
+    return r.error();
   }
   return Client(fd);
 }
 
+api::Result<void> Client::set_io_timeout_ms(std::uint32_t ms) {
+  if (fd_ < 0) return io_error("setsockopt timeout", EBADF);
+  return set_socket_deadline(fd_, ms);
+}
+
 Client::~Client() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    net_fault_forget_fd(fd_);
+    ::close(fd_);
+  }
 }
 
 Client::Client(Client&& other) noexcept
@@ -45,7 +107,10 @@ Client::Client(Client&& other) noexcept
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
+    if (fd_ >= 0) {
+      net_fault_forget_fd(fd_);
+      ::close(fd_);
+    }
     fd_ = std::exchange(other.fd_, -1);
     parser_ = std::move(other.parser_);
     outbox_ = std::move(other.outbox_);
@@ -57,8 +122,8 @@ Client& Client::operator=(Client&& other) noexcept {
 api::Result<void> Client::send_all(std::string_view bytes) {
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
+    const ssize_t n = net_send(fd_, bytes.data() + off, bytes.size() - off,
+                               MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -81,7 +146,7 @@ api::Result<RespValue> Client::read_reply() {
         break;
     }
     char buf[16 * 1024];
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    const ssize_t n = net_recv(fd_, buf, sizeof(buf), 0);
     if (n > 0) {
       parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
       continue;

@@ -17,6 +17,14 @@
 // replies are decoded back into the taxonomy the server encoded from
 // (decode_error_reply), so a server-side OutOfSpace arrives as
 // Errc::OutOfSpace here, not as a stringly-typed error.
+//
+// Deadlines: connect and every recv/send carry a timeout (ClientOptions;
+// override per client with set_io_timeout_ms).  An expired deadline is a
+// typed Errc::Timeout, never a hang — a wedged daemon must not take its
+// callers down with it.  Timeout leaves the connection in an unknown
+// protocol state (the reply may still arrive and desynchronize the
+// stream), so treat a Timeout like a transport failure: reconnect
+// (RetryingClient in service/retry.hpp does this automatically).
 #pragma once
 
 #include <cstdint>
@@ -29,11 +37,25 @@
 
 namespace cxlpmem::service {
 
+/// Deadlines for one client connection.  0 = wait forever (the pre-fault-
+/// tolerance behavior; useful under a debugger, wrong for production).
+struct ClientOptions {
+  std::uint32_t connect_timeout_ms = 5000;
+  std::uint32_t io_timeout_ms = 5000;  ///< per-recv/send, not per-call-chain
+};
+
 class Client {
  public:
   /// Connects to a daemon on `host`:`port` (blocking socket, TCP_NODELAY).
+  /// Connect observes opts.connect_timeout_ms; an expired deadline is
+  /// Errc::Timeout.
   [[nodiscard]] static api::Result<Client> connect(
-      std::uint16_t port, const std::string& host = "127.0.0.1");
+      std::uint16_t port, const std::string& host = "127.0.0.1",
+      const ClientOptions& opts = ClientOptions());
+
+  /// Per-call override: replaces the recv/send deadline for every later
+  /// operation on this client (0 = block forever).
+  [[nodiscard]] api::Result<void> set_io_timeout_ms(std::uint32_t ms);
 
   ~Client();
   Client(Client&& other) noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstring>
 
 namespace cxlpmem::service {
@@ -271,7 +272,14 @@ api::Result<Command> parse_command(const RespValue& frame) {
 }
 
 api::Error io_error(std::string_view context, int err) {
-  return api::Error{api::Errc::IoFailure,
+  // SO_RCVTIMEO/SO_SNDTIMEO expirations surface as EAGAIN/EWOULDBLOCK on a
+  // blocking socket; a caller retrying a Timeout behaves differently from
+  // one retrying a dead transport, so keep the distinction typed.
+  const api::Errc code =
+      (err == EAGAIN || err == EWOULDBLOCK || err == ETIMEDOUT)
+          ? api::Errc::Timeout
+          : api::Errc::IoFailure;
+  return api::Error{code,
                     std::string(context) + ": " +
                         (err != 0 ? std::strerror(err) : "connection closed")};
 }

@@ -1,0 +1,107 @@
+// service/retry.hpp — RetryingClient: idempotent-command retry with
+// jittered exponential backoff and a retry budget.
+//
+// The failure taxonomy makes four codes explicitly retryable:
+//
+//   Timeout       deadline expired — the reply may still be in flight, so
+//                 the connection is desynchronized: reconnect, then retry
+//   IoFailure     transport died (reset, EOF mid-reply): reconnect + retry
+//   Unavailable   the shard is quarantined and recovering: same
+//                 connection, back off and retry
+//   Busy          the shard shed load: same connection, back off and retry
+//
+// Everything else (PoolCorrupt, OutOfSpace, Protocol, ...) is a real
+// answer and is returned immediately — retrying a typed server-side error
+// would just repeat it.
+//
+// Retries are safe because every command the client exposes is idempotent:
+// SET k v applied twice is one state, GET/EXISTS/PING/INFO read, and a
+// DEL retried after an ambiguous failure deletes the same key (only the
+// "did it exist" boolean can differ — documented at del()).
+//
+// Backoff is exponential with deterministic jitter: attempt i sleeps
+// base*2^i scaled by a factor in [0.5, 1.0) drawn from splitmix64(seed,
+// attempt-counter) — full determinism for replay (seed it from the chaos
+// seed) without synchronized retry storms (each client gets its own seed).
+// The budget caps the *total* time spent on one logical call, sleeps
+// included; when it runs out the last typed error is returned unchanged.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/result.hpp"
+#include "service/client.hpp"
+
+namespace cxlpmem::service {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 8;     ///< total tries (first + retries)
+  std::uint32_t base_backoff_ms = 5;  ///< attempt i sleeps ~base*2^i
+  std::uint32_t max_backoff_ms = 250;
+  std::uint32_t budget_ms = 4000;  ///< wall-clock cap per logical call
+  std::uint64_t seed = 0;          ///< jitter PRNG stream
+};
+
+[[nodiscard]] constexpr bool retryable(api::Errc c) noexcept {
+  return c == api::Errc::Timeout || c == api::Errc::IoFailure ||
+         c == api::Errc::Unavailable || c == api::Errc::Busy;
+}
+
+class RetryingClient {
+ public:
+  /// Does NOT connect — the first call does, under the same retry policy,
+  /// so a daemon still coming up (or restarting mid-soak) is waited out
+  /// instead of failed.
+  RetryingClient(std::uint16_t port, std::string host = "127.0.0.1",
+                 ClientOptions conn = ClientOptions(),
+                 RetryPolicy policy = RetryPolicy());
+
+  [[nodiscard]] api::Result<void> set(std::string_view key,
+                                      std::string_view value);
+  [[nodiscard]] api::Result<std::optional<std::string>> get(
+      std::string_view key);
+  /// Retried DELs are at-least-once: after an ambiguous transport failure
+  /// the retry may find the key already gone and report false for a delete
+  /// this very call performed.
+  [[nodiscard]] api::Result<bool> del(std::string_view key);
+  [[nodiscard]] api::Result<bool> exists(std::string_view key);
+  [[nodiscard]] api::Result<std::string> ping(std::string_view msg = {});
+  [[nodiscard]] api::Result<std::string> info();
+
+  struct Stats {
+    std::uint64_t attempts = 0;    ///< operation attempts, first tries incl.
+    std::uint64_t retries = 0;     ///< attempts beyond the first
+    std::uint64_t reconnects = 0;  ///< connections (re)established
+    std::uint64_t backoff_ms = 0;  ///< total time slept
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Computes attempt i's backoff in ms (deterministic in (policy, seed,
+  /// draw)); exposed so tests can assert the exact schedule.
+  [[nodiscard]] static std::uint32_t backoff_ms(const RetryPolicy& policy,
+                                                std::uint32_t attempt,
+                                                std::uint64_t draw_index);
+
+ private:
+  /// Runs `op` against a live connection under the retry loop.  `op` is
+  /// invoked with the connected Client; its Result is inspected for
+  /// retryability.
+  template <typename T, typename Op>
+  api::Result<T> run(Op&& op);
+
+  api::Result<void> ensure_connected();
+  void drop_connection() { session_.reset(); }
+  void sleep_before(std::uint32_t attempt);
+
+  std::uint16_t port_;
+  std::string host_;
+  ClientOptions conn_;
+  RetryPolicy policy_;
+  std::optional<Client> session_;
+  std::uint64_t draws_ = 0;  ///< jitter counter, advances per backoff
+  Stats stats_;
+};
+
+}  // namespace cxlpmem::service

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -21,7 +22,9 @@
 
 #include "api/translate.hpp"
 #include "numakit/affinity.hpp"
+#include "pmemkit/faultkit.hpp"
 #include "service/durable_map.hpp"
+#include "service/net_fault.hpp"
 #include "service/resp.hpp"
 #include "tierkv/cache.hpp"
 
@@ -62,7 +65,7 @@ bool send_all(int fd, std::string_view bytes) {
   int stalls = 0;
   while (off < bytes.size()) {
     const ssize_t n =
-        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        net_send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       stalls = 0;
@@ -86,7 +89,10 @@ bool send_all(int fd, std::string_view bytes) {
 /// shards) — `done` holds completed replies until their turn on the wire.
 struct Connection {
   explicit Connection(int fd) : fd(fd) {}
-  ~Connection() { ::close(fd); }
+  ~Connection() {
+    net_fault_forget_fd(fd);
+    ::close(fd);
+  }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
@@ -122,14 +128,23 @@ struct Request {
 };
 
 struct Shard {
-  explicit Shard(api::Pool p) : pool(std::move(p)), map(pool.pmem()) {}
+  Shard(api::Pool p, int idx) : index(idx), pool(std::move(p)) {
+    map.emplace(pool->pmem());
+  }
 
-  api::Pool pool;
-  DurableMap map;
+  const int index;
+  /// pool/map/tier are optional so quarantine recovery can tear them down
+  /// and rebuild in place.  The serving worker touches them lock-free (it
+  /// is the only thread that replaces them, and only while quarantined);
+  /// the info thread takes `pool_mu` because its stats reads race the
+  /// recovery teardown.
+  std::optional<api::Pool> pool;
+  std::optional<DurableMap> map;
   /// Declared after `map` so it is destroyed first — the tier's promotion
   /// lane reads the map until TieredCache's destructor stops it.  Null when
   /// the tier is disabled: the untiered fast path stays untouched.
   std::unique_ptr<tierkv::TieredCache> tier;
+  mutable std::mutex pool_mu;
   int core = -1;
 
   std::mutex mu;
@@ -142,12 +157,38 @@ struct Shard {
   std::atomic<std::uint64_t> keys{0};
   std::atomic<std::uint64_t> compactions{0};
   std::atomic<std::uint64_t> compacted_bytes{0};
+
+  // --- health ---
+  std::atomic<bool> quarantined{false};
+  std::atomic<std::uint64_t> quarantines{0};
+  std::atomic<std::uint64_t> rejoins{0};
+  std::atomic<std::uint64_t> reopen_failures{0};
+  std::atomic<std::uint64_t> shed{0};
 };
+
+/// The two Errc values that mean "the media under this shard failed" —
+/// exactly the conditions the self-healing loop quarantines on.  Everything
+/// else (OutOfSpace, TxFailure, Protocol, ...) is an answer, not an outage.
+bool media_failure(api::Errc c) noexcept {
+  return c == api::Errc::PoolCorrupt || c == api::Errc::IoFailure;
+}
+
+/// The reply every request on a quarantining shard gets: typed Unavailable
+/// (retryable — the shard is about to attempt recovery) carrying the
+/// original media error for the log-readers.
+std::string quarantine_reply(const Shard& s, const api::Error& cause) {
+  return encode_error_reply(
+      api::Error{api::Errc::Unavailable,
+                 "shard " + std::to_string(s.index) +
+                     " quarantined: " + cause.message});
+}
 
 }  // namespace
 
 struct Server::Impl {
   ServerOptions opts;
+  api::Runtime* rt = nullptr;  ///< outlives the Server (start() contract)
+  std::uint64_t tier_shard_budget = 0;  ///< saved for quarantine rebuilds
   std::string ns;
   int numa_node = -1;
   std::uint16_t port = 0;
@@ -186,10 +227,22 @@ struct Server::Impl {
       s.compactions = shards[i]->compactions.load(std::memory_order_relaxed);
       s.compacted_bytes =
           shards[i]->compacted_bytes.load(std::memory_order_relaxed);
-      const pmemkit::PoolStats ps = shards[i]->pool.stats();
-      s.layout_version = ps.layout_version;
-      s.fragmentation = ps.heap.fragmentation;
-      s.resizes = ps.resizes;
+      s.quarantined = shards[i]->quarantined.load(std::memory_order_acquire);
+      s.quarantines = shards[i]->quarantines.load(std::memory_order_relaxed);
+      s.rejoins = shards[i]->rejoins.load(std::memory_order_relaxed);
+      s.reopen_failures =
+          shards[i]->reopen_failures.load(std::memory_order_relaxed);
+      s.shed = shards[i]->shed.load(std::memory_order_relaxed);
+      // pool_mu: the recovery loop tears pool/tier down and rebuilds them
+      // while this (event-thread) read runs.  A quarantined shard simply
+      // reports no pool stats.
+      const std::lock_guard<std::mutex> pool_lock(shards[i]->pool_mu);
+      if (shards[i]->pool) {
+        const pmemkit::PoolStats ps = shards[i]->pool->stats();
+        s.layout_version = ps.layout_version;
+        s.fragmentation = ps.heap.fragmentation;
+        s.resizes = ps.resizes;
+      }
       out.shards.push_back(s);
       if (shards[i]->tier) {
         const tierkv::TierStats t = shards[i]->tier->stats();
@@ -216,6 +269,8 @@ struct Server::Impl {
     const ServerInfo i = make_info();
     std::uint64_t keys = 0, ops = 0, batches = 0, resizes = 0;
     std::uint64_t compactions = 0, compacted = 0;
+    std::uint64_t quarantined_now = 0, quarantines = 0, rejoins = 0;
+    std::uint64_t reopen_failures = 0, shed = 0;
     std::uint32_t layout_version = 0;
     double worst_frag = 0.0;
     std::string per_shard;
@@ -226,15 +281,29 @@ struct Server::Impl {
       resizes += s.resizes;
       compactions += s.compactions;
       compacted += s.compacted_bytes;
+      quarantined_now += s.quarantined ? 1 : 0;
+      quarantines += s.quarantines;
+      rejoins += s.rejoins;
+      reopen_failures += s.reopen_failures;
+      shed += s.shed;
       layout_version = std::max(layout_version, s.layout_version);
       worst_frag = std::max(worst_frag, s.fragmentation);
       per_shard += "shard" + std::to_string(s.index) +
                    ":core=" + std::to_string(s.core) +
+                   ",state=" + (s.quarantined ? "quarantined" : "serving") +
                    ",keys=" + std::to_string(s.keys) +
                    ",ops=" + std::to_string(s.ops) +
                    ",batches=" + std::to_string(s.batches) +
                    ",frag=" + format_frag(s.fragmentation) + "\r\n";
     }
+    const std::string health =
+        "# Health\r\nhealthy_shards:" +
+        std::to_string(i.shards.size() - quarantined_now) +
+        "\r\nquarantined_shards:" + std::to_string(quarantined_now) +
+        "\r\nquarantines_total:" + std::to_string(quarantines) +
+        "\r\nrejoins_total:" + std::to_string(rejoins) +
+        "\r\nreopen_failures_total:" + std::to_string(reopen_failures) +
+        "\r\nbusy_shed_total:" + std::to_string(shed) + "\r\n";
     return "# cxlpmemd\r\nnamespace:" + i.ns +
            "\r\nnuma_node:" + std::to_string(i.numa_node) +
            "\r\nshards:" + std::to_string(i.shards.size()) +
@@ -249,7 +318,8 @@ struct Server::Impl {
            "\r\nresizes:" + std::to_string(resizes) +
            "\r\ncompactions:" + std::to_string(compactions) +
            "\r\ncompacted_bytes:" + std::to_string(compacted) +
-           "\r\n# Tier\r\n" + tier_text(i) + "# Shards\r\n" + per_shard;
+           "\r\n" + health + "# Tier\r\n" + tier_text(i) + "# Shards\r\n" +
+           per_shard;
   }
 
   /// The "# Tier" INFO section: one line when the tier is off, the full
@@ -289,9 +359,35 @@ struct Server::Impl {
         return;
       default: {
         Shard& s = shard_of(cmd.key);
+        // A quarantined shard answers from the event thread — its worker
+        // is busy recovering and must not grow a queue it cannot drain.
+        if (s.quarantined.load(std::memory_order_acquire)) {
+          complete(*conn, seq,
+                   encode_error_reply(api::Error{
+                       api::Errc::Unavailable,
+                       "shard " + std::to_string(s.index) +
+                           " quarantined, recovery in progress"}));
+          return;
+        }
+        bool full = false;
         {
           const std::lock_guard<std::mutex> lock(s.mu);
-          s.q.push_back(Request{conn, seq, std::move(cmd)});
+          if (opts.max_queue > 0 &&
+              s.q.size() >= static_cast<std::size_t>(opts.max_queue))
+            full = true;
+          else
+            s.q.push_back(Request{conn, seq, std::move(cmd)});
+        }
+        if (full) {
+          // Shed, don't queue: bounded memory and a typed, retryable
+          // signal beat an unbounded queue that turns overload into
+          // latency collapse.
+          s.shed.fetch_add(1, std::memory_order_relaxed);
+          complete(*conn, seq,
+                   encode_error_reply(api::Error{
+                       api::Errc::Busy, "shard " + std::to_string(s.index) +
+                                            " queue full, retry later"}));
+          return;
         }
         s.cv.notify_one();
         return;
@@ -328,7 +424,7 @@ struct Server::Impl {
   bool handle_readable(const std::shared_ptr<Connection>& conn) {
     char buf[64 * 1024];
     for (;;) {
-      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      const ssize_t n = net_recv(conn->fd, buf, sizeof(buf), 0);
       if (n > 0) {
         conn->parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         continue;
@@ -434,34 +530,55 @@ struct Server::Impl {
     if (s.tier) return exec_tiered(s, cmd, in_tx);
     switch (cmd.verb) {
       case Verb::Get: {
-        const std::optional<std::string> v = s.map.get(cmd.key);
+        const std::optional<std::string> v = s.map->get(cmd.key);
         return v.has_value() ? encode_bulk(*v) : encode_null_bulk();
       }
       case Verb::Set:
         if (in_tx)
-          s.map.put_in_tx(cmd.key, cmd.value);
+          s.map->put_in_tx(cmd.key, cmd.value);
         else
-          s.map.put(cmd.key, cmd.value);
+          s.map->put(cmd.key, cmd.value);
         return encode_simple("OK");
       case Verb::Del: {
         const bool erased =
-            in_tx ? s.map.erase_in_tx(cmd.key) : s.map.erase(cmd.key);
+            in_tx ? s.map->erase_in_tx(cmd.key) : s.map->erase(cmd.key);
         return encode_integer(erased ? 1 : 0);
       }
       case Verb::Exists:
-        return encode_integer(s.map.exists(cmd.key) ? 1 : 0);
+        return encode_integer(s.map->exists(cmd.key) ? 1 : 0);
       default:
         return encode_error_reply(
             api::Error{api::Errc::Internal, "unroutable verb"});
     }
   }
 
-  void process_batch(Shard& s, std::vector<Request>& batch) {
+  /// Returns true when the shard surfaced a media failure and must
+  /// quarantine.  Every request in the batch is answered either way —
+  /// committed ops with their real reply, the rest (on a media failure)
+  /// with typed Unavailable.
+  bool process_batch(Shard& s, std::vector<Request>& batch) {
     std::vector<std::string> replies(batch.size());
+    // First media failure surfaced while executing this batch; once set,
+    // the remaining requests are answered Unavailable without touching the
+    // (now suspect) pool again.
+    std::optional<api::Error> media;
+
+    // The serve-site fault point: where an injected device error (or
+    // stall) enters the batch loop, upstream of the transaction, exactly
+    // like a real EIO out of the mapping would.
+    if (const api::Result<void> probe = api::wrap([&] {
+          pmemkit::fault_point(pmemkit::FaultSite::Serve,
+                               "shard " + std::to_string(s.index));
+        });
+        !probe.ok()) {
+      media = probe.error();
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        replies[i] = quarantine_reply(s, *media);
+    }
     const bool any_mutation =
         std::any_of(batch.begin(), batch.end(),
                     [](const Request& r) { return mutates(r.cmd.verb); });
-    if (any_mutation) {
+    if (!media && any_mutation) {
       // The whole batch — reads included, so a SET earlier in the burst is
       // visible to a later GET — under ONE transaction: one lane, one
       // commit fence amortized across the burst.  With the tier on, the
@@ -472,7 +589,7 @@ struct Server::Impl {
       {
         std::unique_lock<std::mutex> tier_lock;
         if (s.tier) tier_lock = s.tier->batch_lock();
-        committed = s.pool.run_tx([&] {
+        committed = s.pool->run_tx([&] {
           for (std::size_t i = 0; i < batch.size(); ++i)
             replies[i] = exec(s, batch[i].cmd, /*in_tx=*/true);
         });
@@ -485,32 +602,62 @@ struct Server::Impl {
       }
       if (committed.ok()) {
         s.batches.fetch_add(1, std::memory_order_relaxed);
+      } else if (media_failure(committed.error().code)) {
+        // The abort was the media, not the workload: nothing committed, so
+        // every request is answerable with Unavailable and the shard heads
+        // into quarantine.
+        media = committed.error();
+        for (std::size_t i = 0; i < batch.size(); ++i)
+          replies[i] = quarantine_reply(s, *media);
       } else {
         // The batch aborted wholesale (nothing committed).  Retry each
         // request in its own transaction so one poisoned operation (say,
         // OutOfSpace on an oversized SET) fails alone, with a precise
         // error, instead of failing its batchmates.
         for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (media) {
+            replies[i] = quarantine_reply(s, *media);
+            continue;
+          }
           const api::Result<void> one = api::wrap(
               [&] { replies[i] = exec(s, batch[i].cmd, /*in_tx=*/false); });
-          if (one.ok())
+          if (one.ok()) {
             s.batches.fetch_add(1, std::memory_order_relaxed);
-          else
+          } else if (media_failure(one.error().code)) {
+            media = one.error();
+            replies[i] = quarantine_reply(s, *media);
+          } else {
             replies[i] = encode_error_reply(one.error());
+          }
         }
       }
-    } else {
-      for (std::size_t i = 0; i < batch.size(); ++i)
-        replies[i] = exec(s, batch[i].cmd, /*in_tx=*/false);
+    } else if (!media) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (media) {
+          replies[i] = quarantine_reply(s, *media);
+          continue;
+        }
+        const api::Result<void> one = api::wrap(
+            [&] { replies[i] = exec(s, batch[i].cmd, /*in_tx=*/false); });
+        if (!one.ok()) {
+          if (media_failure(one.error().code)) {
+            media = one.error();
+            replies[i] = quarantine_reply(s, *media);
+          } else {
+            replies[i] = encode_error_reply(one.error());
+          }
+        }
+      }
     }
     // Stats before acks: a client that reads INFO right after its last
     // reply must see this batch counted.
     s.ops.fetch_add(batch.size(), std::memory_order_relaxed);
-    s.keys.store(s.map.size(), std::memory_order_relaxed);
+    if (s.map) s.keys.store(s.map->size(), std::memory_order_relaxed);
     // Acknowledge only now — the transaction carrying every mutation above
     // has committed, so an acked write survives kill -9 from here on.
     for (std::size_t i = 0; i < batch.size(); ++i)
       complete(*batch[i].conn, batch[i].seq, std::move(replies[i]));
+    return media.has_value();
   }
 
   /// Opportunistic defragmentation between batches: when the shard heap's
@@ -521,7 +668,7 @@ struct Server::Impl {
   /// loses only not-yet-moved garbage, never data.
   void maybe_compact(Shard& s) {
     if (opts.compact_above <= 0) return;
-    const pmemkit::PoolStats st = s.pool.stats();
+    const pmemkit::PoolStats st = s.pool->stats();
     if (st.heap.fragmentation < opts.compact_above ||
         st.heap.live_bytes < opts.compact_min_live_bytes)
       return;
@@ -533,7 +680,7 @@ struct Server::Impl {
     const api::Result<pmemkit::CompactReport> pass = api::wrap([&] {
       std::unique_lock<std::mutex> tier_lock;
       if (s.tier) tier_lock = s.tier->batch_lock();
-      return s.map.compact();
+      return s.map->compact();
     });
     if (!pass.ok()) return;
     s.compactions.fetch_add(1, std::memory_order_relaxed);
@@ -541,10 +688,14 @@ struct Server::Impl {
                                 std::memory_order_relaxed);
   }
 
-  void worker_loop(Shard& s) {
-    // One pinned undo lane for the worker's lifetime: batch commits skip
-    // the lane checkout mutex entirely.
-    const pmemkit::ObjectPool::LaneSession lane(s.pool.pmem());
+  /// Serves batches until stop (returns false) or a media failure demands
+  /// quarantine (returns true).  The LaneSession lives here, not in
+  /// worker_loop, because quarantine recovery closes the pool the lane is
+  /// pinned in.
+  bool serve_shard(Shard& s) {
+    // One pinned undo lane for the serving span: batch commits skip the
+    // lane checkout mutex entirely.
+    const pmemkit::ObjectPool::LaneSession lane(s.pool->pmem());
     std::vector<Request> batch;
     for (;;) {
       {
@@ -552,7 +703,7 @@ struct Server::Impl {
         s.cv.wait(lock, [&] {
           return !s.q.empty() || stopping.load(std::memory_order_acquire);
         });
-        if (s.q.empty()) break;  // stopping and fully drained
+        if (s.q.empty()) return false;  // stopping and fully drained
         const std::size_t take =
             std::min(s.q.size(), static_cast<std::size_t>(opts.max_batch));
         batch.assign(std::make_move_iterator(s.q.begin()),
@@ -561,9 +712,119 @@ struct Server::Impl {
         s.q.erase(s.q.begin(),
                   s.q.begin() + static_cast<std::ptrdiff_t>(take));
       }
-      process_batch(s, batch);
+      const bool quarantine = process_batch(s, batch);
       batch.clear();
+      if (quarantine) return true;
       maybe_compact(s);
+    }
+  }
+
+  /// Answers every queued request with Unavailable (used while the shard
+  /// has no pool: entering quarantine, and permanently quarantined).
+  void drain_unavailable(Shard& s) {
+    std::deque<Request> pending;
+    {
+      const std::lock_guard<std::mutex> lock(s.mu);
+      pending.swap(s.q);
+    }
+    for (Request& r : pending)
+      complete(*r.conn, r.seq,
+               encode_error_reply(api::Error{
+                   api::Errc::Unavailable,
+                   "shard " + std::to_string(s.index) +
+                       " quarantined, recovery in progress"}));
+  }
+
+  /// Interruptible backoff: sleeps `ms` on the shard's cv, waking early on
+  /// stop().  Returns false when stopping.
+  bool backoff_wait(Shard& s, std::uint64_t ms) {
+    std::unique_lock<std::mutex> lock(s.mu);
+    s.cv.wait_for(lock, std::chrono::milliseconds(ms), [&] {
+      return stopping.load(std::memory_order_acquire);
+    });
+    return !stopping.load(std::memory_order_acquire);
+  }
+
+  /// The self-healing pass: tear the shard's pool down, then try bounded
+  /// reopen-with-recovery attempts with doubling backoff.  Returns true on
+  /// rejoin, false when the attempts are exhausted (or stop() arrived).
+  bool recover_shard(Shard& s) {
+    s.quarantined.store(true, std::memory_order_release);
+    s.quarantines.fetch_add(1, std::memory_order_relaxed);
+    // Teardown under pool_mu: the info thread reads pool stats.  Order
+    // matters — the tier's promotion lane reads the map, the map points
+    // into the pool.  Closing the pool also releases its mapping, so a
+    // reopen gets a fresh view of the (possibly repaired) media.
+    {
+      const std::lock_guard<std::mutex> pool_lock(s.pool_mu);
+      s.tier.reset();
+      s.map.reset();
+      s.pool.reset();
+    }
+    drain_unavailable(s);  // requests that raced the quarantine flag
+    api::PoolSpec spec;
+    spec.file = opts.pool_stem + "-" + std::to_string(s.index) + ".pool";
+    spec.size = opts.pool_size_bytes;
+    for (int attempt = 0; attempt < opts.reopen_attempts; ++attempt) {
+      if (!backoff_wait(s, static_cast<std::uint64_t>(opts.reopen_backoff_ms)
+                               << attempt))
+        return false;  // stopping — leave the shard down, stop() drains
+      api::Result<api::Pool> pool =
+          rt->open_or_create_pool(opts.ns, "cxlpmemd-kv", spec);
+      if (!pool.ok()) {
+        s.reopen_failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const api::Result<void> rebuilt = api::wrap([&] {
+        const std::lock_guard<std::mutex> pool_lock(s.pool_mu);
+        s.pool.emplace(std::move(pool).value());
+        s.map.emplace(s.pool->pmem());
+        if (opts.tier) {
+          tierkv::TierOptions to;
+          to.codec = opts.tier_codec;
+          to.dram_bytes = tier_shard_budget;
+          to.prefetch = opts.tier_prefetch;
+          s.tier = std::make_unique<tierkv::TieredCache>(*s.map,
+                                                         std::move(to));
+        }
+      });
+      if (!rebuilt.ok()) {
+        const std::lock_guard<std::mutex> pool_lock(s.pool_mu);
+        s.tier.reset();
+        s.map.reset();
+        s.pool.reset();
+        s.reopen_failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      s.keys.store(s.map->size(), std::memory_order_relaxed);
+      s.rejoins.fetch_add(1, std::memory_order_relaxed);
+      s.quarantined.store(false, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Terminal state for a shard whose media never came back: answer
+  /// Unavailable until stop().  The rest of the server keeps serving.
+  void drain_quarantined(Shard& s) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(s.mu);
+        s.cv.wait(lock, [&] {
+          return !s.q.empty() || stopping.load(std::memory_order_acquire);
+        });
+        if (s.q.empty()) return;  // stopping and fully drained
+      }
+      drain_unavailable(s);
+    }
+  }
+
+  void worker_loop(Shard& s) {
+    while (serve_shard(s)) {
+      if (!recover_shard(s)) {
+        drain_quarantined(s);
+        return;
+      }
     }
   }
 
@@ -639,6 +900,8 @@ api::Result<std::unique_ptr<Server>> Server::start(api::Runtime& rt,
 
   auto impl = std::make_unique<Impl>();
   impl->opts = opts;
+  impl->rt = &rt;
+  impl->tier_shard_budget = tier_shard_budget;
   impl->ns = opts.ns;
   impl->numa_node = space.value().numa_node;
   impl->stopped.store(true);  // armed only once the threads exist
@@ -652,19 +915,19 @@ api::Result<std::unique_ptr<Server>> Server::start(api::Runtime& rt,
         rt.open_or_create_pool(opts.ns, "cxlpmemd-kv", spec);
     if (!pool.ok()) return pool.error();
     const api::Result<void> bound = api::wrap([&] {
-      auto shard = std::make_unique<Shard>(std::move(pool).value());
+      auto shard = std::make_unique<Shard>(std::move(pool).value(), i);
       if (opts.tier) {
         tierkv::TierOptions to;
         to.codec = opts.tier_codec;
         to.dram_bytes = tier_shard_budget;
         to.prefetch = opts.tier_prefetch;
         shard->tier =
-            std::make_unique<tierkv::TieredCache>(shard->map, std::move(to));
+            std::make_unique<tierkv::TieredCache>(*shard->map, std::move(to));
       }
       impl->shards.push_back(std::move(shard));
     });
     if (!bound.ok()) return bound.error();  // e.g. TypeMismatch on reopen
-    impl->paths.push_back(impl->shards.back()->pool.pmem().path());
+    impl->paths.push_back(impl->shards.back()->pool->pmem().path());
   }
 
   // Worker placement labels: cores of the namespace's NUMA node (or the

@@ -28,6 +28,13 @@
 // drains every queued request to a committed (or cleanly failed) reply,
 // closes connections, then closes the pools — a reopened shard reports a
 // clean shutdown and zero busy lanes.
+//
+// Degradation contract: failure is per-shard, never per-process.  A worker
+// that surfaces a media failure (PoolCorrupt/IoFailure) quarantines its
+// keyspace (typed Unavailable replies, visible in INFO "# Health"), runs
+// bounded reopen-with-recovery attempts with doubling backoff, and rejoins
+// on success; a full shard queue answers typed Busy (overload shedding).
+// Both codes are retryable — service::RetryingClient rides through them.
 #pragma once
 
 #include <atomic>
@@ -70,6 +77,19 @@ struct ServerOptions {
   std::uint64_t tier_dram_bytes = 0;
   std::string tier_codec = "lz";  ///< cold-block codec: "lz" | "identity"
   bool tier_prefetch = true;      ///< access-history prefetcher on the GETs
+  /// Overload shedding: a shard whose request queue reaches this depth
+  /// answers Errc::Busy instead of queueing — bounded memory, bounded
+  /// latency, and a typed signal the client's retry loop understands.
+  /// <= 0 disables shedding (the pre-fault-tolerance behavior).
+  int max_queue = 1024;
+  /// Self-healing: a shard worker that surfaces a media failure
+  /// (PoolCorrupt / IoFailure) quarantines itself — its keyspace answers
+  /// Errc::Unavailable — and attempts up to this many reopen-with-recovery
+  /// passes before giving up (permanent quarantine; the other shards keep
+  /// serving either way).
+  int reopen_attempts = 6;
+  /// Backoff before reopen attempt i is reopen_backoff_ms << i.
+  std::uint32_t reopen_backoff_ms = 10;
 };
 
 struct ShardInfo {
@@ -83,6 +103,12 @@ struct ShardInfo {
   std::uint64_t resizes = 0;     ///< pool resize() count (since open)
   std::uint64_t compactions = 0; ///< background compaction passes run
   std::uint64_t compacted_bytes = 0;  ///< bytes relocated by those passes
+  // --- health (see the "# Health" INFO section) ---
+  bool quarantined = false;      ///< keyspace answering Unavailable right now
+  std::uint64_t quarantines = 0; ///< media failures that triggered quarantine
+  std::uint64_t rejoins = 0;     ///< successful reopen-with-recovery passes
+  std::uint64_t reopen_failures = 0;  ///< failed reopen attempts
+  std::uint64_t shed = 0;        ///< requests answered Busy (queue full)
 };
 
 struct ServerInfo {

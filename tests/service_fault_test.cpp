@@ -1,0 +1,244 @@
+// service_fault_test — the self-healing half of faultkit, end to end: an
+// embedded Server with the media injector armed against its serve loop.
+//
+// The degradation contract under test: a media failure quarantines ONE
+// shard (typed Unavailable, never a crash, never a wrong answer), the
+// other shards keep serving, the quarantined shard reopens-with-recovery
+// and rejoins, and all of it is visible in INFO "# Health".  Overload is
+// the same story with Errc::Busy: a full shard queue sheds typed errors,
+// not latency.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/cxlpmem.hpp"
+#include "pmemkit/faultkit.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace pk = cxlpmem::pmemkit;
+using namespace cxlpmem;
+using service::Client;
+using service::RespValue;
+
+class ServiceFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("svc-fault-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    pk::clear_faults();
+    auto rt = api::RuntimeBuilder::setup_one().base_dir(dir_).build();
+    ASSERT_TRUE(rt.ok()) << rt.error().to_string();
+    rt_ = std::make_unique<api::Runtime>(std::move(rt).value());
+  }
+
+  void TearDown() override {
+    pk::clear_faults();
+    server_.reset();
+    rt_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void start(service::ServerOptions opts = {}) {
+    opts.pool_size_bytes = 16ull << 20;  // light pools for CI
+    auto server = service::Server::start(*rt_, opts);
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    server_ = std::move(server).value();
+  }
+
+  Client connect() {
+    auto c = Client::connect(server_->port());
+    EXPECT_TRUE(c.ok());
+    return std::move(c).value();
+  }
+
+  /// Retries `key` until the quarantined shard rejoins (or 5s elapse).
+  [[nodiscard]] bool set_until_served(Client& c, const std::string& key) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto r = c.set(key, "v");
+      if (r.ok()) return true;
+      EXPECT_EQ(r.error().code, api::Errc::Unavailable)
+          << r.error().to_string();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<api::Runtime> rt_;
+  std::unique_ptr<service::Server> server_;
+};
+
+TEST_F(ServiceFaultTest, HealthSectionReportsCleanOnAFaultlessServer) {
+  start();
+  Client c = connect();
+  const std::string info = c.info().value();
+  EXPECT_NE(info.find("# Health"), std::string::npos);
+  EXPECT_NE(info.find("healthy_shards:4"), std::string::npos);
+  EXPECT_NE(info.find("quarantined_shards:0"), std::string::npos);
+  EXPECT_NE(info.find("quarantines_total:0"), std::string::npos);
+  EXPECT_NE(info.find("busy_shed_total:0"), std::string::npos);
+  EXPECT_NE(info.find("state=serving"), std::string::npos);
+  EXPECT_EQ(info.find("state=quarantined"), std::string::npos);
+}
+
+TEST_F(ServiceFaultTest, MediaFailureQuarantinesThenRejoins) {
+  service::ServerOptions opts;
+  opts.shards = 1;  // every key on the shard we are about to poison
+  start(opts);
+  Client c = connect();
+
+  // Committed before the fault: must survive the quarantine round-trip.
+  ASSERT_TRUE(c.set("stable", "pre-fault").ok());
+
+  // One checksum failure in the serve loop.  The shard must answer the
+  // poisoned request with typed Unavailable — not crash, not serve corrupt
+  // data — then reopen, recover, and rejoin.
+  pk::arm_faults(pk::FaultPlan::parse("serve:corrupt@1"));
+  const auto poisoned = c.set("victim", "lost-to-media");
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.error().code, api::Errc::Unavailable)
+      << poisoned.error().to_string();
+  EXPECT_NE(poisoned.error().message.find("quarantined"), std::string::npos);
+
+  // Rejoin: the same connection keeps working once recovery lands.
+  ASSERT_TRUE(set_until_served(c, "victim"));
+  EXPECT_EQ(c.get("stable").value().value(), "pre-fault");
+  EXPECT_EQ(c.get("victim").value().value(), "v");
+
+  // The scar is visible in both telemetry surfaces.
+  const service::ServerInfo si = server_->info();
+  ASSERT_EQ(si.shards.size(), 1u);
+  EXPECT_FALSE(si.shards[0].quarantined);
+  EXPECT_EQ(si.shards[0].quarantines, 1u);
+  EXPECT_EQ(si.shards[0].rejoins, 1u);
+
+  const std::string info = c.info().value();
+  EXPECT_NE(info.find("quarantines_total:1"), std::string::npos);
+  EXPECT_NE(info.find("rejoins_total:1"), std::string::npos);
+  EXPECT_NE(info.find("healthy_shards:1"), std::string::npos);
+}
+
+TEST_F(ServiceFaultTest, HealthyShardsKeepServingDuringQuarantine) {
+  service::ServerOptions opts;
+  opts.shards = 2;
+  opts.reopen_backoff_ms = 500;  // hold the quarantine open long enough
+  start(opts);
+  Client c = connect();
+
+  pk::arm_faults(pk::FaultPlan::parse("serve:corrupt@1"));
+  // Poison whichever shard "h0" routes to.
+  const auto poisoned = c.set("h0", "v");
+  ASSERT_FALSE(poisoned.ok());
+  ASSERT_EQ(poisoned.error().code, api::Errc::Unavailable);
+
+  // While that shard backs off toward its reopen, the other keyspace must
+  // answer normally.  16 keys across 2 shards: some land healthy, and
+  // every failure must be the quarantined shard's typed Unavailable.
+  int served = 0, unavailable = 0;
+  for (int i = 0; i < 16; ++i) {
+    const auto r = c.set("spread" + std::to_string(i), "v");
+    if (r.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(r.error().code, api::Errc::Unavailable)
+          << r.error().to_string();
+      ++unavailable;
+    }
+  }
+  EXPECT_GT(served, 0) << "healthy shard answered nothing";
+  EXPECT_GT(unavailable, 0) << "quarantine lifted implausibly fast";
+
+  const std::string info = c.info().value();
+  EXPECT_NE(info.find("state=quarantined"), std::string::npos);
+  EXPECT_NE(info.find("state=serving"), std::string::npos);
+  EXPECT_NE(info.find("healthy_shards:1"), std::string::npos);
+  EXPECT_NE(info.find("quarantined_shards:1"), std::string::npos);
+
+  // And the quarantined keyspace comes back.
+  EXPECT_TRUE(set_until_served(c, "h0"));
+}
+
+TEST_F(ServiceFaultTest, ExhaustedReopensLeaveAPermanentQuarantine) {
+  service::ServerOptions opts;
+  opts.shards = 1;
+  opts.reopen_attempts = 2;
+  opts.reopen_backoff_ms = 1;  // fail fast, we want the terminal state
+  start(opts);
+  Client c = connect();
+  ASSERT_TRUE(c.set("doomed", "v").ok());
+
+  // Poison the serve loop AND both reopen attempts: the pool file opens
+  // cross FaultSite::MapOpen during recovery, so two open:eio entries eat
+  // exactly the two configured attempts.
+  pk::arm_faults(pk::FaultPlan::parse("serve:corrupt@1;open:eio@1;open:eio@2"));
+  ASSERT_EQ(c.set("doomed", "w").error().code, api::Errc::Unavailable);
+
+  // Recovery is bounded: after both attempts fail the shard parks in
+  // permanent quarantine and keeps answering typed Unavailable.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string info;
+  while (std::chrono::steady_clock::now() < deadline) {
+    info = c.info().value();
+    if (info.find("reopen_failures_total:2") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(info.find("reopen_failures_total:2"), std::string::npos) << info;
+  EXPECT_NE(info.find("quarantined_shards:1"), std::string::npos);
+  EXPECT_NE(info.find("healthy_shards:0"), std::string::npos);
+  EXPECT_EQ(c.set("doomed", "x").error().code, api::Errc::Unavailable);
+  // Graceful stop still works with a shard parked in terminal quarantine.
+  server_->stop();
+}
+
+TEST_F(ServiceFaultTest, FullShardQueueShedsTypedBusy) {
+  service::ServerOptions opts;
+  opts.shards = 1;
+  opts.max_queue = 1;
+  start(opts);
+  Client c = connect();
+
+  // Stall the worker's first batch for 400ms, then firehose a pipelined
+  // burst: the event thread fills the 1-deep queue and must shed the
+  // overflow as typed Busy replies — bounded memory, no silent queueing.
+  pk::arm_faults(pk::FaultPlan::parse("serve:stall@1+400"));
+  for (int i = 0; i < 32; ++i) c.queue_set("burst" + std::to_string(i), "v");
+  const auto replies = c.flush();
+  ASSERT_TRUE(replies.ok()) << replies.error().to_string();
+  ASSERT_EQ(replies.value().size(), 32u);
+
+  int ok = 0, busy = 0;
+  for (const RespValue& r : replies.value()) {
+    if (r.type == RespValue::Type::Error) {
+      const api::Error e = service::decode_error_reply(r.text);
+      EXPECT_EQ(e.code, api::Errc::Busy) << e.to_string();
+      ++busy;
+    } else {
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, 0) << "queued requests must still be served";
+  EXPECT_GT(busy, 0) << "overflow must shed, not queue unboundedly";
+
+  pk::clear_faults();
+  const service::ServerInfo si = server_->info();
+  EXPECT_EQ(si.shards[0].shed, static_cast<std::uint64_t>(busy));
+  const std::string info = c.info().value();
+  EXPECT_NE(info.find("busy_shed_total:" + std::to_string(busy)),
+            std::string::npos);
+}
+
+}  // namespace

@@ -231,13 +231,42 @@ TEST(RespErrorTest, IoErrorMapsIntoIoFailure) {
             std::string::npos);
 }
 
+TEST(RespErrorTest, ExpiredDeadlineErrnosMapIntoTimeout) {
+  // A socket deadline expiring (SO_RCVTIMEO/SO_SNDTIMEO or poll) must be
+  // the typed, retryable Timeout — not a generic transport failure.
+  EXPECT_EQ(service::io_error("recv", EAGAIN).code, api::Errc::Timeout);
+  EXPECT_EQ(service::io_error("recv", EWOULDBLOCK).code, api::Errc::Timeout);
+  EXPECT_EQ(service::io_error("connect", ETIMEDOUT).code, api::Errc::Timeout);
+  // A reset is a transport death, not a deadline.
+  EXPECT_EQ(service::io_error("send", ECONNRESET).code, api::Errc::IoFailure);
+}
+
 TEST(RespErrorTest, ErrcTokensRoundTripByName) {
   for (const api::Errc c :
        {api::Errc::PoolNotFound, api::Errc::Protocol, api::Errc::IoFailure,
-        api::Errc::TxFailure, api::Errc::Internal}) {
+        api::Errc::TxFailure, api::Errc::Timeout, api::Errc::Unavailable,
+        api::Errc::Busy, api::Errc::Internal}) {
     EXPECT_EQ(api::errc_from_token(api::to_string(c)), c);
   }
   EXPECT_EQ(api::errc_from_token("no-such-token"), api::Errc::Internal);
+}
+
+TEST(RespErrorTest, RetryableTaxonomyRoundTripsThroughAReply) {
+  // The three fault-tolerance codes ride `-ERR <token>: msg` like the rest
+  // of the taxonomy: a quarantined shard's Unavailable decodes back into
+  // the exact retryable code on the client side.
+  for (const api::Errc c :
+       {api::Errc::Timeout, api::Errc::Unavailable, api::Errc::Busy}) {
+    const api::Error in{c, "shard 3 is having a day"};
+    RespParser p;
+    RespValue v;
+    ASSERT_EQ(feed_all(p, service::encode_error_reply(in), v),
+              RespParser::Status::Value);
+    ASSERT_EQ(v.type, RespValue::Type::Error);
+    const api::Error out = service::decode_error_reply(v.text);
+    EXPECT_EQ(out.code, c);
+    EXPECT_EQ(out.message, in.message);
+  }
 }
 
 }  // namespace

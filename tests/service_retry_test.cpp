@@ -1,0 +1,212 @@
+// service_retry_test — the client half of the fault-tolerance contract:
+// typed deadlines on the raw Client, and RetryingClient's deterministic
+// jittered backoff / retry budget / reconnect semantics, driven against
+// both a real embedded Server and a deliberately silent listener (binds,
+// listens, never accepts a byte of protocol — the wedged-daemon model).
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "api/cxlpmem.hpp"
+#include "pmemkit/faultkit.hpp"
+#include "service/client.hpp"
+#include "service/retry.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace pk = cxlpmem::pmemkit;
+using namespace cxlpmem;
+using service::Client;
+using service::ClientOptions;
+using service::RetryingClient;
+using service::RetryPolicy;
+
+/// A listener that completes TCP handshakes (backlog) but never reads or
+/// writes: every recv deadline on the client side must expire.
+class SilentListener {
+ public:
+  SilentListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    (void)::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    (void)::listen(fd_, 8);
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~SilentListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(RetryTaxonomyTest, ExactlyTheFourTransientCodesAreRetryable) {
+  EXPECT_TRUE(service::retryable(api::Errc::Timeout));
+  EXPECT_TRUE(service::retryable(api::Errc::IoFailure));
+  EXPECT_TRUE(service::retryable(api::Errc::Unavailable));
+  EXPECT_TRUE(service::retryable(api::Errc::Busy));
+  // Real answers are never retried — repeating them changes nothing.
+  EXPECT_FALSE(service::retryable(api::Errc::OutOfSpace));
+  EXPECT_FALSE(service::retryable(api::Errc::PoolCorrupt));
+  EXPECT_FALSE(service::retryable(api::Errc::Protocol));
+  EXPECT_FALSE(service::retryable(api::Errc::InvalidConfig));
+}
+
+TEST(RetryBackoffTest, ScheduleIsDeterministicJitteredAndCapped) {
+  RetryPolicy p;
+  p.base_backoff_ms = 8;
+  p.max_backoff_ms = 100;
+  p.seed = 42;
+
+  for (std::uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const std::uint32_t a = RetryingClient::backoff_ms(p, attempt, attempt);
+    const std::uint32_t b = RetryingClient::backoff_ms(p, attempt, attempt);
+    EXPECT_EQ(a, b) << "same (policy, attempt, draw) must replay exactly";
+    // Jitter window: [ceil/2, ceil] with ceil = min(base << attempt, max).
+    const std::uint32_t ceil =
+        std::min<std::uint32_t>(p.max_backoff_ms, 8u << std::min(attempt, 9u));
+    EXPECT_GE(a, ceil / 2) << "attempt " << attempt;
+    EXPECT_LE(a, ceil) << "attempt " << attempt;
+  }
+  // Different seeds decorrelate concurrent clients (no retry storms).
+  RetryPolicy q = p;
+  q.seed = 43;
+  bool differs = false;
+  for (std::uint32_t d = 0; d < 8 && !differs; ++d)
+    differs = RetryingClient::backoff_ms(p, 4, d) !=
+              RetryingClient::backoff_ms(q, 4, d);
+  EXPECT_TRUE(differs);
+}
+
+TEST(ClientDeadlineTest, SilentServerIsATypedTimeoutNotAHang) {
+  SilentListener silent;
+  ClientOptions opts;
+  opts.io_timeout_ms = 100;
+  auto c = Client::connect(silent.port(), "127.0.0.1", opts);
+  ASSERT_TRUE(c.ok()) << c.error().to_string();  // handshake: backlog accepts
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = c.value().ping();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, api::Errc::Timeout) << r.error().to_string();
+  EXPECT_LT(elapsed, std::chrono::seconds(3)) << "deadline did not bound";
+}
+
+TEST(ClientDeadlineTest, PerClientOverrideTightensTheDeadline) {
+  SilentListener silent;
+  auto c = Client::connect(silent.port());  // default: 5s
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c.value().set_io_timeout_ms(50).ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(c.value().ping().error().code, api::Errc::Timeout);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(2));
+}
+
+TEST(RetryingClientTest, BudgetExhaustionReturnsTheLastTypedError) {
+  SilentListener silent;
+  ClientOptions conn;
+  conn.io_timeout_ms = 50;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 4;
+  policy.budget_ms = 2000;
+
+  RetryingClient rc(silent.port(), "127.0.0.1", conn, policy);
+  const auto r = rc.ping();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, api::Errc::Timeout) << r.error().to_string();
+  EXPECT_NE(r.error().message.find("(retry budget exhausted)"),
+            std::string::npos)
+      << r.error().message;
+  EXPECT_EQ(rc.stats().attempts, 3u);
+  EXPECT_EQ(rc.stats().retries, 2u);
+  // Timeout desynchronizes the stream: every retry reconnected.
+  EXPECT_EQ(rc.stats().reconnects, 3u);
+  EXPECT_GT(rc.stats().backoff_ms, 0u);
+}
+
+class RetryAgainstServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("svc-retry-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    pk::clear_faults();
+    auto rt = api::RuntimeBuilder::setup_one().base_dir(dir_).build();
+    ASSERT_TRUE(rt.ok()) << rt.error().to_string();
+    rt_ = std::make_unique<api::Runtime>(std::move(rt).value());
+    service::ServerOptions opts;
+    opts.shards = 1;
+    opts.pool_size_bytes = 16ull << 20;
+    auto server = service::Server::start(*rt_, opts);
+    ASSERT_TRUE(server.ok()) << server.error().to_string();
+    server_ = std::move(server).value();
+  }
+
+  void TearDown() override {
+    pk::clear_faults();
+    server_.reset();
+    rt_.reset();
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+  std::unique_ptr<api::Runtime> rt_;
+  std::unique_ptr<service::Server> server_;
+};
+
+TEST_F(RetryAgainstServerTest, RidesThroughAQuarantineToSuccess) {
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.base_backoff_ms = 20;
+  policy.max_backoff_ms = 200;
+  policy.budget_ms = 5000;
+  RetryingClient rc(server_->port(), "127.0.0.1", ClientOptions(), policy);
+
+  ASSERT_TRUE(rc.set("before", "v").ok());
+
+  // Poison one batch: the raw client would see Unavailable; the retrying
+  // client backs off through the quarantine window and lands the write.
+  pk::arm_faults(pk::FaultPlan::parse("serve:corrupt@1"));
+  const auto r = rc.set("through", "the-quarantine");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_GT(rc.stats().retries, 0u) << "should have seen Unavailable";
+  // Unavailable is a clean server reply — the stream stays synchronized,
+  // so no reconnect beyond the initial connect.
+  EXPECT_EQ(rc.stats().reconnects, 1u);
+
+  EXPECT_EQ(rc.get("through").value().value(), "the-quarantine");
+  EXPECT_EQ(rc.get("before").value().value(), "v");
+}
+
+TEST_F(RetryAgainstServerTest, NonRetryableAnswersReturnImmediately) {
+  RetryingClient rc(server_->port());
+  ASSERT_TRUE(rc.ping().ok());
+  const std::uint64_t attempts = rc.stats().attempts;
+  // GET on a missing key is a clean answer (null), not an error — and a
+  // server-side typed error like Protocol must not be retried.  Drive the
+  // latter through the raw surface: an empty key is still a valid GET, so
+  // use INFO as the idempotent no-error baseline instead.
+  EXPECT_FALSE(rc.get("missing").value().has_value());
+  EXPECT_EQ(rc.stats().attempts, attempts + 1) << "no hidden retries";
+}
+
+}  // namespace

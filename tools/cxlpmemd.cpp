@@ -15,13 +15,23 @@
 // SIGINT/SIGTERM shut down gracefully: stop accepting, drain every
 // in-flight transaction to commit, flush replies, close the pools — a
 // restart reports clean shutdown and zero busy lanes.
+//
+// Chaos hooks: CXLPMEM_FAULTS / CXLPMEM_NET_FAULTS (+ CXLPMEM_FAULT_SEED)
+// arm the deterministic media/link fault injectors before the server
+// starts — see pmemkit/faultkit.hpp and service/net_fault.hpp for the DSL.
+// A shard whose media fails quarantines itself and self-heals (INFO grows
+// a '# Health' section); --max-queue bounds each shard's request queue
+// (overflow answers typed Busy).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "api/cxlpmem.hpp"
+#include "pmemkit/faultkit.hpp"
+#include "service/net_fault.hpp"
 #include "service/server.hpp"
 
 using namespace cxlpmem;
@@ -29,8 +39,9 @@ using namespace cxlpmem;
 namespace {
 
 /// Daemon version: tracks the pool layout generation it serves (layout v2
-/// images, v1 migration, live resize, background compaction, DRAM tier).
-constexpr const char* kVersion = "cxlpmemd 0.8.0 (pool layout v2)";
+/// images, v1 migration, live resize, background compaction, DRAM tier,
+/// fault injection + shard self-healing).
+constexpr const char* kVersion = "cxlpmemd 0.9.0 (pool layout v2)";
 
 void print_usage(std::FILE* to, const char* argv0) {
   std::fprintf(
@@ -56,8 +67,16 @@ void print_usage(std::FILE* to, const char* argv0) {
       "                  '# Tier' telemetry section.\n"
       "  --tier-codec    cold-block codec, lz | identity (default lz);\n"
       "                  giving this flag alone also enables the tier\n"
+      "  --max-queue     per-shard request queue bound; overflow answers\n"
+      "                  typed Busy (default 1024; 0 = unbounded)\n"
+      "  --reopen-attempts  bounded reopen-with-recovery passes a\n"
+      "                  quarantined shard runs before giving up (default 6)\n"
       "  --version       print the version string and exit\n"
-      "  --help          print this help and exit\n",
+      "  --help          print this help and exit\n"
+      "environment:\n"
+      "  CXLPMEM_FAULTS      media-fault schedule DSL (pmemkit/faultkit)\n"
+      "  CXLPMEM_NET_FAULTS  link-fault schedule DSL (service/net_fault)\n"
+      "  CXLPMEM_FAULT_SEED  overrides both schedules' random seed\n",
       argv0);
 }
 
@@ -99,10 +118,31 @@ int main(int argc, char** argv) {
     } else if (arg == "--tier-codec") {
       opts.tier = true;
       opts.tier_codec = val;
+    } else if (arg == "--max-queue") {
+      opts.max_queue = std::atoi(val);
+    } else if (arg == "--reopen-attempts") {
+      opts.reopen_attempts = std::atoi(val);
     } else return usage(argv[0]);
     ++i;
   }
   if (dir.empty()) return usage(argv[0]);
+
+  // Arm the chaos injectors before any pool opens or socket binds, so the
+  // very first media/link operation is already under the schedule.  A
+  // malformed schedule is a fatal config error — a chaos run that silently
+  // runs faultless would report a lie.
+  try {
+    const bool media = pmemkit::arm_faults_from_env();
+    const bool net = service::arm_net_faults_from_env();
+    if (media || net) {
+      const char* seed = std::getenv("CXLPMEM_FAULT_SEED");
+      std::fprintf(stderr, "cxlpmemd: fault injection armed (media=%d net=%d seed=%s)\n",
+                   media ? 1 : 0, net ? 1 : 0, seed != nullptr ? seed : "0");
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "cxlpmemd: %s\n", e.what());
+    return 2;
+  }
 
   // Block the shutdown signals BEFORE any thread exists, so every thread
   // the server spawns inherits the mask and sigwait() below is the only
